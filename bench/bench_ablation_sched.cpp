@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Extension ablations for the scheduler: candidate-window size m
+ * (the Scheduling/Transaction tables are m-entry structures, §3.2) and
+ * PU-count scaling — design-space questions the paper's 4-PU, m-entry
+ * reference point leaves open.
+ */
+
+#include "bench/common.hpp"
+#include "sched/engine.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+double
+speedup(const workload::BlockRun &block, int pus, int window,
+        std::uint64_t base)
+{
+    arch::MtpuConfig cfg;
+    cfg.numPus = pus;
+    cfg.windowSize = window;
+    sched::SpatioTemporalEngine engine(cfg);
+    return double(base) / double(engine.run(block).makespan);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mtpu::bench;
+    banner("Ablation — scheduling window size and PU scaling");
+
+    workload::Generator gen(5151, 1024);
+    workload::BlockParams params;
+    params.txCount = 192;
+    params.depRatio = 0.4;
+    auto block = gen.generateBlock(params);
+    std::uint64_t base = scalarBaselineCycles(block);
+
+    std::printf("block: %d txs, measured dep ratio %.2f, critical path "
+                "%d\n\n",
+                params.txCount, block.measuredDepRatio(),
+                block.criticalPathLength());
+
+    Table window_table({"Window m", "4 PUs speedup"});
+    for (int m : {2, 4, 8, 16, 32, 64}) {
+        window_table.row({std::to_string(m),
+                          fixed(speedup(block, 4, m, base), 2) + "x"});
+    }
+    window_table.print();
+    std::printf("\nA window smaller than the PU count starves "
+                "selection; beyond ~2x the PU\ncount the extra "
+                "candidates buy little.\n\n");
+
+    Table pu_table({"PUs", "Speedup", "Efficiency"});
+    for (int pus : {1, 2, 4, 8, 16}) {
+        double s = speedup(block, pus, 16, base);
+        pu_table.row({std::to_string(pus), fixed(s, 2) + "x",
+                      fixed(s / pus, 2)});
+    }
+    pu_table.print();
+    std::printf("\nScaling saturates once the DAG's width (and the "
+                "critical path) binds —\nthe co-design's 4-PU choice "
+                "sits near the efficiency knee for real blocks.\n");
+    return 0;
+}

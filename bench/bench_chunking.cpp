@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Experiment E12 — §3.4.2: bytecode chunking. After collecting the
+ * execution path of a hotspot (contract, entry function), only the
+ * 32-byte code blocks on the path are loaded. The paper reports that
+ * Tether's transfer then loads only 8.2 % of the original bytecode.
+ * Also reports the pre-executable prefix (Compare + Check chunks) and
+ * the prefetchable share of state reads (§3.4.4).
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench/common.hpp"
+#include "contracts/contracts.hpp"
+#include "hotspot/chunker.hpp"
+#include "hotspot/hotspot.hpp"
+
+int
+main()
+{
+    using namespace mtpu;
+    using namespace mtpu::bench;
+    banner("§3.4.2 — hotspot bytecode chunking, pre-execution, prefetch");
+
+    workload::Generator gen(888, 256);
+    hotspot::ContractTable table;
+
+    for (const std::string &name : top8Names()) {
+        auto block = gen.contractBatch(name, 64);
+        for (const auto &rec : block.txs)
+            table.collect(rec.trace);
+    }
+
+    Table out({"Contract", "Function", "CodeSize", "Loaded", "Loaded%",
+               "Static", "PreExec(events)", "Prefetchable"});
+
+    // Static chunking (Fig. 10(b)) per contract, for comparison with
+    // the dynamically collected coverage.
+    std::map<std::pair<std::string, std::uint32_t>, std::uint32_t>
+        static_loaded;
+    auto collect_static = [&](const contracts::ContractSpec &spec) {
+        for (const auto &fn : hotspot::chunkContract(spec.bytecode))
+            static_loaded[{spec.name, fn.selector}] = fn.loadedBytes;
+    };
+    for (const auto &spec : gen.contracts().top8())
+        collect_static(spec);
+    for (const auto &spec : gen.contracts().extras())
+        collect_static(spec);
+
+    const auto &set = gen.contracts();
+    auto entries = table.entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const hotspot::PathInfo *a, const hotspot::PathInfo *b) {
+        if (!(a->contract == b->contract))
+            return a->contract < b->contract;
+        return a->functionId < b->functionId;
+    });
+    for (const hotspot::PathInfo *info : entries) {
+        // Resolve names for the report.
+        std::string cname = "?", fname = "?";
+        std::uint32_t code_size = 0;
+        auto scan = [&](const std::vector<contracts::ContractSpec> &v) {
+            for (const auto &spec : v) {
+                if (spec.address == info->contract) {
+                    cname = spec.name;
+                    code_size = std::uint32_t(spec.bytecode.size());
+                    if (const auto *f =
+                            spec.functionBySelector(info->functionId))
+                        fname = f->name;
+                }
+            }
+        };
+        scan(set.top8());
+        scan(set.extras());
+        if (info->invocations < 4)
+            continue; // noise
+        double pct = 100.0 * double(info->loadedBytes())
+                   / double(code_size);
+        double prefetch =
+            info->totalReads
+                ? 100.0 * double(info->prefetchableReads)
+                      / double(info->totalReads)
+                : 100.0;
+        auto st = static_loaded.find({cname, info->functionId});
+        std::string static_col =
+            st == static_loaded.end() ? "-" : std::to_string(st->second);
+        out.row({cname, fname, std::to_string(code_size),
+                 std::to_string(info->loadedBytes()),
+                 fixed(pct, 1) + "%", static_col,
+                 std::to_string(info->preExecEvents),
+                 fixed(prefetch, 1) + "%"});
+    }
+    out.print();
+
+    std::printf("\nPaper: after chunking and pre-execution, executing "
+                "Tether's transfer loads\nonly 8.2%% of the original "
+                "bytecode; fixed-access data prefetches 100%%.\n");
+    return 0;
+}

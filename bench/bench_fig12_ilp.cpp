@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment E1 — Fig. 12: upper bound of the instruction-level
+ * optimizations per TOP8 contract, assuming a 100 % DB-cache hit rate.
+ *
+ * Bars: F&D (fill unit + DB cache), +DF (data forwarding), +IF
+ * (instruction folding). Baseline: single scalar PU. Workload: per
+ * contract, transactions covering all entry functions (execution
+ * cycles only, as §4.2 evaluates the pipeline).
+ */
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+std::uint64_t
+execCycles(const workload::BlockRun &block, const arch::MtpuConfig &cfg)
+{
+    arch::StateBuffer sb(cfg.stateBufferEntries);
+    arch::PuModel pu(cfg, &sb);
+    std::uint64_t total = 0;
+    for (const auto &rec : block.txs)
+        total += pu.execute(rec.trace).execCycles;
+    return total;
+}
+
+arch::MtpuConfig
+upperBoundConfig(bool forwarding, bool folding)
+{
+    arch::MtpuConfig cfg;
+    cfg.numPus = 1;
+    cfg.forceDbHit = true;
+    cfg.dbCacheEntries = 1u << 20; // effectively unbounded
+    cfg.enableForwarding = forwarding;
+    cfg.enableFolding = folding;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mtpu::bench;
+    banner("Fig. 12 — ILP upper bound per contract (100% DB hit)");
+
+    workload::Generator gen(2023, 256);
+    Table table({"Contract", "F&D", "+DF", "+IF", "IPC(+IF)"});
+
+    Accumulator fd_acc, df_acc, if_acc;
+    for (const std::string &name : top8Names()) {
+        auto block = gen.contractBatch(name, 48);
+        std::uint64_t base =
+            execCycles(block, arch::MtpuConfig::baseline());
+        std::uint64_t fd = execCycles(block, upperBoundConfig(false, false));
+        std::uint64_t df = execCycles(block, upperBoundConfig(true, false));
+        std::uint64_t iff = execCycles(block, upperBoundConfig(true, true));
+
+        std::uint64_t instr = 0;
+        for (const auto &rec : block.txs)
+            instr += rec.trace.events.size();
+
+        double s_fd = double(base) / double(fd);
+        double s_df = double(base) / double(df);
+        double s_if = double(base) / double(iff);
+        fd_acc.add(s_fd);
+        df_acc.add(s_df);
+        if_acc.add(s_if);
+        table.row({name, fixed(s_fd, 2) + "x", fixed(s_df, 2) + "x",
+                   fixed(s_if, 2) + "x",
+                   fixed(double(instr) / double(iff), 2)});
+    }
+    table.row({"Average", fixed(fd_acc.mean(), 2) + "x",
+               fixed(df_acc.mean(), 2) + "x",
+               fixed(if_acc.mean(), 2) + "x", ""});
+    table.print();
+
+    std::printf("\nPaper shape: F&D provides the bulk of the gain; DF and"
+                " IF add further ILP.\nPaper average speedup 1.99x "
+                "(range 1.64x-2.40x) at IPC 3.47-4.06.\n");
+    return 0;
+}

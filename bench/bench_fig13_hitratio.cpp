@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Experiment E2 — Fig. 13: DB-cache hit ratio versus cache size for a
+ * batch of redundant transactions (same contract, mixed entry
+ * functions). The paper finds the ratio stabilises around 2K entries
+ * (~85 %), with residual cold misses beyond that.
+ */
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+double
+hitRatio(const workload::BlockRun &block, std::uint32_t entries)
+{
+    arch::MtpuConfig cfg;
+    cfg.numPus = 1;
+    cfg.dbCacheEntries = entries;
+    arch::StateBuffer sb(cfg.stateBufferEntries);
+    arch::PuModel pu(cfg, &sb);
+    for (const auto &rec : block.txs)
+        pu.execute(rec.trace);
+    return pu.dbCache().stats().hitRatio();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mtpu::bench;
+    banner("Fig. 13 — DB-cache hit ratio vs cache size (entries)");
+
+    const std::uint32_t sizes[] = {64, 128, 256, 512, 1024, 2048, 4096,
+                                   8192};
+
+    workload::Generator gen(1313, 256);
+    std::vector<std::string> headers = {"Contract"};
+    for (std::uint32_t s : sizes)
+        headers.push_back(std::to_string(s));
+    Table table(headers);
+
+    std::vector<Accumulator> acc(std::size(sizes));
+    for (const std::string &name : top8Names()) {
+        auto block = gen.contractBatch(name, 64);
+        std::vector<std::string> row = {name};
+        for (std::size_t i = 0; i < std::size(sizes); ++i) {
+            double ratio = hitRatio(block, sizes[i]);
+            acc[i].add(ratio);
+            row.push_back(fixed(ratio * 100, 1) + "%");
+        }
+        table.row(row);
+    }
+    std::vector<std::string> avg = {"Average"};
+    for (auto &a : acc)
+        avg.push_back(fixed(a.mean() * 100, 1) + "%");
+    table.row(avg);
+    table.print();
+
+    std::printf("\nPaper shape: small caches thrash; the ratio climbs "
+                "with size and stabilises\naround 2K entries (~85%%), "
+                "limited by cold misses thereafter.\n");
+    return 0;
+}

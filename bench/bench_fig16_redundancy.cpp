@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment E6 — Fig. 16: speedup versus dependency ratio with the
+ * full optimization stack: (a) spatio-temporal + redundancy
+ * optimization (context + DB-cache reuse), (b) additionally hotspot
+ * optimization (§3.4), at 1 and 4 PUs.
+ */
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+double
+runStack(const workload::BlockRun &block, int pus, bool hotspot)
+{
+    arch::MtpuConfig cfg;
+    cfg.numPus = pus;
+    core::MtpuProcessor proc(cfg);
+    if (hotspot)
+        proc.warmup(block, 32);
+    core::RunOptions opt;
+    opt.scheme = pus == 1 ? core::Scheme::Sequential
+                          : core::Scheme::SpatioTemporal;
+    opt.redundancyOpt = true;
+    opt.hotspotOpt = hotspot;
+    return proc.compare(block, opt).speedup();
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mtpu::bench;
+    banner("Fig. 16 — speedup with redundancy (a) and hotspot (b) "
+           "optimization");
+
+    const double ratios[] = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+    const std::uint64_t seeds[] = {3, 13, 31};
+
+    for (bool hotspot : {false, true}) {
+        std::printf("(%c) Spatio-temporal + redundancy%s\n",
+                    hotspot ? 'b' : 'a',
+                    hotspot ? " + hotspot optimization" : "");
+        Table table({"DepRatio(meas)", "1 PU", "4 PUs"});
+        std::vector<double> xs, y1, y4;
+        for (double ratio : ratios) {
+            Accumulator meas, s1, s4;
+            for (std::uint64_t seed : seeds) {
+                workload::Generator gen(seed, 512);
+                workload::BlockParams params;
+                params.txCount = 128;
+                params.depRatio = ratio;
+                auto block = gen.generateBlock(params);
+                meas.add(block.measuredDepRatio());
+                s1.add(runStack(block, 1, hotspot));
+                s4.add(runStack(block, 4, hotspot));
+            }
+            xs.push_back(meas.mean());
+            y1.push_back(s1.mean());
+            y4.push_back(s4.mean());
+            table.row({fixed(meas.mean(), 2), fixed(s1.mean(), 2) + "x",
+                       fixed(s4.mean(), 2) + "x"});
+        }
+        table.print();
+        LineFit f1 = LineFit::fit(xs, y1);
+        LineFit f4 = LineFit::fit(xs, y4);
+        std::printf("fitted: 1 PU y = %.2f %+.2f*x | 4 PUs y = %.2f "
+                    "%+.2f*x\n\n",
+                    f1.a, f1.b, f4.a, f4.b);
+    }
+
+    std::printf("Paper shape: redundancy reuse lifts even the single-PU "
+                "case above Fig. 14;\nhotspot optimization adds a "
+                "further layer; the abstract's overall band is\n"
+                "3.53x-16.19x across ratios.\n");
+    return 0;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate kernels: U256
+ * arithmetic, Keccak-256, RLP, the reference interpreter, and the
+ * scheduling-table selection (the O(m) bit-ops critical path of
+ * §3.2.3).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/pu.hpp"
+#include "contracts/contracts.hpp"
+#include "evm/interpreter.hpp"
+#include "sched/tables.hpp"
+#include "support/keccak.hpp"
+#include "support/rlp.hpp"
+#include "support/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+void
+BM_U256_Mul(benchmark::State &state)
+{
+    Rng rng(1);
+    U256 a(rng.next(), rng.next(), rng.next(), rng.next());
+    U256 b(rng.next(), rng.next(), rng.next(), rng.next());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a = a * b);
+    }
+}
+BENCHMARK(BM_U256_Mul);
+
+void
+BM_U256_Div(benchmark::State &state)
+{
+    Rng rng(2);
+    U256 a(rng.next(), rng.next(), rng.next(), rng.next());
+    U256 b(rng.next(), 0, 0, 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.udiv(b));
+    }
+}
+BENCHMARK(BM_U256_Div);
+
+void
+BM_Keccak256_64B(benchmark::State &state)
+{
+    U256 a(123), b(456);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(keccak256Pair(a, b));
+    }
+}
+BENCHMARK(BM_Keccak256_64B);
+
+void
+BM_RlpRoundTrip(benchmark::State &state)
+{
+    evm::Transaction tx;
+    tx.from = U256(0x1234);
+    tx.to = U256(0x5678);
+    tx.data.assign(68, 0xab);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            evm::Transaction::fromRlp(tx.toRlp()).nonce);
+    }
+}
+BENCHMARK(BM_RlpRoundTrip);
+
+/** Full ERC20 transfer through the reference interpreter. */
+void
+BM_InterpreterTransfer(benchmark::State &state)
+{
+    workload::Generator gen(5, 64);
+    auto block = gen.contractBatch("TetherUSD", 1);
+    evm::WorldState world = gen.genesis();
+    evm::Interpreter interp;
+    const auto &rec = block.txs[0];
+    std::uint64_t executed = 0;
+    for (auto _ : state) {
+        evm::WorldState scratch = world;
+        auto receipt =
+            interp.applyTransaction(scratch, block.header, rec.tx);
+        benchmark::DoNotOptimize(receipt.gasUsed);
+        ++executed;
+    }
+    state.SetItemsProcessed(std::int64_t(executed));
+}
+BENCHMARK(BM_InterpreterTransfer);
+
+/** Selection over the scheduling tables: O(m) bit operations. */
+void
+BM_SchedulerSelect(benchmark::State &state)
+{
+    sched::SchedulingTables tables(4, int(state.range(0)));
+    for (int i = 0; i < tables.windowSize(); ++i) {
+        tables.slot(i).occupied = true;
+        tables.slot(i).value = i;
+    }
+    tables.row(1).de = 0x5;
+    tables.row(1).valid = true;
+    tables.row(0).re = 0x2;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tables.select(0));
+    }
+}
+BENCHMARK(BM_SchedulerSelect)->Arg(8)->Arg(32)->Arg(64);
+
+/** Trace replay through the PU timing model. */
+void
+BM_PuReplay(benchmark::State &state)
+{
+    workload::Generator gen(6, 64);
+    auto block = gen.contractBatch("TetherUSD", 8);
+    arch::MtpuConfig cfg;
+    arch::StateBuffer sb(cfg.stateBufferEntries);
+    arch::PuModel pu(cfg, &sb);
+    std::size_t i = 0;
+    std::uint64_t instr = 0;
+    for (auto _ : state) {
+        const auto &trace = block.txs[i % block.txs.size()].trace;
+        benchmark::DoNotOptimize(pu.execute(trace).cycles);
+        instr += trace.events.size();
+        ++i;
+    }
+    state.SetItemsProcessed(std::int64_t(instr));
+}
+BENCHMARK(BM_PuReplay);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment E11 — Table 2 (motivation): proportion of contract
+ * bytecode in the data loaded to execute one transaction. The paper
+ * measures 86-95 % bytecode, which motivates bytecode reuse between
+ * redundant transactions.
+ */
+
+#include "bench/common.hpp"
+
+int
+main()
+{
+    using namespace mtpu;
+    using namespace mtpu::bench;
+    banner("Table 2 — proportion of bytecode in the loaded context data");
+
+    struct Case
+    {
+        const char *contract;
+        const char *function;
+    };
+    const Case cases[] = {
+        {"TetherUSD", "transfer"},
+        {"WETH9", "withdraw"},
+        {"CryptoCat", "createSaleAuction"},
+        {"Ballot", "vote"},
+    };
+
+    workload::Generator gen(22, 256);
+    Table table({"Contract", "Function", "Bytecode(B)", "Bytecode%",
+                 "Other(B)", "Other%"});
+
+    for (const Case &c : cases) {
+        workload::TxRecord rec;
+        if (std::string(c.function) == "transfer") {
+            rec = gen.singleCall(c.contract, c.function,
+                                 {contracts::userAddress(1), U256(100)});
+        } else if (std::string(c.function) == "withdraw") {
+            rec = gen.singleCall(c.contract, c.function, {U256(100)});
+        } else if (std::string(c.function) == "createSaleAuction") {
+            // Token ids [2n, 4n) are owned but unauctioned; owner of
+            // id is user (id % n).
+            rec = gen.singleCall(c.contract, c.function,
+                                 {U256(512), U256(100)}, U256(), 0);
+        } else { // vote
+            rec = gen.singleCall(c.contract, c.function, {U256(1)});
+        }
+        if (!rec.receipt.success) {
+            std::printf("warning: %s.%s failed: %s\n", c.contract,
+                        c.function, rec.receipt.error.c_str());
+            continue;
+        }
+        std::uint64_t code = rec.trace.codeSizes[0];
+        std::uint64_t other = rec.trace.contextBytes;
+        double total = double(code + other);
+        table.row({c.contract, c.function, std::to_string(code),
+                   fixed(100.0 * double(code) / total, 2) + "%",
+                   std::to_string(other),
+                   fixed(100.0 * double(other) / total, 2) + "%"});
+    }
+    table.print();
+
+    std::printf("\nPaper: Tether/transfer 92.72%%, WETH9/withdraw "
+                "90.74%%, CryptoCat 95.33%%,\nBallot/vote 85.99%% "
+                "bytecode share — loading is dominated by bytecode,\n"
+                "so reusing it across redundant transactions removes "
+                "most context traffic.\n");
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Experiments E9/E13 — Table 5: area breakdown of the MTPU at 45 nm,
+ * plus the power/energy model (paper: 8.648 W at 300 MHz, 4 PUs).
+ */
+
+#include "arch/area.hpp"
+#include "bench/common.hpp"
+
+int
+main()
+{
+    using namespace mtpu;
+    using namespace mtpu::bench;
+    banner("Table 5 — key design parameters and area breakdown (45 nm)");
+
+    arch::MtpuConfig cfg; // reference: 4 PUs, 2K-entry DB cache
+    arch::AreaModel model(cfg);
+
+    Table table({"Group", "Component", "Size", "Area (mm^2)"});
+    for (const auto &entry : model.entries())
+        table.row({entry.group, entry.component, entry.size,
+                   fixed(entry.areaMm2, 3)});
+    table.print();
+
+    std::printf("\nPower @300 MHz, 4 PUs: %.3f W (paper: 8.648 W)\n",
+                model.powerWatts(300.0));
+    std::printf("Energy for 1M cycles: %.3f mJ\n",
+                model.energyMj(1'000'000));
+
+    // Sensitivity: DB-cache size and PU count (design-space corners).
+    banner("Area sensitivity (model extrapolation)");
+    Table sens({"PUs", "DB entries", "Total mm^2", "Power W"});
+    for (int pus : {1, 2, 4, 8}) {
+        for (std::uint32_t entries : {1024u, 2048u, 4096u}) {
+            arch::MtpuConfig c;
+            c.numPus = pus;
+            c.dbCacheEntries = entries;
+            arch::AreaModel m(c);
+            sens.row({std::to_string(pus), std::to_string(entries),
+                      fixed(m.totalArea(), 2),
+                      fixed(m.powerWatts(300.0), 2)});
+        }
+    }
+    sens.print();
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment E7 — Table 8: single-core BPU versus single-core MTPU as
+ * the ERC20 share of the block varies (baseline: BPU's scalar GSC
+ * engine). The paper's point: BPU's fixed-function App engine wins
+ * only on ERC20-saturated blocks; MTPU is stable across the mix.
+ */
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+} // namespace
+
+int
+main()
+{
+    using namespace mtpu::bench;
+    banner("Table 8 — BPU vs MTPU, single core, vs ERC20 proportion");
+
+    const double shares[] = {1.0, 0.8, 0.6, 0.4, 0.2, 0.0};
+    const std::uint64_t seeds[] = {7, 19, 43};
+
+    Table table({"ERC20", "BPU", "MTPU"});
+    for (double share : shares) {
+        Accumulator bpu_s, mtpu_s;
+        for (std::uint64_t seed : seeds) {
+            workload::Generator gen(seed, 512);
+            workload::BlockParams params;
+            params.txCount = 120;
+            params.depRatio = 0.0;
+            params.erc20Share = share;
+            auto block = gen.generateBlock(params);
+
+            arch::MtpuConfig gsc = arch::MtpuConfig::baseline();
+            baseline::SequentialExecutor base(gsc);
+            std::uint64_t base_cycles = base.run(block).makespan;
+
+            baseline::BpuModel bpu({1, 12.82}, gsc);
+            bpu_s.add(double(base_cycles) / double(bpu.run(block).makespan));
+
+            arch::MtpuConfig m1;
+            m1.numPus = 1;
+            core::MtpuProcessor proc(m1);
+            proc.warmup(block, 32);
+            core::RunOptions opt{core::Scheme::Sequential, true, true};
+            mtpu_s.add(double(base_cycles)
+                       / double(proc.execute(block, opt).makespan));
+        }
+        table.row({fixed(share * 100, 0) + "%",
+                   fixed(bpu_s.mean(), 2) + "x",
+                   fixed(mtpu_s.mean(), 2) + "x"});
+    }
+    table.print();
+
+    std::printf("\nPaper: BPU 12.82x -> 1x as ERC20 falls; MTPU "
+                "2.79x -> 1.71x (stable).\nShape check: BPU collapses "
+                "without its App engine's workload; MTPU holds.\n");
+    return 0;
+}

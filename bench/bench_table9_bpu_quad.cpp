@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Experiment E8 — Table 9: quad-core BPU (coarse synchronous
+ * scheduling) versus quad-core MTPU (spatio-temporal scheduling with
+ * the full optimization stack) as the dependency ratio varies.
+ * Baseline: single scalar GSC core.
+ */
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+} // namespace
+
+int
+main()
+{
+    using namespace mtpu::bench;
+    banner("Table 9 — BPU vs MTPU, quad core, vs dependency proportion");
+
+    const double ratios[] = {1.0, 0.8, 0.6, 0.4, 0.2, 0.0};
+    const std::uint64_t seeds[] = {7, 19, 43};
+
+    Table table({"Dependent", "BPU", "MTPU"});
+    for (double ratio : ratios) {
+        Accumulator bpu_s, mtpu_s;
+        for (std::uint64_t seed : seeds) {
+            workload::Generator gen(seed, 512);
+            workload::BlockParams params;
+            params.txCount = 128;
+            params.depRatio = ratio;
+            auto block = gen.generateBlock(params);
+
+            arch::MtpuConfig gsc = arch::MtpuConfig::baseline();
+            baseline::SequentialExecutor base(gsc);
+            std::uint64_t base_cycles = base.run(block).makespan;
+
+            baseline::BpuModel bpu({4, 12.82}, gsc);
+            bpu_s.add(double(base_cycles) / double(bpu.run(block).makespan));
+
+            arch::MtpuConfig m4;
+            m4.numPus = 4;
+            core::MtpuProcessor proc(m4);
+            proc.warmup(block, 32);
+            core::RunOptions opt{core::Scheme::SpatioTemporal, true, true};
+            mtpu_s.add(double(base_cycles)
+                       / double(proc.execute(block, opt).makespan));
+        }
+        table.row({fixed(ratio * 100, 0) + "%",
+                   fixed(bpu_s.mean(), 2) + "x",
+                   fixed(mtpu_s.mean(), 2) + "x"});
+    }
+    table.print();
+
+    std::printf("\nPaper: BPU 3.51x -> 7.4x and MTPU 8.68x -> 15.25x as "
+                "dependencies drop;\nMTPU leads everywhere and degrades "
+                "less under dependencies (fine-grained\nscheduling).\n");
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Block pipeline: simulate the three-stage model of Fig. 4 over a
+ * sequence of blocks. Transactions are "heard" during dissemination,
+ * the consensus stage packages them with their dependency DAG, and the
+ * execution stage replays them on the MTPU. Hotspot collection and
+ * optimization run in the idle interval between blocks, so later
+ * blocks execute faster than early ones.
+ */
+
+#include <cstdio>
+
+#include "core/mtpu.hpp"
+
+int
+main()
+{
+    using namespace mtpu;
+
+    workload::Generator gen(1234, 512);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    core::MtpuProcessor proc(cfg);
+
+    const int kBlocks = 8;
+    const double kBlockIntervalSec = 12.0; // Ethereum-like
+    const double kClockHz = 300e6;
+
+    std::printf("%5s %6s %8s %9s %10s %11s %9s\n", "block", "txs",
+                "depRatio", "makespan", "speedup", "throughput",
+                "interval%");
+
+    hotspot::HotspotOptimizer *hot = nullptr; // managed by processor
+    (void)hot;
+
+    for (int b = 0; b < kBlocks; ++b) {
+        workload::BlockParams params;
+        params.txCount = 128;
+        params.depRatio = 0.2 + 0.05 * (b % 3); // mild variation
+        auto block = gen.generateBlock(params);
+
+        // Execution stage: hotspot optimization is only available
+        // once at least one block interval has passed (b > 0).
+        core::RunOptions opt;
+        opt.scheme = core::Scheme::SpatioTemporal;
+        opt.redundancyOpt = true;
+        opt.hotspotOpt = b > 0;
+        auto report = proc.compare(block, opt);
+
+        double seconds = double(report.stats.makespan) / kClockHz;
+        double tps = double(block.txs.size()) / seconds;
+        std::printf("%5d %6zu %8.2f %9llu %9.2fx %8.0f tx/s %8.4f%%\n",
+                    b, block.txs.size(), block.measuredDepRatio(),
+                    (unsigned long long)report.stats.makespan,
+                    report.speedup(), tps,
+                    100.0 * seconds / kBlockIntervalSec);
+
+        // Idle interval: collect this block's execution paths into the
+        // Contract Table and refresh the hotspot set for the future.
+        proc.warmup(block, 16);
+    }
+
+    std::printf("\nExecution occupies a tiny slice of the block "
+                "interval: the paper's point is\nthat accelerating "
+                "execution lets a chain pack far more transactions per "
+                "block\nwithout touching consensus.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: generate a block of smart-contract transactions, execute
+ * it on the MTPU with the full optimization stack, and compare against
+ * the sequential baseline.
+ *
+ *   $ ./examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/mtpu.hpp"
+
+int
+main()
+{
+    using namespace mtpu;
+
+    // 1. A synthetic blockchain world: the TOP8 contracts deployed and
+    //    512 funded user accounts.
+    workload::Generator generator(/*seed=*/42, /*num_users=*/512);
+
+    // 2. Generate one block: 128 transactions, 30 % of which conflict
+    //    with an earlier transaction (the consensus stage extracts the
+    //    dependency DAG for us).
+    workload::BlockParams params;
+    params.txCount = 128;
+    params.depRatio = 0.3;
+    workload::BlockRun block = generator.generateBlock(params);
+
+    std::printf("block: %zu txs, measured dependency ratio %.2f, "
+                "critical path %d\n",
+                block.txs.size(), block.measuredDepRatio(),
+                block.criticalPathLength());
+
+    // 3. Configure a 4-PU MTPU (Table 5 reference design).
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    core::MtpuProcessor processor(cfg);
+
+    // 4. Hotspot collection happens offline, in the block interval:
+    //    here we warm up on the block itself (a prior block in a real
+    //    deployment).
+    processor.warmup(block, /*top_n=*/16);
+
+    // 5. Execute under the full stack and compare with the baseline.
+    core::RunOptions options;
+    options.scheme = core::Scheme::SpatioTemporal;
+    options.redundancyOpt = true;
+    options.hotspotOpt = true;
+    core::BlockReport report = processor.compare(block, options);
+
+    std::printf("baseline (1 scalar PU): %llu cycles\n",
+                (unsigned long long)report.baselineCycles);
+    std::printf("MTPU (4 PUs, all optimizations): %llu cycles\n",
+                (unsigned long long)report.stats.makespan);
+    std::printf("speedup: %.2fx, utilization %.1f%%, redundant steers "
+                "%llu\n",
+                report.speedup(), report.stats.utilization() * 100.0,
+                (unsigned long long)report.stats.redundantSteers);
+
+    // 6. Throughput at the paper's 300 MHz clock.
+    double seconds = double(report.stats.makespan) / 300e6;
+    std::printf("at 300 MHz: %.0f transactions/second\n",
+                double(block.txs.size()) / seconds);
+
+    // 7. The silicon this would cost (Table 5 model).
+    arch::AreaModel area = processor.area();
+    std::printf("area %.1f mm^2 @45nm, power %.2f W @300 MHz\n",
+                area.totalArea(), area.powerWatts());
+    return 0;
+}

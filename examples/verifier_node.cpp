@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Verifier node: the execution stage of the three-stage model (Fig. 4).
+ * A block arrives over the network in its RLP form — transactions plus
+ * the dependency DAG the consensus stage packaged (footnote 3). The
+ * node schedules it on the MTPU, executes, and verifies that the
+ * resulting state digest matches the canonical (program-order) result,
+ * i.e. that parallel execution preserved consistency.
+ */
+
+#include <cstdio>
+
+#include "core/mtpu.hpp"
+#include "evm/interpreter.hpp"
+
+int
+main()
+{
+    using namespace mtpu;
+
+    // --- the "network": a proposer packages a block ------------------------
+    workload::Generator gen(2718, 512);
+    workload::BlockParams params;
+    params.txCount = 96;
+    params.depRatio = 0.45;
+    workload::BlockRun proposed = gen.generateBlock(params);
+    Bytes wire = proposed.toRlp();
+    std::printf("received block %llu: %zu bytes on the wire, %zu txs, "
+                "dep ratio %.2f\n",
+                (unsigned long long)proposed.header.height, wire.size(),
+                proposed.txs.size(), proposed.measuredDepRatio());
+
+    // --- the verifier parses it -------------------------------------------
+    workload::BlockRun received = workload::BlockRun::fromRlp(wire);
+    std::printf("parsed: %zu txs, DAG intact (critical path %d)\n",
+                received.txs.size(), received.criticalPathLength());
+
+    // The verifier re-derives traces by executing against its own copy
+    // of the state (the proposer's traces are not transported).
+    // Here the generator's ground-truth block already carries them, so
+    // we reuse `proposed` for the timing model and use `received` for
+    // the DAG sanity check.
+    for (std::size_t i = 0; i < received.txs.size(); ++i) {
+        if (received.txs[i].deps != proposed.txs[i].deps) {
+            std::printf("DAG mismatch at tx %zu!\n", i);
+            return 1;
+        }
+    }
+
+    // --- schedule and execute on the MTPU ----------------------------------
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    sched::SpatioTemporalEngine engine(cfg);
+    auto stats = engine.run(proposed);
+    std::printf("executed in %llu cycles on 4 PUs (%.1f%% utilization)\n",
+                (unsigned long long)stats.makespan,
+                stats.utilization() * 100.0);
+
+    // --- verify: the schedule's commit order must reproduce the
+    //     canonical state ---------------------------------------------------
+    evm::Interpreter interp;
+
+    evm::WorldState canonical = gen.genesis();
+    for (const auto &rec : proposed.txs)
+        interp.applyTransaction(canonical, proposed.header, rec.tx);
+
+    evm::WorldState scheduled = gen.genesis();
+    for (int idx : stats.completionOrder) {
+        interp.applyTransaction(scheduled, proposed.header,
+                                proposed.txs[std::size_t(idx)].tx);
+    }
+
+    U256 want = canonical.digest();
+    U256 got = scheduled.digest();
+    std::printf("canonical digest : %s\n", want.toHex().c_str());
+    std::printf("scheduled digest : %s\n", got.toHex().c_str());
+    if (want == got) {
+        std::printf("VERIFIED: parallel schedule is serializable; block "
+                    "accepted.\n");
+        return 0;
+    }
+    std::printf("MISMATCH: block rejected.\n");
+    return 1;
+}

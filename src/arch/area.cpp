@@ -1,0 +1,102 @@
+#include "arch/area.hpp"
+
+#include <cstdio>
+
+namespace mtpu::arch {
+
+namespace {
+
+/** Table 5 reference points (component, reference size, area mm^2). */
+constexpr double kICacheArea = 0.227;     // 16 KB
+constexpr double kDCacheArea = 0.547;     // 64 KB
+constexpr double kMemArea = 2.238;        // 128 KB
+constexpr double kStackArea = 0.337;      // 32 KB
+constexpr double kGasArea = 0.013;        // 32 B
+constexpr double kDbCacheArea = 3.006;    // 234 KB == 2048 entries
+constexpr double kExecUnitArea = 0.916;
+constexpr double kElseArea = 0.097;
+constexpr double kCcStackArea = 4.785;    // 417 KB
+constexpr double kReceiptBufArea = 5.483; // 512 KB
+constexpr double kStateBufArea = 25.473;  // 2 MB == 32768 entries
+
+/** Reference power split at 300 MHz, 4 PUs: 8.648 W total. */
+constexpr double kRefPowerW = 8.648;
+constexpr double kRefPus = 4.0;
+constexpr double kRefMhz = 300.0;
+
+std::string
+kb(double kilobytes)
+{
+    char buf[32];
+    if (kilobytes >= 1024.0)
+        std::snprintf(buf, sizeof(buf), "%.0fMB", kilobytes / 1024.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fKB", kilobytes);
+    return buf;
+}
+
+} // namespace
+
+AreaModel::AreaModel(const MtpuConfig &cfg) : cfg_(cfg)
+{
+    // DB cache scales with the configured entry count (2048 entries is
+    // the 234 KB reference design point).
+    double db_scale = double(cfg.dbCacheEntries) / 2048.0;
+    double db_area = kDbCacheArea * db_scale;
+    double state_scale = double(cfg.stateBufferEntries) / 32768.0;
+    double state_area = kStateBufArea * state_scale;
+    double cc_scale = double(cfg.callContractStackBytes)
+                    / double(417 * 1024);
+    double cc_area = kCcStackArea * cc_scale;
+
+    coreArea_ = kICacheArea + kDCacheArea + kMemArea + kStackArea
+              + kGasArea + db_area + kExecUnitArea + kElseArea;
+    puArea_ = coreArea_ + cc_area;
+    totalArea_ = puArea_ * cfg.numPus + kReceiptBufArea + state_area;
+
+    entries_ = {
+        {"Core", "Instruction cache", "16KB", kICacheArea},
+        {"Core", "Data cache", "64KB", kDCacheArea},
+        {"Core", "MEM", "128KB", kMemArea},
+        {"Core", "Stack", "32KB", kStackArea},
+        {"Core", "Gas", "32B", kGasArea},
+        {"Core", "DB cache", kb(234.0 * db_scale), db_area},
+        {"Core", "Execution unit", "N/A", kExecUnitArea},
+        {"Core", "Else", "N/A", kElseArea},
+        {"Processing Unit", "Core", "1", coreArea_},
+        {"Processing Unit", "Call_Contract Stack",
+         kb(417.0 * cc_scale), cc_area},
+        {"Transaction Processor", "Processing Unit",
+         std::to_string(cfg.numPus), puArea_ * cfg.numPus},
+        {"Transaction Processor", "Receipt Buffer", "512KB",
+         kReceiptBufArea},
+        {"Transaction Processor", "State Buffer",
+         kb(2048.0 * state_scale), state_area},
+        {"Transaction Processor", "Total", "N/A", totalArea_},
+    };
+}
+
+double
+AreaModel::powerWatts(double mhz) const
+{
+    // Power splits roughly with area for the SRAM-dominated design;
+    // frequency scales the dynamic fraction (~70 % of total at ref).
+    MtpuConfig ref;
+    ref.numPus = 4;
+    AreaModel ref_model(ref);
+    double area_ratio = totalArea_ / ref_model.totalArea();
+    double dynamic = kRefPowerW * 0.7 * (mhz / kRefMhz) * area_ratio
+                   * (double(cfg_.numPus) / kRefPus)
+                   / (double(cfg_.numPus) / kRefPus); // activity per PU
+    double leakage = kRefPowerW * 0.3 * area_ratio;
+    return dynamic + leakage;
+}
+
+double
+AreaModel::energyMj(std::uint64_t cycles, double mhz) const
+{
+    double seconds = double(cycles) / (mhz * 1e6);
+    return powerWatts(mhz) * seconds * 1e3;
+}
+
+} // namespace mtpu::arch

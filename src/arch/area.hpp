@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Static area and power model of the MTPU at 45 nm, seeded with the
+ * paper's Table 5 breakdown and its PrimeTime measurement (8.648 W for
+ * four PUs at 300 MHz). SRAM-like structures scale linearly with their
+ * configured capacity; logic blocks are fixed.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hpp"
+
+namespace mtpu::arch {
+
+/** One row of the area report. */
+struct AreaEntry
+{
+    std::string group;     ///< "Core", "Processing Unit", ...
+    std::string component; ///< e.g. "DB cache"
+    std::string size;      ///< human-readable capacity ("234KB", "4")
+    double areaMm2 = 0;
+};
+
+/** Area/power model results. */
+class AreaModel
+{
+  public:
+    explicit AreaModel(const MtpuConfig &cfg);
+
+    /** Full breakdown in Table 5 order. */
+    const std::vector<AreaEntry> &entries() const { return entries_; }
+
+    double coreArea() const { return coreArea_; }
+    double puArea() const { return puArea_; }
+    double totalArea() const { return totalArea_; }
+
+    /** Average on-chip power at @p mhz (paper: 8.648 W @ 300 MHz). */
+    double powerWatts(double mhz = 300.0) const;
+
+    /** Energy for @p cycles of execution at @p mhz, in millijoules. */
+    double energyMj(std::uint64_t cycles, double mhz = 300.0) const;
+
+  private:
+    MtpuConfig cfg_;
+    std::vector<AreaEntry> entries_;
+    double coreArea_ = 0, puArea_ = 0, totalArea_ = 0;
+};
+
+} // namespace mtpu::arch

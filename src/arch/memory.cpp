@@ -1,0 +1,79 @@
+#include "arch/memory.hpp"
+
+namespace mtpu::arch {
+
+bool
+StateBuffer::access(const evm::Address &account, const U256 &slot)
+{
+    Key key{account, slot};
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.erase(it->second);
+        lru_.push_front(key);
+        it->second = lru_.begin();
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    while (map_.size() >= capacity_ && !lru_.empty()) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+    return false;
+}
+
+bool
+StateBuffer::contains(const evm::Address &account, const U256 &slot) const
+{
+    return map_.count(Key{account, slot}) > 0;
+}
+
+void
+StateBuffer::clear()
+{
+    map_.clear();
+    lru_.clear();
+    hits_ = misses_ = 0;
+}
+
+bool
+CallContractStack::resident(const evm::Address &code) const
+{
+    return map_.count(code) > 0;
+}
+
+void
+CallContractStack::load(const evm::Address &code, std::uint32_t bytes)
+{
+    auto it = map_.find(code);
+    if (it != map_.end()) {
+        lru_.erase(it->second.first);
+        lru_.push_front(code);
+        it->second.first = lru_.begin();
+        return;
+    }
+    // Evict until it fits (a single oversized contract still loads and
+    // simply occupies the whole stack).
+    while (used_ + bytes > capacity_ && !lru_.empty()) {
+        const evm::Address victim = lru_.back();
+        auto vit = map_.find(victim);
+        used_ -= vit->second.second;
+        map_.erase(vit);
+        lru_.pop_back();
+    }
+    lru_.push_front(code);
+    map_[code] = {lru_.begin(), bytes};
+    used_ += bytes;
+}
+
+void
+CallContractStack::clear()
+{
+    map_.clear();
+    lru_.clear();
+    used_ = 0;
+}
+
+} // namespace mtpu::arch

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Three-level memory hierarchy models (§3.3.6): the shared State
+ * Buffer in the execution-environment buffer, the per-PU Call_Contract
+ * stack that retains contract bytecode for redundant transactions, and
+ * the main-memory streaming model for context loads.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "arch/config.hpp"
+#include "evm/types.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::arch {
+
+/**
+ * Shared State Buffer: caches recently touched state words (storage
+ * slots, balances) so dependent transactions read the latest state
+ * without off-chip traffic. LRU over (account, slot) keys.
+ */
+class StateBuffer
+{
+  public:
+    explicit StateBuffer(std::uint32_t capacity_entries)
+        : capacity_(capacity_entries)
+    {}
+
+    /** Access a state word; returns true on hit. Inserts on miss. */
+    bool access(const evm::Address &account, const U256 &slot);
+
+    /** True without side effects. */
+    bool contains(const evm::Address &account, const U256 &slot) const;
+
+    void clear();
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::size_t size() const { return map_.size(); }
+
+  private:
+    struct Key
+    {
+        evm::Address account;
+        U256 slot;
+        bool
+        operator==(const Key &o) const
+        {
+            return account == o.account && slot == o.slot;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return k.account.hashValue() * 31 + k.slot.hashValue();
+        }
+    };
+
+    std::uint32_t capacity_;
+    std::uint64_t hits_ = 0, misses_ = 0;
+    std::list<Key> lru_;
+    std::unordered_map<Key, std::list<Key>::iterator, KeyHash> map_;
+};
+
+/**
+ * Per-PU Call_Contract stack model: tracks which contracts' bytecode
+ * is resident so that redundant transactions skip the dominant part of
+ * context loading (Table 2: bytecode is ~86-95 % of loaded data).
+ */
+class CallContractStack
+{
+  public:
+    explicit CallContractStack(std::uint32_t capacity_bytes)
+        : capacity_(capacity_bytes)
+    {}
+
+    /** True if @p code is already resident (no load needed). */
+    bool resident(const evm::Address &code) const;
+
+    /** Load @p code of @p bytes, evicting LRU entries to fit. */
+    void load(const evm::Address &code, std::uint32_t bytes);
+
+    void clear();
+
+    std::uint32_t bytesUsed() const { return used_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t used_ = 0;
+    std::list<evm::Address> lru_;
+    std::unordered_map<U256, std::pair<std::list<evm::Address>::iterator,
+                                       std::uint32_t>,
+                       U256Hash> map_;
+};
+
+} // namespace mtpu::arch

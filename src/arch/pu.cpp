@@ -1,0 +1,189 @@
+#include "arch/pu.hpp"
+
+#include <algorithm>
+
+#include "evm/gas.hpp"
+
+namespace mtpu::arch {
+
+using evm::FuncUnit;
+using evm::Op;
+
+PuModel::PuModel(const MtpuConfig &cfg, StateBuffer *shared_state)
+    : cfg_(cfg), stateBuffer_(shared_state), db_(cfg),
+      ccStack_(cfg.callContractStackBytes)
+{}
+
+void
+PuModel::reset()
+{
+    db_.clear();
+    ccStack_.clear();
+    stats_ = PuStats{};
+}
+
+std::uint32_t
+PuModel::extraLatency(const evm::TraceEvent &ev, const ExecHints &hints)
+{
+    const LatencyConfig &lat = cfg_.lat;
+    Op op = Op(ev.opcode);
+    switch (evm::opInfo(ev.opcode).unit) {
+      case FuncUnit::Arithmetic:
+        switch (op) {
+          case Op::MUL:
+          case Op::ADDMOD:
+            return lat.mulExtra;
+          case Op::DIV:
+          case Op::SDIV:
+          case Op::MOD:
+          case Op::SMOD:
+          case Op::MULMOD:
+            return lat.divExtra;
+          case Op::EXP:
+            return lat.expExtra;
+          default:
+            return 0;
+        }
+      case FuncUnit::Sha:
+        return lat.sha3Base
+             + lat.sha3PerWord
+                   * std::uint32_t(evm::wordCount(ev.dataBytes));
+      case FuncUnit::Memory:
+        return lat.memExtra;
+      case FuncUnit::Storage:
+      case FuncUnit::StateQuery: {
+          ++stats_.storageAccesses;
+          if (op == Op::SSTORE) {
+              // Writes retire through the State Buffer write path and
+              // do not stall the pipeline beyond the buffer insert.
+              stateBuffer_->access(evm::Address(), ev.storageKey);
+              return lat.storeBuffered;
+          }
+          if (hints.prefetched && hints.prefetched->count(ev.storageKey)) {
+              ++stats_.prefetchHits;
+              return lat.dcacheHit;
+          }
+          bool hit = stateBuffer_->access(evm::Address(), ev.storageKey);
+          return hit ? lat.stateBufferHit : lat.mainMemory;
+      }
+      case FuncUnit::ContextSwitch:
+        return lat.callOverhead;
+      default:
+        return 0;
+    }
+}
+
+std::uint64_t
+PuModel::contextLoad(const evm::Trace &trace, const ExecHints &hints)
+{
+    const LatencyConfig &lat = cfg_.lat;
+    std::uint64_t bytes = trace.contextBytes;
+
+    for (std::size_t id = 0; id < trace.codeAddrs.size(); ++id) {
+        std::uint32_t code_bytes = trace.codeSizes[id];
+        if (id == 0 && hints.bytecodeBytes != UINT32_MAX)
+            code_bytes = std::min(code_bytes, hints.bytecodeBytes);
+        if (cfg_.enableContextReuse
+            && ccStack_.resident(trace.codeAddrs[id])) {
+            ++stats_.bytecodeLoadsSkipped;
+            continue;
+        }
+        ccStack_.load(trace.codeAddrs[id], trace.codeSizes[id]);
+        bytes += code_bytes;
+        stats_.bytecodeBytesLoaded += code_bytes;
+    }
+    stats_.bytesLoaded += bytes;
+    return (bytes + lat.loadBandwidth - 1) / lat.loadBandwidth;
+}
+
+std::uint32_t
+PuModel::lineExtra(const evm::Trace &trace, std::size_t first,
+                   std::size_t count, const ExecHints &hints)
+{
+    std::uint32_t extra = 0;
+    for (std::size_t k = 0; k < count; ++k)
+        extra = std::max(extra, extraLatency(trace.events[first + k],
+                                             hints));
+    return extra;
+}
+
+TxTiming
+PuModel::execute(const evm::Trace &trace, const ExecHints &hints)
+{
+    if (cfg_.enableDbCache && !cfg_.retainDbAcrossTxs)
+        db_.clear();
+
+    TxTiming timing;
+    timing.loadCycles = contextLoad(trace, hints);
+
+    // Fig. 12 upper-bound mode: prefill lines from the whole trace so
+    // every lookup hits (assumes a 100 % hit rate, as §4.2 does).
+    if (cfg_.enableDbCache && cfg_.forceDbHit) {
+        DbCacheStats saved = db_.stats();
+        for (const evm::TraceEvent &ev : trace.events) {
+            CodeAddr addr{trace.codeAddrs[ev.codeId], ev.pc};
+            db_.observe(addr, ev, 0);
+        }
+        db_.flushFill();
+        db_.stats() = saved;
+    }
+
+    const std::size_t n = trace.events.size();
+    std::size_t i = 0;
+    std::uint64_t cycles = 0;
+
+    while (i < n) {
+        const evm::TraceEvent &ev = trace.events[i];
+        CodeAddr addr{trace.codeAddrs[ev.codeId], ev.pc};
+
+        if (cfg_.enableDbCache) {
+            const DbLine *line = db_.lookup(addr);
+            if (line) {
+                db_.flushFill();
+                std::size_t count = std::min(line->count(), n - i);
+                // Invariant: the line's decoded instructions are the
+                // ones about to execute (conservative fill rules stop
+                // lines at unresolved branches).
+                for (std::size_t k = 0; k < count; ++k) {
+                    const LineSlot &slot = line->slots[k];
+                    const evm::TraceEvent &le = trace.events[i + k];
+                    if (slot.pc != le.pc || slot.opcode != le.opcode
+                        || le.codeId != ev.codeId) {
+                        ++stats_.lineMismatches;
+                        break;
+                    }
+                }
+                cycles += 1 + lineExtra(trace, i, count, hints);
+                i += count;
+                continue;
+            }
+        }
+
+        // Scalar path.
+        std::uint32_t extra = extraLatency(ev, hints);
+        std::uint32_t redirect = 0;
+        Op op = Op(ev.opcode);
+        if (op == Op::JUMP || (op == Op::JUMPI && ev.branchTaken))
+            redirect = cfg_.lat.branchRedirect;
+        cycles += 1 + extra + redirect;
+        if (cfg_.enableDbCache) {
+            db_.observe(addr, ev, extra);
+            ++db_.stats().instrMisses;
+        }
+        ++i;
+    }
+    if (cfg_.enableDbCache)
+        db_.flushFill();
+
+    timing.execCycles = cycles;
+    timing.instructions = n;
+    timing.cycles = timing.loadCycles + timing.execCycles;
+
+    ++stats_.transactions;
+    stats_.instructions += n;
+    stats_.cycles += timing.cycles;
+    stats_.loadCycles += timing.loadCycles;
+    return timing;
+}
+
+} // namespace mtpu::arch

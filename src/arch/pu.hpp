@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Processing-unit timing model. Replays an execution trace produced by
+ * the reference interpreter against the six-stage pipeline, the DB
+ * cache, and the memory hierarchy, and returns cycle counts.
+ *
+ * Model conventions (DESIGN.md §5):
+ *  - scalar path: in-order pipelined, 1 cycle per instruction plus
+ *    per-opcode extra latency and branch-redirect bubbles;
+ *  - DB-cache hit: the whole line issues in one cycle plus the largest
+ *    extra latency among its instructions; no redirect penalty (the
+ *    line's next-address field feeds the branch unit);
+ *  - context load: bytecode + other context stream from main memory at
+ *    loadBandwidth bytes/cycle; resident bytecode (Call_Contract stack)
+ *    is reused for redundant transactions.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_set>
+
+#include "arch/config.hpp"
+#include "arch/db_cache.hpp"
+#include "arch/memory.hpp"
+#include "evm/trace.hpp"
+
+namespace mtpu::arch {
+
+/** Per-transaction timing result. */
+struct TxTiming
+{
+    std::uint64_t cycles = 0;      ///< loadCycles + execCycles
+    std::uint64_t loadCycles = 0;  ///< context/bytecode streaming
+    std::uint64_t execCycles = 0;  ///< pipeline execution
+    std::uint64_t instructions = 0;
+
+    double
+    ipc() const
+    {
+        return execCycles ? double(instructions) / double(execCycles) : 0.0;
+    }
+};
+
+/** Optional per-transaction execution hints from the hotspot layer. */
+struct ExecHints
+{
+    /**
+     * Storage slots preloaded into the in-core data cache (hotspot
+     * data prefetching, §3.4.4). Slots are keccak-derived and
+     * effectively globally unique, so the account is omitted.
+     */
+    const std::set<U256> *prefetched = nullptr;
+    /**
+     * Bytecode bytes actually loaded for the outer contract (chunked
+     * loading, §3.4.2); UINT32_MAX means "full size".
+     */
+    std::uint32_t bytecodeBytes = UINT32_MAX;
+};
+
+/** Cumulative PU statistics. */
+struct PuStats
+{
+    std::uint64_t transactions = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t loadCycles = 0;
+    std::uint64_t bytesLoaded = 0;
+    std::uint64_t bytecodeBytesLoaded = 0;
+    std::uint64_t bytecodeLoadsSkipped = 0; ///< redundant-context reuse
+    std::uint64_t storageAccesses = 0;
+    std::uint64_t prefetchHits = 0;
+    /**
+     * DB-cache lines whose contents did not match the replayed events
+     * (must stay 0: lines never cross unresolved branches, so a line
+     * keyed by (code, pc) always replays identically).
+     */
+    std::uint64_t lineMismatches = 0;
+};
+
+/**
+ * One processing unit. Owns a DB cache and a Call_Contract stack;
+ * shares the State Buffer with the other PUs of the processor.
+ */
+class PuModel
+{
+  public:
+    PuModel(const MtpuConfig &cfg, StateBuffer *shared_state);
+
+    /**
+     * Execute a transaction trace.
+     * @param trace functional execution trace
+     * @param hints hotspot-layer hints (may be default)
+     */
+    TxTiming execute(const evm::Trace &trace,
+                     const ExecHints &hints = {});
+
+    /** Scalar-path extra latency of one event (public for benches). */
+    std::uint32_t extraLatency(const evm::TraceEvent &ev,
+                               const ExecHints &hints);
+
+    const PuStats &stats() const { return stats_; }
+    DbCache &dbCache() { return db_; }
+    const DbCache &dbCache() const { return db_; }
+
+    /** Forget all cached decode/context state (e.g. new benchmark). */
+    void reset();
+
+  private:
+    std::uint64_t contextLoad(const evm::Trace &trace,
+                              const ExecHints &hints);
+    /** Max dynamic extra latency across a hit line's events. */
+    std::uint32_t lineExtra(const evm::Trace &trace, std::size_t first,
+                            std::size_t count, const ExecHints &hints);
+
+    MtpuConfig cfg_;
+    StateBuffer *stateBuffer_;
+    DbCache db_;
+    CallContractStack ccStack_;
+    PuStats stats_;
+};
+
+} // namespace mtpu::arch

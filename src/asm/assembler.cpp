@@ -1,0 +1,157 @@
+#include "asm/assembler.hpp"
+
+#include <stdexcept>
+
+namespace mtpu::easm {
+
+using evm::Op;
+
+Assembler &
+Assembler::op(Op opcode)
+{
+    code_.push_back(std::uint8_t(opcode));
+    return *this;
+}
+
+Assembler &
+Assembler::push(const U256 &value)
+{
+    int width = value.byteLength();
+    if (width == 0)
+        width = 1;
+    return pushN(width, value);
+}
+
+Assembler &
+Assembler::pushN(int width, const U256 &value)
+{
+    if (width < 1 || width > 32)
+        throw std::invalid_argument("pushN: width out of range");
+    if (value.byteLength() > width)
+        throw std::invalid_argument("pushN: value wider than immediate");
+    code_.push_back(std::uint8_t(0x60 + width - 1));
+    std::uint8_t buf[32];
+    value.toBytes(buf);
+    code_.insert(code_.end(), buf + 32 - width, buf + 32);
+    return *this;
+}
+
+Assembler &
+Assembler::pushLabel(const std::string &name)
+{
+    code_.push_back(0x61); // PUSH2
+    fixups_.push_back({code_.size(), name});
+    code_.push_back(0);
+    code_.push_back(0);
+    return *this;
+}
+
+Assembler &
+Assembler::label(const std::string &name)
+{
+    if (labels_.count(name))
+        throw std::invalid_argument("label redefined: " + name);
+    labels_[name] = code_.size();
+    return *this;
+}
+
+Assembler &
+Assembler::dest(const std::string &name)
+{
+    label(name);
+    return op(Op::JUMPDEST);
+}
+
+Assembler &
+Assembler::raw(const Bytes &bytes)
+{
+    code_.insert(code_.end(), bytes.begin(), bytes.end());
+    return *this;
+}
+
+Bytes
+Assembler::assemble() const
+{
+    Bytes out = code_;
+    for (const Fixup &fx : fixups_) {
+        auto it = labels_.find(fx.label);
+        if (it == labels_.end())
+            throw std::runtime_error("undefined label: " + fx.label);
+        if (it->second > 0xffff)
+            throw std::runtime_error("label beyond PUSH2 range");
+        out[fx.offset] = std::uint8_t(it->second >> 8);
+        out[fx.offset + 1] = std::uint8_t(it->second & 0xff);
+    }
+    return out;
+}
+
+Assembler &
+Assembler::loadFunctionId()
+{
+    // calldata[0..32) >> 224 leaves the 4-byte selector.
+    push(U256(0));
+    op(Op::CALLDATALOAD);
+    push(U256(224));
+    op(Op::SHR);
+    return *this;
+}
+
+Assembler &
+Assembler::dispatchCase(std::uint32_t id, const std::string &target)
+{
+    op(Op::DUP1);
+    pushFuncId(id);
+    op(Op::EQ);
+    pushLabel(target);
+    op(Op::JUMPI);
+    return *this;
+}
+
+Assembler &
+Assembler::loadArg(int index)
+{
+    // Compiled code computes the offset as base + slot (pointer
+    // arithmetic survives in solc output); keep that shape.
+    push(U256(std::uint64_t(32 * index)));
+    push(U256(4));
+    op(Op::ADD);
+    op(Op::CALLDATALOAD);
+    return *this;
+}
+
+Assembler &
+Assembler::mappingSlot(std::uint64_t slot)
+{
+    // stack: [key] -> [keccak(key || slot)]
+    push(U256(0));
+    op(Op::MSTORE);             // mem[0..32) = key
+    push(U256(slot));
+    push(U256(0x20));
+    op(Op::MSTORE);             // mem[32..64) = slot
+    push(U256(0x40));
+    push(U256(0));
+    op(Op::SHA3);
+    return *this;
+}
+
+Assembler &
+Assembler::revert()
+{
+    push(U256(0));
+    push(U256(0));
+    op(Op::REVERT);
+    return *this;
+}
+
+Assembler &
+Assembler::returnTopWord()
+{
+    push(U256(0));
+    op(Op::MSTORE);
+    push(U256(0x20));
+    push(U256(0));
+    op(Op::RETURN);
+    return *this;
+}
+
+} // namespace mtpu::easm

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A small EVM assembler used to author the synthetic TOP8 contracts.
+ * Supports forward label references (patched to fixed-width PUSH2),
+ * auto-sized PUSH immediates, and raw data sections.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "support/hex.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::easm {
+
+/**
+ * Incremental bytecode builder.
+ *
+ * Typical use:
+ * @code
+ *   Assembler a;
+ *   a.push(0x04).op(Op::CALLDATASIZE).op(Op::LT);
+ *   a.pushLabel("fail").op(Op::JUMPI);
+ *   ...
+ *   a.label("fail").op(Op::JUMPDEST)...;
+ *   Bytes code = a.assemble();
+ * @endcode
+ */
+class Assembler
+{
+  public:
+    using Op = evm::Op;
+
+    /** Append a bare opcode. */
+    Assembler &op(Op opcode);
+
+    /** Append PUSHn with the minimal width for @p value. */
+    Assembler &push(const U256 &value);
+
+    /** Append PUSHn with an explicit width of @p width bytes. */
+    Assembler &pushN(int width, const U256 &value);
+
+    /** Append a PUSH2 whose immediate is the (possibly forward) label. */
+    Assembler &pushLabel(const std::string &name);
+
+    /** Bind @p name to the current offset. */
+    Assembler &label(const std::string &name);
+
+    /** Append a JUMPDEST and bind @p name to it. */
+    Assembler &dest(const std::string &name);
+
+    /** Append raw bytes verbatim. */
+    Assembler &raw(const Bytes &bytes);
+
+    /** Current offset (next instruction's address). */
+    std::size_t offset() const { return code_.size(); }
+
+    /**
+     * Resolve labels and return the bytecode.
+     * @throws std::runtime_error on undefined labels.
+     */
+    Bytes assemble() const;
+
+    // -- convenience macros used heavily by the contract factory -------
+
+    /** PUSH the 4-byte function identifier. */
+    Assembler &pushFuncId(std::uint32_t id) { return pushN(4, U256(id)); }
+
+    /**
+     * Standard Solidity-style dispatcher prologue: load the function
+     * identifier from calldata into the stack top.
+     * Emits: PUSH1 0 CALLDATALOAD PUSH1 224 SHR
+     */
+    Assembler &loadFunctionId();
+
+    /**
+     * Dispatcher comparison: duplicate the id, compare against @p id
+     * and jump to @p target when equal.
+     * Emits: DUP1 PUSH4 id EQ PUSH2 target JUMPI
+     */
+    Assembler &dispatchCase(std::uint32_t id, const std::string &target);
+
+    /** Load ABI word argument @p index (0-based, after the 4-byte id). */
+    Assembler &loadArg(int index);
+
+    /**
+     * Compute the storage slot of mapping(@p slot)[key] where the key
+     * is on the stack top: stores key and slot to memory 0x00/0x20 and
+     * hashes 64 bytes. Result replaces the key on the stack.
+     */
+    Assembler &mappingSlot(std::uint64_t slot);
+
+    /** Revert with no data. */
+    Assembler &revert();
+
+    /** Return the stack-top word: stores to memory 0 and RETURNs 32. */
+    Assembler &returnTopWord();
+
+    /** Stop (successful, no return data). */
+    Assembler &stop() { return op(Op::STOP); }
+
+  private:
+    struct Fixup
+    {
+        std::size_t offset; ///< position of the 2-byte immediate
+        std::string label;
+    };
+
+    Bytes code_;
+    std::map<std::string, std::size_t> labels_;
+    std::vector<Fixup> fixups_;
+};
+
+} // namespace mtpu::easm

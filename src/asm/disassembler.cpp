@@ -1,0 +1,73 @@
+#include "asm/disassembler.hpp"
+
+#include <cstdio>
+
+#include "evm/opcodes.hpp"
+
+namespace mtpu::easm {
+
+using evm::opInfo;
+
+std::string
+DecodedInsn::toString() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%04x: ", pc);
+    std::string out = buf;
+    out += opInfo(opcode).name;
+    if (immBytes)
+        out += " " + immediate.toHex();
+    return out;
+}
+
+std::size_t
+decodeAt(const Bytes &code, std::size_t pc, DecodedInsn &out)
+{
+    out = DecodedInsn{};
+    if (pc >= code.size())
+        return 0;
+    out.pc = std::uint32_t(pc);
+    out.opcode = code[pc];
+    const auto &info = opInfo(out.opcode);
+    out.valid = info.defined;
+    out.immBytes = info.immediateBytes;
+    std::size_t len = 1;
+    if (info.immediateBytes) {
+        U256 v;
+        for (int i = 0; i < info.immediateBytes; ++i) {
+            std::uint8_t b = (pc + 1 + i < code.size())
+                                 ? code[pc + 1 + i] : 0;
+            v = v.shl(8) | U256(std::uint64_t(b));
+        }
+        out.immediate = v;
+        len += info.immediateBytes;
+    }
+    return len;
+}
+
+std::vector<DecodedInsn>
+disassemble(const Bytes &code)
+{
+    std::vector<DecodedInsn> out;
+    std::size_t pc = 0;
+    while (pc < code.size()) {
+        DecodedInsn insn;
+        std::size_t len = decodeAt(code, pc, insn);
+        out.push_back(insn);
+        pc += len;
+    }
+    return out;
+}
+
+std::string
+listing(const Bytes &code)
+{
+    std::string out;
+    for (const DecodedInsn &insn : disassemble(code)) {
+        out += insn.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace mtpu::easm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Bytecode disassembler: linear sweep with PUSH-immediate awareness.
+ * Used for debugging contracts and by the hotspot chunker's reports.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/hex.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::easm {
+
+/** One decoded instruction. */
+struct DecodedInsn
+{
+    std::uint32_t pc = 0;
+    std::uint8_t opcode = 0;
+    U256 immediate;          ///< PUSH payload (zero otherwise)
+    std::uint8_t immBytes = 0;
+    bool valid = true;
+
+    std::string toString() const;
+};
+
+/** Decode the whole byte string (linear sweep). */
+std::vector<DecodedInsn> disassemble(const Bytes &code);
+
+/** Decode a single instruction at @p pc; returns length consumed. */
+std::size_t decodeAt(const Bytes &code, std::size_t pc, DecodedInsn &out);
+
+/** Multi-line textual listing. */
+std::string listing(const Bytes &code);
+
+} // namespace mtpu::easm

@@ -1,0 +1,200 @@
+#include "baseline/baseline.hpp"
+
+#include <algorithm>
+
+namespace mtpu::baseline {
+
+using sched::EngineStats;
+using workload::BlockRun;
+using workload::TxRecord;
+
+namespace {
+
+/**
+ * Shared round-based synchronous schedule. @p cycles_of returns the
+ * latency of a transaction on a given core.
+ */
+EngineStats
+runRounds(const BlockRun &block, int cores,
+          const std::function<std::uint64_t(const TxRecord &, int)>
+              &cycles_of)
+{
+    const std::size_t n = block.txs.size();
+    EngineStats stats;
+    stats.txCount = n;
+    stats.puBusy.assign(std::size_t(cores), 0);
+
+    std::vector<bool> done(n, false);
+    std::vector<bool> started(n, false);
+    std::size_t finished = 0;
+    std::uint64_t now = 0;
+
+    while (finished < n) {
+        // Collect up to `cores` ready transactions in program order.
+        std::vector<std::size_t> round;
+        for (std::size_t j = 0; j < n && int(round.size()) < cores; ++j) {
+            if (started[j])
+                continue;
+            bool ready = true;
+            for (int d : block.txs[j].deps)
+                ready &= done[std::size_t(d)];
+            if (ready)
+                round.push_back(j);
+        }
+        if (round.empty())
+            break; // cannot happen with a well-formed DAG
+
+        std::uint64_t longest = 0;
+        for (std::size_t k = 0; k < round.size(); ++k) {
+            std::size_t j = round[k];
+            started[j] = true;
+            std::uint64_t c = cycles_of(block.txs[j], int(k));
+            stats.busyCycles += c;
+            stats.seqCycles += c;
+            stats.puBusy[k] += c;
+            stats.instructions += block.txs[j].trace.events.size();
+            longest = std::max(longest, c);
+        }
+        now += longest;
+        for (std::size_t j : round) {
+            done[j] = true;
+            stats.completionOrder.push_back(int(j));
+            ++finished;
+        }
+    }
+    stats.makespan = now;
+    return stats;
+}
+
+} // namespace
+
+// --- SequentialExecutor ---------------------------------------------
+
+SequentialExecutor::SequentialExecutor(const arch::MtpuConfig &cfg)
+    : cfg_(cfg), stateBuffer_(cfg.stateBufferEntries),
+      pu_(std::make_unique<arch::PuModel>(cfg, &stateBuffer_))
+{}
+
+void
+SequentialExecutor::reset()
+{
+    pu_->reset();
+    stateBuffer_.clear();
+}
+
+EngineStats
+SequentialExecutor::run(const BlockRun &block,
+                        const sched::HintProvider &hints)
+{
+    EngineStats stats;
+    stats.txCount = block.txs.size();
+    stats.puBusy.assign(1, 0);
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        const TxRecord &rec = block.txs[i];
+        arch::ExecHints h;
+        if (hints)
+            h = hints(rec);
+        arch::TxTiming timing = pu_->execute(rec.trace, h);
+        stats.makespan += timing.cycles;
+        stats.busyCycles += timing.cycles;
+        stats.seqCycles += timing.cycles;
+        stats.instructions += timing.instructions;
+        stats.completionOrder.push_back(int(i));
+    }
+    stats.puBusy[0] = stats.busyCycles;
+    return stats;
+}
+
+// --- SynchronousEngine ------------------------------------------------
+
+SynchronousEngine::SynchronousEngine(const arch::MtpuConfig &cfg)
+    : cfg_(cfg), stateBuffer_(cfg.stateBufferEntries)
+{
+    for (int i = 0; i < cfg.numPus; ++i) {
+        pus_.push_back(
+            std::make_unique<arch::PuModel>(cfg, &stateBuffer_));
+    }
+}
+
+void
+SynchronousEngine::reset()
+{
+    for (auto &pu : pus_)
+        pu->reset();
+    stateBuffer_.clear();
+}
+
+EngineStats
+SynchronousEngine::run(const BlockRun &block,
+                       const sched::HintProvider &hints)
+{
+    return runRounds(block, cfg_.numPus,
+                     [&](const TxRecord &rec, int core) {
+        arch::ExecHints h;
+        if (hints)
+            h = hints(rec);
+        return pus_[std::size_t(core)]->execute(rec.trace, h).cycles;
+    });
+}
+
+// --- BpuModel ---------------------------------------------------------
+
+BpuModel::BpuModel(const BpuConfig &bpu_cfg, const arch::MtpuConfig &gsc)
+    : bpu_(bpu_cfg), gscCfg_(gsc), stateBuffer_(gsc.stateBufferEntries)
+{
+    for (int i = 0; i < bpu_cfg.numCores; ++i) {
+        cores_.push_back(
+            std::make_unique<arch::PuModel>(gscCfg_, &stateBuffer_));
+    }
+}
+
+void
+BpuModel::reset()
+{
+    for (auto &core : cores_)
+        core->reset();
+    stateBuffer_.clear();
+}
+
+std::uint64_t
+BpuModel::txCycles(const TxRecord &rec, int core)
+{
+    std::uint64_t gsc =
+        cores_[std::size_t(core)]->execute(rec.trace).cycles;
+    if (rec.isErc20) {
+        // Offloaded to the fixed-function App engine.
+        std::uint64_t accel =
+            std::uint64_t(double(gsc) / bpu_.erc20Speedup);
+        return std::max<std::uint64_t>(accel, 1);
+    }
+    return gsc;
+}
+
+EngineStats
+BpuModel::run(const BlockRun &block)
+{
+    if (bpu_.numCores == 1) {
+        // Single core: the GSC and App engines share the front end, so
+        // transactions run serially, ERC20 ones on the fast engine.
+        EngineStats stats;
+        stats.txCount = block.txs.size();
+        stats.puBusy.assign(1, 0);
+        for (std::size_t i = 0; i < block.txs.size(); ++i) {
+            const TxRecord &rec = block.txs[i];
+            std::uint64_t c = txCycles(rec, 0);
+            stats.makespan += c;
+            stats.busyCycles += c;
+            stats.seqCycles += c;
+            stats.instructions += rec.trace.events.size();
+            stats.completionOrder.push_back(int(i));
+        }
+        stats.puBusy[0] = stats.busyCycles;
+        return stats;
+    }
+    return runRounds(block, bpu_.numCores,
+                     [this](const TxRecord &rec, int core) {
+        return txCycles(rec, core);
+    });
+}
+
+} // namespace mtpu::baseline

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Comparator execution schemes:
+ *  - SequentialExecutor: one PU in program order (the paper's baseline
+ *    for every speedup number);
+ *  - SynchronousEngine: round-based barrier parallelism across PUs
+ *    (the "synchronous execution of transactions" comparator of
+ *    Fig. 14(a));
+ *  - BpuModel: behavioural model of BPU (Lu & Peng, DAC'20) with a
+ *    general GSC engine and an ERC20-specific App engine, in single-
+ *    and multi-core configurations (Tables 8/9).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/memory.hpp"
+#include "arch/pu.hpp"
+#include "sched/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::baseline {
+
+/** Single-PU program-order execution. */
+class SequentialExecutor
+{
+  public:
+    explicit SequentialExecutor(const arch::MtpuConfig &cfg);
+
+    /** Total cycles to execute the whole block in order. */
+    sched::EngineStats run(const workload::BlockRun &block,
+                           const sched::HintProvider &hints = {});
+
+    void reset();
+
+    const arch::PuModel &pu() const { return *pu_; }
+
+  private:
+    arch::MtpuConfig cfg_;
+    arch::StateBuffer stateBuffer_;
+    std::unique_ptr<arch::PuModel> pu_;
+};
+
+/**
+ * Synchronous (barrier) parallel execution: each round dispatches up
+ * to numPus ready transactions in program order and waits for the
+ * slowest before starting the next round.
+ */
+class SynchronousEngine
+{
+  public:
+    explicit SynchronousEngine(const arch::MtpuConfig &cfg);
+
+    sched::EngineStats run(const workload::BlockRun &block,
+                           const sched::HintProvider &hints = {});
+
+    void reset();
+
+  private:
+    arch::MtpuConfig cfg_;
+    arch::StateBuffer stateBuffer_;
+    std::vector<std::unique_ptr<arch::PuModel>> pus_;
+};
+
+/** BPU behavioural model configuration. */
+struct BpuConfig
+{
+    int numCores = 1;
+    /**
+     * App-engine speedup on supported (ERC20) transactions relative to
+     * the GSC engine; the DAC'20 paper reports up to ~12.8x.
+     */
+    double erc20Speedup = 12.82;
+};
+
+/**
+ * BPU model: GSC engine cycles come from a scalar (no-ILP) PU; ERC20
+ * transactions are offloaded to the fixed-function App engine. Multi-
+ * core BPU uses coarse synchronous scheduling.
+ */
+class BpuModel
+{
+  public:
+    BpuModel(const BpuConfig &bpu_cfg, const arch::MtpuConfig &gsc_cfg);
+
+    sched::EngineStats run(const workload::BlockRun &block);
+
+    void reset();
+
+  private:
+    std::uint64_t txCycles(const workload::TxRecord &rec, int core);
+
+    BpuConfig bpu_;
+    arch::MtpuConfig gscCfg_;
+    arch::StateBuffer stateBuffer_;
+    std::vector<std::unique_ptr<arch::PuModel>> cores_;
+};
+
+} // namespace mtpu::baseline

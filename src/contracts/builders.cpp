@@ -1,0 +1,364 @@
+#include "contracts/builders.hpp"
+
+#include "evm/types.hpp"
+
+namespace mtpu::contracts {
+
+using easm::Assembler;
+using Op = evm::Op;
+
+std::string
+SolBuilder::fresh(const std::string &prefix)
+{
+    return prefix + "$" + std::to_string(seq_++);
+}
+
+void
+SolBuilder::nonPayable()
+{
+    std::string ok = fresh("np");
+    a_.op(Op::CALLVALUE).op(Op::ISZERO).pushLabel(ok).op(Op::JUMPI);
+    a_.revert();
+    a_.dest(ok);
+}
+
+void
+SolBuilder::runtimePrologue()
+{
+    // mem[0x40] = 0x80 (free-memory pointer), then the short-calldata
+    // guard solc places before the dispatcher.
+    a_.push(U256(0x80)).push(U256(0x40)).op(Op::MSTORE);
+    std::string ok = fresh("cds");
+    a_.push(U256(4));
+    a_.op(Op::CALLDATASIZE);      // [4, cds]
+    a_.op(Op::LT).op(Op::ISZERO); // !(cds < 4)? no: LT pops a=cds,b=4
+    // LT computes cds < 4; ISZERO negates; jump when calldata is fine.
+    a_.pushLabel(ok).op(Op::JUMPI);
+    a_.revert();
+    a_.dest(ok);
+}
+
+void
+SolBuilder::calldataGuard(int num_args)
+{
+    std::string ok = fresh("abi");
+    std::uint64_t needed = 4 + 32 * std::uint64_t(num_args);
+    a_.push(U256(needed));
+    a_.op(Op::CALLDATASIZE);      // [needed, cds]
+    a_.op(Op::LT).op(Op::ISZERO); // !(cds < needed)
+    a_.pushLabel(ok).op(Op::JUMPI);
+    a_.revert();
+    a_.dest(ok);
+}
+
+void
+SolBuilder::requireNonZeroAddress()
+{
+    std::string ok = fresh("nz");
+    a_.op(Op::DUP1);
+    a_.pushLabel(ok).op(Op::JUMPI); // nonzero address continues
+    a_.revert();
+    a_.dest(ok);
+}
+
+void
+SolBuilder::basisPointsFee(std::uint64_t rate)
+{
+    // [value] -> [value - fee, fee], fee = value * rate / 10000.
+    a_.op(Op::DUP1);                      // [v, v]
+    a_.push(U256(rate)).op(Op::MUL);      // [v, v*rate]
+    a_.push(U256(10000)).op(Op::SWAP1).op(Op::DIV); // [v, fee]
+    a_.op(Op::DUP1).op(Op::DUP3);         // [v, fee, fee, v]
+    a_.op(Op::LT).op(Op::ISZERO);         // v >= fee (always here)
+    requireTrue();                        // [v, fee]
+    a_.op(Op::SWAP1).op(Op::DUP2);        // [fee, v, fee]
+    a_.op(Op::SWAP1).op(Op::SUB);         // [fee, v-fee]
+    a_.op(Op::SWAP1);                     // [v-fee, fee]
+}
+
+void
+SolBuilder::emitMathSubroutines()
+{
+    // _safeAdd: stack on entry [ret, x, y] -> jumps back with [x+y].
+    a_.dest("_safeAdd");
+    checkedAdd();            // [ret, s]
+    a_.op(Op::SWAP1).op(Op::JUMP);
+    // _safeSub: [ret, x, y] -> [x-y].
+    a_.dest("_safeSub");
+    checkedSub();
+    a_.op(Op::SWAP1).op(Op::JUMP);
+}
+
+void
+SolBuilder::callSafeAdd()
+{
+    // [x, y] -> [x+y] via internal call (solc internal-function shape).
+    std::string ret = fresh("radd");
+    a_.pushLabel(ret);       // [x, y, ret]
+    a_.op(Op::SWAP2);        // [ret, y, x]
+    a_.op(Op::SWAP1);        // [ret, x, y]
+    a_.pushLabel("_safeAdd").op(Op::JUMP);
+    a_.dest(ret);            // [x+y]
+}
+
+void
+SolBuilder::callSafeSub()
+{
+    std::string ret = fresh("rsub");
+    a_.pushLabel(ret);
+    a_.op(Op::SWAP2);
+    a_.op(Op::SWAP1);
+    a_.pushLabel("_safeSub").op(Op::JUMP);
+    a_.dest(ret);
+}
+
+void
+SolBuilder::loadWordArg(int index)
+{
+    a_.loadArg(index);
+}
+
+void
+SolBuilder::loadAddressArg(int index)
+{
+    a_.loadArg(index);
+    // solc materialises the 160-bit mask as sub(shl(160, 1), 1).
+    a_.push(U256(1));
+    a_.push(U256(1)).push(U256(160)).op(Op::SHL); // [.., 1, 1<<160]
+    a_.op(Op::SUB);                               // (1<<160) - 1
+    a_.op(Op::AND);
+}
+
+void
+SolBuilder::checkedAdd()
+{
+    // [x, y] -> [x, x+y]; overflow iff sum < x.
+    std::string ok = fresh("add");
+    a_.op(Op::DUP2).op(Op::ADD);       // [x, s]
+    a_.op(Op::DUP2).op(Op::DUP2);      // [x, s, x, s]
+    a_.op(Op::LT).op(Op::ISZERO);      // [x, s, s>=x]
+    a_.pushLabel(ok).op(Op::JUMPI);
+    a_.revert();
+    a_.dest(ok);
+    a_.op(Op::SWAP1).op(Op::POP);      // [s]
+}
+
+void
+SolBuilder::checkedSub()
+{
+    // [x, y] -> [x-y]; revert when y > x.
+    std::string ok = fresh("sub");
+    a_.op(Op::DUP2).op(Op::DUP2);      // [x, y, x, y]
+    a_.op(Op::GT).op(Op::ISZERO);      // [x, y, !(y>x)]
+    a_.pushLabel(ok).op(Op::JUMPI);
+    a_.revert();
+    a_.dest(ok);
+    a_.op(Op::SWAP1).op(Op::SUB);      // [x-y]
+}
+
+void
+SolBuilder::requireTrue()
+{
+    std::string ok = fresh("req");
+    a_.pushLabel(ok).op(Op::JUMPI);
+    a_.revert();
+    a_.dest(ok);
+}
+
+void
+SolBuilder::requireFalse()
+{
+    a_.op(Op::ISZERO);
+    requireTrue();
+}
+
+void
+SolBuilder::mappingLoad(std::uint64_t slot)
+{
+    a_.mappingSlot(slot);
+    a_.op(Op::SLOAD);
+}
+
+void
+SolBuilder::mappingStore(std::uint64_t slot)
+{
+    // [key, value] -> []
+    a_.op(Op::SWAP1);    // [value, key]
+    a_.mappingSlot(slot); // [value, h]
+    a_.op(Op::SSTORE);
+}
+
+void
+SolBuilder::nestedMappingSlot(std::uint64_t slot)
+{
+    // [k1, k2] -> [keccak(k2 . keccak(k1 . slot))]
+    a_.op(Op::SWAP1);      // [k2, k1]
+    a_.mappingSlot(slot);  // [k2, h1]
+    a_.push(U256(0x20)).op(Op::MSTORE); // mem[0x20] = h1 ; [k2]
+    a_.push(U256(0)).op(Op::MSTORE);    // mem[0x00] = k2 ; []
+    a_.push(U256(0x40)).push(U256(0)).op(Op::SHA3); // [h2]
+}
+
+void
+SolBuilder::nestedMappingLoad(std::uint64_t slot)
+{
+    nestedMappingSlot(slot);
+    a_.op(Op::SLOAD);
+}
+
+void
+SolBuilder::nestedMappingStore(std::uint64_t slot)
+{
+    // [k1, k2, value] -> []
+    a_.op(Op::SWAP2);      // [value, k2, k1]
+    a_.op(Op::SWAP1);      // [value, k1, k2]
+    nestedMappingSlot(slot); // [value, h]
+    a_.op(Op::SSTORE);
+}
+
+void
+SolBuilder::emitEvent3(const U256 &signature)
+{
+    // [t3, t2, data] -> []. Stages the data word at the free-memory
+    // pointer, the way solc-generated event code does.
+    a_.push(U256(0x40)).op(Op::MLOAD);    // [t3, t2, data, ptr]
+    a_.op(Op::SWAP1);                     // [t3, t2, ptr, data]
+    a_.op(Op::DUP2);                      // [t3, t2, ptr, data, ptr]
+    a_.op(Op::MSTORE);                    // mem[ptr] = data
+    // Bump the free-memory pointer past the staged word.
+    a_.op(Op::DUP1);                      // [t3, t2, ptr, ptr]
+    a_.push(U256(0x20)).op(Op::ADD);      // [t3, t2, ptr, ptr+32]
+    a_.push(U256(0x40)).op(Op::MSTORE);   // mem[0x40] = ptr+32
+    a_.push(signature);                   // [t3, t2, ptr, sig]
+    a_.op(Op::SWAP1);                     // [t3, t2, sig, ptr]
+    a_.push(U256(0x20)).op(Op::SWAP1);    // [t3, t2, sig, 0x20, ptr]
+    a_.op(Op::LOG3);
+}
+
+void
+SolBuilder::returnWord(const U256 &v)
+{
+    a_.push(v);
+    a_.returnTopWord();
+}
+
+void
+SolBuilder::returnTop()
+{
+    a_.returnTopWord();
+}
+
+void
+SolBuilder::callExternal2(const evm::Address &callee, std::uint32_t selector)
+{
+    // [arg2, arg1] -> [success]
+    // mem[0x100..0x144) = selector . arg1 . arg2
+    a_.pushFuncId(selector).push(U256(224)).op(Op::SHL);
+    a_.push(U256(0x100)).op(Op::MSTORE);  // [arg2, arg1]
+    a_.push(U256(0x104)).op(Op::MSTORE);  // mem[0x104] = arg1 ; [arg2]
+    a_.push(U256(0x124)).op(Op::MSTORE);  // mem[0x124] = arg2 ; []
+    a_.push(U256(0x20));   // outSize
+    a_.push(U256(0x1c0));  // outOff
+    a_.push(U256(0x44));   // inSize
+    a_.push(U256(0x100));  // inOff
+    a_.push(U256(0));      // value
+    a_.push(callee);       // addr
+    a_.op(Op::GAS);        // gas
+    a_.op(Op::CALL);       // [success]
+}
+
+void
+SolBuilder::callExternal3(const evm::Address &callee, std::uint32_t selector)
+{
+    // [arg3, arg2, arg1] -> [success]
+    a_.pushFuncId(selector).push(U256(224)).op(Op::SHL);
+    a_.push(U256(0x100)).op(Op::MSTORE);  // [arg3, arg2, arg1]
+    a_.push(U256(0x104)).op(Op::MSTORE);  // [arg3, arg2]
+    a_.push(U256(0x124)).op(Op::MSTORE);  // [arg3]
+    a_.push(U256(0x144)).op(Op::MSTORE);  // []
+    a_.push(U256(0x20));
+    a_.push(U256(0x1c0));
+    a_.push(U256(0x64));
+    a_.push(U256(0x100));
+    a_.push(U256(0));
+    a_.push(callee);
+    a_.op(Op::GAS);
+    a_.op(Op::CALL);
+}
+
+void
+SolBuilder::callExternal2At(std::uint32_t selector)
+{
+    // [addr, arg2, arg1] -> [success]
+    a_.pushFuncId(selector).push(U256(224)).op(Op::SHL);
+    a_.push(U256(0x100)).op(Op::MSTORE);  // [addr, arg2, arg1]
+    a_.push(U256(0x104)).op(Op::MSTORE);  // [addr, arg2]
+    a_.push(U256(0x124)).op(Op::MSTORE);  // [addr]
+    a_.push(U256(0x20));
+    a_.push(U256(0x1c0));
+    a_.push(U256(0x44));
+    a_.push(U256(0x100));
+    a_.push(U256(0));                     // [addr, oS, oO, iS, iO, v]
+    a_.op(Op::DUP6);                      // [... , addr]
+    a_.op(Op::GAS);
+    a_.op(Op::CALL);                      // [addr, success]
+    a_.op(Op::SWAP1).op(Op::POP);         // [success]
+}
+
+void
+SolBuilder::callExternal3At(std::uint32_t selector)
+{
+    // [addr, arg3, arg2, arg1] -> [success]
+    a_.pushFuncId(selector).push(U256(224)).op(Op::SHL);
+    a_.push(U256(0x100)).op(Op::MSTORE);
+    a_.push(U256(0x104)).op(Op::MSTORE);
+    a_.push(U256(0x124)).op(Op::MSTORE);
+    a_.push(U256(0x144)).op(Op::MSTORE);  // [addr]
+    a_.push(U256(0x20));
+    a_.push(U256(0x1c0));
+    a_.push(U256(0x64));
+    a_.push(U256(0x100));
+    a_.push(U256(0));
+    a_.op(Op::DUP6);
+    a_.op(Op::GAS);
+    a_.op(Op::CALL);
+    a_.op(Op::SWAP1).op(Op::POP);
+}
+
+void
+SolBuilder::padTo(std::size_t target_size)
+{
+    // Unreachable filler shaped like typical compiled code: a getter
+    // body (JUMPDEST PUSH1 x SLOAD SWAP1 POP DUP1 ISZERO PUSH2 .. JUMPI
+    // ...). Repeated until the target size is reached; never executed.
+    static const std::uint8_t pattern[] = {
+        0x5b,             // JUMPDEST
+        0x60, 0x00,       // PUSH1 0
+        0x54,             // SLOAD
+        0x80,             // DUP1
+        0x60, 0x20,       // PUSH1 0x20
+        0x52,             // MSTORE
+        0x90,             // SWAP1
+        0x50,             // POP
+        0x60, 0x01,       // PUSH1 1
+        0x01,             // ADD
+        0x80,             // DUP1
+        0x15,             // ISZERO
+        0x60, 0x00,       // PUSH1 0
+        0x52,             // MSTORE
+        0x60, 0x20,       // PUSH1 0x20
+        0x60, 0x00,       // PUSH1 0
+        0xf3,             // RETURN
+    };
+    Bytes chunk(pattern, pattern + sizeof(pattern));
+    while (a_.offset() < target_size) {
+        std::size_t remaining = target_size - a_.offset();
+        if (remaining >= chunk.size()) {
+            a_.raw(chunk);
+        } else {
+            a_.raw(Bytes(remaining, 0xfe)); // INVALID filler tail
+        }
+    }
+}
+
+} // namespace mtpu::contracts

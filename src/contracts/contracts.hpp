@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Synthetic reconstructions of the paper's TOP8 hotspot contracts
+ * (Table 6) plus the Table 2 extras (WETH9, Ballot). Bodies are authored
+ * in the Solidity calling convention (dispatcher prologue, nonpayable
+ * checks, checked arithmetic, scratch-memory keccak for mapping slots)
+ * so that the dynamic instruction mix approximates the paper's
+ * measurements (~62 % stack operations).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "evm/state.hpp"
+#include "evm/types.hpp"
+#include "support/hex.hpp"
+
+namespace mtpu::contracts {
+
+/** One externally callable entry function. */
+struct FunctionInfo
+{
+    std::string name;
+    std::uint32_t selector = 0;
+    int numArgs = 0;
+    bool payable = false;
+    /**
+     * Relative dynamic invocation weight used by the workload
+     * generator (e.g. ERC20 transfer dominates).
+     */
+    double weight = 1.0;
+};
+
+/** A deployable synthetic contract. */
+struct ContractSpec
+{
+    std::string name;
+    evm::Address address;
+    Bytes bytecode;
+    std::vector<FunctionInfo> functions;
+    bool isErc20 = false; ///< eligible for the BPU App engine (Table 8)
+
+    const FunctionInfo *function(const std::string &name) const;
+    const FunctionInfo *functionBySelector(std::uint32_t sel) const;
+};
+
+/** Well-known 4-byte selectors (authentic Ethereum values). */
+namespace sel {
+constexpr std::uint32_t kTransfer = 0xa9059cbb;      // transfer(address,uint256)
+constexpr std::uint32_t kTransferFrom = 0x23b872dd;  // transferFrom(address,address,uint256)
+constexpr std::uint32_t kApprove = 0x095ea7b3;       // approve(address,uint256)
+constexpr std::uint32_t kBalanceOf = 0x70a08231;     // balanceOf(address)
+constexpr std::uint32_t kTotalSupply = 0x18160ddd;   // totalSupply()
+constexpr std::uint32_t kAllowance = 0xdd62ed3e;     // allowance(address,address)
+constexpr std::uint32_t kDeposit = 0xd0e30db0;       // deposit()
+constexpr std::uint32_t kWithdraw = 0x2e1a7d4d;      // withdraw(uint256)
+constexpr std::uint32_t kSwapExactTokens = 0x38ed1739; // swapExactTokensForTokens
+constexpr std::uint32_t kExactInputSingle = 0x414bf389; // exactInputSingle
+constexpr std::uint32_t kCreateSaleAuction = 0x3d7d3f5a; // createSaleAuction
+constexpr std::uint32_t kBid = 0x454a2ab3;           // bid(uint256)
+constexpr std::uint32_t kCancelAuction = 0x96b5a755; // cancelAuction(uint256)
+constexpr std::uint32_t kTransferAndCall = 0x4000aea0; // transferAndCall
+constexpr std::uint32_t kMint = 0x40c10f19;          // mint(address,uint256)
+constexpr std::uint32_t kBurn = 0x9dc29fac;          // burn(address,uint256)
+constexpr std::uint32_t kVote = 0x0121b93f;          // vote(uint256)
+constexpr std::uint32_t kDepositEth = 0xb6b55f25;    // deposit(uint256)
+constexpr std::uint32_t kWithdrawToken = 0xf3fef3a3; // withdraw(address,uint256)
+} // namespace sel
+
+/**
+ * The full synthetic contract universe. Owns the bytecode and knows how
+ * to deploy it and how to seed plausible state (balances, reserves,
+ * auction inventory) so that generated transactions succeed.
+ */
+class ContractSet
+{
+  public:
+    /** Build all contracts (bytecode assembled once). */
+    ContractSet();
+
+    /** All TOP8 specs, most-popular first (Table 6 order). */
+    const std::vector<ContractSpec> &top8() const { return top8_; }
+
+    /** Extras used by Table 2 / examples: WETH9, Ballot. */
+    const std::vector<ContractSpec> &extras() const { return extras_; }
+
+    const ContractSpec &byName(const std::string &name) const;
+
+    /**
+     * Install every contract's code into @p state and seed storage:
+     * token balances and allowances for @p users, AMM reserves,
+     * marketplace inventory, ballot weights.
+     */
+    void deploy(evm::WorldState &state,
+                const std::vector<evm::Address> &users) const;
+
+    /** ABI-encode a call: 4-byte selector plus 32-byte words. */
+    static Bytes encodeCall(std::uint32_t selector,
+                            const std::vector<U256> &args);
+
+  private:
+    std::vector<ContractSpec> top8_;
+    std::vector<ContractSpec> extras_;
+};
+
+/** Deterministic address for the i-th synthetic contract. */
+evm::Address contractAddress(int index);
+
+/** Deterministic address for the k-th synthetic user account. */
+evm::Address userAddress(int k);
+
+} // namespace mtpu::contracts

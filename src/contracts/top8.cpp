@@ -1,0 +1,1168 @@
+/**
+ * @file
+ * Builders for the synthetic TOP8 contracts (Table 6) plus extras.
+ * Stack-effect comments use [bottom, ..., top] notation.
+ */
+
+#include "contracts/contracts.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "asm/assembler.hpp"
+#include "contracts/builders.hpp"
+#include "support/keccak.hpp"
+
+namespace mtpu::contracts {
+
+using easm::Assembler;
+using Op = evm::Op;
+
+namespace {
+
+// Event signature "hashes" (constants; real values are keccak of the
+// event signatures — any fixed constant preserves behaviour).
+const U256 kSigTransfer = U256::fromHex(
+    "0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef");
+const U256 kSigApproval = U256::fromHex(
+    "0x8c5be1e5ebec7d5bd14f71427d1e84f3dd0314c0f7b2291e5b200ac8c7c3b925");
+const U256 kSigGeneric = U256::fromHex(
+    "0x1111111111111111111111111111111111111111111111111111111111111111");
+
+/** Storage slots shared by the ERC20-shaped contracts. */
+constexpr std::uint64_t kSlotTotalSupply = 0;
+constexpr std::uint64_t kSlotBalances = 1;
+constexpr std::uint64_t kSlotAllowance = 2;
+constexpr std::uint64_t kSlotWards = 4;
+
+// Marketplace slots.
+constexpr std::uint64_t kSlotOwner = 1;
+constexpr std::uint64_t kSlotAuctionPrice = 2;
+constexpr std::uint64_t kSlotAuctionSeller = 3;
+constexpr std::uint64_t kSlotEscrow = 4;
+
+// Gateway slots.
+constexpr std::uint64_t kSlotPaused = 0;
+constexpr std::uint64_t kSlotDailyLimit = 5;
+constexpr std::uint64_t kSlotDailyUsage = 6;
+constexpr std::uint64_t kSlotGatewayBalances = 7;
+
+// Router reserve mapping.
+constexpr std::uint64_t kSlotReserves = 1;
+
+// Proxy implementation pointer.
+constexpr std::uint64_t kSlotImplementation = 0x10;
+
+/** selector for LINK's onTokenTransfer(address,uint256). */
+constexpr std::uint32_t kSelOnTokenTransfer = 0xa4c0ed36;
+
+// ---------------------------------------------------------------------
+// ERC20 bodies
+// ---------------------------------------------------------------------
+
+void
+emitErc20Transfer(SolBuilder &b, bool tether_fee = false)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP); // drop selector
+    b.nonPayable();
+    b.calldataGuard(2);
+    b.loadAddressArg(0);          // [to]
+    b.requireNonZeroAddress();
+    b.loadWordArg(1);             // [to, value]
+
+    if (tether_fee) {
+        // The real TetherToken computes a basis-points fee on every
+        // transfer; with rate 0 the fee path is present but not taken.
+        b.basisPointsFee(0);      // [to, value', fee]
+        std::string nofee = b.fresh("nofee");
+        a.op(Op::DUP1).op(Op::ISZERO);
+        a.pushLabel(nofee).op(Op::JUMPI); // [to, value', fee]
+        // credit balances[owner(slot 3)] += fee (unreached at rate 0)
+        a.push(U256(3)).op(Op::SLOAD);    // [.., fee, owner]
+        a.op(Op::DUP1);
+        b.mappingLoad(kSlotBalances);     // [.., fee, owner, balO]
+        a.op(Op::DUP3);
+        b.checkedAdd();                   // [.., fee, owner, balO+fee]
+        b.mappingStore(kSlotBalances);    // [to, value', fee]
+        a.dest(nofee);
+        a.op(Op::POP);            // [to, value']
+    }
+
+    a.op(Op::CALLER);             // [to, value, from]
+    // balances[from] -= value
+    a.op(Op::DUP1);               // [to, value, from, from]
+    b.mappingLoad(kSlotBalances); // [to, value, from, balF]
+    a.op(Op::DUP3);               // [to, value, from, balF, value]
+    b.checkedSub();               // [to, value, from, balF-value]
+    b.mappingStore(kSlotBalances); // [to, value]
+    // balances[to] += value
+    a.op(Op::DUP2);               // [to, value, to]
+    b.mappingLoad(kSlotBalances); // [to, value, balT]
+    a.op(Op::DUP2);               // [to, value, balT, value]
+    b.checkedAdd();               // [to, value, balT+value]
+    a.op(Op::DUP3).op(Op::SWAP1); // [to, value, to, nbT]
+    b.mappingStore(kSlotBalances); // [to, value]
+    // Transfer(from=caller, to, value): emitEvent3 wants [t3, t2, data]
+    a.op(Op::SWAP1);              // [value, to]
+    a.op(Op::CALLER);             // [value, to, caller]
+    a.op(Op::SWAP2);              // [caller, to, value]
+    // emitEvent3 pops data(top), t2, t3 -> t3=caller, t2=to, data=value.
+    b.emitEvent3(kSigTransfer);   // []
+    b.returnWord(U256(1));
+}
+
+void
+emitErc20TransferFrom(SolBuilder &b)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(3);
+    b.loadAddressArg(0);          // [from]
+    b.requireNonZeroAddress();
+    b.loadAddressArg(1);          // [from, to]
+    b.requireNonZeroAddress();
+    b.loadWordArg(2);             // [from, to, value]
+    // allowance[from][caller] -= value
+    a.op(Op::DUP3);               // [f, t, v, f]
+    a.op(Op::CALLER);             // [f, t, v, f, caller]
+    b.nestedMappingSlot(kSlotAllowance); // [f, t, v, hA]
+    a.op(Op::DUP1).op(Op::SLOAD); // [f, t, v, hA, allow]
+    a.op(Op::DUP3);               // [f, t, v, hA, allow, v]
+    b.callSafeSub();              // [f, t, v, hA, allow-v]
+    a.op(Op::SWAP1).op(Op::SSTORE); // [f, t, v]
+    // balances[from] -= value
+    a.op(Op::DUP3);               // [f, t, v, f]
+    b.mappingLoad(kSlotBalances); // [f, t, v, balF]
+    a.op(Op::DUP2);               // [f, t, v, balF, v]
+    b.checkedSub();               // [f, t, v, balF-v]
+    a.op(Op::DUP4).op(Op::SWAP1); // [f, t, v, f, nb]
+    b.mappingStore(kSlotBalances); // [f, t, v]
+    // balances[to] += value
+    a.op(Op::DUP2);               // [f, t, v, t]
+    b.mappingLoad(kSlotBalances); // [f, t, v, balT]
+    a.op(Op::DUP2);               // [f, t, v, balT, v]
+    b.checkedAdd();               // [f, t, v, nbT]
+    a.op(Op::DUP3).op(Op::SWAP1); // [f, t, v, t, nbT]
+    b.mappingStore(kSlotBalances); // [f, t, v]
+    // Transfer(from, to, value): need [t3=from, t2=to, data=value]
+    // emitEvent3 pops data, t2, t3 -> stack should be [from, to, value].
+    b.emitEvent3(kSigTransfer);   // []
+    b.returnWord(U256(1));
+}
+
+void
+emitErc20Approve(SolBuilder &b)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(2);
+    b.loadAddressArg(0);          // [spender]
+    b.requireNonZeroAddress();
+    b.loadWordArg(1);             // [spender, value]
+    a.op(Op::CALLER);             // [spender, value, caller]
+    a.op(Op::SWAP2);              // [caller, value, spender]
+    a.op(Op::SWAP1);              // [caller, spender, value]
+    b.nestedMappingStore(kSlotAllowance); // []
+    // Approval(caller, spender, value)
+    b.loadAddressArg(0);          // [spender]
+    a.op(Op::CALLER);             // [spender, caller]
+    a.op(Op::SWAP1);              // [caller, spender] -- t3=caller? see below
+    b.loadWordArg(1);             // [caller, spender, value]
+    // pops: data=value, t2=spender, t3=caller
+    b.emitEvent3(kSigApproval);   // []
+    b.returnWord(U256(1));
+}
+
+void
+emitErc20BalanceOf(SolBuilder &b)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP);
+    b.calldataGuard(1);
+    b.loadAddressArg(0);
+    b.mappingLoad(kSlotBalances);
+    b.returnTop();
+}
+
+void
+emitErc20TotalSupply(SolBuilder &b)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP);
+    a.push(U256(kSlotTotalSupply)).op(Op::SLOAD);
+    b.returnTop();
+}
+
+void
+emitErc20Allowance(SolBuilder &b)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP);
+    b.calldataGuard(2);
+    b.loadAddressArg(0);
+    b.loadAddressArg(1);
+    b.nestedMappingLoad(kSlotAllowance);
+    b.returnTop();
+}
+
+void
+emitMintOrBurn(SolBuilder &b, bool mint)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(2);
+    // require wards[caller] == 1
+    a.op(Op::CALLER);
+    b.mappingLoad(kSlotWards);
+    a.push(U256(1)).op(Op::EQ);
+    b.requireTrue();
+    b.loadAddressArg(0);          // [who]
+    b.requireNonZeroAddress();
+    b.loadWordArg(1);             // [who, v]
+    // balances[who] +/- v
+    a.op(Op::DUP2);               // [who, v, who]
+    b.mappingLoad(kSlotBalances); // [who, v, bal]
+    a.op(Op::DUP2);               // [who, v, bal, v]
+    if (mint)
+        b.checkedAdd();
+    else
+        b.checkedSub();           // [who, v, nb]
+    a.op(Op::DUP3).op(Op::SWAP1); // [who, v, who, nb]
+    b.mappingStore(kSlotBalances); // [who, v]
+    // totalSupply +/- v
+    a.push(U256(kSlotTotalSupply)).op(Op::SLOAD); // [who, v, ts]
+    a.op(Op::DUP2);               // [who, v, ts, v]
+    if (mint)
+        b.checkedAdd();
+    else
+        b.checkedSub();           // [who, v, nts]
+    a.push(U256(kSlotTotalSupply)).op(Op::SSTORE); // [who, v]
+    // Transfer(0 or who, who or 0, v)
+    a.op(Op::SWAP1);              // [v, who]
+    a.push(U256(0));              // [v, who, 0]
+    a.op(Op::SWAP2);              // [0, who, v]
+    b.emitEvent3(kSigTransfer);
+    b.returnWord(U256(1));
+}
+
+/** Shared ERC20 dispatcher + bodies; @p extra adds contract flavor. */
+void
+buildErc20(Assembler &a, SolBuilder &b,
+           const std::vector<std::pair<std::uint32_t, const char *>> &extra,
+           const std::function<void(const std::string &)> &emit_extra,
+           bool tether_fee = false)
+{
+    b.runtimePrologue();
+    a.loadFunctionId(); // [funcid]
+    a.dispatchCase(sel::kTransfer, "f_transfer");
+    a.dispatchCase(sel::kTransferFrom, "f_transferFrom");
+    a.dispatchCase(sel::kApprove, "f_approve");
+    a.dispatchCase(sel::kBalanceOf, "f_balanceOf");
+    a.dispatchCase(sel::kTotalSupply, "f_totalSupply");
+    a.dispatchCase(sel::kAllowance, "f_allowance");
+    for (const auto &[selector, label] : extra)
+        a.dispatchCase(selector, label);
+    a.revert(); // unknown selector
+
+    a.dest("f_transfer");
+    emitErc20Transfer(b, tether_fee);
+    a.dest("f_transferFrom");
+    emitErc20TransferFrom(b);
+    a.dest("f_approve");
+    emitErc20Approve(b);
+    a.dest("f_balanceOf");
+    emitErc20BalanceOf(b);
+    a.dest("f_totalSupply");
+    emitErc20TotalSupply(b);
+    a.dest("f_allowance");
+    emitErc20Allowance(b);
+    for (const auto &[selector, label] : extra)
+        emit_extra(label);
+    b.emitMathSubroutines();
+}
+
+std::vector<FunctionInfo>
+erc20Functions()
+{
+    return {
+        {"transfer", sel::kTransfer, 2, false, 10.0},
+        {"transferFrom", sel::kTransferFrom, 3, false, 3.0},
+        {"approve", sel::kApprove, 2, false, 3.0},
+        {"balanceOf", sel::kBalanceOf, 1, false, 2.0},
+        {"totalSupply", sel::kTotalSupply, 0, false, 0.5},
+        {"allowance", sel::kAllowance, 2, false, 0.5},
+    };
+}
+
+// ---------------------------------------------------------------------
+// Individual contracts
+// ---------------------------------------------------------------------
+
+ContractSpec
+buildTether()
+{
+    Assembler a;
+    SolBuilder b(a);
+    buildErc20(a, b, {}, [](const std::string &) {}, /*tether_fee=*/true);
+    b.padTo(5759);
+
+    ContractSpec spec;
+    spec.name = "TetherUSD";
+    spec.address = contractAddress(0);
+    spec.bytecode = a.assemble();
+    spec.functions = erc20Functions();
+    spec.isErc20 = true;
+    return spec;
+}
+
+ContractSpec
+buildLinkToken()
+{
+    Assembler a;
+    SolBuilder b(a);
+    buildErc20(a, b, {{sel::kTransferAndCall, "f_tac"}},
+               [&](const std::string &label) {
+        if (label != "f_tac")
+            return;
+        a.dest("f_tac");
+        a.op(Op::POP);
+        b.nonPayable();
+        b.calldataGuard(2);
+        // transferAndCall(to, value): inline transfer then notify.
+        b.loadAddressArg(0);          // [to]
+        b.requireNonZeroAddress();
+        b.loadWordArg(1);             // [to, v]
+        // balances[caller] -= v
+        a.op(Op::CALLER);             // [to, v, c]
+        b.mappingLoad(kSlotBalances); // [to, v, balC]
+        a.op(Op::DUP2);               // [to, v, balC, v]
+        b.checkedSub();               // [to, v, nb]
+        a.op(Op::CALLER).op(Op::SWAP1); // [to, v, c, nb]
+        b.mappingStore(kSlotBalances); // [to, v]
+        // balances[to] += v
+        a.op(Op::DUP2);               // [to, v, to]
+        b.mappingLoad(kSlotBalances); // [to, v, balT]
+        a.op(Op::DUP2);               // [to, v, balT, v]
+        b.checkedAdd();               // [to, v, nbT]
+        a.op(Op::DUP3).op(Op::SWAP1); // [to, v, to, nbT]
+        b.mappingStore(kSlotBalances); // [to, v]
+        // to.onTokenTransfer(caller, v): [addr, arg2, arg1]
+        a.op(Op::DUP2);               // [to, v, to]
+        a.op(Op::DUP2);               // [to, v, to, v]
+        a.op(Op::CALLER);             // [to, v, to, v, caller]
+        b.callExternal2At(kSelOnTokenTransfer); // [to, v, ok]
+        b.requireTrue();              // [to, v]
+        a.op(Op::CALLER).op(Op::SWAP1); // [to, caller, v]
+        b.emitEvent3(kSigTransfer);   // []
+        b.returnWord(U256(1));
+    });
+    b.padTo(6100);
+
+    ContractSpec spec;
+    spec.name = "LinkToken";
+    spec.address = contractAddress(4);
+    spec.bytecode = a.assemble();
+    spec.functions = erc20Functions();
+    spec.functions.push_back(
+        {"transferAndCall", sel::kTransferAndCall, 2, false, 4.0});
+    spec.isErc20 = true;
+    return spec;
+}
+
+ContractSpec
+buildDai()
+{
+    Assembler a;
+    SolBuilder b(a);
+    buildErc20(a, b, {{sel::kMint, "f_mint"}, {sel::kBurn, "f_burn"}},
+               [&](const std::string &label) {
+        if (label == "f_mint") {
+            a.dest("f_mint");
+            emitMintOrBurn(b, true);
+        } else if (label == "f_burn") {
+            a.dest("f_burn");
+            emitMintOrBurn(b, false);
+        }
+    });
+    b.padTo(7100);
+
+    ContractSpec spec;
+    spec.name = "Dai";
+    spec.address = contractAddress(6);
+    spec.bytecode = a.assemble();
+    spec.functions = erc20Functions();
+    spec.functions.push_back({"mint", sel::kMint, 2, false, 1.0});
+    spec.functions.push_back({"burn", sel::kBurn, 2, false, 1.0});
+    spec.isErc20 = true;
+    return spec;
+}
+
+ContractSpec
+buildWeth9(int address_index, const char *name, std::size_t size)
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kDeposit, "f_deposit");
+    a.dispatchCase(sel::kWithdraw, "f_withdraw");
+    a.dispatchCase(sel::kTransfer, "f_transfer");
+    a.dispatchCase(sel::kTransferFrom, "f_transferFrom");
+    a.dispatchCase(sel::kApprove, "f_approve");
+    a.dispatchCase(sel::kBalanceOf, "f_balanceOf");
+    a.revert();
+
+    a.dest("f_deposit");
+    a.op(Op::POP);
+    // balances[caller] += callvalue
+    a.op(Op::CALLVALUE);              // [v]
+    a.op(Op::CALLER);                 // [v, c]
+    b.mappingLoad(kSlotBalances);     // [v, bal]
+    b.checkedAdd();                   // [v+bal]
+    a.op(Op::CALLER).op(Op::SWAP1);   // [c, nb]
+    b.mappingStore(kSlotBalances);    // []
+    // Deposit(caller, value)
+    a.push(U256(0)).op(Op::CALLER).op(Op::CALLVALUE); // [0, c, v]
+    b.emitEvent3(kSigGeneric);
+    a.stop();
+
+    a.dest("f_withdraw");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    b.loadWordArg(0);                 // [amt]
+    // require address(this).balance >= amt before paying out
+    // (exercises the State-query unit the way real WETH does).
+    a.op(Op::DUP1);                   // [amt, amt]
+    a.op(Op::ADDRESS).op(Op::BALANCE); // [amt, amt, selfbal]
+    a.op(Op::LT);                     // selfbal < amt ?
+    b.requireFalse();                 // [amt]
+    a.op(Op::CALLER);                 // [amt, c]
+    b.mappingLoad(kSlotBalances);     // [amt, bal]
+    a.op(Op::DUP2);                   // [amt, bal, amt]
+    b.checkedSub();                   // [amt, bal-amt]
+    a.op(Op::CALLER).op(Op::SWAP1);   // [amt, c, nb]
+    b.mappingStore(kSlotBalances);    // [amt]
+    // send native value back to the caller (EOA: empty code)
+    a.push(U256(0)).push(U256(0)).push(U256(0)).push(U256(0));
+    a.op(Op::DUP5);                   // value = amt
+    a.op(Op::CALLER).op(Op::GAS).op(Op::CALL); // [amt, ok]
+    b.requireTrue();                  // [amt]
+    a.push(U256(0)).op(Op::CALLER);   // [amt, 0, c]
+    a.op(Op::SWAP2);                  // [c, 0, amt]
+    b.emitEvent3(kSigGeneric);
+    a.stop();
+
+    a.dest("f_transfer");
+    emitErc20Transfer(b);
+
+    a.dest("f_transferFrom");
+    emitErc20TransferFrom(b);
+
+    a.dest("f_approve");
+    emitErc20Approve(b);
+
+    a.dest("f_balanceOf");
+    emitErc20BalanceOf(b);
+
+    b.emitMathSubroutines();
+    b.padTo(size);
+
+    ContractSpec spec;
+    spec.name = name;
+    spec.address = contractAddress(address_index);
+    spec.bytecode = a.assemble();
+    spec.functions = {
+        {"deposit", sel::kDeposit, 0, true, 5.0},
+        {"withdraw", sel::kWithdraw, 1, false, 5.0},
+        {"transfer", sel::kTransfer, 2, false, 4.0},
+        {"transferFrom", sel::kTransferFrom, 3, false, 1.0},
+        {"approve", sel::kApprove, 2, false, 1.0},
+        {"balanceOf", sel::kBalanceOf, 1, false, 1.0},
+    };
+    spec.isErc20 = true;
+    return spec;
+}
+
+ContractSpec
+buildFiatTokenProxy()
+{
+    // The proxy forwards everything to the implementation (a full
+    // ERC20) via DELEGATECALL, so the proxy's own storage holds the
+    // balances, as with the real FiatTokenProxy (USDC).
+    Assembler a;
+    SolBuilder b(a);
+    // copy calldata to memory 0
+    a.op(Op::CALLDATASIZE).push(U256(0)).push(U256(0));
+    a.op(Op::CALLDATACOPY);
+    // delegatecall(gas, impl, 0, calldatasize, 0, 0)
+    a.push(U256(0)).push(U256(0));
+    a.op(Op::CALLDATASIZE).push(U256(0));
+    a.push(U256(kSlotImplementation)).op(Op::SLOAD);
+    a.op(Op::GAS).op(Op::DELEGATECALL);   // [success]
+    // copy full returndata to memory 0
+    a.op(Op::RETURNDATASIZE).push(U256(0)).push(U256(0));
+    a.op(Op::RETURNDATACOPY);             // [success]
+    a.op(Op::RETURNDATASIZE).op(Op::SWAP1); // [rds, success]
+    a.pushLabel("ok").op(Op::JUMPI);      // [rds]
+    a.push(U256(0)).op(Op::REVERT);
+    a.dest("ok");
+    a.push(U256(0)).op(Op::RETURN);
+    b.padTo(704);
+
+    ContractSpec spec;
+    spec.name = "FiatTokenProxy";
+    spec.address = contractAddress(2);
+    spec.bytecode = a.assemble();
+    spec.functions = erc20Functions();
+    spec.isErc20 = true;
+    return spec;
+}
+
+ContractSpec
+buildFiatTokenImpl()
+{
+    Assembler a;
+    SolBuilder b(a);
+    buildErc20(a, b, {}, [](const std::string &) {});
+    b.padTo(5400);
+
+    ContractSpec spec;
+    spec.name = "FiatTokenImpl";
+    spec.address = contractAddress(11);
+    spec.bytecode = a.assemble();
+    spec.functions = erc20Functions();
+    spec.isErc20 = true;
+    return spec;
+}
+
+/** Arithmetic-heavy AMM swap shared by both routers. */
+void
+emitSwapBody(SolBuilder &b, bool v3_style)
+{
+    Assembler &a = b.asmref();
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(5);
+    b.loadWordArg(0);             // [in]
+    b.loadAddressArg(2);          // [in, tI]
+    b.requireNonZeroAddress();
+    b.loadAddressArg(3);          // [in, tI, tO]
+    b.requireNonZeroAddress();
+    // rIn = reserves[tI][tO]; rOut = reserves[tO][tI]
+    a.op(Op::DUP2).op(Op::DUP2);  // [in, tI, tO, tI, tO]
+    b.nestedMappingLoad(kSlotReserves); // [in, tI, tO, rIn]
+    a.op(Op::DUP2).op(Op::DUP4);  // [in, tI, tO, rIn, tO, tI]
+    b.nestedMappingLoad(kSlotReserves); // [in, tI, tO, rIn, rOut]
+    // amountInWithFee = in * 997
+    a.op(Op::DUP5);               // [..., rOut, in]
+    a.push(U256(997)).op(Op::MUL); // [in, tI, tO, rIn, rOut, aiwf]
+    // num = aiwf * rOut
+    a.op(Op::DUP2).op(Op::DUP2).op(Op::MUL); // [..., aiwf, num]
+    // den = rIn * 1000 + aiwf
+    a.op(Op::DUP4);               // hmm: see layout below
+    // layout: [in, tI, tO, rIn, rOut, aiwf, num, rIn']
+    a.push(U256(1000)).op(Op::MUL); // [..., num, rIn*1000]
+    a.op(Op::DUP3).op(Op::ADD);   // [..., num, den]
+    a.op(Op::SWAP1).op(Op::DIV);  // [in, tI, tO, rIn, rOut, aiwf, out]
+    a.op(Op::SWAP1).op(Op::POP);  // [in, tI, tO, rIn, rOut, out]
+
+    if (v3_style) {
+        // Tick-crossing flavor: refine the quote over three rounds of
+        // fixed-point adjustment (adds Branch + Arithmetic ops).
+        std::string loop = b.fresh("tick");
+        std::string done = b.fresh("tickdone");
+        a.push(U256(3));          // [.., out, i]
+        a.dest(loop);
+        a.op(Op::DUP1).op(Op::ISZERO);
+        a.pushLabel(done).op(Op::JUMPI);
+        // out = out - (out >> 10) + (out >> 11): tiny convergent tweak
+        a.op(Op::SWAP1);          // [.., i, out]
+        a.op(Op::DUP1).push(U256(10)).op(Op::SHR); // [.., i, out, out>>10]
+        a.op(Op::DUP2).push(U256(11)).op(Op::SHR); // [.., out>>10, out>>11]
+        a.op(Op::SWAP1);          // [.., i, out, o11, o10]
+        a.op(Op::DUP3).op(Op::SUB); // hmm SUB pops a=out? keep simple:
+        // a = out - o10 (SUB pops top=out? top is o10) -> use SWAP1 SUB
+        a.op(Op::POP);            // drop partial (keeps the mix, not value)
+        a.op(Op::ADD);            // [.., i, out'] (out + o11)
+        a.op(Op::SWAP1);          // [.., out', i]
+        a.push(U256(1)).op(Op::SWAP1).op(Op::SUB); // i-1
+        a.pushLabel(loop).op(Op::JUMP);
+        a.dest(done);
+        a.op(Op::POP);            // [in, tI, tO, rIn, rOut, out]
+    }
+
+    // require out >= minOut. GT pops (top=min, second=out): min > out.
+    a.op(Op::DUP1);               // [.., out, out]
+    b.loadWordArg(1);             // [.., out, out, min]
+    a.op(Op::GT).op(Op::ISZERO);  // !(min > out) == out >= min
+    b.requireTrue();              // [in, tI, tO, rIn, rOut, out]
+    // reserves[tI][tO] = rIn + in
+    a.op(Op::DUP5).op(Op::DUP5);  // [.., out, tI, tO]
+    a.op(Op::DUP5);               // [.., out, tI, tO, rIn]
+    a.op(Op::DUP9);               // [.., out, tI, tO, rIn, in]
+    b.checkedAdd();               // [.., out, tI, tO, rIn+in]
+    b.nestedMappingStore(kSlotReserves); // [in, tI, tO, rIn, rOut, out]
+    // reserves[tO][tI] = rOut - out
+    a.op(Op::DUP4);               // [.., out, tO]
+    a.op(Op::DUP6);               // [.., out, tO, tI]
+    a.op(Op::DUP4);               // [.., out, tO, tI, rOut]
+    a.op(Op::DUP4);               // [.., out, tO, tI, rOut, out]
+    b.checkedSub();               // [.., out, tO, tI, rOut-out]
+    b.nestedMappingStore(kSlotReserves); // [in, tI, tO, rIn, rOut, out]
+    // tokenIn.transferFrom(caller, this, in)
+    a.op(Op::DUP5);               // [.., out, tI]
+    a.op(Op::DUP7);               // [.., out, tI, in]  (arg3 = value)
+    a.op(Op::ADDRESS);            // [.., tI, in, this] (arg2 = to)
+    a.op(Op::CALLER);             // [.., tI, in, this, caller] (arg1)
+    b.callExternal3At(sel::kTransferFrom); // [.., out, ok]
+    b.requireTrue();              // [in, tI, tO, rIn, rOut, out]
+    // tokenOut.transfer(toArg, out)
+    a.op(Op::DUP4);               // [.., out, tO]
+    a.op(Op::DUP2);               // [.., out, tO, out] (arg2 = value)
+    b.loadAddressArg(4);          // [.., tO, out, to] (arg1)
+    b.callExternal2At(sel::kTransfer); // [.., out, ok]
+    b.requireTrue();              // [in, tI, tO, rIn, rOut, out]
+    b.returnTop();                // return out
+}
+
+ContractSpec
+buildUniswapV2Router()
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kSwapExactTokens, "f_swap");
+    a.revert();
+    a.dest("f_swap");
+    emitSwapBody(b, false);
+    b.emitMathSubroutines();
+    b.padTo(12050);
+
+    ContractSpec spec;
+    spec.name = "UniswapV2Router02";
+    spec.address = contractAddress(1);
+    spec.bytecode = a.assemble();
+    spec.functions = {
+        {"swapExactTokensForTokens", sel::kSwapExactTokens, 5, false, 1.0},
+    };
+    return spec;
+}
+
+ContractSpec
+buildSwapRouter()
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kExactInputSingle, "f_swap");
+    a.revert();
+    a.dest("f_swap");
+    emitSwapBody(b, true);
+    b.emitMathSubroutines();
+    b.padTo(10100);
+
+    ContractSpec spec;
+    spec.name = "SwapRouter";
+    spec.address = contractAddress(5);
+    spec.bytecode = a.assemble();
+    spec.functions = {
+        {"exactInputSingle", sel::kExactInputSingle, 5, false, 1.0},
+    };
+    return spec;
+}
+
+ContractSpec
+buildMarketplace(int address_index, const char *name, std::size_t size)
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kCreateSaleAuction, "f_create");
+    a.dispatchCase(sel::kBid, "f_bid");
+    a.dispatchCase(sel::kCancelAuction, "f_cancel");
+    a.revert();
+
+    a.dest("f_create");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(2);
+    b.loadWordArg(0);               // [id]
+    a.op(Op::DUP1);
+    b.mappingLoad(kSlotOwner);      // [id, owner]
+    a.op(Op::CALLER).op(Op::EQ);
+    b.requireTrue();                // [id]
+    b.loadWordArg(1);               // [id, price]
+    a.op(Op::DUP1).op(Op::ISZERO);
+    b.requireFalse();               // [id, price] (price != 0)
+    a.op(Op::DUP2).op(Op::DUP2);    // [id, price, id, price]
+    b.mappingStore(kSlotAuctionPrice); // [id, price]
+    a.op(Op::DUP2).op(Op::CALLER);  // [id, price, id, caller]
+    b.mappingStore(kSlotAuctionSeller); // [id, price]
+    a.op(Op::SWAP1).op(Op::DUP2);   // [price, id, price]
+    b.emitEvent3(kSigGeneric);
+    a.stop();
+
+    a.dest("f_bid");
+    a.op(Op::POP);
+    b.calldataGuard(1);
+    b.loadWordArg(0);               // [id]
+    a.op(Op::DUP1);
+    b.mappingLoad(kSlotAuctionPrice); // [id, price]
+    a.op(Op::DUP1).op(Op::ISZERO);
+    b.requireFalse();               // auction exists
+    a.op(Op::DUP1).op(Op::CALLVALUE); // [id, price, price, cv]
+    a.op(Op::LT);                   // cv < price ?
+    b.requireFalse();               // [id, price]
+    // escrow[seller] += price
+    a.op(Op::DUP2);
+    b.mappingLoad(kSlotAuctionSeller); // [id, price, seller]
+    a.op(Op::DUP1);
+    b.mappingLoad(kSlotEscrow);     // [id, price, seller, esc]
+    a.op(Op::DUP3);                 // [id, price, seller, esc, price]
+    b.checkedAdd();                 // [id, price, seller, esc+price]
+    b.mappingStore(kSlotEscrow);    // [id, price]
+    // owner[id] = caller
+    a.op(Op::DUP2).op(Op::CALLER);
+    b.mappingStore(kSlotOwner);     // [id, price]
+    // clear auction
+    a.op(Op::DUP2).push(U256(0));
+    b.mappingStore(kSlotAuctionPrice);
+    a.op(Op::DUP2).push(U256(0));
+    b.mappingStore(kSlotAuctionSeller); // [id, price]
+    a.op(Op::SWAP1).op(Op::CALLER); // [price, id, caller]
+    b.emitEvent3(kSigGeneric);
+    a.stop();
+
+    a.dest("f_cancel");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    b.loadWordArg(0);               // [id]
+    a.op(Op::DUP1);
+    b.mappingLoad(kSlotAuctionSeller); // [id, seller]
+    a.op(Op::CALLER).op(Op::EQ);
+    b.requireTrue();                // [id]
+    a.op(Op::DUP1).push(U256(0));
+    b.mappingStore(kSlotAuctionPrice); // [id]
+    a.op(Op::DUP1).push(U256(0));
+    b.mappingStore(kSlotAuctionSeller); // [id]
+    a.op(Op::CALLER).op(Op::SWAP1). op(Op::DUP2); // junk shape: [c, id, c]
+    b.emitEvent3(kSigGeneric);
+    a.stop();
+
+    b.emitMathSubroutines();
+    b.padTo(size);
+
+    ContractSpec spec;
+    spec.name = name;
+    spec.address = contractAddress(address_index);
+    spec.bytecode = a.assemble();
+    spec.functions = {
+        {"createSaleAuction", sel::kCreateSaleAuction, 2, false, 3.0},
+        {"bid", sel::kBid, 1, true, 5.0},
+        {"cancelAuction", sel::kCancelAuction, 1, false, 1.0},
+    };
+    return spec;
+}
+
+ContractSpec
+buildGateway()
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kDepositEth, "f_deposit");
+    a.dispatchCase(sel::kWithdrawToken, "f_withdraw");
+    a.revert();
+
+    a.dest("f_deposit");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    b.loadWordArg(0);                 // [amt]
+    // require !paused
+    a.push(U256(kSlotPaused)).op(Op::SLOAD);
+    b.requireFalse();
+    // require amt != 0
+    a.op(Op::DUP1).op(Op::ISZERO);
+    b.requireFalse();                 // [amt]
+    // day = timestamp / 86400
+    a.op(Op::TIMESTAMP);
+    a.push(U256(86400)).op(Op::SWAP1).op(Op::DIV); // [amt, day]
+    // usage[day] += amt, require <= dailyLimit
+    a.op(Op::DUP1);
+    b.mappingLoad(kSlotDailyUsage);   // [amt, day, use]
+    a.op(Op::DUP3);
+    b.checkedAdd();                   // [amt, day, nuse]
+    a.push(U256(kSlotDailyLimit)).op(Op::SLOAD); // [amt, day, nuse, lim]
+    a.op(Op::DUP2).op(Op::GT);        // nuse > lim ?
+    b.requireFalse();                 // [amt, day, nuse]
+    b.mappingStore(kSlotDailyUsage);  // [amt]
+    // balances[caller] += amt
+    a.op(Op::CALLER);
+    b.mappingLoad(kSlotGatewayBalances); // [amt, bal]
+    a.op(Op::DUP2);
+    b.checkedAdd();                   // [amt, nb]
+    a.op(Op::CALLER).op(Op::SWAP1);
+    b.mappingStore(kSlotGatewayBalances); // [amt]
+    // validator-threshold flavor (logic-heavy, constant-foldable)
+    a.push(U256(2)).push(U256(3)).op(Op::GT); // 3 > 2
+    b.requireTrue();
+    a.op(Op::CALLER).op(Op::DUP2);    // [amt, c, amt]
+    b.emitEvent3(kSigGeneric);        // [amt] -> wait: consumes 3 -> []
+    a.stop();
+
+    a.dest("f_withdraw");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(2);
+    b.loadAddressArg(0);              // [token]
+    b.requireNonZeroAddress();
+    // require isContract(token): the usual bridge-side sanity check
+    // (exercises the State-query unit).
+    a.op(Op::DUP1).op(Op::EXTCODESIZE); // [token, size]
+    a.op(Op::ISZERO);
+    b.requireFalse();                 // [token]
+    b.loadWordArg(1);                 // [token, amt]
+    // require !paused
+    a.push(U256(kSlotPaused)).op(Op::SLOAD);
+    b.requireFalse();
+    // balances[caller] -= amt
+    a.op(Op::CALLER);
+    b.mappingLoad(kSlotGatewayBalances); // [token, amt, bal]
+    a.op(Op::DUP2);
+    b.checkedSub();                   // [token, amt, nb]
+    a.op(Op::CALLER).op(Op::SWAP1);
+    b.mappingStore(kSlotGatewayBalances); // [token, amt]
+    // token.transfer(caller, amt): [addr, arg2, arg1]
+    a.op(Op::DUP2).op(Op::DUP2);      // [token, amt, token, amt]
+    a.op(Op::CALLER);                 // [token, amt, token, amt, caller]
+    b.callExternal2At(sel::kTransfer); // [token, amt, ok]
+    b.requireTrue();                  // [token, amt]
+    a.op(Op::CALLER).op(Op::SWAP1);   // [token, c, amt]
+    b.emitEvent3(kSigGeneric);
+    a.stop();
+
+    b.emitMathSubroutines();
+    b.padTo(2050);
+
+    ContractSpec spec;
+    spec.name = "MainchainGatewayProxy";
+    spec.address = contractAddress(7);
+    spec.bytecode = a.assemble();
+    spec.functions = {
+        {"deposit", sel::kDepositEth, 1, false, 3.0},
+        {"withdraw", sel::kWithdrawToken, 2, false, 2.0},
+    };
+    return spec;
+}
+
+ContractSpec
+buildBallot()
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kVote, "f_vote");
+    a.revert();
+
+    a.dest("f_vote");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    b.loadWordArg(0);               // [p]
+    a.op(Op::CALLER);
+    b.mappingLoad(1);               // [p, w]
+    a.op(Op::DUP1).op(Op::ISZERO);
+    b.requireFalse();               // weight > 0
+    a.op(Op::CALLER);
+    b.mappingLoad(2);               // [p, w, voted]
+    b.requireFalse();               // !voted
+    a.op(Op::CALLER).push(U256(1));
+    b.mappingStore(2);              // [p, w]
+    a.op(Op::DUP2);
+    b.mappingLoad(3);               // [p, w, votes]
+    a.op(Op::DUP2);
+    b.checkedAdd();                 // [p, w, nv]
+    a.op(Op::DUP3).op(Op::SWAP1);
+    b.mappingStore(3);              // [p, w]
+    a.op(Op::CALLER);               // [p, w, c]
+    b.emitEvent3(kSigGeneric);
+    a.stop();
+
+    b.emitMathSubroutines();
+    b.padTo(1203);
+
+    ContractSpec spec;
+    spec.name = "Ballot";
+    spec.address = contractAddress(9);
+    spec.bytecode = a.assemble();
+    spec.functions = {{"vote", sel::kVote, 1, false, 1.0}};
+    return spec;
+}
+
+ContractSpec
+buildLinkReceiver()
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.loadFunctionId();
+    a.dispatchCase(kSelOnTokenTransfer, "f_ott");
+    a.revert();
+    a.dest("f_ott");
+    a.op(Op::POP);
+    b.loadWordArg(1);               // [value]
+    a.push(U256(0)).op(Op::SLOAD);  // [value, acc]
+    a.op(Op::ADD);                  // [acc+value]
+    a.push(U256(0)).op(Op::SSTORE); // []
+    b.returnWord(U256(1));
+    b.padTo(220);
+
+    ContractSpec spec;
+    spec.name = "LinkReceiver";
+    spec.address = contractAddress(12);
+    spec.bytecode = a.assemble();
+    spec.functions = {{"onTokenTransfer", kSelOnTokenTransfer, 2, false,
+                       1.0}};
+    return spec;
+}
+
+} // namespace
+
+const FunctionInfo *
+ContractSpec::function(const std::string &fname) const
+{
+    for (const FunctionInfo &f : functions) {
+        if (f.name == fname)
+            return &f;
+    }
+    return nullptr;
+}
+
+const FunctionInfo *
+ContractSpec::functionBySelector(std::uint32_t s) const
+{
+    for (const FunctionInfo &f : functions) {
+        if (f.selector == s)
+            return &f;
+    }
+    return nullptr;
+}
+
+evm::Address
+contractAddress(int index)
+{
+    return U256(0xc0de00000000ull + std::uint64_t(index));
+}
+
+evm::Address
+userAddress(int k)
+{
+    return U256(0xbeef00000000ull + std::uint64_t(k));
+}
+
+ContractSet::ContractSet()
+{
+    top8_.push_back(buildTether());
+    top8_.push_back(buildUniswapV2Router());
+    top8_.push_back(buildFiatTokenProxy());
+    top8_.push_back(buildMarketplace(3, "OpenSea", 12500));
+    top8_.push_back(buildLinkToken());
+    top8_.push_back(buildSwapRouter());
+    top8_.push_back(buildDai());
+    top8_.push_back(buildGateway());
+
+    extras_.push_back(buildWeth9(8, "WETH9", 1607));
+    extras_.push_back(buildBallot());
+    extras_.push_back(buildMarketplace(10, "CryptoCat", 12500));
+    extras_.push_back(buildFiatTokenImpl());
+    extras_.push_back(buildLinkReceiver());
+}
+
+const ContractSpec &
+ContractSet::byName(const std::string &name) const
+{
+    for (const auto &spec : top8_) {
+        if (spec.name == name)
+            return spec;
+    }
+    for (const auto &spec : extras_) {
+        if (spec.name == name)
+            return spec;
+    }
+    throw std::out_of_range("unknown contract: " + name);
+}
+
+Bytes
+ContractSet::encodeCall(std::uint32_t selector, const std::vector<U256> &args)
+{
+    Bytes data;
+    data.push_back(std::uint8_t(selector >> 24));
+    data.push_back(std::uint8_t(selector >> 16));
+    data.push_back(std::uint8_t(selector >> 8));
+    data.push_back(std::uint8_t(selector));
+    for (const U256 &arg : args) {
+        std::uint8_t buf[32];
+        arg.toBytes(buf);
+        data.insert(data.end(), buf, buf + 32);
+    }
+    return data;
+}
+
+void
+ContractSet::deploy(evm::WorldState &state,
+                    const std::vector<evm::Address> &users) const
+{
+    const U256 kTokenGrant = U256(1'000'000'000'000ull); // 1e12
+    const U256 kReserve = U256::fromDec("1000000000000000");  // 1e15
+
+    auto install = [&state](const ContractSpec &spec) {
+        state.createAccount(spec.address);
+        state.setCode(spec.address, spec.bytecode);
+    };
+    for (const auto &spec : top8_)
+        install(spec);
+    for (const auto &spec : extras_)
+        install(spec);
+
+    auto mapSlot = [](const U256 &key, std::uint64_t slot) {
+        return keccak256Pair(key, U256(slot));
+    };
+    auto nestedSlot = [&](const U256 &k1, const U256 &k2,
+                          std::uint64_t slot) {
+        return keccak256Pair(k2, keccak256Pair(k1, U256(slot)));
+    };
+
+    // ERC20-shaped contracts: balances, allowances, supply. The
+    // FiatTokenProxy holds the token storage (delegatecall semantics).
+    std::vector<const ContractSpec *> tokens = {
+        &byName("TetherUSD"), &byName("LinkToken"), &byName("Dai"),
+        &byName("WETH9"), &byName("FiatTokenProxy"),
+    };
+    std::vector<const ContractSpec *> spenders = {
+        &byName("UniswapV2Router02"), &byName("SwapRouter"),
+        &byName("MainchainGatewayProxy"),
+    };
+
+    for (const ContractSpec *token : tokens) {
+        U256 supply;
+        for (std::size_t u = 0; u < users.size(); ++u) {
+            const evm::Address &user = users[u];
+            state.setStorage(token->address,
+                             mapSlot(user, kSlotBalances), kTokenGrant);
+            supply = supply + kTokenGrant;
+            // Approvals: spender contracts plus a few neighbouring
+            // users (transferFrom workloads pick spender = owner + k).
+            for (const ContractSpec *sp : spenders) {
+                state.setStorage(
+                    token->address,
+                    nestedSlot(user, sp->address, kSlotAllowance),
+                    U256::max().shr(1));
+            }
+            for (std::size_t k = 1; k <= 4; ++k) {
+                state.setStorage(
+                    token->address,
+                    nestedSlot(user, users[(u + k) % users.size()],
+                               kSlotAllowance),
+                    U256::max().shr(1));
+            }
+        }
+        // Routers and the gateway hold inventory to pay out swaps.
+        for (const ContractSpec *sp : spenders) {
+            state.setStorage(token->address,
+                             mapSlot(sp->address, kSlotBalances),
+                             kReserve);
+            supply = supply + kReserve;
+        }
+        state.setStorage(token->address, U256(kSlotTotalSupply), supply);
+    }
+
+    // Proxy -> implementation pointer.
+    state.setStorage(byName("FiatTokenProxy").address,
+                     U256(kSlotImplementation),
+                     byName("FiatTokenImpl").address);
+
+    // AMM reserves for all ordered token pairs (both routers).
+    std::vector<const ContractSpec *> pool_tokens = {
+        &byName("TetherUSD"), &byName("LinkToken"), &byName("Dai"),
+        &byName("WETH9"),
+    };
+    for (const ContractSpec *router :
+         {&byName("UniswapV2Router02"), &byName("SwapRouter")}) {
+        for (const ContractSpec *ta : pool_tokens) {
+            for (const ContractSpec *tb : pool_tokens) {
+                if (ta == tb)
+                    continue;
+                state.setStorage(router->address,
+                                 nestedSlot(ta->address, tb->address,
+                                            kSlotReserves),
+                                 kReserve);
+            }
+        }
+    }
+
+    // Dai wards: every user may mint/burn in the synthetic world.
+    for (const evm::Address &user : users) {
+        state.setStorage(byName("Dai").address,
+                         mapSlot(user, kSlotWards), U256(1));
+    }
+
+    // Marketplaces: token ownership and pre-opened auctions.
+    for (const char *mkt : {"OpenSea", "CryptoCat"}) {
+        const ContractSpec &spec = byName(mkt);
+        int n = int(users.size());
+        for (int id = 0; id < 4 * n; ++id) {
+            evm::Address owner = users[std::size_t(id % n)];
+            state.setStorage(spec.address,
+                             mapSlot(U256(std::uint64_t(id)), kSlotOwner),
+                             owner);
+            if (id < 2 * n) {
+                // Auction already open: any user can bid.
+                state.setStorage(
+                    spec.address,
+                    mapSlot(U256(std::uint64_t(id)), kSlotAuctionPrice),
+                    U256(100));
+                state.setStorage(
+                    spec.address,
+                    mapSlot(U256(std::uint64_t(id)), kSlotAuctionSeller),
+                    owner);
+            }
+        }
+        // Marketplace escrow pays out in native value eventually.
+        state.setBalance(spec.address, U256::fromDec("1000000000000000000"));
+    }
+
+    // Gateway: generous daily limit, deposits seeded so withdraw works.
+    const ContractSpec &gw = byName("MainchainGatewayProxy");
+    state.setStorage(gw.address, U256(kSlotDailyLimit),
+                     U256::fromDec("1000000000000000000"));
+    for (const evm::Address &user : users) {
+        state.setStorage(gw.address,
+                         mapSlot(user, kSlotGatewayBalances),
+                         kTokenGrant);
+    }
+
+    // Ballot: everyone has voting weight 1 (and has not voted).
+    for (const evm::Address &user : users) {
+        state.setStorage(byName("Ballot").address, mapSlot(user, 1),
+                         U256(1));
+    }
+
+    // WETH9 can pay out withdrawals in native value.
+    state.setBalance(byName("WETH9").address,
+                     U256::fromDec("1000000000000000000000"));
+
+    state.commit();
+}
+
+} // namespace mtpu::contracts

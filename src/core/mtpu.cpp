@@ -1,0 +1,106 @@
+#include "core/mtpu.hpp"
+
+namespace mtpu::core {
+
+MtpuProcessor::MtpuProcessor(const arch::MtpuConfig &cfg) : cfg_(cfg) {}
+
+MtpuProcessor::~MtpuProcessor() = default;
+
+arch::MtpuConfig
+MtpuProcessor::variantConfig(const RunOptions &options) const
+{
+    arch::MtpuConfig cfg = cfg_;
+    cfg.enableContextReuse = options.redundancyOpt;
+    cfg.retainDbAcrossTxs = options.redundancyOpt;
+    return cfg;
+}
+
+void
+MtpuProcessor::warmup(const workload::BlockRun &block, std::size_t top_n)
+{
+    hotspot_.collect(block);
+    hotspot_.markTopHotspots(top_n);
+}
+
+sched::EngineStats
+MtpuProcessor::execute(const workload::BlockRun &block,
+                       const RunOptions &options)
+{
+    const workload::BlockRun *run = &block;
+    workload::BlockRun optimized;
+    sched::HintProvider hints;
+    if (options.hotspotOpt) {
+        optimized = hotspot_.optimize(block);
+        run = &optimized;
+        hints = hotspot_.hintProvider();
+    }
+
+    arch::MtpuConfig cfg = variantConfig(options);
+    switch (options.scheme) {
+      case Scheme::Sequential: {
+          auto &seq = options.redundancyOpt ? seqRedundant_ : seqPlain_;
+          if (!seq) {
+              arch::MtpuConfig c = cfg;
+              c.numPus = 1;
+              seq = std::make_unique<baseline::SequentialExecutor>(c);
+          }
+          return seq->run(*run, hints);
+      }
+      case Scheme::Synchronous: {
+          if (!sync_)
+              sync_ = std::make_unique<baseline::SynchronousEngine>(cfg);
+          return sync_->run(*run, hints);
+      }
+      case Scheme::SpatioTemporal: {
+          auto &st = options.redundancyOpt ? stRedundant_ : stPlain_;
+          if (!st)
+              st = std::make_unique<sched::SpatioTemporalEngine>(cfg);
+          return st->run(*run, hints);
+      }
+    }
+    return {};
+}
+
+sched::EngineStats
+runBaseline(std::unique_ptr<baseline::SequentialExecutor> &seq,
+            const arch::MtpuConfig &base_cfg,
+            const workload::BlockRun &block)
+{
+    if (!seq)
+        seq = std::make_unique<baseline::SequentialExecutor>(base_cfg);
+    seq->reset(); // baseline is always a cold, independent machine
+    return seq->run(block);
+}
+
+BlockReport
+MtpuProcessor::compare(const workload::BlockRun &block,
+                       const RunOptions &options)
+{
+    BlockReport report;
+    report.stats = execute(block, options);
+
+    arch::MtpuConfig base = arch::MtpuConfig::baseline();
+    base.lat = cfg_.lat;
+    report.baselineCycles =
+        runBaseline(baseline_, base, block).makespan;
+    return report;
+}
+
+void
+MtpuProcessor::reset()
+{
+    if (stPlain_)
+        stPlain_->reset();
+    if (stRedundant_)
+        stRedundant_->reset();
+    if (sync_)
+        sync_->reset();
+    if (seqPlain_)
+        seqPlain_->reset();
+    if (seqRedundant_)
+        seqRedundant_->reset();
+    if (baseline_)
+        baseline_->reset();
+}
+
+} // namespace mtpu::core

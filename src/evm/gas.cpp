@@ -1,0 +1,121 @@
+#include "evm/gas.hpp"
+
+namespace mtpu::evm {
+
+std::uint64_t
+baseGas(std::uint8_t opcode)
+{
+    Op op = Op(opcode);
+    const OpInfo &info = opInfo(opcode);
+    if (!info.defined)
+        return 0;
+
+    if (isPush(opcode) || isDup(opcode) || isSwap(opcode))
+        return GasCosts::kVeryLow;
+    if (isLog(opcode)) {
+        int topics = opcode - std::uint8_t(Op::LOG0);
+        return GasCosts::kLog + std::uint64_t(topics) * GasCosts::kLogTopic;
+    }
+
+    switch (op) {
+      case Op::STOP:
+      case Op::RETURN:
+      case Op::REVERT:
+        return GasCosts::kZero;
+      case Op::JUMPDEST:
+        return GasCosts::kJumpdest;
+      case Op::ADDRESS:
+      case Op::ORIGIN:
+      case Op::CALLER:
+      case Op::CALLVALUE:
+      case Op::CALLDATASIZE:
+      case Op::CODESIZE:
+      case Op::GASPRICE:
+      case Op::RETURNDATASIZE:
+      case Op::COINBASE:
+      case Op::TIMESTAMP:
+      case Op::NUMBER:
+      case Op::DIFFICULTY:
+      case Op::GASLIMIT:
+      case Op::PC:
+      case Op::MSIZE:
+      case Op::GAS:
+      case Op::POP:
+        return GasCosts::kBase;
+      case Op::ADD:
+      case Op::SUB:
+      case Op::NOT:
+      case Op::LT:
+      case Op::GT:
+      case Op::SLT:
+      case Op::SGT:
+      case Op::EQ:
+      case Op::ISZERO:
+      case Op::AND:
+      case Op::OR:
+      case Op::XOR:
+      case Op::BYTE:
+      case Op::SHL:
+      case Op::SHR:
+      case Op::SAR:
+      case Op::CALLDATALOAD:
+      case Op::MLOAD:
+      case Op::MSTORE:
+      case Op::MSTORE8:
+      case Op::CALLDATACOPY:
+      case Op::CODECOPY:
+      case Op::RETURNDATACOPY:
+        return GasCosts::kVeryLow;
+      case Op::MUL:
+      case Op::DIV:
+      case Op::SDIV:
+      case Op::MOD:
+      case Op::SMOD:
+      case Op::SIGNEXTEND:
+        return GasCosts::kLow;
+      case Op::ADDMOD:
+      case Op::MULMOD:
+      case Op::JUMP:
+        return GasCosts::kMid;
+      case Op::JUMPI:
+      case Op::EXP:
+        return GasCosts::kHigh;
+      case Op::SHA3:
+        return GasCosts::kSha3;
+      case Op::BLOCKHASH:
+        return 20;
+      case Op::BALANCE:
+        return GasCosts::kBalance;
+      case Op::EXTCODESIZE:
+      case Op::EXTCODECOPY:
+      case Op::EXTCODEHASH:
+        return GasCosts::kExt;
+      case Op::SLOAD:
+        return GasCosts::kSload;
+      case Op::SSTORE:
+        return 0; // fully dynamic (set vs. reset), charged by interpreter
+      case Op::CREATE:
+      case Op::CREATE2:
+        return GasCosts::kCreate;
+      case Op::CALL:
+      case Op::CALLCODE:
+      case Op::DELEGATECALL:
+      case Op::STATICCALL:
+        return GasCosts::kCall;
+      default:
+        return GasCosts::kBase;
+    }
+}
+
+std::uint64_t
+memoryExpansionGas(std::uint64_t old_words, std::uint64_t new_words)
+{
+    if (new_words <= old_words)
+        return 0;
+    auto cost = [](std::uint64_t w) {
+        return GasCosts::kMemoryWord * w + (w * w) / 512;
+    };
+    return cost(new_words) - cost(old_words);
+}
+
+} // namespace mtpu::evm

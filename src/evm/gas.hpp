@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Gas schedule. A simplified but self-consistent subset of the Ethereum
+ * yellow-paper schedule: every opcode has a deterministic cost, dynamic
+ * components (memory expansion, SHA3 words, SSTORE set/reset, copy
+ * sizes) are modelled, and a transaction's total gas is unique for a
+ * given pre-state — the invariant the paper's conservative ILP relies on
+ * (§3.3.3).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "evm/opcodes.hpp"
+
+namespace mtpu::evm {
+
+/** Named base-cost tiers (yellow-paper style). */
+struct GasCosts
+{
+    static constexpr std::uint64_t kZero = 0;
+    static constexpr std::uint64_t kBase = 2;
+    static constexpr std::uint64_t kVeryLow = 3;
+    static constexpr std::uint64_t kLow = 5;
+    static constexpr std::uint64_t kMid = 8;
+    static constexpr std::uint64_t kHigh = 10;
+    static constexpr std::uint64_t kExt = 700;
+    static constexpr std::uint64_t kBalance = 400;
+    static constexpr std::uint64_t kSha3 = 30;
+    static constexpr std::uint64_t kSha3Word = 6;
+    static constexpr std::uint64_t kSload = 200;
+    static constexpr std::uint64_t kSstoreSet = 20000;
+    static constexpr std::uint64_t kSstoreReset = 5000;
+    static constexpr std::uint64_t kJumpdest = 1;
+    static constexpr std::uint64_t kLog = 375;
+    static constexpr std::uint64_t kLogTopic = 375;
+    static constexpr std::uint64_t kLogDataByte = 8;
+    static constexpr std::uint64_t kCreate = 32000;
+    static constexpr std::uint64_t kCall = 700;
+    static constexpr std::uint64_t kCallValue = 9000;
+    static constexpr std::uint64_t kCallStipend = 2300;
+    static constexpr std::uint64_t kMemoryWord = 3;
+    static constexpr std::uint64_t kCopyWord = 3;
+    static constexpr std::uint64_t kExpByte = 50;
+    static constexpr std::uint64_t kTransaction = 21000;
+    static constexpr std::uint64_t kTxDataZero = 4;
+    static constexpr std::uint64_t kTxDataNonZero = 16;
+};
+
+/** Static base gas cost for an opcode (dynamic parts added separately). */
+std::uint64_t baseGas(std::uint8_t opcode);
+
+/**
+ * Memory-expansion cost of growing the active memory from
+ * @p old_words to @p new_words 32-byte words (quadratic term included).
+ */
+std::uint64_t memoryExpansionGas(std::uint64_t old_words,
+                                 std::uint64_t new_words);
+
+/** Word-count helper: ceil(bytes / 32). */
+inline std::uint64_t
+wordCount(std::uint64_t bytes)
+{
+    return (bytes + 31) / 32;
+}
+
+} // namespace mtpu::evm

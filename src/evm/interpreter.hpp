@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reference EVM interpreter. Executes message calls against a
+ * WorldState, enforcing the gas model, the 1024-deep operand stack and
+ * call stack, and emitting an execution trace for the timing models.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "evm/state.hpp"
+#include "evm/trace.hpp"
+#include "evm/types.hpp"
+
+namespace mtpu::evm {
+
+/** Maximum operand-stack depth (yellow paper / §3.3.6). */
+constexpr std::size_t kMaxStackDepth = 1024;
+/** Maximum call depth (§3.3.6, Call_Contract Stack). */
+constexpr int kMaxCallDepth = 1024;
+
+/** Result of a message call. */
+struct CallResult
+{
+    bool success = false;
+    std::uint64_t gasUsed = 0;
+    Bytes returnData;
+    std::string error; ///< empty on success
+};
+
+/** Parameters of a message call. */
+struct CallParams
+{
+    Address caller;
+    Address to;        ///< callee account (storage context)
+    Address codeFrom;  ///< account providing the code (delegatecall)
+    U256 value;
+    Bytes input;
+    std::uint64_t gas = 10'000'000;
+    bool isStatic = false;
+    int depth = 0;
+};
+
+/**
+ * The interpreter. One instance per logical processing unit; it holds
+ * no cross-transaction state of its own.
+ */
+class Interpreter
+{
+  public:
+    /**
+     * Execute a message call.
+     *
+     * @param state world state (mutated; caller handles tx-level revert)
+     * @param header block context for BLOCKHASH/TIMESTAMP/...
+     * @param origin transaction origin (ORIGIN opcode)
+     * @param gas_price effective gas price (GASPRICE opcode)
+     * @param params call parameters
+     * @param trace optional trace sink; events are appended
+     */
+    CallResult call(WorldState &state, const BlockHeader &header,
+                    const Address &origin, const U256 &gas_price,
+                    const CallParams &params, Trace *trace = nullptr);
+
+    /**
+     * Execute a full transaction: intrinsic gas, value transfer,
+     * contract execution, fee accounting; returns the receipt and
+     * (optionally) fills @p trace.
+     */
+    Receipt applyTransaction(WorldState &state, const BlockHeader &header,
+                             const Transaction &tx, Trace *trace = nullptr);
+
+    /** Logs collected by the most recent applyTransaction/call. */
+    const std::vector<LogEntry> &logs() const { return logs_; }
+
+  private:
+    std::vector<LogEntry> logs_;
+};
+
+/** Derive a created contract's address from sender and nonce. */
+Address createAddress(const Address &sender, std::uint64_t nonce);
+
+/** Intrinsic gas of a transaction (21000 + calldata bytes). */
+std::uint64_t intrinsicGas(const Transaction &tx);
+
+} // namespace mtpu::evm

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Opcode metadata table. Pops/pushes follow the yellow paper; categories
+ * follow Table 3 of the MTPU paper.
+ */
+
+#include "evm/opcodes.hpp"
+
+#include <array>
+
+namespace mtpu::evm {
+
+namespace {
+
+constexpr OpInfo kUndefined{"INVALID", 0, 0, 0, FuncUnit::Invalid, false};
+
+std::array<OpInfo, 256>
+buildTable()
+{
+    std::array<OpInfo, 256> t;
+    t.fill(kUndefined);
+
+    auto set = [&t](Op op, const char *name, int pops, int pushes,
+                    FuncUnit unit, int imm = 0) {
+        t[std::uint8_t(op)] = OpInfo{name, std::uint8_t(pops),
+                                     std::uint8_t(pushes),
+                                     std::uint8_t(imm), unit, true};
+    };
+
+    set(Op::STOP, "STOP", 0, 0, FuncUnit::Control);
+    set(Op::ADD, "ADD", 2, 1, FuncUnit::Arithmetic);
+    set(Op::MUL, "MUL", 2, 1, FuncUnit::Arithmetic);
+    set(Op::SUB, "SUB", 2, 1, FuncUnit::Arithmetic);
+    set(Op::DIV, "DIV", 2, 1, FuncUnit::Arithmetic);
+    set(Op::SDIV, "SDIV", 2, 1, FuncUnit::Arithmetic);
+    set(Op::MOD, "MOD", 2, 1, FuncUnit::Arithmetic);
+    set(Op::SMOD, "SMOD", 2, 1, FuncUnit::Arithmetic);
+    set(Op::ADDMOD, "ADDMOD", 3, 1, FuncUnit::Arithmetic);
+    set(Op::MULMOD, "MULMOD", 3, 1, FuncUnit::Arithmetic);
+    set(Op::EXP, "EXP", 2, 1, FuncUnit::Arithmetic);
+    set(Op::SIGNEXTEND, "SIGNEXTEND", 2, 1, FuncUnit::Arithmetic);
+
+    set(Op::LT, "LT", 2, 1, FuncUnit::Logic);
+    set(Op::GT, "GT", 2, 1, FuncUnit::Logic);
+    set(Op::SLT, "SLT", 2, 1, FuncUnit::Logic);
+    set(Op::SGT, "SGT", 2, 1, FuncUnit::Logic);
+    set(Op::EQ, "EQ", 2, 1, FuncUnit::Logic);
+    set(Op::ISZERO, "ISZERO", 1, 1, FuncUnit::Logic);
+    set(Op::AND, "AND", 2, 1, FuncUnit::Logic);
+    set(Op::OR, "OR", 2, 1, FuncUnit::Logic);
+    set(Op::XOR, "XOR", 2, 1, FuncUnit::Logic);
+    set(Op::NOT, "NOT", 1, 1, FuncUnit::Logic);
+    set(Op::BYTE, "BYTE", 2, 1, FuncUnit::Logic);
+    set(Op::SHL, "SHL", 2, 1, FuncUnit::Logic);
+    set(Op::SHR, "SHR", 2, 1, FuncUnit::Logic);
+    set(Op::SAR, "SAR", 2, 1, FuncUnit::Logic);
+
+    set(Op::SHA3, "SHA3", 2, 1, FuncUnit::Sha);
+
+    set(Op::ADDRESS, "ADDRESS", 0, 1, FuncUnit::FixedAccess);
+    set(Op::BALANCE, "BALANCE", 1, 1, FuncUnit::StateQuery);
+    set(Op::ORIGIN, "ORIGIN", 0, 1, FuncUnit::FixedAccess);
+    set(Op::CALLER, "CALLER", 0, 1, FuncUnit::FixedAccess);
+    set(Op::CALLVALUE, "CALLVALUE", 0, 1, FuncUnit::FixedAccess);
+    set(Op::CALLDATALOAD, "CALLDATALOAD", 1, 1, FuncUnit::FixedAccess);
+    set(Op::CALLDATASIZE, "CALLDATASIZE", 0, 1, FuncUnit::FixedAccess);
+    set(Op::CALLDATACOPY, "CALLDATACOPY", 3, 0, FuncUnit::FixedAccess);
+    set(Op::CODESIZE, "CODESIZE", 0, 1, FuncUnit::FixedAccess);
+    set(Op::CODECOPY, "CODECOPY", 3, 0, FuncUnit::FixedAccess);
+    set(Op::GASPRICE, "GASPRICE", 0, 1, FuncUnit::FixedAccess);
+    set(Op::EXTCODESIZE, "EXTCODESIZE", 1, 1, FuncUnit::StateQuery);
+    set(Op::EXTCODECOPY, "EXTCODECOPY", 4, 0, FuncUnit::StateQuery);
+    set(Op::RETURNDATASIZE, "RETURNDATASIZE", 0, 1, FuncUnit::FixedAccess);
+    set(Op::RETURNDATACOPY, "RETURNDATACOPY", 3, 0, FuncUnit::FixedAccess);
+    set(Op::EXTCODEHASH, "EXTCODEHASH", 1, 1, FuncUnit::StateQuery);
+
+    set(Op::BLOCKHASH, "BLOCKHASH", 1, 1, FuncUnit::FixedAccess);
+    set(Op::COINBASE, "COINBASE", 0, 1, FuncUnit::FixedAccess);
+    set(Op::TIMESTAMP, "TIMESTAMP", 0, 1, FuncUnit::FixedAccess);
+    set(Op::NUMBER, "NUMBER", 0, 1, FuncUnit::FixedAccess);
+    set(Op::DIFFICULTY, "DIFFICULTY", 0, 1, FuncUnit::FixedAccess);
+    set(Op::GASLIMIT, "GASLIMIT", 0, 1, FuncUnit::FixedAccess);
+
+    set(Op::POP, "POP", 1, 0, FuncUnit::Stack);
+    set(Op::MLOAD, "MLOAD", 1, 1, FuncUnit::Memory);
+    set(Op::MSTORE, "MSTORE", 2, 0, FuncUnit::Memory);
+    set(Op::MSTORE8, "MSTORE8", 2, 0, FuncUnit::Memory);
+    set(Op::SLOAD, "SLOAD", 1, 1, FuncUnit::Storage);
+    set(Op::SSTORE, "SSTORE", 2, 0, FuncUnit::Storage);
+    set(Op::JUMP, "JUMP", 1, 0, FuncUnit::Branch);
+    set(Op::JUMPI, "JUMPI", 2, 0, FuncUnit::Branch);
+    set(Op::PC, "PC", 0, 1, FuncUnit::FixedAccess);
+    set(Op::MSIZE, "MSIZE", 0, 1, FuncUnit::Memory);
+    set(Op::GAS, "GAS", 0, 1, FuncUnit::FixedAccess);
+    set(Op::JUMPDEST, "JUMPDEST", 0, 0, FuncUnit::Branch);
+
+    static const char *push_names[32] = {
+        "PUSH1", "PUSH2", "PUSH3", "PUSH4", "PUSH5", "PUSH6", "PUSH7",
+        "PUSH8", "PUSH9", "PUSH10", "PUSH11", "PUSH12", "PUSH13",
+        "PUSH14", "PUSH15", "PUSH16", "PUSH17", "PUSH18", "PUSH19",
+        "PUSH20", "PUSH21", "PUSH22", "PUSH23", "PUSH24", "PUSH25",
+        "PUSH26", "PUSH27", "PUSH28", "PUSH29", "PUSH30", "PUSH31",
+        "PUSH32",
+    };
+    for (int i = 0; i < 32; ++i) {
+        t[0x60 + i] = OpInfo{push_names[i], 0, 1, std::uint8_t(i + 1),
+                             FuncUnit::Stack, true};
+    }
+
+    static const char *dup_names[16] = {
+        "DUP1", "DUP2", "DUP3", "DUP4", "DUP5", "DUP6", "DUP7", "DUP8",
+        "DUP9", "DUP10", "DUP11", "DUP12", "DUP13", "DUP14", "DUP15",
+        "DUP16",
+    };
+    for (int i = 0; i < 16; ++i) {
+        // DUPn reads n elements deep and pushes one more.
+        t[0x80 + i] = OpInfo{dup_names[i], std::uint8_t(i + 1),
+                             std::uint8_t(i + 2), 0, FuncUnit::Stack, true};
+    }
+
+    static const char *swap_names[16] = {
+        "SWAP1", "SWAP2", "SWAP3", "SWAP4", "SWAP5", "SWAP6", "SWAP7",
+        "SWAP8", "SWAP9", "SWAP10", "SWAP11", "SWAP12", "SWAP13",
+        "SWAP14", "SWAP15", "SWAP16",
+    };
+    for (int i = 0; i < 16; ++i) {
+        t[0x90 + i] = OpInfo{swap_names[i], std::uint8_t(i + 2),
+                             std::uint8_t(i + 2), 0, FuncUnit::Stack, true};
+    }
+
+    static const char *log_names[5] = {"LOG0", "LOG1", "LOG2", "LOG3",
+                                       "LOG4"};
+    for (int i = 0; i < 5; ++i) {
+        t[0xa0 + i] = OpInfo{log_names[i], std::uint8_t(i + 2), 0, 0,
+                             FuncUnit::Memory, true};
+    }
+
+    set(Op::CREATE, "CREATE", 3, 1, FuncUnit::ContextSwitch);
+    set(Op::CALL, "CALL", 7, 1, FuncUnit::ContextSwitch);
+    set(Op::CALLCODE, "CALLCODE", 7, 1, FuncUnit::ContextSwitch);
+    set(Op::RETURN, "RETURN", 2, 0, FuncUnit::Control);
+    set(Op::DELEGATECALL, "DELEGATECALL", 6, 1, FuncUnit::ContextSwitch);
+    set(Op::CREATE2, "CREATE2", 4, 1, FuncUnit::ContextSwitch);
+    set(Op::STATICCALL, "STATICCALL", 6, 1, FuncUnit::ContextSwitch);
+    set(Op::REVERT, "REVERT", 2, 0, FuncUnit::Control);
+
+    return t;
+}
+
+const std::array<OpInfo, 256> kTable = buildTable();
+
+} // namespace
+
+const OpInfo &
+opInfo(std::uint8_t opcode)
+{
+    return kTable[opcode];
+}
+
+const char *
+funcUnitName(FuncUnit unit)
+{
+    switch (unit) {
+      case FuncUnit::Arithmetic: return "Arithmetic";
+      case FuncUnit::Logic: return "Logic";
+      case FuncUnit::Sha: return "SHA";
+      case FuncUnit::FixedAccess: return "Fixed access";
+      case FuncUnit::StateQuery: return "State query";
+      case FuncUnit::Memory: return "Memory";
+      case FuncUnit::Storage: return "Storage";
+      case FuncUnit::Branch: return "Branch";
+      case FuncUnit::Stack: return "Stack";
+      case FuncUnit::Control: return "Control";
+      case FuncUnit::ContextSwitch: return "Context switching";
+      case FuncUnit::Invalid: return "Invalid";
+    }
+    return "Unknown";
+}
+
+} // namespace mtpu::evm

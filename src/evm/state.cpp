@@ -1,0 +1,263 @@
+#include "evm/state.hpp"
+
+#include <algorithm>
+
+#include "support/keccak.hpp"
+
+namespace mtpu::evm {
+
+const U256 WorldState::kBalanceSlot = U256::max();
+
+bool
+AccessSet::conflictsWith(const AccessSet &other) const
+{
+    auto intersects = [](const std::set<StateKey> &a,
+                         const std::set<StateKey> &b) {
+        auto ia = a.begin();
+        auto ib = b.begin();
+        while (ia != a.end() && ib != b.end()) {
+            if (*ia < *ib)
+                ++ia;
+            else if (*ib < *ia)
+                ++ib;
+            else
+                return true;
+        }
+        return false;
+    };
+    return intersects(writes, other.writes) || intersects(writes, other.reads)
+        || intersects(reads, other.writes);
+}
+
+const Account *
+WorldState::find(const Address &addr) const
+{
+    auto it = accounts_.find(addr);
+    return it == accounts_.end() ? nullptr : &it->second;
+}
+
+Account &
+WorldState::touch(const Address &addr)
+{
+    auto it = accounts_.find(addr);
+    if (it == accounts_.end()) {
+        journal_.push_back({JournalEntry::Kind::AccountCreated, addr,
+                            U256(), U256(), 0, {}});
+        it = accounts_.emplace(addr, Account{}).first;
+    }
+    return it->second;
+}
+
+void
+WorldState::noteRead(const Address &addr, const U256 &slot) const
+{
+    if (tracker_)
+        tracker_->reads.insert({addr, slot});
+}
+
+void
+WorldState::noteWrite(const Address &addr, const U256 &slot) const
+{
+    if (tracker_)
+        tracker_->writes.insert({addr, slot});
+}
+
+bool
+WorldState::exists(const Address &addr) const
+{
+    return find(addr) != nullptr;
+}
+
+U256
+WorldState::balance(const Address &addr) const
+{
+    noteRead(addr, kBalanceSlot);
+    const Account *acct = find(addr);
+    return acct ? acct->balance : U256();
+}
+
+std::uint64_t
+WorldState::nonce(const Address &addr) const
+{
+    const Account *acct = find(addr);
+    return acct ? acct->nonce : 0;
+}
+
+const Bytes &
+WorldState::code(const Address &addr) const
+{
+    static const Bytes empty;
+    const Account *acct = find(addr);
+    return acct ? acct->code : empty;
+}
+
+U256
+WorldState::codeHash(const Address &addr) const
+{
+    const Account *acct = find(addr);
+    return acct ? acct->codeHash : U256();
+}
+
+U256
+WorldState::storageAt(const Address &addr, const U256 &slot) const
+{
+    noteRead(addr, slot);
+    const Account *acct = find(addr);
+    if (!acct)
+        return U256();
+    auto it = acct->storage.find(slot);
+    return it == acct->storage.end() ? U256() : it->second;
+}
+
+void
+WorldState::createAccount(const Address &addr)
+{
+    touch(addr);
+}
+
+void
+WorldState::setBalance(const Address &addr, const U256 &value)
+{
+    noteWrite(addr, kBalanceSlot);
+    Account &acct = touch(addr);
+    journal_.push_back({JournalEntry::Kind::BalanceChange, addr, U256(),
+                        acct.balance, 0, {}});
+    acct.balance = value;
+}
+
+void
+WorldState::addBalance(const Address &addr, const U256 &delta)
+{
+    // Zero-delta transfers (the common case for contract calls) leave
+    // no trace: no journal entry and no read/write-set entry, so they
+    // cannot manufacture spurious inter-transaction dependencies.
+    if (delta.isZero())
+        return;
+    setBalance(addr, balance(addr) + delta);
+}
+
+bool
+WorldState::subBalance(const Address &addr, const U256 &delta)
+{
+    if (delta.isZero())
+        return true;
+    U256 cur = balance(addr);
+    if (cur < delta)
+        return false;
+    setBalance(addr, cur - delta);
+    return true;
+}
+
+void
+WorldState::setNonce(const Address &addr, std::uint64_t nonce)
+{
+    Account &acct = touch(addr);
+    journal_.push_back({JournalEntry::Kind::NonceChange, addr, U256(),
+                        U256(), acct.nonce, {}});
+    acct.nonce = nonce;
+}
+
+void
+WorldState::incNonce(const Address &addr)
+{
+    setNonce(addr, nonce(addr) + 1);
+}
+
+void
+WorldState::setCode(const Address &addr, Bytes code)
+{
+    Account &acct = touch(addr);
+    journal_.push_back({JournalEntry::Kind::CodeChange, addr, U256(),
+                        U256(), 0, acct.code});
+    acct.codeHash = keccak256Word(code);
+    acct.code = std::move(code);
+}
+
+void
+WorldState::setStorage(const Address &addr, const U256 &slot,
+                       const U256 &value)
+{
+    noteWrite(addr, slot);
+    Account &acct = touch(addr);
+    U256 prev;
+    auto it = acct.storage.find(slot);
+    if (it != acct.storage.end())
+        prev = it->second;
+    journal_.push_back({JournalEntry::Kind::StorageChange, addr, slot,
+                        prev, 0, {}});
+    if (value.isZero())
+        acct.storage.erase(slot);
+    else
+        acct.storage[slot] = value;
+}
+
+U256
+WorldState::digest() const
+{
+    // Hash accounts in sorted-address order so the digest does not
+    // depend on unordered_map iteration order.
+    std::vector<const std::pair<const U256, Account> *> sorted;
+    sorted.reserve(accounts_.size());
+    for (const auto &entry : accounts_)
+        sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) {
+        return a->first < b->first;
+    });
+
+    U256 acc;
+    for (const auto *entry : sorted) {
+        const Account &acct = entry->second;
+        acc = keccak256Pair(acc, entry->first);
+        acc = keccak256Pair(acc, U256(acct.nonce));
+        acc = keccak256Pair(acc, acct.balance);
+        acc = keccak256Pair(acc, acct.codeHash);
+        std::vector<std::pair<U256, U256>> slots(acct.storage.begin(),
+                                                 acct.storage.end());
+        std::sort(slots.begin(), slots.end(),
+                  [](const auto &a, const auto &b) {
+            return a.first < b.first;
+        });
+        for (const auto &[slot, value] : slots) {
+            acc = keccak256Pair(acc, slot);
+            acc = keccak256Pair(acc, value);
+        }
+    }
+    return acc;
+}
+
+void
+WorldState::revert(Snapshot snap)
+{
+    while (journal_.size() > snap) {
+        JournalEntry &e = journal_.back();
+        auto it = accounts_.find(e.address);
+        if (it != accounts_.end()) {
+            Account &acct = it->second;
+            switch (e.kind) {
+              case JournalEntry::Kind::StorageChange:
+                if (e.prevWord.isZero())
+                    acct.storage.erase(e.slot);
+                else
+                    acct.storage[e.slot] = e.prevWord;
+                break;
+              case JournalEntry::Kind::BalanceChange:
+                acct.balance = e.prevWord;
+                break;
+              case JournalEntry::Kind::NonceChange:
+                acct.nonce = e.prevNonce;
+                break;
+              case JournalEntry::Kind::CodeChange:
+                acct.codeHash = keccak256Word(e.prevCode);
+                acct.code = std::move(e.prevCode);
+                break;
+              case JournalEntry::Kind::AccountCreated:
+                accounts_.erase(it);
+                break;
+            }
+        }
+        journal_.pop_back();
+    }
+}
+
+} // namespace mtpu::evm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * World state: accounts (nonce, balance, code, storage) with snapshot /
+ * revert journaling for nested calls and aborted transactions, plus
+ * read/write-set tracking used to extract the inter-transaction
+ * dependency DAG in the consensus stage (§2.2.2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/types.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::evm {
+
+/** One account's persistent state (Table 4 "State"). */
+struct Account
+{
+    std::uint64_t nonce = 0;
+    U256 balance;
+    Bytes code;
+    U256 codeHash;
+    std::unordered_map<U256, U256, U256Hash> storage;
+
+    bool isContract() const { return !code.empty(); }
+};
+
+/** A (address, storage-slot) location; balance reads use slot = MAX. */
+struct StateKey
+{
+    Address address;
+    U256 slot;
+
+    bool
+    operator<(const StateKey &o) const
+    {
+        if (address != o.address)
+            return address < o.address;
+        return slot < o.slot;
+    }
+    bool
+    operator==(const StateKey &o) const
+    {
+        return address == o.address && slot == o.slot;
+    }
+};
+
+/** Read/write sets of one transaction, for dependency analysis. */
+struct AccessSet
+{
+    std::set<StateKey> reads;
+    std::set<StateKey> writes;
+
+    /** True if this set conflicts (RW/WR/WW) with @p other. */
+    bool conflictsWith(const AccessSet &other) const;
+};
+
+/**
+ * The replicated world state.
+ *
+ * Mutations go through journaled setters so that any prefix of changes
+ * can be rolled back — used for REVERT, out-of-gas aborts, and the
+ * discard-on-exception behaviour of the State Buffer (§3.3.6).
+ */
+class WorldState
+{
+  public:
+    /** Sentinel slot used in access sets for balance/nonce accesses. */
+    static const U256 kBalanceSlot;
+
+    // -- reads --------------------------------------------------------
+    bool exists(const Address &addr) const;
+    U256 balance(const Address &addr) const;
+    std::uint64_t nonce(const Address &addr) const;
+    const Bytes &code(const Address &addr) const;
+    U256 codeHash(const Address &addr) const;
+    U256 storageAt(const Address &addr, const U256 &slot) const;
+
+    // -- journaled writes ----------------------------------------------
+    void createAccount(const Address &addr);
+    void setBalance(const Address &addr, const U256 &value);
+    void addBalance(const Address &addr, const U256 &delta);
+    /** @return false when the balance is insufficient. */
+    bool subBalance(const Address &addr, const U256 &delta);
+    void setNonce(const Address &addr, std::uint64_t nonce);
+    void incNonce(const Address &addr);
+    void setCode(const Address &addr, Bytes code);
+    void setStorage(const Address &addr, const U256 &slot,
+                    const U256 &value);
+
+    // -- snapshots ------------------------------------------------------
+    using Snapshot = std::size_t;
+    Snapshot snapshot() const { return journal_.size(); }
+    void revert(Snapshot snap);
+    /** Drop journal history (transaction boundary). */
+    void commit() { journal_.clear(); }
+
+    // -- access tracking -------------------------------------------------
+    /** Begin recording reads/writes into @p sink (nullptr stops). */
+    void track(AccessSet *sink) { tracker_ = sink; }
+
+    std::size_t accountCount() const { return accounts_.size(); }
+
+    /**
+     * Order-independent digest of the full world state (accounts,
+     * balances, nonces, code hashes, storage). Two states with the
+     * same digest are identical for consensus purposes; used to verify
+     * serializability of parallel schedules.
+     */
+    U256 digest() const;
+
+  private:
+    struct JournalEntry
+    {
+        enum class Kind
+        {
+            StorageChange,
+            BalanceChange,
+            NonceChange,
+            CodeChange,
+            AccountCreated,
+        } kind;
+        Address address;
+        U256 slot;      // StorageChange
+        U256 prevWord;  // previous storage value / balance
+        std::uint64_t prevNonce = 0;
+        Bytes prevCode;
+    };
+
+    Account &touch(const Address &addr);
+    const Account *find(const Address &addr) const;
+
+    void noteRead(const Address &addr, const U256 &slot) const;
+    void noteWrite(const Address &addr, const U256 &slot) const;
+
+    std::unordered_map<U256, Account, U256Hash> accounts_;
+    std::vector<JournalEntry> journal_;
+    mutable AccessSet *tracker_ = nullptr;
+};
+
+} // namespace mtpu::evm

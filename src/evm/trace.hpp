@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Execution traces. The reference interpreter is the functional model;
+ * it emits one TraceEvent per executed instruction. The cycle-level PU
+ * model (arch/) replays these events against the pipeline, DB cache and
+ * memory models, which keeps functional correctness and timing strictly
+ * decoupled (DESIGN.md §5).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "evm/types.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::evm {
+
+/**
+ * Provenance label of a value, used by the hotspot optimizer's
+ * backtracking (§3.4.3/§3.4.4): values derived only from bytecode
+ * constants, only from constants + transaction attributes, or from
+ * state reads.
+ */
+enum class Taint : std::uint8_t
+{
+    Constant = 0, ///< derived purely from bytecode immediates
+    TxAttr = 1,   ///< also uses transaction/block attributes
+    Dynamic = 2,  ///< depends on state or call results
+};
+
+inline Taint
+combine(Taint a, Taint b)
+{
+    return a > b ? a : b;
+}
+
+/** One executed instruction. */
+struct TraceEvent
+{
+    std::uint32_t pc = 0;       ///< program counter within the code
+    std::uint32_t nextPc = 0;   ///< pc actually executed next
+    std::uint16_t codeId = 0;   ///< index into Trace::codeAddrs
+    std::uint8_t opcode = 0;
+    std::uint8_t pops = 0;      ///< stack words consumed
+    std::uint8_t pushes = 0;    ///< stack words produced
+    std::uint8_t depth = 0;     ///< call depth (0 = top frame)
+    Taint operandTaint = Taint::Constant; ///< max taint of the operands
+    bool branchTaken = false;   ///< JUMPI outcome
+    std::uint32_t gasCost = 0;  ///< gas charged for this instruction
+    std::uint32_t dataBytes = 0; ///< bytes moved (SHA3/copy/log/mload...)
+    U256 storageKey;            ///< slot for SLOAD/SSTORE/BALANCE queries
+
+    FuncUnit unit() const { return opInfo(opcode).unit; }
+};
+
+/** Full execution trace of a single transaction. */
+struct Trace
+{
+    /** Contract address per codeId (index 0 = outermost callee). */
+    std::vector<Address> codeAddrs;
+    /** Bytecode size per codeId, for context-load modelling. */
+    std::vector<std::uint32_t> codeSizes;
+    std::vector<TraceEvent> events;
+
+    std::uint32_t entryFunction = 0; ///< function identifier invoked
+    std::uint64_t gasUsed = 0;
+    bool success = false;
+    std::uint32_t calldataBytes = 0;
+    /** Non-bytecode context bytes loaded (Fig. 3(b) "other data"). */
+    std::uint32_t contextBytes = 0;
+
+    std::size_t length() const { return events.size(); }
+
+    /** Register a code address, returning its compact id. */
+    std::uint16_t
+    internCode(const Address &addr, std::uint32_t size)
+    {
+        for (std::size_t i = 0; i < codeAddrs.size(); ++i) {
+            if (codeAddrs[i] == addr)
+                return std::uint16_t(i);
+        }
+        codeAddrs.push_back(addr);
+        codeSizes.push_back(size);
+        return std::uint16_t(codeAddrs.size() - 1);
+    }
+};
+
+} // namespace mtpu::evm

@@ -1,0 +1,87 @@
+#include "evm/types.hpp"
+
+#include <stdexcept>
+
+namespace mtpu::evm {
+
+Bytes
+Transaction::toRlp() const
+{
+    std::vector<rlp::Item> fields;
+    fields.push_back(rlp::Item::word(U256(nonce)));
+    fields.push_back(rlp::Item::word(gasPrice));
+    fields.push_back(rlp::Item::word(U256(gasLimit)));
+    fields.push_back(rlp::Item::word(from));
+    fields.push_back(rlp::Item::word(to));
+    fields.push_back(rlp::Item::word(callValue));
+    fields.push_back(rlp::Item::bytes(data));
+    return rlp::encode(rlp::Item::makeList(std::move(fields)));
+}
+
+Transaction
+Transaction::fromRlp(const Bytes &encoded)
+{
+    rlp::Item item = rlp::decode(encoded);
+    if (!item.isList || item.list.size() != 7)
+        throw std::invalid_argument("Transaction::fromRlp: bad shape");
+    Transaction tx;
+    tx.nonce = item.list[0].toWord().low64();
+    tx.gasPrice = item.list[1].toWord();
+    tx.gasLimit = item.list[2].toWord().low64();
+    tx.from = item.list[3].toWord();
+    tx.to = item.list[4].toWord();
+    tx.callValue = item.list[5].toWord();
+    tx.data = item.list[6].str;
+    return tx;
+}
+
+Bytes
+Receipt::toRlp() const
+{
+    std::vector<rlp::Item> log_items;
+    for (const LogEntry &log : logs) {
+        std::vector<rlp::Item> topics;
+        for (const U256 &topic : log.topics)
+            topics.push_back(rlp::Item::word(topic));
+        log_items.push_back(rlp::Item::makeList({
+            rlp::Item::word(log.address),
+            rlp::Item::makeList(std::move(topics)),
+            rlp::Item::bytes(log.data),
+        }));
+    }
+    return rlp::encode(rlp::Item::makeList({
+        rlp::Item::word(U256(success ? 1 : 0)),
+        rlp::Item::word(U256(gasUsed)),
+        rlp::Item::bytes(returnData),
+        rlp::Item::makeList(std::move(log_items)),
+        rlp::Item::text(error),
+    }));
+}
+
+Receipt
+Receipt::fromRlp(const Bytes &encoded)
+{
+    rlp::Item item = rlp::decode(encoded);
+    if (!item.isList || item.list.size() != 5 || !item.list[3].isList)
+        throw std::invalid_argument("Receipt::fromRlp: bad shape");
+    Receipt out;
+    out.success = !item.list[0].toWord().isZero();
+    out.gasUsed = item.list[1].toWord().low64();
+    out.returnData = item.list[2].str;
+    for (const rlp::Item &log_item : item.list[3].list) {
+        if (!log_item.isList || log_item.list.size() != 3
+            || !log_item.list[1].isList) {
+            throw std::invalid_argument("Receipt::fromRlp: bad log");
+        }
+        LogEntry log;
+        log.address = log_item.list[0].toWord();
+        for (const rlp::Item &topic : log_item.list[1].list)
+            log.topics.push_back(topic.toWord());
+        log.data = log_item.list[2].str;
+        out.logs.push_back(std::move(log));
+    }
+    out.error.assign(item.list[4].str.begin(), item.list[4].str.end());
+    return out;
+}
+
+} // namespace mtpu::evm

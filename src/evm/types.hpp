@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Core blockchain data types: addresses, transactions (Fig. 3(a) layout),
+ * block headers, receipts, and logs (Table 4 of the paper).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/hex.hpp"
+#include "support/rlp.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::evm {
+
+/** 160-bit account address stored in the low bits of a word. */
+using Address = U256;
+
+/** Mask an arbitrary word down to 160 address bits. */
+inline Address
+toAddress(const U256 &v)
+{
+    return v & U256::max().shr(96);
+}
+
+/**
+ * A transaction: either a plain token transfer (empty @ref data on an
+ * externally-owned account) or a smart-contract invocation whose
+ * @ref data carries the 4-byte function identifier plus ABI-packed
+ * arguments, per Fig. 3(a).
+ */
+struct Transaction
+{
+    std::uint64_t nonce = 0;
+    std::uint64_t gasLimit = 10'000'000;
+    U256 gasPrice = U256(1);
+    Address from;
+    Address to;
+    U256 callValue;
+    Bytes data;
+
+    /** The 4-byte entry-function identifier, or 0 if data is short. */
+    std::uint32_t
+    functionId() const
+    {
+        if (data.size() < 4)
+            return 0;
+        return (std::uint32_t(data[0]) << 24) | (std::uint32_t(data[1]) << 16)
+             | (std::uint32_t(data[2]) << 8) | std::uint32_t(data[3]);
+    }
+
+    /** Serialize to RLP (network/persistence format). */
+    Bytes toRlp() const;
+
+    /** Parse from RLP; throws std::invalid_argument on bad input. */
+    static Transaction fromRlp(const Bytes &encoded);
+};
+
+/** Block header fields visible to contracts (Table 4). */
+struct BlockHeader
+{
+    std::uint64_t height = 0;
+    std::uint64_t timestamp = 0;
+    Address coinbase;
+    U256 difficulty;
+    std::uint64_t gasLimit = 30'000'000;
+    /** Hashes of the previous 256 blocks (index 0 = parent). */
+    std::vector<U256> recentHashes;
+
+    U256
+    blockHash(std::uint64_t number) const
+    {
+        if (number >= height || height - number > recentHashes.size())
+            return U256();
+        return recentHashes[height - number - 1];
+    }
+};
+
+/** A log record emitted by LOG0..LOG4. */
+struct LogEntry
+{
+    Address address;
+    std::vector<U256> topics;
+    Bytes data;
+};
+
+/** Execution receipt, written to the Receipt Buffer after each tx. */
+struct Receipt
+{
+    bool success = false;
+    std::uint64_t gasUsed = 0;
+    Bytes returnData;
+    std::vector<LogEntry> logs;
+    std::string error; ///< empty on success
+
+    /** Serialize (status, gas, return data, logs) to RLP. */
+    Bytes toRlp() const;
+
+    /** Parse from RLP; throws std::invalid_argument on bad input. */
+    static Receipt fromRlp(const Bytes &encoded);
+};
+
+/** A block: header plus ordered transactions. */
+struct Block
+{
+    BlockHeader header;
+    std::vector<Transaction> txs;
+};
+
+} // namespace mtpu::evm

@@ -1,0 +1,288 @@
+#include "hotspot/chunker.hpp"
+
+#include <algorithm>
+
+#include "asm/disassembler.hpp"
+#include "evm/opcodes.hpp"
+
+namespace mtpu::hotspot {
+
+using evm::Op;
+
+const char *
+chunkKindName(ChunkKind kind)
+{
+    switch (kind) {
+      case ChunkKind::Compare: return "Compare";
+      case ChunkKind::Check: return "Check";
+      case ChunkKind::Execute: return "Execute";
+      case ChunkKind::End: return "End";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+isTerminator(std::uint8_t op)
+{
+    return op == std::uint8_t(Op::STOP) || op == std::uint8_t(Op::RETURN)
+        || op == std::uint8_t(Op::REVERT)
+        || op == std::uint8_t(Op::INVALID)
+        || !evm::opInfo(op).defined;
+}
+
+} // namespace
+
+Cfg
+Cfg::build(const Bytes &code)
+{
+    Cfg cfg;
+    cfg.code_ = code;
+
+    // Pass 1: leaders. pc 0, every JUMPDEST, and every instruction
+    // following a JUMP/JUMPI/terminator.
+    std::set<std::uint32_t> leaders;
+    leaders.insert(0);
+    {
+        std::size_t pc = 0;
+        while (pc < code.size()) {
+            easm::DecodedInsn insn;
+            std::size_t len = easm::decodeAt(code, pc, insn);
+            if (insn.opcode == std::uint8_t(Op::JUMPDEST))
+                leaders.insert(std::uint32_t(pc));
+            if (insn.opcode == std::uint8_t(Op::JUMP)
+                || insn.opcode == std::uint8_t(Op::JUMPI)
+                || isTerminator(insn.opcode)) {
+                if (pc + len < code.size())
+                    leaders.insert(std::uint32_t(pc + len));
+            }
+            pc += len;
+        }
+    }
+
+    // Pass 2: carve blocks and resolve PUSH-fed jump targets.
+    for (auto it = leaders.begin(); it != leaders.end(); ++it) {
+        std::uint32_t start = *it;
+        auto next_it = std::next(it);
+        std::uint32_t limit = next_it == leaders.end()
+                                  ? std::uint32_t(code.size())
+                                  : *next_it;
+        BasicBlock block;
+        block.start = start;
+
+        std::size_t pc = start;
+        U256 last_push;
+        bool have_push = false;
+        while (pc < limit) {
+            easm::DecodedInsn insn;
+            std::size_t len = easm::decodeAt(code, pc, insn);
+            std::uint8_t op = insn.opcode;
+            if (evm::isPush(op)) {
+                last_push = insn.immediate;
+                have_push = true;
+            } else {
+                if (op == std::uint8_t(Op::JUMP)
+                    || op == std::uint8_t(Op::JUMPI)) {
+                    if (have_push && last_push.fitsU64()
+                        && last_push.low64() < code.size()) {
+                        block.jumpTargets.push_back(
+                            std::uint32_t(last_push.low64()));
+                    } else {
+                        block.dynamicJump = true;
+                    }
+                    block.fallsThrough =
+                        (op == std::uint8_t(Op::JUMPI));
+                    pc += len;
+                    break;
+                }
+                if (isTerminator(op)) {
+                    block.terminates = true;
+                    pc += len;
+                    break;
+                }
+                have_push = false;
+            }
+            pc += len;
+        }
+        if (pc >= limit && !block.terminates
+            && block.jumpTargets.empty() && !block.dynamicJump) {
+            // Ran into the next leader: plain fall-through.
+            block.fallsThrough = pc < code.size();
+        }
+        block.end = std::uint32_t(pc);
+        cfg.index_[block.start] = cfg.blocks_.size();
+        cfg.blocks_.push_back(std::move(block));
+    }
+    return cfg;
+}
+
+const BasicBlock *
+Cfg::blockAt(std::uint32_t pc) const
+{
+    auto it = index_.upper_bound(pc);
+    if (it == index_.begin())
+        return nullptr;
+    --it;
+    const BasicBlock &block = blocks_[it->second];
+    return pc < block.end ? &block : nullptr;
+}
+
+std::set<std::uint32_t>
+Cfg::reachableBlocks(std::uint32_t entry_pc) const
+{
+    std::set<std::uint32_t> visited;
+    std::vector<std::uint32_t> work;
+    bool saw_dynamic = false;
+
+    auto enqueue = [&](std::uint32_t pc) {
+        const BasicBlock *block = blockAt(pc);
+        if (block && !visited.count(block->start)) {
+            visited.insert(block->start);
+            work.push_back(block->start);
+        }
+    };
+    enqueue(entry_pc);
+
+    auto drain = [&]() {
+        while (!work.empty()) {
+            std::uint32_t start = work.back();
+            work.pop_back();
+            const BasicBlock &block = blocks_[index_.at(start)];
+            for (std::uint32_t target : block.jumpTargets)
+                enqueue(target);
+            if (block.dynamicJump)
+                saw_dynamic = true;
+            if (block.fallsThrough && block.end < code_.size())
+                enqueue(block.end);
+        }
+    };
+    drain();
+
+    if (saw_dynamic) {
+        // Closure heuristic: any JUMPDEST whose address is pushed from
+        // already-reachable code may be a dynamic-jump target (e.g.
+        // internal-call return sites).
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            std::vector<std::uint32_t> pushed;
+            for (std::uint32_t start : visited) {
+                const BasicBlock &block = blocks_[index_.at(start)];
+                std::size_t pc = block.start;
+                while (pc < block.end) {
+                    easm::DecodedInsn insn;
+                    std::size_t len = easm::decodeAt(code_, pc, insn);
+                    if (evm::isPush(insn.opcode)
+                        && insn.immediate.fitsU64()
+                        && insn.immediate.low64() < code_.size()) {
+                        std::uint32_t t =
+                            std::uint32_t(insn.immediate.low64());
+                        if (t < code_.size()
+                            && code_[t] == std::uint8_t(Op::JUMPDEST)) {
+                            pushed.push_back(t);
+                        }
+                    }
+                    pc += len;
+                }
+            }
+            std::size_t before = visited.size();
+            for (std::uint32_t t : pushed)
+                enqueue(t);
+            drain();
+            changed = visited.size() != before;
+        }
+    }
+    return visited;
+}
+
+std::uint32_t
+Cfg::coveredBytes(const std::set<std::uint32_t> &block_starts) const
+{
+    std::set<std::uint32_t> chunks32;
+    for (std::uint32_t start : block_starts) {
+        auto it = index_.find(start);
+        if (it == index_.end())
+            continue;
+        const BasicBlock &block = blocks_[it->second];
+        for (std::uint32_t b = block.start / 32;
+             b <= (block.end - 1) / 32; ++b) {
+            chunks32.insert(b);
+        }
+    }
+    return std::uint32_t(chunks32.size()) * 32;
+}
+
+std::vector<FunctionChunks>
+chunkContract(const Bytes &code)
+{
+    Cfg cfg = Cfg::build(code);
+    std::vector<FunctionChunks> out;
+
+    // Scan the dispatcher region (from pc 0 until the first block that
+    // is not part of the selector cascade) for the canonical case
+    // pattern: DUP1 PUSH4 <sel> EQ PUSH2 <target> JUMPI.
+    std::uint32_t compare_end = 0;
+    std::size_t pc = 0;
+    while (pc + 1 < code.size()) {
+        easm::DecodedInsn insn;
+        std::size_t len = easm::decodeAt(code, pc, insn);
+        if (insn.opcode == std::uint8_t(Op::DUP1)) {
+            easm::DecodedInsn push_sel, eq, push_t, jumpi;
+            std::size_t p1 = pc + len;
+            std::size_t l1 = easm::decodeAt(code, p1, push_sel);
+            std::size_t p2 = p1 + l1;
+            std::size_t l2 = easm::decodeAt(code, p2, eq);
+            std::size_t p3 = p2 + l2;
+            std::size_t l3 = easm::decodeAt(code, p3, push_t);
+            std::size_t p4 = p3 + l3;
+            std::size_t l4 = easm::decodeAt(code, p4, jumpi);
+            if (push_sel.opcode == std::uint8_t(Op::PUSH4)
+                && eq.opcode == std::uint8_t(Op::EQ)
+                && push_t.opcode == std::uint8_t(Op::PUSH2)
+                && jumpi.opcode == std::uint8_t(Op::JUMPI)) {
+                FunctionChunks fn;
+                fn.selector =
+                    std::uint32_t(push_sel.immediate.low64());
+                fn.entryPc = std::uint32_t(push_t.immediate.low64());
+                out.push_back(fn);
+                compare_end = std::uint32_t(p4 + l4);
+                pc = p4 + l4;
+                continue;
+            }
+        }
+        if (!out.empty())
+            break; // past the cascade
+        pc += len;
+        if (pc > 512)
+            break; // no dispatcher found near the entry
+    }
+
+    for (FunctionChunks &fn : out) {
+        // Classify: Compare = [0, compare_end); Check = the entry
+        // block of the function (guards); Execute = remaining
+        // reachable blocks; End = reachable terminating blocks.
+        fn.chunks.push_back({ChunkKind::Compare, 0, compare_end});
+        auto reachable = cfg.reachableBlocks(fn.entryPc);
+        const BasicBlock *entry = cfg.blockAt(fn.entryPc);
+        for (std::uint32_t start : reachable) {
+            const BasicBlock *block = cfg.blockAt(start);
+            if (!block)
+                continue;
+            ChunkKind kind = ChunkKind::Execute;
+            if (entry && block->start == entry->start)
+                kind = ChunkKind::Check;
+            else if (block->terminates)
+                kind = ChunkKind::End;
+            fn.chunks.push_back({kind, block->start, block->end});
+        }
+        std::sort(fn.chunks.begin(), fn.chunks.end(),
+                  [](const Chunk &a, const Chunk &b) {
+            return a.start < b.start;
+        });
+        fn.loadedBytes = cfg.coveredBytes(reachable);
+    }
+    return out;
+}
+
+} // namespace mtpu::hotspot

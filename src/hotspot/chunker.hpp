@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Static bytecode chunking (§3.4.2, Fig. 10(b)). The dynamic Contract
+ * Table records which code actually ran; this module derives the same
+ * structure statically, so a node can chunk a hotspot contract before
+ * ever executing a new entry function:
+ *
+ *  - a basic-block control-flow graph over the bytecode (leaders at
+ *    JUMPDESTs and after terminators; jump targets resolved when the
+ *    target is pushed immediately before the jump — the pattern our
+ *    assembler and solc both emit);
+ *  - chunk classification: Compare (dispatcher prologue + selector
+ *    cases), Check (value/ABI guards at a function entry), Execute
+ *    (function body), End (terminating return blocks);
+ *  - a static estimate of the bytes loaded for one entry function
+ *    (reachable blocks from its dispatch target, at 32-byte
+ *    granularity), the quantity chunked loading needs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "support/hex.hpp"
+
+namespace mtpu::hotspot {
+
+/** One basic block of bytecode. */
+struct BasicBlock
+{
+    std::uint32_t start = 0; ///< pc of the first instruction
+    std::uint32_t end = 0;   ///< one past the last instruction byte
+    /** Statically resolved jump successors (PUSH-fed JUMP/JUMPI). */
+    std::vector<std::uint32_t> jumpTargets;
+    bool fallsThrough = false;   ///< continues into the next block
+    bool dynamicJump = false;    ///< JUMP target not statically known
+    bool terminates = false;     ///< STOP/RETURN/REVERT/INVALID
+};
+
+/** Chunk kinds of Fig. 10(b). */
+enum class ChunkKind
+{
+    Compare, ///< dispatcher: selector load + compare cases
+    Check,   ///< callvalue / calldata guards at the function entry
+    Execute, ///< function body
+    End,     ///< terminating return/stop block
+};
+
+const char *chunkKindName(ChunkKind kind);
+
+/** A classified region of the bytecode. */
+struct Chunk
+{
+    ChunkKind kind = ChunkKind::Execute;
+    std::uint32_t start = 0;
+    std::uint32_t end = 0;
+};
+
+/** Control-flow graph with constant-jump resolution. */
+class Cfg
+{
+  public:
+    /** Build the CFG of @p code (linear sweep + leader analysis). */
+    static Cfg build(const Bytes &code);
+
+    const std::vector<BasicBlock> &blocks() const { return blocks_; }
+
+    /** Block containing @p pc, or nullptr. */
+    const BasicBlock *blockAt(std::uint32_t pc) const;
+
+    /**
+     * Program counters reachable from @p entry_pc following fall-
+     * through and statically resolved jumps; dynamic jumps fall back
+     * to every JUMPDEST whose address is PUSHed inside the already-
+     * reachable region (the standard EVM CFG closure heuristic).
+     */
+    std::set<std::uint32_t> reachableBlocks(std::uint32_t entry_pc) const;
+
+    /** Bytes covered by @p block_starts at 32-byte granularity. */
+    std::uint32_t coveredBytes(
+        const std::set<std::uint32_t> &block_starts) const;
+
+  private:
+    Bytes code_;
+    std::vector<BasicBlock> blocks_;
+    std::map<std::uint32_t, std::size_t> index_; ///< start pc -> block
+};
+
+/** Result of statically chunking one entry function. */
+struct FunctionChunks
+{
+    std::uint32_t selector = 0;
+    std::uint32_t entryPc = 0;       ///< dispatch target
+    std::vector<Chunk> chunks;       ///< classified regions
+    std::uint32_t loadedBytes = 0;   ///< chunked-load size (32B blocks)
+};
+
+/**
+ * Statically chunk a dispatcher-style contract: finds the selector
+ * compare cases in the Compare chunk and classifies each entry
+ * function's reachable code.
+ *
+ * @return one entry per selector discovered in the dispatcher.
+ */
+std::vector<FunctionChunks> chunkContract(const Bytes &code);
+
+} // namespace mtpu::hotspot

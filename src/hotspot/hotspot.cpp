@@ -1,0 +1,311 @@
+#include "hotspot/hotspot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "support/rlp.hpp"
+
+namespace mtpu::hotspot {
+
+using evm::FuncUnit;
+using evm::Taint;
+using evm::Trace;
+using evm::TraceEvent;
+
+void
+ContractTable::collect(const Trace &trace)
+{
+    if (trace.codeAddrs.empty())
+        return;
+    Key key{trace.codeAddrs[0], trace.entryFunction};
+    PathInfo &info = table_[key];
+    info.contract = trace.codeAddrs[0];
+    info.functionId = trace.entryFunction;
+    ++info.invocations;
+
+    std::size_t prefix = preExecutablePrefix(trace);
+    info.preExecEvents = std::min(info.preExecEvents, prefix);
+
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const TraceEvent &ev = trace.events[i];
+        if (ev.codeId == 0) {
+            std::uint32_t len =
+                1u + evm::opInfo(ev.opcode).immediateBytes;
+            for (std::uint32_t b = ev.pc / 32;
+                 b <= (ev.pc + len - 1) / 32; ++b) {
+                info.codeBlocks.insert(b);
+            }
+        }
+        FuncUnit unit = ev.unit();
+        bool is_read = unit == FuncUnit::StateQuery
+                    || ev.opcode == std::uint8_t(evm::Op::SLOAD);
+        if (is_read) {
+            ++info.totalReads;
+            if (ev.operandTaint <= Taint::TxAttr)
+                ++info.prefetchableReads;
+        }
+        // Constant instructions: a PUSH feeding a consumer whose
+        // operands are all constants (the §3.4.3 backtracking).
+        if (evm::isPush(ev.opcode) && i + 1 < trace.events.size()) {
+            const TraceEvent &next = trace.events[i + 1];
+            if (next.codeId == ev.codeId && next.pops > 0
+                && !evm::isPush(next.opcode) && !evm::isDup(next.opcode)
+                && !evm::isSwap(next.opcode)
+                && next.operandTaint == Taint::Constant) {
+                info.constantPushPcs.insert(ev.pc);
+            }
+        }
+    }
+}
+
+const PathInfo *
+ContractTable::find(const evm::Address &contract,
+                    std::uint32_t function_id) const
+{
+    auto it = table_.find(Key{contract, function_id});
+    return it == table_.end() ? nullptr : &it->second;
+}
+
+std::vector<const PathInfo *>
+ContractTable::entries() const
+{
+    std::vector<const PathInfo *> out;
+    out.reserve(table_.size());
+    for (const auto &[key, info] : table_)
+        out.push_back(&info);
+    return out;
+}
+
+Bytes
+ContractTable::serialize() const
+{
+    using rlp::Item;
+    std::vector<Item> entries_items;
+    // Deterministic order for stable round-trips.
+    auto sorted = entries();
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PathInfo *a, const PathInfo *b) {
+        if (!(a->contract == b->contract))
+            return a->contract < b->contract;
+        return a->functionId < b->functionId;
+    });
+    for (const PathInfo *info : sorted) {
+        std::vector<Item> blocks, pushes;
+        std::vector<std::uint32_t> sorted_blocks(info->codeBlocks.begin(),
+                                                 info->codeBlocks.end());
+        std::sort(sorted_blocks.begin(), sorted_blocks.end());
+        for (std::uint32_t blk : sorted_blocks)
+            blocks.push_back(Item::word(U256(blk)));
+        std::vector<std::uint32_t> sorted_pushes(
+            info->constantPushPcs.begin(), info->constantPushPcs.end());
+        std::sort(sorted_pushes.begin(), sorted_pushes.end());
+        for (std::uint32_t pc : sorted_pushes)
+            pushes.push_back(Item::word(U256(pc)));
+
+        entries_items.push_back(Item::makeList({
+            Item::word(info->contract),
+            Item::word(U256(info->functionId)),
+            Item::word(U256(info->invocations)),
+            Item::word(U256(std::uint64_t(
+                info->preExecEvents == SIZE_MAX ? 0
+                                                : info->preExecEvents))),
+            Item::makeList(std::move(blocks)),
+            Item::makeList(std::move(pushes)),
+            Item::word(U256(info->prefetchableReads)),
+            Item::word(U256(info->totalReads)),
+        }));
+    }
+    return rlp::encode(Item::makeList(std::move(entries_items)));
+}
+
+ContractTable
+ContractTable::deserialize(const Bytes &data)
+{
+    using rlp::Item;
+    Item root = rlp::decode(data);
+    if (!root.isList)
+        throw std::invalid_argument("ContractTable: not a list");
+    ContractTable out;
+    for (const Item &entry : root.list) {
+        if (!entry.isList || entry.list.size() != 8
+            || !entry.list[4].isList || !entry.list[5].isList) {
+            throw std::invalid_argument("ContractTable: bad entry");
+        }
+        PathInfo info;
+        info.contract = entry.list[0].toWord();
+        info.functionId = std::uint32_t(entry.list[1].toWord().low64());
+        info.invocations = entry.list[2].toWord().low64();
+        info.preExecEvents = std::size_t(entry.list[3].toWord().low64());
+        for (const Item &blk : entry.list[4].list)
+            info.codeBlocks.insert(
+                std::uint32_t(blk.toWord().low64()));
+        for (const Item &pc : entry.list[5].list)
+            info.constantPushPcs.insert(
+                std::uint32_t(pc.toWord().low64()));
+        info.prefetchableReads = entry.list[6].toWord().low64();
+        info.totalReads = entry.list[7].toWord().low64();
+        out.table_[Key{info.contract, info.functionId}] = std::move(info);
+    }
+    return out;
+}
+
+std::size_t
+preExecutablePrefix(const Trace &trace)
+{
+    std::size_t n = 0;
+    for (const TraceEvent &ev : trace.events) {
+        if (ev.codeId != 0 || ev.depth != 0)
+            break;
+        if (ev.operandTaint > Taint::TxAttr)
+            break;
+        FuncUnit unit = ev.unit();
+        if (unit == FuncUnit::Storage || unit == FuncUnit::StateQuery
+            || unit == FuncUnit::ContextSwitch) {
+            break;
+        }
+        // RETURN/STOP end the transaction; keep them online so a
+        // transaction is never entirely pre-executed away.
+        if (unit == FuncUnit::Control)
+            break;
+        ++n;
+    }
+    return n;
+}
+
+Trace
+optimizeTrace(const Trace &trace, std::size_t pre_exec,
+              bool eliminate_constants)
+{
+    Trace out;
+    out.codeAddrs = trace.codeAddrs;
+    out.codeSizes = trace.codeSizes;
+    out.entryFunction = trace.entryFunction;
+    out.gasUsed = trace.gasUsed;
+    out.success = trace.success;
+    out.calldataBytes = trace.calldataBytes;
+    out.contextBytes = trace.contextBytes;
+
+    pre_exec = std::min(pre_exec, trace.events.size());
+    out.events.reserve(trace.events.size() - pre_exec);
+    for (std::size_t i = pre_exec; i < trace.events.size(); ++i) {
+        const TraceEvent &ev = trace.events[i];
+        if (eliminate_constants && evm::isPush(ev.opcode)
+            && i + 1 < trace.events.size()) {
+            const TraceEvent &next = trace.events[i + 1];
+            if (next.codeId == ev.codeId && next.pops > 0
+                && !evm::isPush(next.opcode) && !evm::isDup(next.opcode)
+                && !evm::isSwap(next.opcode)
+                && next.operandTaint == Taint::Constant) {
+                // The immediate moves to the Constants Table; the PUSH
+                // disappears from the pipeline.
+                continue;
+            }
+        }
+        out.events.push_back(ev);
+    }
+    return out;
+}
+
+std::set<U256>
+prefetchableSlots(const Trace &trace)
+{
+    std::set<U256> out;
+    for (const TraceEvent &ev : trace.events) {
+        bool is_read = ev.unit() == FuncUnit::StateQuery
+                    || ev.opcode == std::uint8_t(evm::Op::SLOAD);
+        if (is_read && ev.operandTaint <= Taint::TxAttr)
+            out.insert(ev.storageKey);
+    }
+    return out;
+}
+
+std::uint64_t
+HotspotOptimizer::hotKey(const evm::Address &c, std::uint32_t fid)
+{
+    return std::uint64_t(c.hashValue()) * 2654435761u ^ fid;
+}
+
+void
+HotspotOptimizer::collect(const workload::BlockRun &block)
+{
+    for (const workload::TxRecord &rec : block.txs)
+        table_.collect(rec.trace);
+}
+
+void
+HotspotOptimizer::markTopHotspots(std::size_t n)
+{
+    auto entries = table_.entries();
+    std::sort(entries.begin(), entries.end(),
+              [](const PathInfo *a, const PathInfo *b) {
+        return a->invocations > b->invocations;
+    });
+    hot_.clear();
+    for (std::size_t i = 0; i < entries.size() && i < n; ++i)
+        hot_.insert(hotKey(entries[i]->contract, entries[i]->functionId));
+}
+
+void
+HotspotOptimizer::markAllHot()
+{
+    hot_.clear();
+    for (const PathInfo *info : table_.entries())
+        hot_.insert(hotKey(info->contract, info->functionId));
+}
+
+bool
+HotspotOptimizer::isHot(const evm::Address &contract,
+                        std::uint32_t function_id) const
+{
+    return hot_.count(hotKey(contract, function_id)) > 0;
+}
+
+workload::BlockRun
+HotspotOptimizer::optimize(const workload::BlockRun &block) const
+{
+    workload::BlockRun out;
+    out.header = block.header;
+    out.txs.reserve(block.txs.size());
+    for (const workload::TxRecord &rec : block.txs) {
+        workload::TxRecord copy = rec;
+        if (!rec.trace.codeAddrs.empty()
+            && isHot(rec.trace.codeAddrs[0], rec.trace.entryFunction)) {
+            const PathInfo *info = table_.find(rec.trace.codeAddrs[0],
+                                               rec.trace.entryFunction);
+            std::size_t pre =
+                info ? std::min(info->preExecEvents,
+                                preExecutablePrefix(rec.trace))
+                     : preExecutablePrefix(rec.trace);
+            copy.trace = optimizeTrace(rec.trace, pre, true);
+        }
+        out.txs.push_back(std::move(copy));
+    }
+    return out;
+}
+
+sched::HintProvider
+HotspotOptimizer::hintProvider() const
+{
+    return [this](const workload::TxRecord &rec) {
+        arch::ExecHints hints;
+        if (rec.trace.codeAddrs.empty())
+            return hints;
+        const evm::Address &contract = rec.trace.codeAddrs[0];
+        std::uint32_t fid = rec.trace.entryFunction;
+        if (!isHot(contract, fid))
+            return hints;
+        const PathInfo *info = table_.find(contract, fid);
+        if (info) {
+            // Chunked bytecode loading (§3.4.2).
+            hints.bytecodeBytes = info->loadedBytes();
+        }
+        // Per-transaction data prefetch (§3.4.4): keys derivable from
+        // the transaction's own attributes.
+        prefetchPool_.push_back(std::make_unique<std::set<U256>>(
+            prefetchableSlots(rec.trace)));
+        hints.prefetched = prefetchPool_.back().get();
+        return hints;
+    };
+}
+
+} // namespace mtpu::hotspot

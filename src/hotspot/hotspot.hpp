@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Hotspot-contract optimization (§3.4). Performed offline in the block
+ * interval:
+ *
+ *  - Execution-path collection (§3.4.1): per (contract, entry
+ *    function), the Contract Table accumulates the set of executed
+ *    instruction addresses (including the single-instruction lines the
+ *    DB cache's fill unit discards).
+ *  - Bytecode chunking (§3.4.2): only the 32-byte code blocks on the
+ *    collected path are loaded at dispatch; for the ERC20 transfer
+ *    path this is a small fraction of the padded bytecode.
+ *  - Pre-execution (§3.4.2): the leading trace prefix that depends
+ *    only on transaction attributes (the Compare and Check chunks:
+ *    dispatch compare, callvalue check, argument unpacking) is executed
+ *    in the dissemination interval and removed from the online trace.
+ *  - Instruction elimination & merging (§3.4.3): PUSH instructions
+ *    whose consumer takes only constant operands are folded into the
+ *    Constants Table and removed from the instruction stream.
+ *  - Data prefetching (§3.4.4): storage/state reads whose keys
+ *    backtrack to constants or transaction attributes are prefetched
+ *    into the in-core data cache before execution.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "arch/pu.hpp"
+#include "sched/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::hotspot {
+
+/** Collected execution information for one (contract, function). */
+struct PathInfo
+{
+    evm::Address contract;
+    std::uint32_t functionId = 0;
+    std::uint64_t invocations = 0;
+    /** Distinct executed 32-byte code blocks (outer contract only). */
+    std::unordered_set<std::uint32_t> codeBlocks;
+    /** Safe pre-executable prefix length (min across observations). */
+    std::size_t preExecEvents = SIZE_MAX;
+    /** Constant instructions observed (pc of the eliminable PUSH). */
+    std::unordered_set<std::uint32_t> constantPushPcs;
+    /** Storage reads with attribute-derived keys (prefetchable). */
+    std::uint64_t prefetchableReads = 0;
+    std::uint64_t totalReads = 0;
+
+    /** Bytes loaded under chunked loading (32-byte granularity). */
+    std::uint32_t loadedBytes() const
+    {
+        return std::uint32_t(codeBlocks.size()) * 32;
+    }
+};
+
+/**
+ * The Contract Table (Fig. 10(a)): execution information persisted per
+ * (contract address, function identifier) label.
+ */
+class ContractTable
+{
+  public:
+    /** Merge one trace's information (offline collection). */
+    void collect(const evm::Trace &trace);
+
+    const PathInfo *find(const evm::Address &contract,
+                         std::uint32_t function_id) const;
+
+    std::size_t size() const { return table_.size(); }
+
+    /** All collected entries (reporting). */
+    std::vector<const PathInfo *> entries() const;
+
+    /**
+     * Persist the collected execution information (RLP). The paper
+     * stores the Contract Table persistently so optimizations remain
+     * valid for a contract's whole immutable lifetime (§3.4).
+     */
+    Bytes serialize() const;
+
+    /**
+     * Restore a persisted table.
+     * @throws std::invalid_argument on malformed input.
+     */
+    static ContractTable deserialize(const Bytes &data);
+
+  private:
+    struct Key
+    {
+        U256 contract;
+        std::uint32_t fid;
+        bool
+        operator==(const Key &o) const
+        {
+            return fid == o.fid && contract == o.contract;
+        }
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return k.contract.hashValue() * 2654435761u ^ k.fid;
+        }
+    };
+    std::unordered_map<Key, PathInfo, KeyHash> table_;
+};
+
+/**
+ * Compute the pre-executable prefix of a trace: the maximal leading
+ * run of outer-frame events whose operands derive only from bytecode
+ * constants and transaction attributes, stopping at the first
+ * state-dependent unit (Storage / StateQuery / ContextSwitch).
+ */
+std::size_t preExecutablePrefix(const evm::Trace &trace);
+
+/**
+ * Apply instruction elimination & merging and pre-execution to a
+ * trace: drop @p pre_exec leading events, then remove PUSH events
+ * folded into constant instructions (Constants Table).
+ */
+evm::Trace optimizeTrace(const evm::Trace &trace, std::size_t pre_exec,
+                         bool eliminate_constants);
+
+/** Prefetchable storage slots of a transaction (attribute-keyed). */
+std::set<U256> prefetchableSlots(const evm::Trace &trace);
+
+/**
+ * The hotspot optimizer: collect in one block interval, then transform
+ * subsequent blocks. TOP-N contracts (by invocation count) are marked
+ * hot, as §4.1 marks the TOP8.
+ */
+class HotspotOptimizer
+{
+  public:
+    /** Offline collection pass over an executed block. */
+    void collect(const workload::BlockRun &block);
+
+    /** Mark the @p n most-invoked (contract,function) pairs as hot. */
+    void markTopHotspots(std::size_t n);
+
+    /** Mark everything collected as hot. */
+    void markAllHot();
+
+    bool isHot(const evm::Address &contract,
+               std::uint32_t function_id) const;
+
+    /**
+     * Transform a block for optimized execution: hotspot transactions
+     * get pre-execution and constant elimination applied to their
+     * traces.
+     */
+    workload::BlockRun optimize(const workload::BlockRun &block) const;
+
+    /**
+     * Hint provider for the engines: chunked bytecode loading and data
+     * prefetch for hotspot transactions. The returned provider borrows
+     * this optimizer and the per-call prefetch cache.
+     */
+    sched::HintProvider hintProvider() const;
+
+    const ContractTable &table() const { return table_; }
+
+  private:
+    ContractTable table_;
+    std::unordered_set<std::uint64_t> hot_; ///< hashed (contract,fid)
+    /** Prefetch sets per tx live here while the engine runs. */
+    mutable std::vector<std::unique_ptr<std::set<U256>>> prefetchPool_;
+
+    static std::uint64_t hotKey(const evm::Address &c, std::uint32_t fid);
+};
+
+} // namespace mtpu::hotspot

@@ -1,0 +1,232 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace mtpu::sched {
+
+using workload::BlockRun;
+using workload::TxRecord;
+
+namespace {
+
+/** Fixed selection overhead: O(m) bit operations on the tables. */
+constexpr std::uint64_t kSelectionOverhead = 2;
+
+enum class TxState
+{
+    Pending,   ///< has unfinished deps that are not all running
+    Candidate, ///< in the window
+    Running,
+    Done,
+};
+
+} // namespace
+
+SpatioTemporalEngine::SpatioTemporalEngine(const arch::MtpuConfig &cfg)
+    : cfg_(cfg), stateBuffer_(cfg.stateBufferEntries)
+{
+    for (int i = 0; i < cfg.numPus; ++i)
+        pus_.push_back(std::make_unique<arch::PuModel>(cfg, &stateBuffer_));
+}
+
+void
+SpatioTemporalEngine::reset()
+{
+    for (auto &pu : pus_)
+        pu->reset();
+    stateBuffer_.clear();
+}
+
+EngineStats
+SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
+{
+    const std::size_t n = block.txs.size();
+    EngineStats stats;
+    stats.txCount = n;
+    stats.puBusy.assign(std::size_t(cfg_.numPus), 0);
+    if (n == 0)
+        return stats;
+
+    // --- dependency bookkeeping -------------------------------------
+    std::vector<TxState> state(n, TxState::Pending);
+    std::vector<int> unfinished(n, 0);
+    std::vector<std::vector<int>> dependents(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        unfinished[j] = int(block.txs[j].deps.size());
+        for (int d : block.txs[j].deps)
+            dependents[std::size_t(d)].push_back(int(j));
+    }
+
+    // --- PU run state --------------------------------------------------
+    struct PuRun
+    {
+        bool busy = false;
+        int txIndex = -1;
+        std::uint64_t finishAt = 0;
+        /** Contract of the last transaction (for the Re row). */
+        const std::string *lastContract = nullptr;
+    };
+    std::vector<PuRun> purun(std::size_t(cfg_.numPus));
+
+    SchedulingTables tables(cfg_.numPus, cfg_.windowSize);
+
+    // A transaction is window-eligible when every unfinished dependency
+    // is currently running (§3.2.1 writes only indegree-0 transactions,
+    // where completed and running-elsewhere predecessors are tracked by
+    // the De bits).
+    auto eligible = [&](std::size_t j) {
+        if (state[j] != TxState::Pending)
+            return false;
+        for (int d : block.txs[j].deps) {
+            if (state[std::size_t(d)] != TxState::Done
+                && state[std::size_t(d)] != TxState::Running) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    // CPU refill (§3.2.1): fill free slots, prioritizing transactions
+    // that invoke the same contract as a running transaction, then by
+    // larger node value.
+    std::size_t scan_cursor = 0; // program order scan start
+    auto refill = [&]() {
+        int slot = tables.freeSlot();
+        while (slot >= 0) {
+            int best = -1;
+            int best_score = -1;
+            for (std::size_t j = scan_cursor; j < n; ++j) {
+                if (!eligible(j))
+                    continue;
+                int score = block.txs[j].redundancy;
+                for (const PuRun &pr : purun) {
+                    if (pr.busy && pr.lastContract
+                        && *pr.lastContract == block.txs[j].contract) {
+                        score += 1000; // same-contract priority
+                        break;
+                    }
+                }
+                if (score > best_score) {
+                    best_score = score;
+                    best = int(j);
+                }
+            }
+            if (best < 0)
+                break;
+            TxRow &row = tables.slot(slot);
+            row.occupied = true;
+            row.locked = false;
+            row.txIndex = best;
+            row.value = block.txs[std::size_t(best)].redundancy;
+            state[std::size_t(best)] = TxState::Candidate;
+            slot = tables.freeSlot();
+        }
+    };
+
+    // Recompute De/Re rows from current running set and window content.
+    auto update_tables = [&]() {
+        for (int p = 0; p < cfg_.numPus; ++p) {
+            ScheduleRow &row = tables.row(p);
+            row.de = 0;
+            row.re = 0;
+            row.valid = true;
+            const PuRun &pr = purun[std::size_t(p)];
+            for (int i = 0; i < tables.windowSize(); ++i) {
+                const TxRow &slot = tables.slot(i);
+                if (!slot.occupied)
+                    continue;
+                const TxRecord &cand = block.txs[std::size_t(slot.txIndex)];
+                if (pr.busy) {
+                    for (int d : cand.deps) {
+                        if (d == pr.txIndex) {
+                            row.de |= (WindowMask(1) << i);
+                            break;
+                        }
+                    }
+                }
+                if (pr.lastContract
+                    && *pr.lastContract == cand.contract) {
+                    row.re |= (WindowMask(1) << i);
+                }
+            }
+        }
+    };
+
+    // --- event loop --------------------------------------------------
+    using Event = std::pair<std::uint64_t, int>; // (finish time, pu)
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    std::uint64_t now = 0;
+    std::size_t done_count = 0;
+
+    auto dispatch_idle = [&]() {
+        for (int p = 0; p < cfg_.numPus; ++p) {
+            PuRun &pr = purun[std::size_t(p)];
+            if (pr.busy)
+                continue;
+            refill();
+            update_tables();
+            int slot_idx = tables.select(p);
+            if (slot_idx < 0) {
+                ++stats.stalls;
+                continue;
+            }
+            TxRow &slot = tables.slot(slot_idx);
+            bool redundant =
+                (tables.row(p).re >> slot_idx) & 1;
+            if (redundant)
+                ++stats.redundantSteers;
+            int tx_idx = slot.txIndex;
+            slot.locked = true;
+
+            const TxRecord &rec = block.txs[std::size_t(tx_idx)];
+            arch::ExecHints h;
+            if (hints)
+                h = hints(rec);
+            arch::TxTiming timing =
+                pus_[std::size_t(p)]->execute(rec.trace, h);
+
+            std::uint64_t latency = kSelectionOverhead + timing.cycles;
+            pr.busy = true;
+            pr.txIndex = tx_idx;
+            pr.finishAt = now + latency;
+            pr.lastContract = &rec.contract;
+            state[std::size_t(tx_idx)] = TxState::Running;
+
+            stats.busyCycles += latency;
+            stats.seqCycles += timing.cycles;
+            stats.instructions += timing.instructions;
+            stats.puBusy[std::size_t(p)] += latency;
+            events.push({pr.finishAt, p});
+
+            // Read completed: slot is released and refilled by the CPU.
+            slot.occupied = false;
+            slot.locked = false;
+            slot.txIndex = -1;
+        }
+    };
+
+    dispatch_idle();
+    while (done_count < n) {
+        if (events.empty()) {
+            // Nothing running but work remains: deadlock would mean a
+            // dependency cycle, which a DAG cannot have.
+            break;
+        }
+        auto [t, p] = events.top();
+        events.pop();
+        now = t;
+        PuRun &pr = purun[std::size_t(p)];
+        state[std::size_t(pr.txIndex)] = TxState::Done;
+        stats.completionOrder.push_back(pr.txIndex);
+        ++done_count;
+        pr.busy = false;
+        pr.txIndex = -1;
+        dispatch_idle();
+    }
+
+    stats.makespan = now;
+    return stats;
+}
+
+} // namespace mtpu::sched

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The spatio-temporal scheduling engine (§3.2): an event-driven
+ * multi-PU simulation in which the CPU maintains an m-entry candidate
+ * window (main memory) and each PU asynchronously selects its next
+ * transaction through the Scheduling/Transaction tables — steering
+ * redundant transactions onto the same PU for DB-cache and context
+ * reuse in the time dimension, and conflict-free transactions onto
+ * different PUs in the space dimension.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/config.hpp"
+#include "arch/memory.hpp"
+#include "arch/pu.hpp"
+#include "sched/tables.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::sched {
+
+/** Hook supplying hotspot execution hints per transaction. */
+using HintProvider =
+    std::function<arch::ExecHints(const workload::TxRecord &)>;
+
+/** Aggregate result of executing one block. */
+struct EngineStats
+{
+    std::uint64_t makespan = 0;     ///< cycles until the last PU finishes
+    std::uint64_t busyCycles = 0;   ///< sum of PU busy time
+    std::uint64_t seqCycles = 0;    ///< sum of all tx latencies
+    std::uint64_t instructions = 0;
+    std::uint64_t txCount = 0;
+    std::uint64_t redundantSteers = 0; ///< Re-bit driven selections
+    std::uint64_t stalls = 0;          ///< idle PU with nothing selectable
+    std::vector<std::uint64_t> puBusy; ///< per-PU busy cycles
+    /**
+     * Transaction indices in completion order — the serialization
+     * order the schedule commits to. A valid schedule's completion
+     * order is a linear extension of the dependency DAG, so executing
+     * transactions in this order yields the same state as program
+     * order (verified in the integration tests).
+     */
+    std::vector<int> completionOrder;
+
+    double
+    utilization() const
+    {
+        if (makespan == 0 || puBusy.empty())
+            return 0.0;
+        return double(busyCycles) / (double(makespan) * double(puBusy.size()));
+    }
+};
+
+/** Spatio-temporal multi-PU engine. */
+class SpatioTemporalEngine
+{
+  public:
+    explicit SpatioTemporalEngine(const arch::MtpuConfig &cfg);
+
+    /**
+     * Execute the block to completion and return scheduling stats.
+     * PU microarchitectural state (DB caches, Call_Contract stacks)
+     * persists across calls, modelling consecutive blocks; call
+     * reset() for independent experiments.
+     */
+    EngineStats run(const workload::BlockRun &block,
+                    const HintProvider &hints = {});
+
+    void reset();
+
+    const arch::PuModel &pu(int i) const { return *pus_[std::size_t(i)]; }
+    arch::StateBuffer &stateBuffer() { return stateBuffer_; }
+
+  private:
+    arch::MtpuConfig cfg_;
+    arch::StateBuffer stateBuffer_;
+    std::vector<std::unique_ptr<arch::PuModel>> pus_;
+};
+
+} // namespace mtpu::sched

@@ -1,0 +1,75 @@
+#include "sched/tables.hpp"
+
+#include <stdexcept>
+
+namespace mtpu::sched {
+
+SchedulingTables::SchedulingTables(int num_pus, int window_size)
+    : window_(window_size), rows_(std::size_t(num_pus)),
+      slots_(std::size_t(window_size))
+{
+    if (window_size < 1 || window_size > 64)
+        throw std::invalid_argument("window size must be in [1, 64]");
+}
+
+int
+SchedulingTables::freeSlot() const
+{
+    for (int i = 0; i < window_; ++i) {
+        if (!slots_[std::size_t(i)].occupied)
+            return i;
+    }
+    return -1;
+}
+
+WindowMask
+SchedulingTables::availableMask() const
+{
+    WindowMask mask = 0;
+    for (int i = 0; i < window_; ++i) {
+        const TxRow &row = slots_[std::size_t(i)];
+        if (row.occupied && !row.locked)
+            mask |= (WindowMask(1) << i);
+    }
+    return mask;
+}
+
+int
+SchedulingTables::select(int pu) const
+{
+    // Step 1: candidates must not depend on any running transaction of
+    // the other PUs: NOT(OR of their De), as in Fig. 6 (PU0 computes
+    // 11011 from PU1/PU2's De rows).
+    WindowMask blocked = 0;
+    for (std::size_t p = 0; p < rows_.size(); ++p) {
+        if (int(p) == pu)
+            continue;
+        blocked |= rows_[p].effectiveDe();
+    }
+    // Also exclude candidates that depend on this PU's own running
+    // transaction while the row is valid (cannot start before it ends;
+    // the PU is about to finish, so its row is normally invalid here).
+    blocked |= rows_[std::size_t(pu)].effectiveDe();
+
+    WindowMask allowed = availableMask() & ~blocked;
+    if (!allowed)
+        return -1;
+
+    // Step 2: prefer redundancy with this PU's last transaction.
+    WindowMask redundant = allowed & rows_[std::size_t(pu)].re;
+    WindowMask pick_from = redundant ? redundant : allowed;
+
+    // Largest V among the picked mask.
+    int best = -1, best_v = -1;
+    for (int i = 0; i < window_; ++i) {
+        if (!(pick_from & (WindowMask(1) << i)))
+            continue;
+        if (slots_[std::size_t(i)].value > best_v) {
+            best_v = slots_[std::size_t(i)].value;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace mtpu::sched

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The scheduling data structures of §3.2 (Fig. 6): the Scheduling
+ * Table's per-PU dependency (De) and redundancy (Re) bit vectors over
+ * the m-entry candidate window, with a validity bit to tolerate the
+ * asynchronous CPU update; and the Transaction Table's lock (L) and
+ * priority value (V) entries.
+ *
+ * Transaction selection is O(m) bitwise work, matching the paper's
+ * claim that the critical-path overhead is bounded by O(n) bit
+ * operations.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mtpu::sched {
+
+/** Bit vector over the candidate window (m <= 64 in this model). */
+using WindowMask = std::uint64_t;
+
+/** Per-PU row of the Scheduling Table. */
+struct ScheduleRow
+{
+    WindowMask de = 0;  ///< candidate i depends on this PU's running tx
+    WindowMask re = 0;  ///< candidate i is redundant with it
+    bool valid = false; ///< false while the CPU update is in flight
+
+    /** Invalid dependencies read as all-zeros (§3.2.2). */
+    WindowMask effectiveDe() const { return valid ? de : 0; }
+};
+
+/** Per-candidate row of the Transaction Table. */
+struct TxRow
+{
+    bool occupied = false;
+    bool locked = false; ///< L: being read by a PU
+    int txIndex = -1;    ///< block transaction index
+    int value = 0;       ///< V: node value from the composite DAG
+};
+
+/**
+ * The Scheduling Table plus Transaction Table for an m-entry window.
+ */
+class SchedulingTables
+{
+  public:
+    SchedulingTables(int num_pus, int window_size);
+
+    int windowSize() const { return window_; }
+
+    ScheduleRow &row(int pu) { return rows_[std::size_t(pu)]; }
+    const ScheduleRow &row(int pu) const { return rows_[std::size_t(pu)]; }
+
+    TxRow &slot(int i) { return slots_[std::size_t(i)]; }
+    const TxRow &slot(int i) const { return slots_[std::size_t(i)]; }
+
+    /** Index of a free (unoccupied) window slot, or -1. */
+    int freeSlot() const;
+
+    /** Mask of occupied, unlocked slots. */
+    WindowMask availableMask() const;
+
+    /**
+     * The paper's selection flow (Fig. 6 steps 1-2) for @p pu:
+     *  1. exclude candidates that depend on any *other* PU's running
+     *     transaction (OR of their effective De rows);
+     *  2. prefer candidates redundant with this PU's last transaction
+     *     (Re row); otherwise take the largest V.
+     * @return the chosen window slot, or -1 if none is selectable.
+     */
+    int select(int pu) const;
+
+  private:
+    int window_;
+    std::vector<ScheduleRow> rows_;
+    std::vector<TxRow> slots_;
+};
+
+} // namespace mtpu::sched

@@ -1,0 +1,51 @@
+#include "support/hex.hpp"
+
+#include <stdexcept>
+
+namespace mtpu {
+
+std::string
+toHex(const Bytes &data, bool prefix)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out = prefix ? "0x" : "";
+    out.reserve(out.size() + data.size() * 2);
+    for (std::uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+namespace {
+
+int
+nibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return 10 + c - 'a';
+    if (c >= 'A' && c <= 'F')
+        return 10 + c - 'A';
+    throw std::invalid_argument("fromHex: bad digit");
+}
+
+} // namespace
+
+Bytes
+fromHex(const std::string &hex)
+{
+    std::size_t pos = 0;
+    if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X'))
+        pos = 2;
+    if ((hex.size() - pos) % 2)
+        throw std::invalid_argument("fromHex: odd length");
+    Bytes out;
+    out.reserve((hex.size() - pos) / 2);
+    for (; pos < hex.size(); pos += 2)
+        out.push_back(std::uint8_t(nibble(hex[pos]) * 16 + nibble(hex[pos + 1])));
+    return out;
+}
+
+} // namespace mtpu

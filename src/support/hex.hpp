@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Hex encoding/decoding for byte vectors.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtpu {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** Encode bytes as lowercase hex, optionally 0x-prefixed. */
+std::string toHex(const Bytes &data, bool prefix = true);
+
+/** Decode a hex string (0x prefix optional); throws on bad input. */
+Bytes fromHex(const std::string &hex);
+
+} // namespace mtpu

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Keccak-f[1600] sponge with rate 1088 (Keccak-256).
+ */
+
+#include "support/keccak.hpp"
+
+#include <cstring>
+
+namespace mtpu {
+
+namespace {
+
+constexpr int kRounds = 24;
+
+constexpr std::uint64_t kRoundConstants[kRounds] = {
+    0x0000000000000001ull, 0x0000000000008082ull, 0x800000000000808aull,
+    0x8000000080008000ull, 0x000000000000808bull, 0x0000000080000001ull,
+    0x8000000080008081ull, 0x8000000000008009ull, 0x000000000000008aull,
+    0x0000000000000088ull, 0x0000000080008009ull, 0x000000008000000aull,
+    0x000000008000808bull, 0x800000000000008bull, 0x8000000000008089ull,
+    0x8000000000008003ull, 0x8000000000008002ull, 0x8000000000000080ull,
+    0x000000000000800aull, 0x800000008000000aull, 0x8000000080008081ull,
+    0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
+};
+
+constexpr int kRotations[5][5] = {
+    {0, 36, 3, 41, 18},
+    {1, 44, 10, 45, 2},
+    {62, 6, 43, 15, 61},
+    {28, 55, 25, 21, 56},
+    {27, 20, 39, 8, 14},
+};
+
+inline std::uint64_t
+rotl(std::uint64_t v, int n)
+{
+    return n == 0 ? v : (v << n) | (v >> (64 - n));
+}
+
+void
+keccakF1600(std::uint64_t a[5][5])
+{
+    for (int round = 0; round < kRounds; ++round) {
+        // Theta
+        std::uint64_t c[5], d[5];
+        for (int x = 0; x < 5; ++x)
+            c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+        for (int x = 0; x < 5; ++x) {
+            d[x] = c[(x + 4) % 5] ^ rotl(c[(x + 1) % 5], 1);
+            for (int y = 0; y < 5; ++y)
+                a[x][y] ^= d[x];
+        }
+        // Rho + Pi
+        std::uint64_t b[5][5];
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y)
+                b[y][(2 * x + 3 * y) % 5] = rotl(a[x][y], kRotations[x][y]);
+        }
+        // Chi
+        for (int x = 0; x < 5; ++x) {
+            for (int y = 0; y < 5; ++y) {
+                a[x][y] = b[x][y]
+                        ^ ((~b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
+            }
+        }
+        // Iota
+        a[0][0] ^= kRoundConstants[round];
+    }
+}
+
+} // namespace
+
+void
+keccak256(const std::uint8_t *data, std::size_t len, std::uint8_t out[32])
+{
+    constexpr std::size_t rate = 136; // 1088 bits
+    std::uint64_t state[5][5];
+    std::memset(state, 0, sizeof(state));
+
+    std::uint8_t block[rate];
+    std::size_t offset = 0;
+    while (len - offset >= rate) {
+        for (std::size_t i = 0; i < rate / 8; ++i) {
+            std::uint64_t lane;
+            std::memcpy(&lane, data + offset + i * 8, 8);
+            state[i % 5][i / 5] ^= lane;
+        }
+        keccakF1600(state);
+        offset += rate;
+    }
+
+    // Final padded block: pad10*1 with Keccak domain byte 0x01.
+    std::memset(block, 0, rate);
+    std::memcpy(block, data + offset, len - offset);
+    block[len - offset] = 0x01;
+    block[rate - 1] |= 0x80;
+    for (std::size_t i = 0; i < rate / 8; ++i) {
+        std::uint64_t lane;
+        std::memcpy(&lane, block + i * 8, 8);
+        state[i % 5][i / 5] ^= lane;
+    }
+    keccakF1600(state);
+
+    for (std::size_t i = 0; i < 4; ++i) {
+        std::uint64_t lane = state[i % 5][i / 5];
+        std::memcpy(out + i * 8, &lane, 8);
+    }
+}
+
+U256
+keccak256Word(const std::vector<std::uint8_t> &data)
+{
+    std::uint8_t digest[32];
+    keccak256(data.data(), data.size(), digest);
+    return U256::fromBytes(digest, 32);
+}
+
+U256
+keccak256Pair(const U256 &a, const U256 &b)
+{
+    std::uint8_t buf[64];
+    a.toBytes(buf);
+    b.toBytes(buf + 32);
+    std::uint8_t digest[32];
+    keccak256(buf, 64, digest);
+    return U256::fromBytes(digest, 32);
+}
+
+} // namespace mtpu

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Keccak-256 as used by Ethereum (original Keccak padding 0x01, not the
+ * NIST SHA3 variant). Used by the SHA3 opcode, contract addresses, and
+ * storage-slot derivation for mappings.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "support/u256.hpp"
+
+namespace mtpu {
+
+/** Compute the 32-byte Keccak-256 digest of @p data. */
+void keccak256(const std::uint8_t *data, std::size_t len,
+               std::uint8_t out[32]);
+
+/** Keccak-256 of a byte vector, returned as a U256 word. */
+U256 keccak256Word(const std::vector<std::uint8_t> &data);
+
+/** Keccak-256 of the 64-byte concatenation of two words (mapping slots). */
+U256 keccak256Pair(const U256 &a, const U256 &b);
+
+} // namespace mtpu

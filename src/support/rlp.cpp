@@ -1,0 +1,190 @@
+#include "support/rlp.hpp"
+
+#include <stdexcept>
+
+namespace mtpu::rlp {
+
+Item
+Item::bytes(Bytes b)
+{
+    Item it;
+    it.str = std::move(b);
+    return it;
+}
+
+Item
+Item::word(const U256 &v)
+{
+    Bytes b;
+    int len = v.byteLength();
+    std::uint8_t buf[32];
+    v.toBytes(buf);
+    b.assign(buf + 32 - len, buf + 32);
+    return bytes(std::move(b));
+}
+
+Item
+Item::text(const std::string &s)
+{
+    return bytes(Bytes(s.begin(), s.end()));
+}
+
+Item
+Item::makeList(std::vector<Item> items)
+{
+    Item it;
+    it.isList = true;
+    it.list = std::move(items);
+    return it;
+}
+
+U256
+Item::toWord() const
+{
+    if (isList)
+        throw std::invalid_argument("rlp: list is not a word");
+    if (str.size() > 32)
+        throw std::invalid_argument("rlp: word longer than 32 bytes");
+    return U256::fromBytes(str.data(), str.size());
+}
+
+namespace {
+
+void
+appendLength(Bytes &out, std::size_t len, std::uint8_t short_base,
+             std::uint8_t long_base)
+{
+    if (len <= 55) {
+        out.push_back(std::uint8_t(short_base + len));
+        return;
+    }
+    Bytes len_bytes;
+    for (std::size_t v = len; v; v >>= 8)
+        len_bytes.insert(len_bytes.begin(), std::uint8_t(v & 0xff));
+    out.push_back(std::uint8_t(long_base + len_bytes.size()));
+    out.insert(out.end(), len_bytes.begin(), len_bytes.end());
+}
+
+void
+encodeInto(const Item &item, Bytes &out)
+{
+    if (!item.isList) {
+        if (item.str.size() == 1 && item.str[0] < 0x80) {
+            out.push_back(item.str[0]);
+            return;
+        }
+        appendLength(out, item.str.size(), 0x80, 0xb7);
+        out.insert(out.end(), item.str.begin(), item.str.end());
+        return;
+    }
+    Bytes payload;
+    for (const Item &child : item.list)
+        encodeInto(child, payload);
+    appendLength(out, payload.size(), 0xc0, 0xf7);
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+struct Cursor
+{
+    const Bytes &data;
+    std::size_t pos = 0;
+
+    std::uint8_t
+    peek() const
+    {
+        if (pos >= data.size())
+            throw std::invalid_argument("rlp: truncated input");
+        return data[pos];
+    }
+
+    Bytes
+    take(std::size_t n)
+    {
+        if (pos + n > data.size())
+            throw std::invalid_argument("rlp: truncated input");
+        Bytes out(data.begin() + pos, data.begin() + pos + n);
+        pos += n;
+        return out;
+    }
+
+    std::size_t
+    takeLength(std::size_t n_bytes)
+    {
+        if (n_bytes > 8)
+            throw std::invalid_argument("rlp: length too large");
+        Bytes raw = take(n_bytes);
+        if (!raw.empty() && raw[0] == 0)
+            throw std::invalid_argument("rlp: non-canonical length");
+        std::size_t len = 0;
+        for (std::uint8_t b : raw)
+            len = (len << 8) | b;
+        if (len <= 55)
+            throw std::invalid_argument("rlp: non-canonical length");
+        return len;
+    }
+};
+
+Item decodeOne(Cursor &cur);
+
+Item
+decodeList(Cursor &cur, std::size_t payload_len)
+{
+    std::size_t end = cur.pos + payload_len;
+    if (end > cur.data.size())
+        throw std::invalid_argument("rlp: truncated list");
+    Item out;
+    out.isList = true;
+    while (cur.pos < end)
+        out.list.push_back(decodeOne(cur));
+    if (cur.pos != end)
+        throw std::invalid_argument("rlp: list overrun");
+    return out;
+}
+
+Item
+decodeOne(Cursor &cur)
+{
+    std::uint8_t tag = cur.peek();
+    if (tag < 0x80) {
+        return Item::bytes(cur.take(1));
+    } else if (tag <= 0xb7) {
+        cur.pos++;
+        Bytes payload = cur.take(tag - 0x80);
+        if (payload.size() == 1 && payload[0] < 0x80)
+            throw std::invalid_argument("rlp: non-canonical single byte");
+        return Item::bytes(std::move(payload));
+    } else if (tag <= 0xbf) {
+        cur.pos++;
+        std::size_t len = cur.takeLength(tag - 0xb7);
+        return Item::bytes(cur.take(len));
+    } else if (tag <= 0xf7) {
+        cur.pos++;
+        return decodeList(cur, tag - 0xc0);
+    } else {
+        cur.pos++;
+        std::size_t len = cur.takeLength(tag - 0xf7);
+        return decodeList(cur, len);
+    }
+}
+
+} // namespace
+
+Bytes
+encode(const Item &item)
+{
+    Bytes out;
+    encodeInto(item, out);
+    return out;
+}
+
+Item
+decode(const Bytes &data)
+{
+    Cursor cur{data};
+    Item out = decodeOne(cur);
+    if (cur.pos != data.size())
+        throw std::invalid_argument("rlp: trailing bytes");
+    return out;
+}
+
+} // namespace mtpu::rlp

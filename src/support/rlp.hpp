@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Recursive Length Prefix (RLP) codec — the serialization format the
+ * paper's Fig. 3(a) transaction layout uses for network transport and
+ * persistence.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/hex.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::rlp {
+
+/** An RLP item: either a byte string or a list of items. */
+struct Item
+{
+    bool isList = false;
+    Bytes str;               ///< payload when !isList
+    std::vector<Item> list;  ///< children when isList
+
+    /** Byte-string item. */
+    static Item bytes(Bytes b);
+    /** Byte-string item from a big-endian minimal encoding of @p v. */
+    static Item word(const U256 &v);
+    /** Byte-string item from UTF-8 text. */
+    static Item text(const std::string &s);
+    /** List item. */
+    static Item makeList(std::vector<Item> items);
+
+    /** Decode the payload back to a word (big-endian). */
+    U256 toWord() const;
+};
+
+/** Serialize an item to RLP bytes. */
+Bytes encode(const Item &item);
+
+/**
+ * Parse RLP bytes into an item tree.
+ * @throws std::invalid_argument on malformed input (truncation,
+ *         non-canonical length encoding, trailing bytes).
+ */
+Item decode(const Bytes &data);
+
+} // namespace mtpu::rlp

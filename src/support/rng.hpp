@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic RNG for workload generation. A small xoshiro256** keeps
+ * experiments reproducible across platforms (std::mt19937 distributions
+ * are not portable across standard libraries).
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace mtpu {
+
+/** xoshiro256** with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to fill the state
+        std::uint64_t x = seed;
+        for (auto &s : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            s = z ^ (z >> 31);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection sampling to avoid modulo bias.
+        std::uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Zipf-distributed index in [0, n) with exponent @p s, favoring
+     * small indices — models contract-popularity skew.
+     */
+    std::size_t
+    zipf(std::size_t n, double s)
+    {
+        // Build/sample CDF on the fly; n is small in our workloads.
+        double total = 0;
+        for (std::size_t i = 1; i <= n; ++i)
+            total += 1.0 / pow_(double(i), s);
+        double u = uniform() * total, acc = 0;
+        for (std::size_t i = 1; i <= n; ++i) {
+            acc += 1.0 / pow_(double(i), s);
+            if (u <= acc)
+                return i - 1;
+        }
+        return n - 1;
+    }
+
+  private:
+    static double pow_(double base, double e) { return std::pow(base, e); }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace mtpu

@@ -1,0 +1,74 @@
+#include "support/stats.hpp"
+
+#include <cstdio>
+
+namespace mtpu {
+
+void
+Accumulator::add(double v)
+{
+    if (count_ == 0) {
+        min_ = max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    sum_ += v;
+    ++count_;
+}
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    buckets_[value / bucketWidth_] += weight;
+    total_ += weight;
+}
+
+std::uint64_t
+Histogram::percentile(double fraction) const
+{
+    if (total_ == 0)
+        return 0;
+    std::uint64_t target = std::uint64_t(fraction * double(total_));
+    std::uint64_t seen = 0;
+    for (const auto &[bucket, count] : buckets_) {
+        seen += count;
+        if (seen >= target)
+            return bucket * bucketWidth_;
+    }
+    return buckets_.rbegin()->first * bucketWidth_;
+}
+
+LineFit
+LineFit::fit(const std::vector<double> &x, const std::vector<double> &y)
+{
+    LineFit out;
+    std::size_t n = x.size() < y.size() ? x.size() : y.size();
+    if (n < 2)
+        return out;
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    double denom = double(n) * sxx - sx * sx;
+    if (denom == 0)
+        return out;
+    out.b = (double(n) * sxy - sx * sy) / denom;
+    out.a = (sy - out.b * sx) / double(n);
+    return out;
+}
+
+std::string
+fixed(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace mtpu

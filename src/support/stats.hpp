@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the timing models and benches:
+ * scalar counters, running means, histograms, and a simple least-squares
+ * line fit (the paper overlays fitted curves on Figs. 14/16).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mtpu {
+
+/** Running mean/min/max/count accumulator. */
+class Accumulator
+{
+  public:
+    void add(double v);
+
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+
+  private:
+    double sum_ = 0, min_ = 0, max_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram keyed by integer bucket index. */
+class Histogram
+{
+  public:
+    explicit Histogram(std::uint64_t bucket_width = 1)
+        : bucketWidth_(bucket_width)
+    {}
+
+    void add(std::uint64_t value, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return total_; }
+    const std::map<std::uint64_t, std::uint64_t> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Value below which @p fraction of the mass lies. */
+    std::uint64_t percentile(double fraction) const;
+
+  private:
+    std::uint64_t bucketWidth_;
+    std::uint64_t total_ = 0;
+    std::map<std::uint64_t, std::uint64_t> buckets_;
+};
+
+/** Least-squares linear fit y = a + b*x over sample pairs. */
+struct LineFit
+{
+    double a = 0; ///< intercept
+    double b = 0; ///< slope
+
+    static LineFit fit(const std::vector<double> &x,
+                       const std::vector<double> &y);
+
+    double at(double x) const { return a + b * x; }
+};
+
+/** Format a double with fixed decimals (bench table printing). */
+std::string fixed(double v, int decimals = 2);
+
+} // namespace mtpu

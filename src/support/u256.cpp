@@ -1,0 +1,448 @@
+/**
+ * @file
+ * U256 arithmetic implementation. Multiplication uses 64x64->128 partial
+ * products via unsigned __int128; division is binary long division, which
+ * is ample for a simulator.
+ */
+
+#include "support/u256.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace mtpu {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+U256
+U256::fromHex(const std::string &hex)
+{
+    std::size_t pos = 0;
+    if (hex.size() >= 2 && hex[0] == '0' && (hex[1] == 'x' || hex[1] == 'X'))
+        pos = 2;
+    if (pos >= hex.size())
+        throw std::invalid_argument("U256::fromHex: empty literal");
+    U256 out;
+    for (; pos < hex.size(); ++pos) {
+        char c = hex[pos];
+        u64 nib;
+        if (c >= '0' && c <= '9')
+            nib = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nib = 10 + c - 'a';
+        else if (c >= 'A' && c <= 'F')
+            nib = 10 + c - 'A';
+        else
+            throw std::invalid_argument("U256::fromHex: bad digit");
+        out = out.shl(4) | U256(nib);
+    }
+    return out;
+}
+
+U256
+U256::fromDec(const std::string &dec)
+{
+    if (dec.empty())
+        throw std::invalid_argument("U256::fromDec: empty literal");
+    U256 out;
+    for (char c : dec) {
+        if (c < '0' || c > '9')
+            throw std::invalid_argument("U256::fromDec: bad digit");
+        out = out * U256(10) + U256(u64(c - '0'));
+    }
+    return out;
+}
+
+U256
+U256::fromBytes(const std::uint8_t *data, std::size_t len)
+{
+    U256 out;
+    len = std::min<std::size_t>(len, 32);
+    for (std::size_t i = 0; i < len; ++i)
+        out = out.shl(8) | U256(u64(data[i]));
+    return out;
+}
+
+void
+U256::toBytes(std::uint8_t out[32]) const
+{
+    for (int i = 0; i < 32; ++i) {
+        int limb_idx = (31 - i) / 8;
+        int shift = ((31 - i) % 8) * 8;
+        out[i] = std::uint8_t(limbs_[limb_idx] >> shift);
+    }
+}
+
+std::string
+U256::toHex() const
+{
+    static const char *digits = "0123456789abcdef";
+    if (isZero())
+        return "0x0";
+    std::string s;
+    bool started = false;
+    for (int i = 255; i >= 0; i -= 4) {
+        unsigned nib = unsigned((limbs_[i >> 6] >> ((i & 63) - 3)) & 0xf);
+        if (!started && nib == 0)
+            continue;
+        started = true;
+        s.push_back(digits[nib]);
+    }
+    return "0x" + s;
+}
+
+std::string
+U256::toDec() const
+{
+    if (isZero())
+        return "0";
+    std::string s;
+    U256 v = *this;
+    while (!v.isZero()) {
+        U256 q, r;
+        divmod(v, U256(10), q, r);
+        s.push_back(char('0' + r.low64()));
+        v = q;
+    }
+    std::reverse(s.begin(), s.end());
+    return s;
+}
+
+int
+U256::bitLength() const
+{
+    for (int i = 3; i >= 0; --i) {
+        if (limbs_[i])
+            return i * 64 + 63 - __builtin_clzll(limbs_[i]);
+    }
+    return -1;
+}
+
+U256
+U256::operator+(const U256 &o) const
+{
+    U256 out;
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        u128 s = u128(limbs_[i]) + o.limbs_[i] + carry;
+        out.limbs_[i] = u64(s);
+        carry = u64(s >> 64);
+    }
+    return out;
+}
+
+U256
+U256::operator-(const U256 &o) const
+{
+    U256 out;
+    u64 borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+        u128 d = u128(limbs_[i]) - o.limbs_[i] - borrow;
+        out.limbs_[i] = u64(d);
+        borrow = u64(d >> 64) ? 1 : 0;
+    }
+    return out;
+}
+
+U256
+U256::operator*(const U256 &o) const
+{
+    // Schoolbook multiply keeping only the low 4 limbs.
+    u64 res[4] = {0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+        u64 carry = 0;
+        for (int j = 0; i + j < 4; ++j) {
+            u128 cur = u128(limbs_[i]) * o.limbs_[j] + res[i + j] + carry;
+            res[i + j] = u64(cur);
+            carry = u64(cur >> 64);
+        }
+    }
+    return U256(res[0], res[1], res[2], res[3]);
+}
+
+void
+U256::divmod(const U256 &num, const U256 &den, U256 &q, U256 &r)
+{
+    q = U256();
+    r = U256();
+    if (den.isZero())
+        return;
+    int nbits = num.bitLength();
+    for (int i = nbits; i >= 0; --i) {
+        r = r.shl(1);
+        if (num.bit(i))
+            r.limbs_[0] |= 1;
+        if (r >= den) {
+            r = r - den;
+            q.limbs_[i >> 6] |= (1ull << (i & 63));
+        }
+    }
+}
+
+U256
+U256::udiv(const U256 &o) const
+{
+    U256 q, r;
+    divmod(*this, o, q, r);
+    return q;
+}
+
+U256
+U256::umod(const U256 &o) const
+{
+    U256 q, r;
+    divmod(*this, o, q, r);
+    return r;
+}
+
+U256
+U256::sdiv(const U256 &o) const
+{
+    if (o.isZero())
+        return U256();
+    bool neg_a = isNegative(), neg_b = o.isNegative();
+    U256 a = neg_a ? negate() : *this;
+    U256 b = neg_b ? o.negate() : o;
+    U256 q = a.udiv(b);
+    return (neg_a != neg_b) ? q.negate() : q;
+}
+
+U256
+U256::smod(const U256 &o) const
+{
+    if (o.isZero())
+        return U256();
+    bool neg_a = isNegative();
+    U256 a = neg_a ? negate() : *this;
+    U256 b = o.isNegative() ? o.negate() : o;
+    U256 r = a.umod(b);
+    return neg_a ? r.negate() : r;
+}
+
+namespace {
+
+/** 512-bit helper used only for ADDMOD/MULMOD intermediates. */
+struct U512
+{
+    u64 w[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+
+    int
+    bitLength() const
+    {
+        for (int i = 7; i >= 0; --i) {
+            if (w[i])
+                return i * 64 + 63 - __builtin_clzll(w[i]);
+        }
+        return -1;
+    }
+
+    bool bit(int i) const { return (w[i >> 6] >> (i & 63)) & 1; }
+};
+
+U256
+mod512(const U512 &num, const U256 &den)
+{
+    U256 r;
+    int nbits = num.bitLength();
+    for (int i = nbits; i >= 0; --i) {
+        bool overflow = r.isNegative(); // top bit would shift out
+        r = r.shl(1);
+        if (num.bit(i))
+            r = r | U256(1);
+        // r can exceed den by at most den after the shift when no
+        // overflow occurred; with overflow we must subtract den once
+        // with the implicit 2^256 term folded in.
+        if (overflow) {
+            // r_real = r + 2^256; subtract den: since den < 2^256,
+            // r_real - den = r + (2^256 - den) = r - den (mod 2^256)
+            // and is guaranteed < 2^256 because den > r+1 pre-shift.
+            r = r - den;
+        } else if (r >= den) {
+            r = r - den;
+        }
+    }
+    return r;
+}
+
+} // namespace
+
+U256
+U256::addmod(const U256 &a, const U256 &b, const U256 &m)
+{
+    if (m.isZero())
+        return U256();
+    U512 sum;
+    u64 carry = 0;
+    for (int i = 0; i < 4; ++i) {
+        u128 s = u128(a.limbs_[i]) + b.limbs_[i] + carry;
+        sum.w[i] = u64(s);
+        carry = u64(s >> 64);
+    }
+    sum.w[4] = carry;
+    return mod512(sum, m);
+}
+
+U256
+U256::mulmod(const U256 &a, const U256 &b, const U256 &m)
+{
+    if (m.isZero())
+        return U256();
+    U512 prod;
+    for (int i = 0; i < 4; ++i) {
+        u64 carry = 0;
+        for (int j = 0; j < 4; ++j) {
+            u128 cur = u128(a.limbs_[i]) * b.limbs_[j] + prod.w[i + j]
+                     + carry;
+            prod.w[i + j] = u64(cur);
+            carry = u64(cur >> 64);
+        }
+        prod.w[i + 4] = carry;
+    }
+    return mod512(prod, m);
+}
+
+U256
+U256::exp(const U256 &a, const U256 &e)
+{
+    U256 base = a;
+    U256 result(1);
+    int ebits = e.bitLength();
+    for (int i = 0; i <= ebits; ++i) {
+        if (e.bit(i))
+            result = result * base;
+        base = base * base;
+    }
+    return result;
+}
+
+U256
+U256::signextend(const U256 &b, const U256 &x)
+{
+    if (!b.fitsU64() || b.low64() >= 31)
+        return x;
+    unsigned sign_bit = unsigned(b.low64()) * 8 + 7;
+    if (!x.bit(int(sign_bit)))
+        return x & (U256::max().shr(255 - sign_bit));
+    return x | U256::max().shl(sign_bit + 1);
+}
+
+U256
+U256::operator&(const U256 &o) const
+{
+    return U256(limbs_[0] & o.limbs_[0], limbs_[1] & o.limbs_[1],
+                limbs_[2] & o.limbs_[2], limbs_[3] & o.limbs_[3]);
+}
+
+U256
+U256::operator|(const U256 &o) const
+{
+    return U256(limbs_[0] | o.limbs_[0], limbs_[1] | o.limbs_[1],
+                limbs_[2] | o.limbs_[2], limbs_[3] | o.limbs_[3]);
+}
+
+U256
+U256::operator^(const U256 &o) const
+{
+    return U256(limbs_[0] ^ o.limbs_[0], limbs_[1] ^ o.limbs_[1],
+                limbs_[2] ^ o.limbs_[2], limbs_[3] ^ o.limbs_[3]);
+}
+
+U256
+U256::operator~() const
+{
+    return U256(~limbs_[0], ~limbs_[1], ~limbs_[2], ~limbs_[3]);
+}
+
+U256
+U256::shl(unsigned n) const
+{
+    if (n >= 256)
+        return U256();
+    U256 out;
+    unsigned limb_shift = n / 64, bit_shift = n % 64;
+    for (int i = 3; i >= 0; --i) {
+        u64 v = 0;
+        int src = i - int(limb_shift);
+        if (src >= 0) {
+            v = limbs_[src] << bit_shift;
+            if (bit_shift && src > 0)
+                v |= limbs_[src - 1] >> (64 - bit_shift);
+        }
+        out.limbs_[i] = v;
+    }
+    return out;
+}
+
+U256
+U256::shr(unsigned n) const
+{
+    if (n >= 256)
+        return U256();
+    U256 out;
+    unsigned limb_shift = n / 64, bit_shift = n % 64;
+    for (int i = 0; i < 4; ++i) {
+        u64 v = 0;
+        int src = i + int(limb_shift);
+        if (src < 4) {
+            v = limbs_[src] >> bit_shift;
+            if (bit_shift && src < 3)
+                v |= limbs_[src + 1] << (64 - bit_shift);
+        }
+        out.limbs_[i] = v;
+    }
+    return out;
+}
+
+U256
+U256::sar(unsigned n) const
+{
+    if (!isNegative())
+        return shr(n);
+    if (n >= 256)
+        return U256::max();
+    return shr(n) | U256::max().shl(256 - n);
+}
+
+U256
+U256::byteAt(unsigned i) const
+{
+    if (i >= 32)
+        return U256();
+    unsigned shift = (31 - i) * 8;
+    return U256((limbs_[shift / 64] >> (shift % 64)) & 0xff);
+}
+
+bool
+U256::operator<(const U256 &o) const
+{
+    for (int i = 3; i >= 0; --i) {
+        if (limbs_[i] != o.limbs_[i])
+            return limbs_[i] < o.limbs_[i];
+    }
+    return false;
+}
+
+bool
+U256::slt(const U256 &o) const
+{
+    bool na = isNegative(), nb = o.isNegative();
+    if (na != nb)
+        return na;
+    return *this < o;
+}
+
+std::size_t
+U256::hashValue() const
+{
+    // FNV-1a style mix over the limbs.
+    std::size_t h = 1469598103934665603ull;
+    for (u64 l : limbs_) {
+        h ^= std::size_t(l);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace mtpu

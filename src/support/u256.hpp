@@ -1,0 +1,168 @@
+/**
+ * @file
+ * 256-bit unsigned integer with the arithmetic semantics required by the
+ * EVM: wrap-around modulo 2^256, two's-complement signed views for
+ * SDIV/SMOD/SLT/SGT/SAR/SIGNEXTEND, and 512-bit intermediates for
+ * ADDMOD/MULMOD.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mtpu {
+
+/**
+ * Fixed-width 256-bit unsigned integer.
+ *
+ * Limbs are stored little-endian (limb[0] is least significant). All
+ * arithmetic wraps modulo 2^256, matching EVM word semantics.
+ */
+class U256
+{
+  public:
+    /** Zero-initialized word. */
+    constexpr U256() : limbs_{0, 0, 0, 0} {}
+
+    /** Widen a 64-bit value. */
+    constexpr U256(std::uint64_t v) : limbs_{v, 0, 0, 0} {}
+
+    /** Construct from explicit limbs, least-significant first. */
+    constexpr U256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                   std::uint64_t l3)
+        : limbs_{l0, l1, l2, l3}
+    {}
+
+    /** Parse a hex string (with or without 0x prefix). */
+    static U256 fromHex(const std::string &hex);
+
+    /** Parse a decimal string. */
+    static U256 fromDec(const std::string &dec);
+
+    /** Load from a 32-byte big-endian buffer. */
+    static U256 fromBytes(const std::uint8_t *data, std::size_t len);
+
+    /** Maximum representable value (2^256 - 1). */
+    static constexpr U256
+    max()
+    {
+        return U256(~0ull, ~0ull, ~0ull, ~0ull);
+    }
+
+    /** Store to a 32-byte big-endian buffer. */
+    void toBytes(std::uint8_t out[32]) const;
+
+    /** Render as 0x-prefixed minimal hex. */
+    std::string toHex() const;
+
+    /** Render as decimal. */
+    std::string toDec() const;
+
+    std::uint64_t limb(int i) const { return limbs_[i]; }
+    void setLimb(int i, std::uint64_t v) { limbs_[i] = v; }
+
+    /** Truncate to the low 64 bits. */
+    std::uint64_t low64() const { return limbs_[0]; }
+
+    /** True if the value fits in 64 bits. */
+    bool
+    fitsU64() const
+    {
+        return !(limbs_[1] | limbs_[2] | limbs_[3]);
+    }
+
+    bool isZero() const { return !(limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]); }
+
+    /** Most-significant bit set (sign bit of the two's-complement view). */
+    bool isNegative() const { return limbs_[3] >> 63; }
+
+    /** Index of the highest set bit, or -1 for zero. */
+    int bitLength() const;
+
+    /** Number of bytes needed to represent the value (0 for zero). */
+    int byteLength() const { return (bitLength() + 8) / 8; }
+
+    /** Value of bit @p i (0 = LSB). */
+    bool
+    bit(int i) const
+    {
+        return (limbs_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    // -- arithmetic (wrapping mod 2^256) ------------------------------
+    U256 operator+(const U256 &o) const;
+    U256 operator-(const U256 &o) const;
+    U256 operator*(const U256 &o) const;
+
+    /** Unsigned division; x / 0 == 0 per EVM DIV. */
+    U256 udiv(const U256 &o) const;
+    /** Unsigned remainder; x % 0 == 0 per EVM MOD. */
+    U256 umod(const U256 &o) const;
+    /** Signed division with EVM SDIV semantics (truncated, x/0 == 0). */
+    U256 sdiv(const U256 &o) const;
+    /** Signed remainder with EVM SMOD semantics (sign of dividend). */
+    U256 smod(const U256 &o) const;
+
+    /** (a + b) mod m with a 257-bit intermediate; m == 0 yields 0. */
+    static U256 addmod(const U256 &a, const U256 &b, const U256 &m);
+    /** (a * b) mod m with a 512-bit intermediate; m == 0 yields 0. */
+    static U256 mulmod(const U256 &a, const U256 &b, const U256 &m);
+    /** a ** e mod 2^256 by square-and-multiply. */
+    static U256 exp(const U256 &a, const U256 &e);
+    /**
+     * EVM SIGNEXTEND: treat @p x as a (b+1)-byte signed value and extend
+     * its sign through bit 255. @p b >= 31 returns x unchanged.
+     */
+    static U256 signextend(const U256 &b, const U256 &x);
+
+    // -- bitwise ------------------------------------------------------
+    U256 operator&(const U256 &o) const;
+    U256 operator|(const U256 &o) const;
+    U256 operator^(const U256 &o) const;
+    U256 operator~() const;
+
+    /** Logical shift left; shifts >= 256 yield zero. */
+    U256 shl(unsigned n) const;
+    /** Logical shift right; shifts >= 256 yield zero. */
+    U256 shr(unsigned n) const;
+    /** Arithmetic shift right (sign-filling), EVM SAR semantics. */
+    U256 sar(unsigned n) const;
+
+    /**
+     * EVM BYTE: the @p i -th byte counting from the most significant
+     * (i == 0 is the MSB); i >= 32 yields zero.
+     */
+    U256 byteAt(unsigned i) const;
+
+    // -- comparison ---------------------------------------------------
+    bool operator==(const U256 &o) const { return limbs_ == o.limbs_; }
+    bool operator!=(const U256 &o) const { return !(*this == o); }
+    bool operator<(const U256 &o) const;
+    bool operator>(const U256 &o) const { return o < *this; }
+    bool operator<=(const U256 &o) const { return !(o < *this); }
+    bool operator>=(const U256 &o) const { return !(*this < o); }
+    /** Signed (two's complement) less-than, EVM SLT. */
+    bool slt(const U256 &o) const;
+
+    /** Two's-complement negation. */
+    U256 negate() const { return ~*this + U256(1); }
+
+    /** Stable hash for use in unordered containers. */
+    std::size_t hashValue() const;
+
+  private:
+    std::array<std::uint64_t, 4> limbs_;
+
+    /** Long division returning quotient and remainder. */
+    static void divmod(const U256 &num, const U256 &den, U256 &q, U256 &r);
+};
+
+/** std::hash adapter for U256 keys. */
+struct U256Hash
+{
+    std::size_t operator()(const U256 &v) const { return v.hashValue(); }
+};
+
+} // namespace mtpu

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Workload generation: synthetic blocks with controlled dependency
+ * ratio, ERC20 share and contract-popularity skew, matching the
+ * independent variables of the paper's evaluation (Figs. 13-16,
+ * Tables 8/9).
+ *
+ * Blocks are generated, then executed sequentially on a scratch copy
+ * of the world state ("consensus stage"): this yields the per-tx
+ * execution traces, the read/write sets, and the ground-truth
+ * dependency DAG that the paper assumes is shipped inside the block
+ * (§2.2.2).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "contracts/contracts.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/state.hpp"
+#include "evm/trace.hpp"
+#include "support/rng.hpp"
+
+namespace mtpu::workload {
+
+/** One generated transaction plus everything learned about it. */
+struct TxRecord
+{
+    evm::Transaction tx;
+    std::string contract;   ///< contract name
+    std::string function;   ///< entry-function name
+    bool isErc20 = false;
+    evm::Trace trace;       ///< consensus-stage execution trace
+    evm::Receipt receipt;
+    evm::AccessSet access;  ///< coinbase-fee accesses filtered out
+    std::vector<int> deps;  ///< indices of earlier conflicting txs
+    int redundancy = 0;     ///< later txs invoking the same contract
+};
+
+/** A generated block with its dependency DAG. */
+struct BlockRun
+{
+    evm::BlockHeader header;
+    std::vector<TxRecord> txs;
+
+    /** Fraction of transactions with at least one dependency. */
+    double measuredDepRatio() const;
+    /** Fraction of transactions on ERC20 contracts. */
+    double erc20Ratio() const;
+    /** Length of the longest dependency chain (critical path). */
+    int criticalPathLength() const;
+
+    /**
+     * Serialize header, transactions, the dependency DAG and the
+     * redundancy values to RLP — the paper's blocks carry the
+     * serialized DAG so every node benefits from the consensus-stage
+     * analysis (§2.2.2, footnote 3).
+     */
+    Bytes toRlp() const;
+
+    /**
+     * Parse the network form back. Traces, receipts and access sets
+     * are not transported; re-derive them with
+     * Generator-style consensus execution if needed.
+     * @throws std::invalid_argument on malformed input.
+     */
+    static BlockRun fromRlp(const Bytes &encoded);
+};
+
+/** Generation knobs. */
+struct BlockParams
+{
+    int txCount = 64;
+    /** Target fraction of dependent transactions in [0, 1]. */
+    double depRatio = 0.0;
+    /**
+     * Target ERC20 share in [0, 1]; negative means "natural" mix
+     * (Zipf over the TOP8).
+     */
+    double erc20Share = -1.0;
+    /** Zipf exponent of contract popularity (natural mix). */
+    double zipfS = 1.0;
+    /** Restrict to a single contract (Fig. 13); empty = all. */
+    std::string onlyContract;
+};
+
+/**
+ * The generator. Owns the deployed contract universe and a pristine
+ * post-deployment world state that each block starts from.
+ */
+class Generator
+{
+  public:
+    explicit Generator(std::uint64_t seed = 1, int num_users = 512);
+
+    /** Generate a block and execute it sequentially for ground truth. */
+    BlockRun generateBlock(const BlockParams &params);
+
+    /**
+     * Build a batch of single-contract transactions covering the
+     * contract's entry functions (Fig. 12/13 workloads).
+     */
+    BlockRun contractBatch(const std::string &contract, int tx_count);
+
+    /**
+     * Execute one explicit call on a fresh copy of the genesis state
+     * and return the full record (trace, receipt, access set). Used by
+     * targeted experiments and examples.
+     */
+    TxRecord singleCall(const std::string &contract,
+                        const std::string &function,
+                        const std::vector<U256> &args,
+                        const U256 &value = U256(), int sender = 0);
+
+    const contracts::ContractSet &contracts() const { return set_; }
+
+    /** Pristine world state (post-deployment). */
+    const evm::WorldState &genesis() const { return genesis_; }
+
+  private:
+    struct Draft
+    {
+        evm::Transaction tx;
+        std::string contract;
+        std::string function;
+        bool isErc20 = false;
+    };
+
+    /** Fresh user that has not yet acted in the current block. */
+    evm::Address freshUser();
+    /** Independent (conflict-free) transaction. */
+    Draft draftIndependent(double erc20_share, double zipf_s,
+                           const std::string &only);
+    /** Transaction designed to conflict with @p prior. */
+    Draft draftDependent(const Draft &prior);
+
+    Draft draftTokenOp(const contracts::ContractSpec &spec);
+    Draft draftSwap(const contracts::ContractSpec &router);
+    Draft draftMarket(const contracts::ContractSpec &mkt);
+    Draft draftGateway();
+    Draft draftVote();
+
+    /** Sequential execution to obtain traces/receipts/deps. */
+    void runConsensusStage(BlockRun &block);
+
+    contracts::ContractSet set_;
+    evm::WorldState genesis_;
+    std::vector<evm::Address> users_;
+    Rng rng_;
+
+    // Per-block allocation cursors (reset in generateBlock).
+    int userCursor_ = 0;
+    int auctionCursor_ = 0;    ///< pre-opened auction ids
+    int saleTokenCursor_ = 0;  ///< owned-but-unauctioned token ids
+    int proposalCursor_ = 0;
+    int seedCursor_ = 0;       ///< rotates chain seeds over the TOP8
+    std::uint64_t blockCounter_ = 0;
+};
+
+} // namespace mtpu::workload

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Area/power model tests against the paper's Table 5 reference points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/area.hpp"
+
+namespace mtpu::arch {
+namespace {
+
+TEST(AreaModel, ReferenceDesignMatchesTable5)
+{
+    MtpuConfig cfg; // 4 PUs, 2048-entry DB cache, 2MB state buffer
+    AreaModel model(cfg);
+    // Paper: core 7.381, PU+CC stack x4 = 48.644, total 79.623 mm^2.
+    EXPECT_NEAR(model.coreArea(), 7.381, 0.01);
+    EXPECT_NEAR(model.puArea(), 7.381 + 4.785, 0.01);
+    EXPECT_NEAR(model.totalArea(), 79.62, 0.15);
+}
+
+TEST(AreaModel, EntriesCoverTable5Rows)
+{
+    AreaModel model(MtpuConfig{});
+    bool saw_db = false, saw_state = false, saw_total = false;
+    for (const auto &entry : model.entries()) {
+        if (entry.component == "DB cache") {
+            saw_db = true;
+            EXPECT_NEAR(entry.areaMm2, 3.006, 0.01);
+            EXPECT_EQ(entry.size, "234KB");
+        }
+        if (entry.component == "State Buffer") {
+            saw_state = true;
+            EXPECT_EQ(entry.size, "2MB");
+        }
+        if (entry.component == "Total")
+            saw_total = true;
+    }
+    EXPECT_TRUE(saw_db);
+    EXPECT_TRUE(saw_state);
+    EXPECT_TRUE(saw_total);
+}
+
+TEST(AreaModel, DbCacheAreaScalesWithEntries)
+{
+    MtpuConfig half;
+    half.dbCacheEntries = 1024;
+    MtpuConfig full;
+    full.dbCacheEntries = 2048;
+    AreaModel m_half(half), m_full(full);
+    EXPECT_LT(m_half.coreArea(), m_full.coreArea());
+    EXPECT_NEAR(m_full.coreArea() - m_half.coreArea(), 3.006 / 2, 0.01);
+}
+
+TEST(AreaModel, AreaScalesWithPuCount)
+{
+    MtpuConfig one;
+    one.numPus = 1;
+    MtpuConfig four;
+    four.numPus = 4;
+    AreaModel m1(one), m4(four);
+    double pu_area = m1.puArea();
+    EXPECT_NEAR(m4.totalArea() - m1.totalArea(), 3 * pu_area, 0.01);
+}
+
+TEST(AreaModel, PowerMatchesPaperAtReferencePoint)
+{
+    AreaModel model(MtpuConfig{});
+    // Paper: 8.648 W at 300 MHz with four PUs.
+    EXPECT_NEAR(model.powerWatts(300.0), 8.648, 0.05);
+}
+
+TEST(AreaModel, PowerScalesWithFrequency)
+{
+    AreaModel model(MtpuConfig{});
+    EXPECT_LT(model.powerWatts(150.0), model.powerWatts(300.0));
+    EXPECT_GT(model.powerWatts(600.0), model.powerWatts(300.0));
+    // Leakage floor: halving frequency does not halve power.
+    EXPECT_GT(model.powerWatts(150.0), model.powerWatts(300.0) / 2.0);
+}
+
+TEST(AreaModel, EnergyProportionalToCycles)
+{
+    AreaModel model(MtpuConfig{});
+    double e1 = model.energyMj(1'000'000);
+    double e2 = model.energyMj(2'000'000);
+    EXPECT_NEAR(e2, 2 * e1, 1e-9);
+    EXPECT_GT(e1, 0.0);
+}
+
+} // namespace
+} // namespace mtpu::arch

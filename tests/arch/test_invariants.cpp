@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Cross-module invariants of the timing model, checked over real mixed
+ * workloads (parameterized across seeds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/pu.hpp"
+#include "sched/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::arch {
+namespace {
+
+class TimingInvariants : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(TimingInvariants, HitLinesAlwaysMatchTheTrace)
+{
+    workload::Generator gen(GetParam(), 256);
+    workload::BlockParams params;
+    params.txCount = 80;
+    params.depRatio = 0.3;
+    auto block = gen.generateBlock(params);
+
+    MtpuConfig cfg;
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    for (const auto &rec : block.txs)
+        pu.execute(rec.trace);
+    EXPECT_GT(pu.dbCache().stats().instrHits, 0u);
+    EXPECT_EQ(pu.stats().lineMismatches, 0u);
+}
+
+TEST_P(TimingInvariants, LineGasEqualsEventGas)
+{
+    // Every installed line's G field must equal the sum of the gas the
+    // interpreter charged its instructions — the one-shot deduction of
+    // §3.3.3 must be exact for consistency.
+    workload::Generator gen(GetParam(), 128);
+    auto block = gen.contractBatch("TetherUSD", 12);
+
+    MtpuConfig cfg;
+    DbCache cache(cfg);
+    for (const auto &rec : block.txs) {
+        std::unordered_map<std::uint64_t, std::uint64_t> gas_at;
+        for (const auto &ev : rec.trace.events) {
+            CodeAddr addr{rec.trace.codeAddrs[ev.codeId], ev.pc};
+            gas_at[std::uint64_t(ev.codeId) << 32 | ev.pc] = ev.gasCost;
+            cache.observe(addr, ev, 0);
+        }
+        cache.flushFill();
+    }
+    // Re-walk a trace and check hit lines' gas sums.
+    const auto &trace = block.txs.back().trace;
+    std::size_t i = 0;
+    int checked = 0;
+    while (i < trace.events.size()) {
+        const auto &ev = trace.events[i];
+        CodeAddr addr{trace.codeAddrs[ev.codeId], ev.pc};
+        const DbLine *line = cache.lookup(addr);
+        if (!line) {
+            ++i;
+            continue;
+        }
+        std::uint64_t expect = 0;
+        std::size_t count =
+            std::min(line->count(), trace.events.size() - i);
+        for (std::size_t k = 0; k < count; ++k)
+            expect += trace.events[i + k].gasCost;
+        if (count == line->count()) {
+            EXPECT_EQ(line->gasSum, expect) << "pc=" << ev.pc;
+            ++checked;
+        }
+        i += count;
+    }
+    EXPECT_GT(checked, 5);
+}
+
+TEST_P(TimingInvariants, ExecCyclesNeverBelowIssueFloor)
+{
+    // Even with perfect lines, each line takes >= 1 cycle, so
+    // execCycles >= number-of-lines >= instructions / max-line-size.
+    workload::Generator gen(GetParam(), 128);
+    auto block = gen.contractBatch("Dai", 10);
+    MtpuConfig cfg;
+    cfg.forceDbHit = true;
+    cfg.dbCacheEntries = 1u << 20;
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    for (const auto &rec : block.txs) {
+        auto t = pu.execute(rec.trace);
+        // Hard ceiling: a line cannot exceed the total slot budget.
+        std::size_t max_line = std::size_t(cfg.stackSlotsPerLine)
+                             + std::size_t(evm::kNumFuncUnits);
+        EXPECT_GE(t.execCycles,
+                  (t.instructions + max_line - 1) / max_line);
+        EXPECT_LE(t.execCycles,
+                  t.instructions * 50); // sanity ceiling
+    }
+}
+
+TEST_P(TimingInvariants, MakespanBoundsBusyWork)
+{
+    workload::Generator gen(GetParam(), 256);
+    workload::BlockParams params;
+    params.txCount = 60;
+    params.depRatio = 0.4;
+    auto block = gen.generateBlock(params);
+
+    MtpuConfig cfg;
+    cfg.numPus = 4;
+    sched::SpatioTemporalEngine engine(cfg);
+    auto stats = engine.run(block);
+    // busy <= pus * makespan (no PU is busy past the end)
+    EXPECT_LE(stats.busyCycles, stats.makespan * 4);
+    // makespan <= total busy (a schedule is never slower than serial
+    // on one PU plus stalls... the weaker bound: makespan <= busy sum)
+    EXPECT_LE(stats.makespan, stats.busyCycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimingInvariants,
+                         ::testing::Values(101, 202, 303));
+
+} // namespace
+} // namespace mtpu::arch

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "arch/memory.hpp"
+
+namespace mtpu::arch {
+namespace {
+
+TEST(StateBuffer, MissThenHit)
+{
+    StateBuffer buf(4);
+    EXPECT_FALSE(buf.access(U256(1), U256(10)));
+    EXPECT_TRUE(buf.access(U256(1), U256(10)));
+    EXPECT_EQ(buf.hits(), 1u);
+    EXPECT_EQ(buf.misses(), 1u);
+}
+
+TEST(StateBuffer, DistinguishesAccountAndSlot)
+{
+    StateBuffer buf(8);
+    buf.access(U256(1), U256(10));
+    EXPECT_FALSE(buf.access(U256(2), U256(10)));
+    EXPECT_FALSE(buf.access(U256(1), U256(11)));
+}
+
+TEST(StateBuffer, LruEvictsOldest)
+{
+    StateBuffer buf(2);
+    buf.access(U256(1), U256(1));
+    buf.access(U256(1), U256(2));
+    buf.access(U256(1), U256(1)); // refresh 1
+    buf.access(U256(1), U256(3)); // evicts 2
+    EXPECT_TRUE(buf.contains(U256(1), U256(1)));
+    EXPECT_FALSE(buf.contains(U256(1), U256(2)));
+    EXPECT_TRUE(buf.contains(U256(1), U256(3)));
+}
+
+TEST(StateBuffer, ClearResets)
+{
+    StateBuffer buf(4);
+    buf.access(U256(1), U256(1));
+    buf.clear();
+    EXPECT_FALSE(buf.contains(U256(1), U256(1)));
+    EXPECT_EQ(buf.hits(), 0u);
+    EXPECT_EQ(buf.size(), 0u);
+}
+
+TEST(CallContractStack, ResidencyAfterLoad)
+{
+    CallContractStack cc(10000);
+    EXPECT_FALSE(cc.resident(U256(1)));
+    cc.load(U256(1), 4000);
+    EXPECT_TRUE(cc.resident(U256(1)));
+    EXPECT_EQ(cc.bytesUsed(), 4000u);
+}
+
+TEST(CallContractStack, ReloadDoesNotDoubleCount)
+{
+    CallContractStack cc(10000);
+    cc.load(U256(1), 4000);
+    cc.load(U256(1), 4000);
+    EXPECT_EQ(cc.bytesUsed(), 4000u);
+}
+
+TEST(CallContractStack, EvictsLruToFit)
+{
+    CallContractStack cc(10000);
+    cc.load(U256(1), 4000);
+    cc.load(U256(2), 4000);
+    cc.load(U256(1), 4000); // refresh 1
+    cc.load(U256(3), 4000); // must evict 2
+    EXPECT_TRUE(cc.resident(U256(1)));
+    EXPECT_FALSE(cc.resident(U256(2)));
+    EXPECT_TRUE(cc.resident(U256(3)));
+    EXPECT_LE(cc.bytesUsed(), 10000u);
+}
+
+TEST(CallContractStack, OversizedContractStillLoads)
+{
+    CallContractStack cc(1000);
+    cc.load(U256(1), 5000); // bigger than capacity
+    EXPECT_TRUE(cc.resident(U256(1)));
+}
+
+TEST(CallContractStack, ClearEmpties)
+{
+    CallContractStack cc(10000);
+    cc.load(U256(1), 100);
+    cc.clear();
+    EXPECT_FALSE(cc.resident(U256(1)));
+    EXPECT_EQ(cc.bytesUsed(), 0u);
+}
+
+} // namespace
+} // namespace mtpu::arch

@@ -1,0 +1,227 @@
+/**
+ * @file
+ * PU timing-model tests against real contract traces: baseline vs
+ * DB-cache configurations, context-load accounting, redundancy reuse,
+ * prefetch hints, and the forceDbHit upper-bound mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/pu.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::arch {
+namespace {
+
+class PuTest : public ::testing::Test
+{
+  protected:
+    PuTest() : gen(5, 64) {}
+
+    workload::BlockRun
+    tetherBlock(int n)
+    {
+        return gen.contractBatch("TetherUSD", n);
+    }
+
+    workload::Generator gen;
+};
+
+TEST_F(PuTest, BaselineCpiInExpectedBand)
+{
+    auto block = tetherBlock(20);
+    MtpuConfig cfg = MtpuConfig::baseline();
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    std::uint64_t cycles = 0, instr = 0;
+    for (const auto &rec : block.txs) {
+        auto t = pu.execute(rec.trace);
+        cycles += t.execCycles;
+        instr += t.instructions;
+    }
+    double cpi = double(cycles) / double(instr);
+    EXPECT_GT(cpi, 1.2);
+    EXPECT_LT(cpi, 2.5);
+}
+
+TEST_F(PuTest, DbCacheBeatsBaseline)
+{
+    auto block = tetherBlock(20);
+    MtpuConfig base = MtpuConfig::baseline();
+    StateBuffer sb1(base.stateBufferEntries);
+    PuModel basePu(base, &sb1);
+
+    MtpuConfig opt;
+    opt.numPus = 1;
+    StateBuffer sb2(opt.stateBufferEntries);
+    PuModel optPu(opt, &sb2);
+
+    std::uint64_t base_cycles = 0, opt_cycles = 0;
+    for (const auto &rec : block.txs) {
+        base_cycles += basePu.execute(rec.trace).execCycles;
+        opt_cycles += optPu.execute(rec.trace).execCycles;
+    }
+    double speedup = double(base_cycles) / double(opt_cycles);
+    EXPECT_GT(speedup, 1.4);
+    EXPECT_LT(speedup, 3.5);
+}
+
+TEST_F(PuTest, ForceDbHitIsUpperBound)
+{
+    auto block = tetherBlock(10);
+    MtpuConfig real_cfg;
+    real_cfg.dbCacheEntries = 64; // small, finite
+    StateBuffer sb1(real_cfg.stateBufferEntries);
+    PuModel realPu(real_cfg, &sb1);
+
+    MtpuConfig ub_cfg;
+    ub_cfg.forceDbHit = true;
+    ub_cfg.dbCacheEntries = 1u << 20;
+    StateBuffer sb2(ub_cfg.stateBufferEntries);
+    PuModel ubPu(ub_cfg, &sb2);
+
+    std::uint64_t real_cycles = 0, ub_cycles = 0;
+    for (const auto &rec : block.txs) {
+        real_cycles += realPu.execute(rec.trace).execCycles;
+        ub_cycles += ubPu.execute(rec.trace).execCycles;
+    }
+    EXPECT_LE(ub_cycles, real_cycles);
+}
+
+TEST_F(PuTest, HitRatioRisesAcrossRedundantTxs)
+{
+    auto block = tetherBlock(30);
+    MtpuConfig cfg;
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    pu.execute(block.txs[0].trace);
+    double first = pu.dbCache().stats().hitRatio();
+    for (std::size_t i = 1; i < block.txs.size(); ++i)
+        pu.execute(block.txs[i].trace);
+    double later = pu.dbCache().stats().hitRatio();
+    EXPECT_GT(later, first);
+    EXPECT_GT(later, 0.5); // redundant batch: most instructions hit
+}
+
+TEST_F(PuTest, ContextReuseSkipsBytecodeLoad)
+{
+    auto block = tetherBlock(5);
+    MtpuConfig cfg;
+    cfg.enableContextReuse = true;
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    auto first = pu.execute(block.txs[0].trace);
+    auto second = pu.execute(block.txs[1].trace);
+    EXPECT_LT(second.loadCycles, first.loadCycles);
+    EXPECT_GE(pu.stats().bytecodeLoadsSkipped, 1u);
+}
+
+TEST_F(PuTest, NoReuseReloadsEveryTime)
+{
+    auto block = tetherBlock(5);
+    MtpuConfig cfg;
+    cfg.enableContextReuse = false;
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    auto first = pu.execute(block.txs[0].trace);
+    auto second = pu.execute(block.txs[1].trace);
+    // Calldata sizes differ slightly; bytecode dominates and reloads.
+    EXPECT_NEAR(double(second.loadCycles), double(first.loadCycles),
+                double(first.loadCycles) * 0.2);
+    EXPECT_EQ(pu.stats().bytecodeLoadsSkipped, 0u);
+}
+
+TEST_F(PuTest, RetainDbAcrossTxsToggle)
+{
+    auto block = tetherBlock(10);
+    MtpuConfig keep;
+    keep.retainDbAcrossTxs = true;
+    StateBuffer sb1(keep.stateBufferEntries);
+    PuModel keepPu(keep, &sb1);
+
+    MtpuConfig drop;
+    drop.retainDbAcrossTxs = false;
+    StateBuffer sb2(drop.stateBufferEntries);
+    PuModel dropPu(drop, &sb2);
+
+    std::uint64_t keep_cycles = 0, drop_cycles = 0;
+    for (const auto &rec : block.txs) {
+        keep_cycles += keepPu.execute(rec.trace).execCycles;
+        drop_cycles += dropPu.execute(rec.trace).execCycles;
+    }
+    EXPECT_LT(keep_cycles, drop_cycles);
+}
+
+TEST_F(PuTest, PrefetchHintReducesCycles)
+{
+    auto block = tetherBlock(4);
+    const auto &trace = block.txs[0].trace;
+
+    std::set<U256> slots;
+    for (const auto &ev : trace.events) {
+        if (ev.unit() == evm::FuncUnit::Storage)
+            slots.insert(ev.storageKey);
+    }
+    ASSERT_FALSE(slots.empty());
+
+    MtpuConfig cfg = MtpuConfig::baseline();
+    StateBuffer sb1(cfg.stateBufferEntries);
+    PuModel plain(cfg, &sb1);
+    StateBuffer sb2(cfg.stateBufferEntries);
+    PuModel hinted(cfg, &sb2);
+
+    ExecHints hints;
+    hints.prefetched = &slots;
+    auto t_plain = plain.execute(trace);
+    auto t_hint = hinted.execute(trace, hints);
+    EXPECT_LT(t_hint.execCycles, t_plain.execCycles);
+    EXPECT_GT(hinted.stats().prefetchHits, 0u);
+}
+
+TEST_F(PuTest, BytecodeBytesHintShrinksLoad)
+{
+    auto block = tetherBlock(2);
+    MtpuConfig cfg;
+    cfg.enableContextReuse = false;
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    ExecHints hints;
+    hints.bytecodeBytes = 512;
+    auto chunked = pu.execute(block.txs[0].trace, hints);
+    pu.reset();
+    auto full = pu.execute(block.txs[0].trace);
+    EXPECT_LT(chunked.loadCycles, full.loadCycles);
+}
+
+TEST_F(PuTest, TimingIsDeterministic)
+{
+    auto block = tetherBlock(6);
+    auto run = [&block]() {
+        MtpuConfig cfg;
+        StateBuffer sb(cfg.stateBufferEntries);
+        PuModel pu(cfg, &sb);
+        std::uint64_t total = 0;
+        for (const auto &rec : block.txs)
+            total += pu.execute(rec.trace).cycles;
+        return total;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST_F(PuTest, StatsAccumulateAcrossTransactions)
+{
+    auto block = tetherBlock(3);
+    MtpuConfig cfg;
+    StateBuffer sb(cfg.stateBufferEntries);
+    PuModel pu(cfg, &sb);
+    for (const auto &rec : block.txs)
+        pu.execute(rec.trace);
+    EXPECT_EQ(pu.stats().transactions, 3u);
+    EXPECT_GT(pu.stats().instructions, 0u);
+    EXPECT_GT(pu.stats().storageAccesses, 0u);
+    pu.reset();
+    EXPECT_EQ(pu.stats().transactions, 0u);
+}
+
+} // namespace
+} // namespace mtpu::arch

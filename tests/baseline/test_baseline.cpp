@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Baseline executor tests: sequential, synchronous rounds, and the
+ * BPU behavioural model (Tables 8/9 premises).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::baseline {
+namespace {
+
+class BaselineTest : public ::testing::Test
+{
+  protected:
+    BaselineTest() : gen(55, 256) {}
+    workload::Generator gen;
+};
+
+TEST_F(BaselineTest, SequentialMakespanIsSumOfTxs)
+{
+    auto block = gen.contractBatch("Dai", 10);
+    SequentialExecutor seq(arch::MtpuConfig::baseline());
+    auto stats = seq.run(block);
+    EXPECT_EQ(stats.makespan, stats.busyCycles);
+    EXPECT_EQ(stats.txCount, 10u);
+}
+
+TEST_F(BaselineTest, SynchronousIndependentBlockUsesAllPus)
+{
+    workload::BlockParams params;
+    params.txCount = 64;
+    params.depRatio = 0.0;
+    auto block = gen.generateBlock(params);
+
+    arch::MtpuConfig one = arch::MtpuConfig::baseline();
+    arch::MtpuConfig four = arch::MtpuConfig::baseline();
+    four.numPus = 4;
+
+    SequentialExecutor seq(one);
+    SynchronousEngine sync(four);
+    auto s1 = seq.run(block);
+    auto s4 = sync.run(block);
+    double speedup = double(s1.makespan) / double(s4.makespan);
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LE(speedup, 4.2);
+}
+
+TEST_F(BaselineTest, SynchronousHonorsDependencies)
+{
+    workload::BlockParams params;
+    params.txCount = 40;
+    params.depRatio = 1.0;
+    auto block = gen.generateBlock(params);
+    ASSERT_GT(block.criticalPathLength(), 10);
+
+    arch::MtpuConfig four = arch::MtpuConfig::baseline();
+    four.numPus = 4;
+    SynchronousEngine sync(four);
+    auto stats = sync.run(block);
+    // Heavy chains leave the barrier engine mostly serial.
+    EXPECT_LT(stats.utilization(), 0.8);
+    EXPECT_EQ(stats.txCount, 40u);
+}
+
+TEST_F(BaselineTest, SynchronousBarrierWaitsForSlowest)
+{
+    workload::BlockParams params;
+    params.txCount = 16;
+    params.depRatio = 0.0;
+    auto block = gen.generateBlock(params);
+    arch::MtpuConfig four = arch::MtpuConfig::baseline();
+    four.numPus = 4;
+    SynchronousEngine sync(four);
+    auto stats = sync.run(block);
+    // Rounds imply makespan >= busy / numPus with barrier slack.
+    EXPECT_GE(stats.makespan * 4, stats.busyCycles);
+}
+
+TEST_F(BaselineTest, BpuAcceleratesErc20Blocks)
+{
+    workload::BlockParams params;
+    params.txCount = 60;
+    params.erc20Share = 1.0;
+    auto block = gen.generateBlock(params);
+
+    arch::MtpuConfig gsc = arch::MtpuConfig::baseline();
+    SequentialExecutor base(gsc);
+    auto b = base.run(block);
+
+    BpuModel bpu({1, 12.82}, gsc);
+    auto r = bpu.run(block);
+    double speedup = double(b.makespan) / double(r.makespan);
+    EXPECT_GT(speedup, 8.0);
+    EXPECT_LT(speedup, 14.0);
+}
+
+TEST_F(BaselineTest, BpuDegradesGracefullyWithMixedBlocks)
+{
+    arch::MtpuConfig gsc = arch::MtpuConfig::baseline();
+    double prev = 1e9;
+    for (double share : {1.0, 0.6, 0.2}) {
+        workload::BlockParams params;
+        params.txCount = 80;
+        params.erc20Share = share;
+        auto block = gen.generateBlock(params);
+        SequentialExecutor base(gsc);
+        auto b = base.run(block);
+        BpuModel bpu({1, 12.82}, gsc);
+        auto r = bpu.run(block);
+        double speedup = double(b.makespan) / double(r.makespan);
+        EXPECT_LT(speedup, prev + 0.3) << share; // monotone-ish decline
+        prev = speedup;
+    }
+    EXPECT_LT(prev, 2.5); // 20% ERC20 -> small gain
+}
+
+TEST_F(BaselineTest, BpuZeroErc20EqualsGsc)
+{
+    workload::BlockParams params;
+    params.txCount = 40;
+    params.erc20Share = 0.0;
+    auto block = gen.generateBlock(params);
+    ASSERT_DOUBLE_EQ(block.erc20Ratio(), 0.0);
+
+    arch::MtpuConfig gsc = arch::MtpuConfig::baseline();
+    SequentialExecutor base(gsc);
+    BpuModel bpu({1, 12.82}, gsc);
+    EXPECT_EQ(bpu.run(block).makespan, base.run(block).makespan);
+}
+
+TEST_F(BaselineTest, QuadBpuScalesOnIndependentBlocks)
+{
+    workload::BlockParams params;
+    params.txCount = 80;
+    params.erc20Share = 0.5;
+    auto block = gen.generateBlock(params);
+    arch::MtpuConfig gsc = arch::MtpuConfig::baseline();
+    BpuModel single({1, 12.82}, gsc);
+    BpuModel quad({4, 12.82}, gsc);
+    auto s1 = single.run(block);
+    auto s4 = quad.run(block);
+    EXPECT_LT(s4.makespan, s1.makespan);
+}
+
+} // namespace
+} // namespace mtpu::baseline

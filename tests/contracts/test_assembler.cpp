@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "asm/disassembler.hpp"
+
+namespace mtpu::easm {
+namespace {
+
+TEST(Assembler, PushAutoSizing)
+{
+    Assembler a;
+    a.push(U256(0)).push(U256(0xff)).push(U256(0x100));
+    Bytes code = a.assemble();
+    // PUSH1 00, PUSH1 ff, PUSH2 0100
+    EXPECT_EQ(code, Bytes({0x60, 0x00, 0x60, 0xff, 0x61, 0x01, 0x00}));
+}
+
+TEST(Assembler, PushNExplicitWidth)
+{
+    Assembler a;
+    a.pushN(4, U256(0xa9059cbb));
+    EXPECT_EQ(a.assemble(), Bytes({0x63, 0xa9, 0x05, 0x9c, 0xbb}));
+    Assembler b;
+    b.pushN(2, U256(5));
+    EXPECT_EQ(b.assemble(), Bytes({0x61, 0x00, 0x05}));
+    Assembler c;
+    EXPECT_THROW(c.pushN(1, U256(0x100)), std::invalid_argument);
+}
+
+TEST(Assembler, LabelsResolveForwardAndBackward)
+{
+    Assembler a;
+    a.pushLabel("fwd").op(Assembler::Op::JUMP);
+    a.dest("back");
+    a.op(Assembler::Op::STOP);
+    a.dest("fwd");
+    a.pushLabel("back").op(Assembler::Op::JUMP);
+    Bytes code = a.assemble();
+    // Layout: 0 PUSH2, 3 JUMP, 4 JUMPDEST("back"), 5 STOP,
+    //         6 JUMPDEST("fwd"), 7 PUSH2, 10 JUMP.
+    EXPECT_EQ(code[1], 0x00);
+    EXPECT_EQ(code[2], 0x06); // "fwd"
+    EXPECT_EQ(code[4], 0x5b); // "back"
+    EXPECT_EQ(code[6], 0x5b);
+    EXPECT_EQ(code[8], 0x00);
+    EXPECT_EQ(code[9], 0x04); // back-reference resolved
+}
+
+TEST(Assembler, UndefinedLabelThrows)
+{
+    Assembler a;
+    a.pushLabel("nowhere").op(Assembler::Op::JUMP);
+    EXPECT_THROW(a.assemble(), std::runtime_error);
+}
+
+TEST(Assembler, DuplicateLabelThrows)
+{
+    Assembler a;
+    a.label("x");
+    EXPECT_THROW(a.label("x"), std::invalid_argument);
+}
+
+TEST(Assembler, DispatchCaseShape)
+{
+    Assembler a;
+    a.loadFunctionId();
+    a.dispatchCase(0xa9059cbb, "f");
+    a.revert();
+    a.dest("f");
+    a.op(Assembler::Op::STOP);
+    Bytes code = a.assemble();
+    // prologue: PUSH1 0 CALLDATALOAD PUSH1 224(0xe0) SHR
+    EXPECT_EQ(code[0], 0x60);
+    EXPECT_EQ(code[2], 0x35);
+    EXPECT_EQ(code[3], 0x60);
+    EXPECT_EQ(code[4], 0xe0);
+    EXPECT_EQ(code[5], 0x1c);
+    // case: DUP1 PUSH4 sel EQ PUSH2 target JUMPI
+    EXPECT_EQ(code[6], 0x80);
+    EXPECT_EQ(code[7], 0x63);
+}
+
+TEST(Disassembler, RoundTripsListing)
+{
+    Assembler a;
+    a.push(U256(0x42)).op(Assembler::Op::DUP1).op(Assembler::Op::MSTORE);
+    a.op(Assembler::Op::STOP);
+    auto insns = disassemble(a.assemble());
+    ASSERT_EQ(insns.size(), 4u);
+    EXPECT_EQ(insns[0].immediate, U256(0x42));
+    EXPECT_EQ(insns[1].pc, 2u);
+    EXPECT_EQ(std::string(insns[2].toString()).substr(6), "MSTORE");
+}
+
+TEST(Disassembler, TruncatedPushDecodesZeroPadded)
+{
+    Bytes code = {0x61, 0xab}; // PUSH2 with one byte missing
+    auto insns = disassemble(code);
+    ASSERT_EQ(insns.size(), 1u);
+    EXPECT_EQ(insns[0].immediate, U256(0xab00));
+}
+
+TEST(Disassembler, DecodeAtBeyondEndReturnsZero)
+{
+    DecodedInsn insn;
+    EXPECT_EQ(decodeAt({0x00}, 5, insn), 0u);
+}
+
+} // namespace
+} // namespace mtpu::easm

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * SolBuilder helper tests: each emission helper is exercised in a tiny
+ * program through the reference interpreter, so the stack-effect
+ * contracts documented in builders.hpp are enforced by execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "contracts/builders.hpp"
+#include "evm/interpreter.hpp"
+#include "support/keccak.hpp"
+
+namespace mtpu::contracts {
+namespace {
+
+using easm::Assembler;
+using Op = evm::Op;
+
+class BuilderTest : public ::testing::Test
+{
+  protected:
+    BuilderTest()
+    {
+        state.setBalance(kSender, U256::fromDec("1000000000000000000"));
+        header.coinbase = U256(0xfee);
+    }
+
+    evm::Receipt
+    run(const Bytes &code, const Bytes &data = {},
+        const U256 &value = U256())
+    {
+        state.createAccount(kContract);
+        state.setCode(kContract, code);
+        evm::Transaction tx;
+        tx.from = kSender;
+        tx.to = kContract;
+        tx.data = data;
+        tx.callValue = value;
+        return interp.applyTransaction(state, header, tx);
+    }
+
+    static U256
+    word(const evm::Receipt &r)
+    {
+        return U256::fromBytes(r.returnData.data(), r.returnData.size());
+    }
+
+    static const evm::Address kSender;
+    static const evm::Address kContract;
+    evm::WorldState state;
+    evm::BlockHeader header;
+    evm::Interpreter interp;
+};
+
+const evm::Address BuilderTest::kSender = U256(0xaaaa);
+const evm::Address BuilderTest::kContract = U256(0xcccc);
+
+TEST_F(BuilderTest, CheckedAddComputesAndOverflowReverts)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(0)).op(Op::CALLDATALOAD);    // x
+    a.push(U256(32)).op(Op::CALLDATALOAD);   // y (top)
+    b.checkedAdd();
+    a.returnTopWord();
+    Bytes code = a.assemble();
+
+    auto args = [](const U256 &x, const U256 &y) {
+        Bytes data(64, 0);
+        x.toBytes(data.data());
+        y.toBytes(data.data() + 32);
+        return data;
+    };
+    auto ok = run(code, args(U256(40), U256(2)));
+    ASSERT_TRUE(ok.success);
+    EXPECT_EQ(word(ok), U256(42));
+
+    auto overflow = run(code, args(U256::max(), U256(1)));
+    EXPECT_FALSE(overflow.success);
+}
+
+TEST_F(BuilderTest, CheckedSubComputesAndUnderflowReverts)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(0)).op(Op::CALLDATALOAD);
+    a.push(U256(32)).op(Op::CALLDATALOAD);
+    b.checkedSub();
+    a.returnTopWord();
+    Bytes code = a.assemble();
+
+    Bytes data(64, 0);
+    U256(50).toBytes(data.data());
+    U256(8).toBytes(data.data() + 32);
+    auto ok = run(code, data);
+    ASSERT_TRUE(ok.success);
+    EXPECT_EQ(word(ok), U256(42));
+
+    U256(8).toBytes(data.data());
+    U256(50).toBytes(data.data() + 32);
+    EXPECT_FALSE(run(code, data).success);
+}
+
+TEST_F(BuilderTest, SafeMathSubroutinesMatchInline)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(30)); // x
+    a.push(U256(12)); // y
+    b.callSafeAdd();
+    a.push(U256(2));
+    b.callSafeSub();  // (30+12)-2
+    a.returnTopWord();
+    b.emitMathSubroutines();
+    auto r = run(a.assemble());
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word(r), U256(40));
+}
+
+TEST_F(BuilderTest, MappingStoreThenLoadRoundTrips)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(0x1234));        // key
+    a.push(U256(99));            // value
+    b.mappingStore(7);
+    a.push(U256(0x1234));
+    b.mappingLoad(7);
+    a.returnTopWord();
+    auto r = run(a.assemble());
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(99));
+    // And the slot is where the host-side helper expects it.
+    EXPECT_EQ(state.storageAt(kContract,
+                              keccak256Pair(U256(0x1234), U256(7))),
+              U256(99));
+}
+
+TEST_F(BuilderTest, NestedMappingRoundTrips)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(0xaa)).push(U256(0xbb)).push(U256(55));
+    b.nestedMappingStore(2);
+    a.push(U256(0xaa)).push(U256(0xbb));
+    b.nestedMappingLoad(2);
+    a.returnTopWord();
+    auto r = run(a.assemble());
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(55));
+    EXPECT_EQ(state.storageAt(
+                  kContract,
+                  keccak256Pair(U256(0xbb),
+                                keccak256Pair(U256(0xaa), U256(2)))),
+              U256(55));
+}
+
+TEST_F(BuilderTest, NonPayableRejectsValue)
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.nonPayable();
+    a.push(U256(1)).returnTopWord();
+    Bytes code = a.assemble();
+    EXPECT_TRUE(run(code).success);
+    EXPECT_FALSE(run(code, {}, U256(5)).success);
+}
+
+TEST_F(BuilderTest, CalldataGuardEnforcesLength)
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.calldataGuard(2); // needs 4 + 64 bytes
+    a.push(U256(1)).returnTopWord();
+    Bytes code = a.assemble();
+    EXPECT_FALSE(run(code, Bytes(67, 0)).success);
+    EXPECT_TRUE(run(code, Bytes(68, 0)).success);
+}
+
+TEST_F(BuilderTest, RuntimePrologueSetsFreeMemoryPointer)
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.push(U256(0x40)).op(Op::MLOAD);
+    a.returnTopWord();
+    auto r = run(a.assemble(), Bytes(4, 0xab)); // >= 4 bytes calldata
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(0x80));
+    // Short calldata is rejected by the guard.
+    EXPECT_FALSE(run(a.assemble(), Bytes(3, 0)).success);
+}
+
+TEST_F(BuilderTest, RequireNonZeroAddress)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(0)).op(Op::CALLDATALOAD);
+    b.requireNonZeroAddress();
+    a.returnTopWord();
+    Bytes code = a.assemble();
+    Bytes nonzero(32, 0);
+    nonzero[31] = 5;
+    EXPECT_TRUE(run(code, nonzero).success);
+    EXPECT_FALSE(run(code, Bytes(32, 0)).success);
+}
+
+TEST_F(BuilderTest, BasisPointsFeeSplitsValue)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(10000)); // value
+    b.basisPointsFee(25); // 0.25% -> fee 25
+    // stack [value-fee, fee]: return fee * 2^128 + (value-fee)
+    a.push(U256(1).shl(128)).op(Op::MUL);
+    a.op(Op::ADD);
+    a.returnTopWord();
+    auto r = run(a.assemble());
+    ASSERT_TRUE(r.success) << r.error;
+    U256 out = word(r);
+    EXPECT_EQ(out.shr(128), U256(25));          // fee
+    EXPECT_EQ(out & U256::max().shr(128), U256(9975)); // value - fee
+}
+
+TEST_F(BuilderTest, LoadAddressArgMasksTo160Bits)
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.loadAddressArg(0);
+    a.returnTopWord();
+    Bytes data(4 + 32, 0xff); // all-ones word after 4 selector bytes
+    auto r = run(a.assemble(), data);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256::max().shr(96));
+}
+
+TEST_F(BuilderTest, EmitEvent3ProducesThreeTopicLog)
+{
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.push(U256(0x33));  // t3
+    a.push(U256(0x22));  // t2
+    a.push(U256(0x11));  // data
+    b.emitEvent3(U256(0xabcdef));
+    a.stop();
+    auto r = run(a.assemble(), Bytes(4, 0));
+    ASSERT_TRUE(r.success) << r.error;
+    ASSERT_EQ(r.logs.size(), 1u);
+    ASSERT_EQ(r.logs[0].topics.size(), 3u);
+    EXPECT_EQ(r.logs[0].topics[0], U256(0xabcdef));
+    EXPECT_EQ(r.logs[0].topics[1], U256(0x22));
+    EXPECT_EQ(r.logs[0].topics[2], U256(0x33));
+    ASSERT_EQ(r.logs[0].data.size(), 32u);
+    EXPECT_EQ(r.logs[0].data[31], 0x11);
+}
+
+TEST_F(BuilderTest, PadToReachesExactTarget)
+{
+    Assembler a;
+    SolBuilder b(a);
+    a.push(U256(1)).returnTopWord();
+    b.padTo(500);
+    Bytes code = a.assemble();
+    EXPECT_EQ(code.size(), 500u);
+    // Execution is unaffected by padding.
+    auto r = run(code);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(1));
+}
+
+} // namespace
+} // namespace mtpu::contracts

@@ -1,0 +1,270 @@
+/**
+ * @file
+ * End-to-end tests of the router, marketplace, gateway and ballot
+ * contracts through the reference interpreter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "contracts/contracts.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/trace.hpp"
+#include "support/keccak.hpp"
+
+namespace mtpu::contracts {
+namespace {
+
+using evm::Address;
+using evm::Receipt;
+using evm::Transaction;
+using evm::WorldState;
+
+class DexMarketTest : public ::testing::Test
+{
+  protected:
+    DexMarketTest()
+    {
+        for (int i = 0; i < 4; ++i) {
+            users.push_back(userAddress(i));
+            state.setBalance(users.back(),
+                             U256::fromDec("1000000000000000000000"));
+        }
+        set.deploy(state, users);
+        header.height = 1;
+        header.coinbase = U256(0xfee);
+        header.timestamp = 1700000000;
+    }
+
+    Receipt
+    call(const Address &from, const ContractSpec &spec,
+         std::uint32_t selector, const std::vector<U256> &args,
+         const U256 &value = U256(), evm::Trace *trace = nullptr)
+    {
+        Transaction tx;
+        tx.from = from;
+        tx.to = spec.address;
+        tx.data = ContractSet::encodeCall(selector, args);
+        tx.callValue = value;
+        return interp.applyTransaction(state, header, tx, trace);
+    }
+
+    U256
+    tokenBalance(const ContractSpec &spec, const Address &who)
+    {
+        return state.storageAt(spec.address, keccak256Pair(who, U256(1)));
+    }
+
+    static U256
+    word(const Receipt &r)
+    {
+        return U256::fromBytes(r.returnData.data(), r.returnData.size());
+    }
+
+    ContractSet set;
+    WorldState state;
+    evm::BlockHeader header;
+    evm::Interpreter interp;
+    std::vector<Address> users;
+};
+
+TEST_F(DexMarketTest, SwapMovesTokensAndUpdatesReserves)
+{
+    const ContractSpec &router = set.byName("UniswapV2Router02");
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    const ContractSpec &dai = set.byName("Dai");
+
+    U256 usdt_before = tokenBalance(usdt, users[0]);
+    U256 dai_before = tokenBalance(dai, users[0]);
+
+    Receipt r = call(users[0], router, sel::kSwapExactTokens,
+                     {U256(10000), U256(1), usdt.address, dai.address,
+                      users[0]});
+    ASSERT_TRUE(r.success) << r.error;
+    U256 out = word(r);
+    // ~0.3% fee: out slightly below in for deep reserves.
+    EXPECT_GT(out, U256(9900));
+    EXPECT_LT(out, U256(10000));
+
+    EXPECT_EQ(tokenBalance(usdt, users[0]), usdt_before - U256(10000));
+    EXPECT_EQ(tokenBalance(dai, users[0]), dai_before + out);
+
+    // Reserves moved in both directions.
+    U256 r_in = state.storageAt(
+        router.address,
+        keccak256Pair(dai.address,
+                      keccak256Pair(usdt.address, U256(1))));
+    EXPECT_EQ(r_in, U256::fromDec("1000000000000000") + U256(10000));
+}
+
+TEST_F(DexMarketTest, SwapRevertsWhenBelowMinOut)
+{
+    const ContractSpec &router = set.byName("UniswapV2Router02");
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    const ContractSpec &dai = set.byName("Dai");
+    Receipt r = call(users[0], router, sel::kSwapExactTokens,
+                     {U256(10000), U256(10001), usdt.address, dai.address,
+                      users[0]});
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(DexMarketTest, SwapRouterV3FlavorWorks)
+{
+    const ContractSpec &router = set.byName("SwapRouter");
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    const ContractSpec &link = set.byName("LinkToken");
+    Receipt r = call(users[1], router, sel::kExactInputSingle,
+                     {U256(5000), U256(1), usdt.address, link.address,
+                      users[1]});
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_GT(word(r), U256(1));
+}
+
+TEST_F(DexMarketTest, SwapTraceCrossesContracts)
+{
+    const ContractSpec &router = set.byName("UniswapV2Router02");
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    const ContractSpec &dai = set.byName("Dai");
+    evm::Trace trace;
+    Receipt r = call(users[0], router, sel::kSwapExactTokens,
+                     {U256(1000), U256(1), usdt.address, dai.address,
+                      users[0]},
+                     U256(), &trace);
+    ASSERT_TRUE(r.success);
+    // Router + two token contracts executed.
+    EXPECT_EQ(trace.codeAddrs.size(), 3u);
+    bool saw_depth1 = false;
+    for (const auto &ev : trace.events)
+        saw_depth1 |= (ev.depth == 1);
+    EXPECT_TRUE(saw_depth1);
+}
+
+TEST_F(DexMarketTest, AuctionBidTransfersOwnership)
+{
+    const ContractSpec &mkt = set.byName("OpenSea");
+    // Token 1 has an open auction (seeded), owner users[1].
+    U256 token_id(1);
+    Receipt r = call(users[2], mkt, sel::kBid, {token_id}, U256(100));
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(state.storageAt(mkt.address,
+                              keccak256Pair(token_id, U256(1))),
+              users[2]);
+    // Auction cleared.
+    EXPECT_EQ(state.storageAt(mkt.address,
+                              keccak256Pair(token_id, U256(2))),
+              U256());
+    // Seller escrow credited.
+    EXPECT_EQ(state.storageAt(mkt.address,
+                              keccak256Pair(users[1], U256(4))),
+              U256(100));
+}
+
+TEST_F(DexMarketTest, BidBelowPriceReverts)
+{
+    const ContractSpec &mkt = set.byName("OpenSea");
+    Receipt r = call(users[2], mkt, sel::kBid, {U256(1)}, U256(99));
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(DexMarketTest, BidOnClosedAuctionReverts)
+{
+    const ContractSpec &mkt = set.byName("OpenSea");
+    ASSERT_TRUE(call(users[2], mkt, sel::kBid, {U256(1)},
+                     U256(100)).success);
+    Receipt r = call(users[3], mkt, sel::kBid, {U256(1)}, U256(100));
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(DexMarketTest, CreateSaleAuctionRequiresOwnership)
+{
+    const ContractSpec &mkt = set.byName("OpenSea");
+    int n = int(users.size());
+    // Token 2n+1 is owned (unauctioned) by users[(2n+1) % n] = users[1].
+    U256 token_id(std::uint64_t(2 * n + 1));
+    Receipt bad = call(users[0], mkt, sel::kCreateSaleAuction,
+                       {token_id, U256(500)});
+    EXPECT_FALSE(bad.success);
+    Receipt good = call(users[1], mkt, sel::kCreateSaleAuction,
+                        {token_id, U256(500)});
+    ASSERT_TRUE(good.success) << good.error;
+    EXPECT_EQ(state.storageAt(mkt.address,
+                              keccak256Pair(token_id, U256(2))),
+              U256(500));
+}
+
+TEST_F(DexMarketTest, CancelAuctionBySeller)
+{
+    const ContractSpec &mkt = set.byName("OpenSea");
+    // Auction for token 1 seeded with seller users[1].
+    Receipt bad = call(users[0], mkt, sel::kCancelAuction, {U256(1)});
+    EXPECT_FALSE(bad.success);
+    Receipt good = call(users[1], mkt, sel::kCancelAuction, {U256(1)});
+    ASSERT_TRUE(good.success) << good.error;
+    EXPECT_EQ(state.storageAt(mkt.address,
+                              keccak256Pair(U256(1), U256(2))),
+              U256());
+}
+
+TEST_F(DexMarketTest, GatewayDepositAndWithdraw)
+{
+    const ContractSpec &gw = set.byName("MainchainGatewayProxy");
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    Receipt rd = call(users[0], gw, sel::kDepositEth, {U256(5000)});
+    ASSERT_TRUE(rd.success) << rd.error;
+    // Gateway balance slot 7.
+    EXPECT_EQ(state.storageAt(gw.address,
+                              keccak256Pair(users[0], U256(7))),
+              U256(1'000'000'000'000ull) + U256(5000));
+
+    U256 wallet_before = tokenBalance(usdt, users[0]);
+    Receipt rw = call(users[0], gw, sel::kWithdrawToken,
+                      {usdt.address, U256(3000)});
+    ASSERT_TRUE(rw.success) << rw.error;
+    EXPECT_EQ(tokenBalance(usdt, users[0]), wallet_before + U256(3000));
+}
+
+TEST_F(DexMarketTest, GatewayZeroDepositReverts)
+{
+    const ContractSpec &gw = set.byName("MainchainGatewayProxy");
+    Receipt r = call(users[0], gw, sel::kDepositEth, {U256(0)});
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(DexMarketTest, BallotVoteOncePerUser)
+{
+    const ContractSpec &ballot = set.byName("Ballot");
+    Receipt r1 = call(users[0], ballot, sel::kVote, {U256(2)});
+    ASSERT_TRUE(r1.success) << r1.error;
+    EXPECT_EQ(state.storageAt(ballot.address,
+                              keccak256Pair(U256(2), U256(3))),
+              U256(1));
+    Receipt r2 = call(users[0], ballot, sel::kVote, {U256(2)});
+    EXPECT_FALSE(r2.success); // already voted
+
+    Receipt r3 = call(users[1], ballot, sel::kVote, {U256(2)});
+    ASSERT_TRUE(r3.success);
+    EXPECT_EQ(state.storageAt(ballot.address,
+                              keccak256Pair(U256(2), U256(3))),
+              U256(2));
+}
+
+TEST_F(DexMarketTest, InstructionMixIsStackHeavy)
+{
+    // The paper's Table 6 premise: ~55-70 % of dynamically executed
+    // instructions are stack operations.
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    evm::Trace trace;
+    Receipt r = call(users[0], usdt, sel::kTransfer,
+                     {users[1], U256(42)}, U256(), &trace);
+    ASSERT_TRUE(r.success);
+    std::size_t stack_ops = 0;
+    for (const auto &ev : trace.events) {
+        if (ev.unit() == evm::FuncUnit::Stack)
+            ++stack_ops;
+    }
+    double ratio = double(stack_ops) / double(trace.events.size());
+    EXPECT_GT(ratio, 0.45);
+    EXPECT_LT(ratio, 0.80);
+}
+
+} // namespace
+} // namespace mtpu::contracts

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * End-to-end tests of the synthetic ERC20-family contracts through the
+ * reference interpreter: transfers, approvals, proxy delegation, WETH.
+ */
+
+#include <gtest/gtest.h>
+
+#include "contracts/contracts.hpp"
+#include "evm/interpreter.hpp"
+#include "support/keccak.hpp"
+
+namespace mtpu::contracts {
+namespace {
+
+using evm::Address;
+using evm::Receipt;
+using evm::Transaction;
+using evm::WorldState;
+
+class Erc20Test : public ::testing::Test
+{
+  protected:
+    Erc20Test()
+    {
+        for (int i = 0; i < 4; ++i) {
+            users.push_back(userAddress(i));
+            state.setBalance(users.back(),
+                             U256::fromDec("1000000000000000000000"));
+        }
+        set.deploy(state, users);
+        header.height = 1;
+        header.coinbase = U256(0xfee);
+        header.timestamp = 1700000000;
+    }
+
+    Receipt
+    call(const Address &from, const ContractSpec &spec,
+         std::uint32_t selector, const std::vector<U256> &args,
+         const U256 &value = U256())
+    {
+        Transaction tx;
+        tx.from = from;
+        tx.to = spec.address;
+        tx.data = ContractSet::encodeCall(selector, args);
+        tx.callValue = value;
+        return interp.applyTransaction(state, header, tx);
+    }
+
+    U256
+    tokenBalance(const ContractSpec &spec, const Address &who)
+    {
+        return state.storageAt(spec.address, keccak256Pair(who, U256(1)));
+    }
+
+    static U256
+    word(const Receipt &r)
+    {
+        return U256::fromBytes(r.returnData.data(), r.returnData.size());
+    }
+
+    ContractSet set;
+    WorldState state;
+    evm::BlockHeader header;
+    evm::Interpreter interp;
+    std::vector<Address> users;
+};
+
+TEST_F(Erc20Test, ContractsDeployedWithTargetSizes)
+{
+    EXPECT_EQ(set.byName("TetherUSD").bytecode.size(), 5759u);
+    EXPECT_EQ(set.byName("WETH9").bytecode.size(), 1607u);
+    EXPECT_EQ(set.byName("CryptoCat").bytecode.size(), 12500u);
+    EXPECT_EQ(set.byName("Ballot").bytecode.size(), 1203u);
+    for (const auto &spec : set.top8())
+        EXPECT_EQ(state.code(spec.address), spec.bytecode) << spec.name;
+}
+
+TEST_F(Erc20Test, TransferMovesBalance)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    U256 before0 = tokenBalance(usdt, users[0]);
+    U256 before1 = tokenBalance(usdt, users[1]);
+
+    Receipt r = call(users[0], usdt, sel::kTransfer,
+                     {users[1], U256(500)});
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word(r), U256(1));
+    EXPECT_EQ(tokenBalance(usdt, users[0]), before0 - U256(500));
+    EXPECT_EQ(tokenBalance(usdt, users[1]), before1 + U256(500));
+    ASSERT_EQ(r.logs.size(), 1u); // Transfer event
+    EXPECT_EQ(r.logs[0].topics.size(), 3u);
+}
+
+TEST_F(Erc20Test, TransferRevertsOnInsufficientBalance)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    U256 excessive = tokenBalance(usdt, users[0]) + U256(1);
+    Receipt r = call(users[0], usdt, sel::kTransfer,
+                     {users[1], excessive});
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(tokenBalance(usdt, users[1]),
+              U256(1'000'000'000'000ull)); // unchanged
+}
+
+TEST_F(Erc20Test, TransferRejectsValue)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    Receipt r = call(users[0], usdt, sel::kTransfer,
+                     {users[1], U256(10)}, U256(1));
+    EXPECT_FALSE(r.success); // nonpayable
+}
+
+TEST_F(Erc20Test, BalanceOfReturnsSeededBalance)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    Receipt r = call(users[2], usdt, sel::kBalanceOf, {users[0]});
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(1'000'000'000'000ull));
+}
+
+TEST_F(Erc20Test, TotalSupplyMatchesSeeding)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    Receipt r = call(users[0], usdt, sel::kTotalSupply, {});
+    ASSERT_TRUE(r.success);
+    EXPECT_FALSE(word(r).isZero());
+}
+
+TEST_F(Erc20Test, ApproveThenTransferFrom)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    Receipt ra = call(users[0], usdt, sel::kApprove,
+                      {users[3], U256(1000)});
+    ASSERT_TRUE(ra.success) << ra.error;
+
+    Receipt rq = call(users[0], usdt, sel::kAllowance,
+                      {users[0], users[3]});
+    ASSERT_TRUE(rq.success);
+    EXPECT_EQ(word(rq), U256(1000));
+
+    U256 before2 = tokenBalance(usdt, users[2]);
+    Receipt rt = call(users[3], usdt, sel::kTransferFrom,
+                      {users[0], users[2], U256(400)});
+    ASSERT_TRUE(rt.success) << rt.error;
+    EXPECT_EQ(tokenBalance(usdt, users[2]), before2 + U256(400));
+
+    Receipt rq2 = call(users[0], usdt, sel::kAllowance,
+                       {users[0], users[3]});
+    EXPECT_EQ(word(rq2), U256(600));
+}
+
+TEST_F(Erc20Test, TransferFromRevertsBeyondAllowance)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    ASSERT_TRUE(call(users[0], usdt, sel::kApprove,
+                     {users[3], U256(100)}).success);
+    Receipt r = call(users[3], usdt, sel::kTransferFrom,
+                     {users[0], users[2], U256(101)});
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(Erc20Test, UnknownSelectorReverts)
+{
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    Receipt r = call(users[0], usdt, 0xdeadbeef, {});
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(Erc20Test, DaiMintRequiresWard)
+{
+    const ContractSpec &dai = set.byName("Dai");
+    // users are seeded as wards
+    U256 before = tokenBalance(dai, users[1]);
+    Receipt r = call(users[0], dai, sel::kMint, {users[1], U256(777)});
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(tokenBalance(dai, users[1]), before + U256(777));
+
+    // A non-ward cannot mint.
+    Address stranger = U256(0x5555);
+    state.setBalance(stranger, U256::fromDec("10000000000000000"));
+    Receipt r2 = call(stranger, dai, sel::kMint, {users[1], U256(1)});
+    EXPECT_FALSE(r2.success);
+}
+
+TEST_F(Erc20Test, DaiBurnReducesSupply)
+{
+    const ContractSpec &dai = set.byName("Dai");
+    Receipt ts_before = call(users[0], dai, sel::kTotalSupply, {});
+    Receipt r = call(users[0], dai, sel::kBurn, {users[0], U256(100)});
+    ASSERT_TRUE(r.success) << r.error;
+    Receipt ts_after = call(users[0], dai, sel::kTotalSupply, {});
+    EXPECT_EQ(word(ts_after), word(ts_before) - U256(100));
+}
+
+TEST_F(Erc20Test, ProxyDelegatesToImplementation)
+{
+    const ContractSpec &proxy = set.byName("FiatTokenProxy");
+    U256 before0 = tokenBalance(proxy, users[0]);
+    U256 before1 = tokenBalance(proxy, users[1]);
+    Receipt r = call(users[0], proxy, sel::kTransfer,
+                     {users[1], U256(250)});
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word(r), U256(1));
+    // Balances live in the proxy's storage (delegatecall semantics).
+    EXPECT_EQ(tokenBalance(proxy, users[0]), before0 - U256(250));
+    EXPECT_EQ(tokenBalance(proxy, users[1]), before1 + U256(250));
+}
+
+TEST_F(Erc20Test, ProxyPropagatesRevert)
+{
+    const ContractSpec &proxy = set.byName("FiatTokenProxy");
+    U256 excessive = tokenBalance(proxy, users[0]) + U256(1);
+    Receipt r = call(users[0], proxy, sel::kTransfer,
+                     {users[1], excessive});
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(Erc20Test, WethDepositAndWithdraw)
+{
+    const ContractSpec &weth = set.byName("WETH9");
+    U256 native_before = state.balance(users[0]);
+    Receipt rd = call(users[0], weth, sel::kDeposit, {}, U256(10000));
+    ASSERT_TRUE(rd.success) << rd.error;
+    EXPECT_EQ(tokenBalance(weth, users[0]), U256(1'000'000'000'000ull)
+                                              + U256(10000));
+    // Native balance decreased by value + fee.
+    EXPECT_TRUE(state.balance(users[0]) < native_before - U256(9999));
+
+    Receipt rw = call(users[0], weth, sel::kWithdraw, {U256(4000)});
+    ASSERT_TRUE(rw.success) << rw.error;
+    EXPECT_EQ(tokenBalance(weth, users[0]),
+              U256(1'000'000'000'000ull) + U256(6000));
+}
+
+TEST_F(Erc20Test, WethWithdrawBeyondBalanceReverts)
+{
+    const ContractSpec &weth = set.byName("WETH9");
+    Receipt r = call(users[0], weth, sel::kWithdraw,
+                     {U256::fromDec("99999999999999999")});
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(Erc20Test, LinkTransferAndCallNotifiesReceiver)
+{
+    const ContractSpec &link = set.byName("LinkToken");
+    const ContractSpec &receiver = set.byName("LinkReceiver");
+    Receipt r = call(users[0], link, sel::kTransferAndCall,
+                     {receiver.address, U256(123)});
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(tokenBalance(link, receiver.address), U256(123));
+    // Receiver accumulated the amount in its slot 0.
+    EXPECT_EQ(state.storageAt(receiver.address, U256(0)), U256(123));
+}
+
+TEST_F(Erc20Test, GasIsIdenticalForRedundantTransfers)
+{
+    // Two different senders executing the same entry function burn
+    // nearly identical gas — the redundancy premise of the paper.
+    const ContractSpec &usdt = set.byName("TetherUSD");
+    Receipt r1 = call(users[0], usdt, sel::kTransfer,
+                      {users[2], U256(10)});
+    Receipt r2 = call(users[1], usdt, sel::kTransfer,
+                      {users[3], U256(11)});
+    ASSERT_TRUE(r1.success);
+    ASSERT_TRUE(r2.success);
+    // Identical path: SSTORE warm/cold differences aside, costs match.
+    EXPECT_NEAR(double(r1.gasUsed), double(r2.gasUsed),
+                double(r1.gasUsed) * 0.2);
+}
+
+} // namespace
+} // namespace mtpu::contracts

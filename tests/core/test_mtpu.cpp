@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Integration tests of the MtpuProcessor facade: the optimization
+ * ladder of Figs. 14/16 (sync < spatio-temporal < +redundancy <
+ * +hotspot), end-to-end speedup bands, and the area model hookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mtpu.hpp"
+
+namespace mtpu::core {
+namespace {
+
+class MtpuTest : public ::testing::Test
+{
+  protected:
+    MtpuTest() : gen(123, 512) {}
+
+    workload::BlockRun
+    block(int txs, double dep)
+    {
+        workload::BlockParams params;
+        params.txCount = txs;
+        params.depRatio = dep;
+        return gen.generateBlock(params);
+    }
+
+    workload::Generator gen;
+};
+
+TEST_F(MtpuTest, OptimizationLadderOnIndependentBlock)
+{
+    auto b = block(100, 0.1);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    MtpuProcessor proc(cfg);
+    proc.warmup(b, 32);
+
+    auto sync = proc.compare(b, {Scheme::Synchronous, false, false});
+    proc.reset();
+    auto st = proc.compare(b, {Scheme::SpatioTemporal, false, false});
+    proc.reset();
+    auto st_r = proc.compare(b, {Scheme::SpatioTemporal, true, false});
+    proc.reset();
+    auto st_rh = proc.compare(b, {Scheme::SpatioTemporal, true, true});
+
+    EXPECT_GT(sync.speedup(), 2.0);
+    EXPECT_GE(st.speedup(), sync.speedup() * 0.98);
+    EXPECT_GT(st_r.speedup(), st.speedup() * 1.3);
+    EXPECT_GT(st_rh.speedup(), st_r.speedup());
+    // Overall acceleration band of the paper's abstract.
+    EXPECT_GT(st_rh.speedup(), 8.0);
+    EXPECT_LT(st_rh.speedup(), 25.0);
+}
+
+TEST_F(MtpuTest, SpeedupDeclinesWithDependencyRatio)
+{
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    auto low = block(100, 0.1);
+    auto high = block(100, 1.0);
+
+    MtpuProcessor p1(cfg);
+    p1.warmup(low, 32);
+    auto s_low = p1.compare(low, {Scheme::SpatioTemporal, true, true});
+
+    MtpuProcessor p2(cfg);
+    p2.warmup(high, 32);
+    auto s_high = p2.compare(high, {Scheme::SpatioTemporal, true, true});
+
+    EXPECT_GT(s_low.speedup(), s_high.speedup());
+}
+
+TEST_F(MtpuTest, SequentialSchemeUsesOnePu)
+{
+    auto b = block(30, 0.0);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    MtpuProcessor proc(cfg);
+    auto stats = proc.execute(b, {Scheme::Sequential, false, false});
+    EXPECT_EQ(stats.puBusy.size(), 1u);
+    EXPECT_EQ(stats.makespan, stats.busyCycles);
+}
+
+TEST_F(MtpuTest, HotspotWithoutWarmupIsHarmless)
+{
+    auto b = block(30, 0.0);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 2;
+    MtpuProcessor proc(cfg); // no warmup: nothing marked hot
+    auto with = proc.execute(b, {Scheme::SpatioTemporal, true, true});
+    proc.reset();
+    auto without = proc.execute(b, {Scheme::SpatioTemporal, true, false});
+    EXPECT_EQ(with.makespan, without.makespan);
+}
+
+TEST_F(MtpuTest, CompareBaselineIsStable)
+{
+    auto b = block(20, 0.2);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 2;
+    MtpuProcessor proc(cfg);
+    auto r1 = proc.compare(b, {Scheme::Synchronous, false, false});
+    auto r2 = proc.compare(b, {Scheme::Synchronous, false, false});
+    EXPECT_EQ(r1.baselineCycles, r2.baselineCycles);
+}
+
+TEST_F(MtpuTest, AreaModelReflectsConfig)
+{
+    arch::MtpuConfig cfg;
+    cfg.numPus = 2;
+    MtpuProcessor proc(cfg);
+    arch::AreaModel area = proc.area();
+    EXPECT_GT(area.totalArea(), 0.0);
+    arch::MtpuConfig big = cfg;
+    big.numPus = 8;
+    MtpuProcessor proc8(big);
+    EXPECT_GT(proc8.area().totalArea(), area.totalArea());
+}
+
+TEST_F(MtpuTest, MorePusMoreThroughput)
+{
+    auto b = block(120, 0.1);
+    arch::MtpuConfig two;
+    two.numPus = 2;
+    arch::MtpuConfig eight;
+    eight.numPus = 8;
+    MtpuProcessor p2(two), p8(eight);
+    auto s2 = p2.execute(b, {Scheme::SpatioTemporal, true, false});
+    auto s8 = p8.execute(b, {Scheme::SpatioTemporal, true, false});
+    EXPECT_LT(s8.makespan, s2.makespan);
+}
+
+} // namespace
+} // namespace mtpu::core

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "evm/gas.hpp"
+
+namespace mtpu::evm {
+namespace {
+
+TEST(Gas, BaseTiers)
+{
+    EXPECT_EQ(baseGas(std::uint8_t(Op::ADD)), GasCosts::kVeryLow);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::MUL)), GasCosts::kLow);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::ADDMOD)), GasCosts::kMid);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::JUMPI)), GasCosts::kHigh);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::SHA3)), GasCosts::kSha3);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::SLOAD)), GasCosts::kSload);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::STOP)), 0u);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::JUMPDEST)), 1u);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::CALL)), GasCosts::kCall);
+}
+
+TEST(Gas, PushDupSwapAreVeryLow)
+{
+    for (int b = 0x60; b <= 0x9f; ++b)
+        EXPECT_EQ(baseGas(std::uint8_t(b)), GasCosts::kVeryLow) << b;
+}
+
+TEST(Gas, LogScalesWithTopics)
+{
+    EXPECT_EQ(baseGas(std::uint8_t(Op::LOG0)), 375u);
+    EXPECT_EQ(baseGas(std::uint8_t(Op::LOG4)), 375u + 4 * 375u);
+}
+
+TEST(Gas, SstoreIsFullyDynamic)
+{
+    EXPECT_EQ(baseGas(std::uint8_t(Op::SSTORE)), 0u);
+}
+
+TEST(Gas, MemoryExpansionLinearRegion)
+{
+    // Growing by one word in the small region costs ~3 gas.
+    EXPECT_EQ(memoryExpansionGas(0, 1), 3u);
+    EXPECT_EQ(memoryExpansionGas(1, 2), 3u);
+    EXPECT_EQ(memoryExpansionGas(5, 5), 0u);
+    EXPECT_EQ(memoryExpansionGas(5, 3), 0u); // shrink is free (no-op)
+}
+
+TEST(Gas, MemoryExpansionQuadraticRegion)
+{
+    // At large sizes the quadratic term dominates.
+    std::uint64_t small = memoryExpansionGas(0, 32);
+    std::uint64_t large = memoryExpansionGas(0, 32 * 1024);
+    EXPECT_GT(large, small * 1024); // superlinear
+}
+
+TEST(Gas, WordCount)
+{
+    EXPECT_EQ(wordCount(0), 0u);
+    EXPECT_EQ(wordCount(1), 1u);
+    EXPECT_EQ(wordCount(32), 1u);
+    EXPECT_EQ(wordCount(33), 2u);
+}
+
+TEST(Gas, UndefinedOpcodeHasZeroCost)
+{
+    EXPECT_EQ(baseGas(0x0c), 0u);
+}
+
+} // namespace
+} // namespace mtpu::evm

@@ -1,0 +1,551 @@
+/**
+ * @file
+ * Reference-interpreter tests: arithmetic/logic semantics through real
+ * bytecode, gas accounting, control flow, exceptional halts, calls,
+ * logging, and trace emission.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "evm/interpreter.hpp"
+
+namespace mtpu::evm {
+namespace {
+
+using easm::Assembler;
+
+const Address kSender = U256(0xaaaa);
+const Address kContract = U256(0xcccc);
+const Address kCoinbase = U256(0xfee);
+
+class InterpreterTest : public ::testing::Test
+{
+  protected:
+    InterpreterTest()
+    {
+        state.setBalance(kSender, U256::fromDec("1000000000000000000"));
+        header.height = 1000;
+        header.timestamp = 1700000000;
+        header.coinbase = kCoinbase;
+        header.difficulty = U256(2);
+        header.recentHashes.assign(256, U256(0x1234));
+    }
+
+    /** Install @p code at the test contract address. */
+    void
+    install(const Bytes &code)
+    {
+        state.createAccount(kContract);
+        state.setCode(kContract, code);
+    }
+
+    /** Run a transaction calling the test contract with @p data. */
+    Receipt
+    run(const Bytes &data = {}, const U256 &value = U256())
+    {
+        Transaction tx;
+        tx.from = kSender;
+        tx.to = kContract;
+        tx.data = data;
+        tx.callValue = value;
+        return interp.applyTransaction(state, header, tx, &trace);
+    }
+
+    /** Return-value helper: interpret returnData as one word. */
+    static U256
+    word(const Receipt &r)
+    {
+        return U256::fromBytes(r.returnData.data(), r.returnData.size());
+    }
+
+    WorldState state;
+    BlockHeader header;
+    Interpreter interp;
+    Trace trace;
+};
+
+TEST_F(InterpreterTest, PlainTransferMovesValueAndPaysFee)
+{
+    Address to = U256(0xb0b);
+    Transaction tx;
+    tx.from = kSender;
+    tx.to = to;
+    tx.callValue = U256(12345);
+    Receipt r = interp.applyTransaction(state, header, tx);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.gasUsed, 21000u);
+    EXPECT_EQ(state.balance(to), U256(12345));
+    EXPECT_EQ(state.balance(kCoinbase), U256(21000));
+    EXPECT_EQ(state.nonce(kSender), 1u);
+}
+
+TEST_F(InterpreterTest, ArithmeticProgram)
+{
+    // return (3 + 4) * 5
+    Assembler a;
+    a.push(U256(4)).push(U256(3)).op(Assembler::Op::ADD);
+    a.push(U256(5)).op(Assembler::Op::MUL);
+    a.returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word(r), U256(35));
+}
+
+TEST_F(InterpreterTest, ComparisonAndLogic)
+{
+    // return (10 > 3) AND (2 == 2)  [bitwise AND of the two flags]
+    Assembler a;
+    a.push(U256(3)).push(U256(10)).op(Assembler::Op::GT);
+    a.push(U256(2)).push(U256(2)).op(Assembler::Op::EQ);
+    a.op(Assembler::Op::AND);
+    a.returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(1));
+}
+
+TEST_F(InterpreterTest, StorageRoundTrip)
+{
+    // sstore(7, 99); return sload(7)
+    Assembler a;
+    a.push(U256(99)).push(U256(7)).op(Assembler::Op::SSTORE);
+    a.push(U256(7)).op(Assembler::Op::SLOAD);
+    a.returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(99));
+    EXPECT_EQ(state.storageAt(kContract, U256(7)), U256(99));
+}
+
+TEST_F(InterpreterTest, MemoryMloadMstore)
+{
+    Assembler a;
+    a.push(U256(0xabcdef)).push(U256(0x40)).op(Assembler::Op::MSTORE);
+    a.push(U256(0x40)).op(Assembler::Op::MLOAD);
+    a.returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(0xabcdef));
+}
+
+TEST_F(InterpreterTest, JumpSkipsCode)
+{
+    // push 1; jump over a REVERT to a JUMPDEST; return 7
+    Assembler a;
+    a.pushLabel("skip").op(Assembler::Op::JUMP);
+    a.revert();
+    a.dest("skip");
+    a.push(U256(7)).returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(7));
+}
+
+TEST_F(InterpreterTest, JumpiTakenAndNotTaken)
+{
+    // if (calldata arg != 0) return 1 else return 2
+    Assembler a;
+    a.push(U256(0)).op(Assembler::Op::CALLDATALOAD);
+    a.pushLabel("one").op(Assembler::Op::JUMPI);
+    a.push(U256(2)).returnTopWord();
+    a.dest("one");
+    a.push(U256(1)).returnTopWord();
+    install(a.assemble());
+
+    Bytes arg_true(32, 0);
+    arg_true[31] = 1;
+    Receipt r1 = run(arg_true);
+    ASSERT_TRUE(r1.success);
+    EXPECT_EQ(word(r1), U256(1));
+
+    Bytes arg_false(32, 0);
+    Receipt r2 = run(arg_false);
+    ASSERT_TRUE(r2.success);
+    EXPECT_EQ(word(r2), U256(2));
+}
+
+TEST_F(InterpreterTest, BadJumpHalts)
+{
+    Assembler a;
+    a.push(U256(3)).op(Assembler::Op::JUMP); // target is not a JUMPDEST
+    a.op(Assembler::Op::STOP);
+    install(a.assemble());
+    Receipt r = run();
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "bad jump destination");
+}
+
+TEST_F(InterpreterTest, JumpIntoPushImmediateIsInvalid)
+{
+    // PUSH2 0x5b5b embeds JUMPDEST bytes inside an immediate; jumping
+    // there must fail.
+    Assembler a;
+    a.pushN(2, U256(0x5b5b));
+    a.op(Assembler::Op::POP);
+    a.push(U256(1)).op(Assembler::Op::JUMP); // offset 1 = inside PUSH2
+    install(a.assemble());
+    Receipt r = run();
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "bad jump destination");
+}
+
+TEST_F(InterpreterTest, StackUnderflowHalts)
+{
+    Assembler a;
+    a.op(Assembler::Op::ADD); // nothing on the stack
+    install(a.assemble());
+    Receipt r = run();
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "stack underflow");
+}
+
+TEST_F(InterpreterTest, InvalidOpcodeHalts)
+{
+    install({0xef});
+    Receipt r = run();
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "invalid opcode");
+}
+
+TEST_F(InterpreterTest, OutOfGasConsumesAllGasAndReverts)
+{
+    // Infinite loop: JUMPDEST; PUSH 0; JUMP
+    Assembler a;
+    a.dest("loop");
+    a.push(U256(77)).push(U256(1)).op(Assembler::Op::SSTORE);
+    a.pushLabel("loop").op(Assembler::Op::JUMP);
+    install(a.assemble());
+
+    Transaction tx;
+    tx.from = kSender;
+    tx.to = kContract;
+    tx.gasLimit = 100000;
+    Receipt r = interp.applyTransaction(state, header, tx);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "out of gas");
+    EXPECT_EQ(r.gasUsed, 100000u);
+    // Storage writes rolled back.
+    EXPECT_EQ(state.storageAt(kContract, U256(1)), U256());
+}
+
+TEST_F(InterpreterTest, RevertRollsBackButKeepsGasCharge)
+{
+    Assembler a;
+    a.push(U256(5)).push(U256(1)).op(Assembler::Op::SSTORE);
+    a.revert();
+    install(a.assemble());
+    Receipt r = run();
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "reverted");
+    EXPECT_GT(r.gasUsed, 21000u);
+    EXPECT_LT(r.gasUsed, 80000u); // did not consume everything
+    EXPECT_EQ(state.storageAt(kContract, U256(1)), U256());
+}
+
+TEST_F(InterpreterTest, GasIsDeterministic)
+{
+    Assembler a;
+    a.push(U256(1)).push(U256(2)).op(Assembler::Op::ADD);
+    a.push(U256(3)).op(Assembler::Op::MUL);
+    a.push(U256(9)).op(Assembler::Op::SSTORE);
+    a.op(Assembler::Op::STOP);
+    install(a.assemble());
+
+    Receipt r1 = run();
+    // Second identical tx: SSTORE now rewrites the same value (cheaper),
+    // so compare two *fresh* runs in a copied state instead.
+    WorldState fresh;
+    fresh.setBalance(kSender, U256::fromDec("1000000000000000000"));
+    fresh.createAccount(kContract);
+    fresh.setCode(kContract, state.code(kContract));
+    Transaction tx;
+    tx.from = kSender;
+    tx.to = kContract;
+    Receipt r2 = interp.applyTransaction(fresh, header, tx);
+    EXPECT_EQ(r1.gasUsed, r2.gasUsed);
+}
+
+TEST_F(InterpreterTest, Sha3MatchesHostKeccak)
+{
+    // keccak of 32 zero bytes
+    Assembler a;
+    a.push(U256(0)).push(U256(0)).op(Assembler::Op::MSTORE);
+    a.push(U256(0x20)).push(U256(0)).op(Assembler::Op::SHA3);
+    a.returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    // Well-known value: keccak256(0x00...00 (32 bytes))
+    EXPECT_EQ(word(r).toHex(),
+              "0x290decd9548b62a8d60345a988386fc84ba6bc95484008f6362f93160ef"
+              "3e563");
+}
+
+TEST_F(InterpreterTest, EnvironmentOpcodes)
+{
+    Assembler a;
+    a.op(Assembler::Op::CALLER).returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), kSender);
+}
+
+TEST_F(InterpreterTest, BlockContextOpcodes)
+{
+    Assembler a;
+    a.op(Assembler::Op::NUMBER);
+    a.op(Assembler::Op::TIMESTAMP).op(Assembler::Op::ADD);
+    a.returnTopWord();
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(1000 + 1700000000));
+}
+
+TEST_F(InterpreterTest, CalldataloadBeyondEndIsZeroPadded)
+{
+    Assembler a;
+    a.push(U256(100)).op(Assembler::Op::CALLDATALOAD);
+    a.returnTopWord();
+    install(a.assemble());
+    Receipt r = run(Bytes{1, 2, 3});
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256());
+}
+
+TEST_F(InterpreterTest, LogsAreCollected)
+{
+    Assembler a;
+    a.push(U256(0x42)).push(U256(0)).op(Assembler::Op::MSTORE);
+    a.push(U256(7));   // topic
+    a.push(U256(0x20)).push(U256(0)); // size, offset
+    // LOG1 pops offset, size, topic
+    a.op(Assembler::Op::LOG1);
+    a.op(Assembler::Op::STOP);
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    ASSERT_EQ(r.logs.size(), 1u);
+    EXPECT_EQ(r.logs[0].address, kContract);
+    ASSERT_EQ(r.logs[0].topics.size(), 1u);
+    EXPECT_EQ(r.logs[0].topics[0], U256(7));
+    EXPECT_EQ(r.logs[0].data.size(), 32u);
+    EXPECT_EQ(r.logs[0].data[31], 0x42);
+}
+
+TEST_F(InterpreterTest, NestedCallTransfersAndReturns)
+{
+    // Callee: return CALLVALUE * 2
+    Assembler callee;
+    callee.op(Assembler::Op::CALLVALUE).push(U256(2))
+          .op(Assembler::Op::MUL).returnTopWord();
+    Address callee_addr = U256(0xdddd);
+    state.createAccount(callee_addr);
+    state.setCode(callee_addr, callee.assemble());
+
+    // Caller: call callee with value 50, return its result.
+    Assembler a;
+    a.push(U256(0x20));        // outSize
+    a.push(U256(0));           // outOff
+    a.push(U256(0));           // inSize
+    a.push(U256(0));           // inOff
+    a.push(U256(50));          // value
+    a.push(callee_addr);       // addr
+    a.op(Assembler::Op::GAS);  // gas
+    a.op(Assembler::Op::CALL);
+    a.op(Assembler::Op::POP);  // drop success flag
+    a.push(U256(0)).op(Assembler::Op::MLOAD);
+    a.returnTopWord();
+    install(a.assemble());
+    state.setBalance(kContract, U256(1000));
+
+    Receipt r = run();
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(word(r), U256(100));
+    EXPECT_EQ(state.balance(callee_addr), U256(50));
+    EXPECT_EQ(state.balance(kContract), U256(950));
+}
+
+TEST_F(InterpreterTest, FailedInnerCallRollsBackInnerOnly)
+{
+    // Callee: SSTORE then REVERT.
+    Assembler callee;
+    callee.push(U256(1)).push(U256(1)).op(Assembler::Op::SSTORE);
+    callee.revert();
+    Address callee_addr = U256(0xdddd);
+    state.createAccount(callee_addr);
+    state.setCode(callee_addr, callee.assemble());
+
+    // Caller: SSTORE(2,2); call callee; return success flag.
+    Assembler a;
+    a.push(U256(2)).push(U256(2)).op(Assembler::Op::SSTORE);
+    a.push(U256(0)).push(U256(0)).push(U256(0)).push(U256(0));
+    a.push(U256(0)).push(callee_addr).op(Assembler::Op::GAS);
+    a.op(Assembler::Op::CALL);
+    a.returnTopWord();
+    install(a.assemble());
+
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(0)); // inner call failed
+    EXPECT_EQ(state.storageAt(kContract, U256(2)), U256(2)); // outer kept
+    EXPECT_EQ(state.storageAt(callee_addr, U256(1)), U256()); // inner undone
+}
+
+TEST_F(InterpreterTest, DelegatecallUsesCallerStorage)
+{
+    // Impl: sstore(1, 77)
+    Assembler impl;
+    impl.push(U256(77)).push(U256(1)).op(Assembler::Op::SSTORE);
+    impl.op(Assembler::Op::STOP);
+    Address impl_addr = U256(0xeeee);
+    state.createAccount(impl_addr);
+    state.setCode(impl_addr, impl.assemble());
+
+    // Proxy: delegatecall impl
+    Assembler a;
+    a.push(U256(0)).push(U256(0)).push(U256(0)).push(U256(0));
+    a.push(impl_addr).op(Assembler::Op::GAS);
+    a.op(Assembler::Op::DELEGATECALL);
+    a.returnTopWord();
+    install(a.assemble());
+
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(1));
+    // Write landed in the proxy's storage, not the implementation's.
+    EXPECT_EQ(state.storageAt(kContract, U256(1)), U256(77));
+    EXPECT_EQ(state.storageAt(impl_addr, U256(1)), U256());
+}
+
+TEST_F(InterpreterTest, StaticcallBlocksWrites)
+{
+    Assembler callee;
+    callee.push(U256(1)).push(U256(1)).op(Assembler::Op::SSTORE);
+    callee.op(Assembler::Op::STOP);
+    Address callee_addr = U256(0xdddd);
+    state.createAccount(callee_addr);
+    state.setCode(callee_addr, callee.assemble());
+
+    Assembler a;
+    a.push(U256(0)).push(U256(0)).push(U256(0)).push(U256(0));
+    a.push(callee_addr).op(Assembler::Op::GAS);
+    a.op(Assembler::Op::STATICCALL);
+    a.returnTopWord();
+    install(a.assemble());
+
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(word(r), U256(0)); // inner halted on static violation
+    EXPECT_EQ(state.storageAt(callee_addr, U256(1)), U256());
+}
+
+TEST_F(InterpreterTest, CreateDeploysCode)
+{
+    // Init code: return 2 bytes {0x60, 0x00} as the deployed code.
+    // mstore8(0, 0x60); mstore8(1, 0x00); return(0, 2)
+    Assembler a;
+    a.push(U256(0x60)).push(U256(0)).op(Assembler::Op::MSTORE8);
+    a.push(U256(0x00)).push(U256(1)).op(Assembler::Op::MSTORE8);
+    a.push(U256(2)).push(U256(0)).op(Assembler::Op::RETURN);
+    Bytes init = a.assemble();
+
+    // Outer contract: CODECOPY the init code into memory and CREATE.
+    // CODECOPY pops (dst, src, size); CREATE pops (value, offset, size).
+    Assembler outer;
+    U256 init_size(std::uint64_t(init.size()));
+    outer.push(init_size);             // size
+    outer.pushLabel("initdata");       // src
+    outer.push(U256(0));               // dst
+    outer.op(Assembler::Op::CODECOPY); // mem[0..n) = init
+    outer.push(init_size);             // size
+    outer.push(U256(0));               // offset
+    outer.push(U256(0));               // value
+    outer.op(Assembler::Op::CREATE);
+    outer.returnTopWord();
+    outer.label("initdata");
+    outer.raw(init);
+    install(outer.assemble());
+
+    Receipt r = run();
+    ASSERT_TRUE(r.success) << r.error;
+    Address created = toAddress(word(r));
+    EXPECT_FALSE(created.isZero());
+    EXPECT_EQ(state.code(created), Bytes({0x60, 0x00}));
+}
+
+TEST_F(InterpreterTest, TraceRecordsEventsAndGas)
+{
+    Assembler a;
+    a.push(U256(1)).push(U256(2)).op(Assembler::Op::ADD);
+    a.push(U256(3)).op(Assembler::Op::SSTORE);
+    a.op(Assembler::Op::STOP);
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    ASSERT_EQ(trace.events.size(), 6u);
+    EXPECT_EQ(trace.events[0].opcode, 0x60); // PUSH1
+    EXPECT_EQ(trace.events[2].opcode, std::uint8_t(Op::ADD));
+    EXPECT_EQ(trace.events[4].opcode, std::uint8_t(Op::SSTORE));
+    EXPECT_EQ(trace.events[4].storageKey, U256(3));
+    // Trace gas sums to receipt gas minus intrinsic.
+    std::uint64_t sum = 0;
+    for (const auto &ev : trace.events)
+        sum += ev.gasCost;
+    EXPECT_EQ(sum + 21000, r.gasUsed);
+    EXPECT_TRUE(trace.success);
+    EXPECT_EQ(trace.gasUsed, r.gasUsed);
+    ASSERT_EQ(trace.codeAddrs.size(), 1u);
+    EXPECT_EQ(trace.codeAddrs[0], kContract);
+}
+
+TEST_F(InterpreterTest, TraceTaintTracking)
+{
+    // PUSH-derived operand -> Constant; CALLER-derived -> TxAttr;
+    // SLOAD result -> Dynamic.
+    Assembler a;
+    a.push(U256(1)).push(U256(2)).op(Assembler::Op::ADD);   // const
+    a.op(Assembler::Op::CALLER).op(Assembler::Op::ADD);     // txattr
+    a.op(Assembler::Op::SLOAD);                             // dyn key? no:
+    // SLOAD's operand here is txattr; its *result* is Dynamic.
+    a.push(U256(1)).op(Assembler::Op::ADD);                 // dynamic
+    a.op(Assembler::Op::POP);
+    a.op(Assembler::Op::STOP);
+    install(a.assemble());
+    Receipt r = run();
+    ASSERT_TRUE(r.success);
+    // events: PUSH,PUSH,ADD,CALLER,ADD,SLOAD,PUSH,ADD,POP,STOP
+    ASSERT_EQ(trace.events.size(), 10u);
+    EXPECT_EQ(trace.events[2].operandTaint, Taint::Constant);
+    EXPECT_EQ(trace.events[4].operandTaint, Taint::TxAttr);
+    EXPECT_EQ(trace.events[5].operandTaint, Taint::TxAttr); // the key
+    EXPECT_EQ(trace.events[7].operandTaint, Taint::Dynamic);
+}
+
+TEST_F(InterpreterTest, IntrinsicGasCountsCalldataBytes)
+{
+    Transaction tx;
+    tx.data = {0, 0, 1, 2};
+    EXPECT_EQ(intrinsicGas(tx), 21000u + 4 + 4 + 16 + 16);
+}
+
+TEST_F(InterpreterTest, InsufficientBalanceRejected)
+{
+    Transaction tx;
+    tx.from = U256(0x9999); // empty account
+    tx.to = kContract;
+    tx.callValue = U256(1);
+    Receipt r = interp.applyTransaction(state, header, tx);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "insufficient balance");
+}
+
+} // namespace
+} // namespace mtpu::evm

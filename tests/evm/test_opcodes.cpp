@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "evm/opcodes.hpp"
+
+namespace mtpu::evm {
+namespace {
+
+TEST(Opcodes, BasicMetadata)
+{
+    EXPECT_STREQ(opInfo(Op::ADD).name, "ADD");
+    EXPECT_EQ(opInfo(Op::ADD).pops, 2);
+    EXPECT_EQ(opInfo(Op::ADD).pushes, 1);
+    EXPECT_EQ(opInfo(Op::ADD).unit, FuncUnit::Arithmetic);
+    EXPECT_TRUE(opInfo(Op::ADD).defined);
+}
+
+TEST(Opcodes, UndefinedBytes)
+{
+    EXPECT_FALSE(opInfo(std::uint8_t(0x0c)).defined);
+    EXPECT_FALSE(opInfo(std::uint8_t(0x21)).defined);
+    EXPECT_FALSE(opInfo(std::uint8_t(0xef)).defined);
+}
+
+TEST(Opcodes, PushImmediates)
+{
+    for (int i = 0; i < 32; ++i) {
+        const OpInfo &info = opInfo(std::uint8_t(0x60 + i));
+        EXPECT_TRUE(info.defined);
+        EXPECT_EQ(info.immediateBytes, i + 1);
+        EXPECT_EQ(info.unit, FuncUnit::Stack);
+        EXPECT_EQ(info.pushes, 1);
+    }
+}
+
+TEST(Opcodes, DupSwapDepths)
+{
+    EXPECT_EQ(opInfo(Op::DUP1).pops, 1);
+    EXPECT_EQ(opInfo(Op::DUP1).pushes, 2);
+    EXPECT_EQ(opInfo(Op::DUP16).pops, 16);
+    EXPECT_EQ(opInfo(Op::SWAP1).pops, 2);
+    EXPECT_EQ(opInfo(Op::SWAP16).pops, 17);
+}
+
+TEST(Opcodes, Table3Categories)
+{
+    // Spot-check the category assignment against the paper's Table 3.
+    EXPECT_EQ(opInfo(Op::SHA3).unit, FuncUnit::Sha);
+    EXPECT_EQ(opInfo(Op::CALLER).unit, FuncUnit::FixedAccess);
+    EXPECT_EQ(opInfo(Op::BALANCE).unit, FuncUnit::StateQuery);
+    EXPECT_EQ(opInfo(Op::EXTCODEHASH).unit, FuncUnit::StateQuery);
+    EXPECT_EQ(opInfo(Op::MLOAD).unit, FuncUnit::Memory);
+    EXPECT_EQ(opInfo(Op::LOG0).unit, FuncUnit::Memory);
+    EXPECT_EQ(opInfo(Op::SLOAD).unit, FuncUnit::Storage);
+    EXPECT_EQ(opInfo(Op::SSTORE).unit, FuncUnit::Storage);
+    EXPECT_EQ(opInfo(Op::JUMP).unit, FuncUnit::Branch);
+    EXPECT_EQ(opInfo(Op::JUMPDEST).unit, FuncUnit::Branch);
+    EXPECT_EQ(opInfo(Op::POP).unit, FuncUnit::Stack);
+    EXPECT_EQ(opInfo(Op::STOP).unit, FuncUnit::Control);
+    EXPECT_EQ(opInfo(Op::REVERT).unit, FuncUnit::Control);
+    EXPECT_EQ(opInfo(Op::CALL).unit, FuncUnit::ContextSwitch);
+    EXPECT_EQ(opInfo(Op::DELEGATECALL).unit, FuncUnit::ContextSwitch);
+}
+
+TEST(Opcodes, ClassifierHelpers)
+{
+    EXPECT_TRUE(isPush(0x60));
+    EXPECT_TRUE(isPush(0x7f));
+    EXPECT_FALSE(isPush(0x5f));
+    EXPECT_FALSE(isPush(0x80));
+    EXPECT_TRUE(isDup(0x80));
+    EXPECT_TRUE(isDup(0x8f));
+    EXPECT_FALSE(isDup(0x90));
+    EXPECT_TRUE(isSwap(0x90));
+    EXPECT_TRUE(isSwap(0x9f));
+    EXPECT_FALSE(isSwap(0xa0));
+    EXPECT_TRUE(isLog(0xa0));
+    EXPECT_TRUE(isLog(0xa4));
+    EXPECT_FALSE(isLog(0xa5));
+}
+
+TEST(Opcodes, FuncUnitNames)
+{
+    EXPECT_STREQ(funcUnitName(FuncUnit::Stack), "Stack");
+    EXPECT_STREQ(funcUnitName(FuncUnit::ContextSwitch),
+                 "Context switching");
+}
+
+TEST(Opcodes, AllDefinedOpcodesHaveNamesAndUnits)
+{
+    for (int b = 0; b < 256; ++b) {
+        const OpInfo &info = opInfo(std::uint8_t(b));
+        if (!info.defined)
+            continue;
+        EXPECT_NE(info.name, nullptr);
+        EXPECT_NE(info.unit, FuncUnit::Invalid) << info.name;
+    }
+}
+
+} // namespace
+} // namespace mtpu::evm

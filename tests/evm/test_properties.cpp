@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Property and fuzz tests of the EVM substrate:
+ *  - determinism: a transaction's receipt (success, gas, return data)
+ *    is a pure function of (pre-state, tx) — the invariant the paper's
+ *    one-shot gas deduction (§3.3.3) relies on;
+ *  - robustness: random bytecode never crashes the interpreter; it
+ *    either halts normally or fails with a classified error;
+ *  - differential checks of arithmetic opcodes against U256.
+ */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hpp"
+#include "evm/interpreter.hpp"
+#include "support/rng.hpp"
+
+namespace mtpu::evm {
+namespace {
+
+using easm::Assembler;
+
+class EvmProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    EvmProperty()
+    {
+        state.setBalance(kSender, U256::fromDec("1000000000000000000"));
+        header.coinbase = U256(0xfee);
+        header.timestamp = 1700000000;
+        header.height = 7;
+    }
+
+    Receipt
+    run(const Bytes &code, const Bytes &data = {},
+        std::uint64_t gas_limit = 1'000'000)
+    {
+        WorldState scratch = state;
+        scratch.createAccount(kContract);
+        scratch.setCode(kContract, code);
+        Transaction tx;
+        tx.from = kSender;
+        tx.to = kContract;
+        tx.data = data;
+        tx.gasLimit = gas_limit;
+        Interpreter interp;
+        return interp.applyTransaction(scratch, header, tx);
+    }
+
+    static const Address kSender;
+    static const Address kContract;
+    WorldState state;
+    BlockHeader header;
+};
+
+const Address EvmProperty::kSender = U256(0xaaaa);
+const Address EvmProperty::kContract = U256(0xcccc);
+
+TEST_P(EvmProperty, RandomBytecodeNeverCrashes)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 150; ++trial) {
+        Bytes code;
+        std::size_t len = 1 + rng.below(200);
+        for (std::size_t i = 0; i < len; ++i)
+            code.push_back(std::uint8_t(rng.next() & 0xff));
+        Receipt r = run(code, {}, 200'000);
+        // Must classify every outcome.
+        if (!r.success) {
+            EXPECT_FALSE(r.error.empty());
+        }
+        EXPECT_LE(r.gasUsed, 200'000u);
+        EXPECT_GE(r.gasUsed, 21'000u);
+    }
+}
+
+TEST_P(EvmProperty, RandomStackSafeProgramsAreDeterministic)
+{
+    // Programs built from stack-safe snippets: run the same tx twice
+    // from the same pre-state and compare receipts bit-for-bit.
+    Rng rng(GetParam() * 31 + 7);
+    for (int trial = 0; trial < 60; ++trial) {
+        Assembler a;
+        int ops = 5 + int(rng.below(40));
+        int depth = 0;
+        for (int i = 0; i < ops; ++i) {
+            switch (rng.below(6)) {
+              case 0:
+                a.push(U256(rng.next()));
+                ++depth;
+                break;
+              case 1:
+                if (depth >= 2) {
+                    a.op(Assembler::Op::ADD);
+                    --depth;
+                } else {
+                    a.push(U256(i));
+                    ++depth;
+                }
+                break;
+              case 2:
+                if (depth >= 2) {
+                    a.op(Assembler::Op::MUL);
+                    --depth;
+                } else {
+                    a.push(U256(3));
+                    ++depth;
+                }
+                break;
+              case 3:
+                if (depth >= 1) {
+                    a.op(Assembler::Op::DUP1);
+                    ++depth;
+                } else {
+                    a.op(Assembler::Op::CALLVALUE);
+                    ++depth;
+                }
+                break;
+              case 4:
+                if (depth >= 2)
+                    a.op(Assembler::Op::SWAP1);
+                else {
+                    a.op(Assembler::Op::CALLER);
+                    ++depth;
+                }
+                break;
+              default:
+                if (depth >= 2) {
+                    // storage write exercises the journal
+                    a.op(Assembler::Op::SSTORE);
+                    depth -= 2;
+                } else {
+                    a.op(Assembler::Op::TIMESTAMP);
+                    ++depth;
+                }
+                break;
+            }
+        }
+        a.op(Assembler::Op::STOP);
+        Bytes code = a.assemble();
+        Receipt r1 = run(code);
+        Receipt r2 = run(code);
+        EXPECT_EQ(r1.success, r2.success);
+        EXPECT_EQ(r1.gasUsed, r2.gasUsed);
+        EXPECT_EQ(r1.returnData, r2.returnData);
+        EXPECT_EQ(r1.error, r2.error);
+    }
+}
+
+TEST_P(EvmProperty, ArithmeticOpcodesMatchU256)
+{
+    Rng rng(GetParam() * 97 + 13);
+    struct Case
+    {
+        Assembler::Op op;
+        U256 (*model)(const U256 &, const U256 &);
+    };
+    // EVM binary ops take a = top, b = second; we push b then a.
+    static const Case cases[] = {
+        {Assembler::Op::ADD,
+         [](const U256 &x, const U256 &y) { return x + y; }},
+        {Assembler::Op::SUB,
+         [](const U256 &x, const U256 &y) { return x - y; }},
+        {Assembler::Op::MUL,
+         [](const U256 &x, const U256 &y) { return x * y; }},
+        {Assembler::Op::DIV,
+         [](const U256 &x, const U256 &y) { return x.udiv(y); }},
+        {Assembler::Op::MOD,
+         [](const U256 &x, const U256 &y) { return x.umod(y); }},
+        {Assembler::Op::SDIV,
+         [](const U256 &x, const U256 &y) { return x.sdiv(y); }},
+        {Assembler::Op::XOR,
+         [](const U256 &x, const U256 &y) { return x ^ y; }},
+        {Assembler::Op::AND,
+         [](const U256 &x, const U256 &y) { return x & y; }},
+    };
+    for (int trial = 0; trial < 40; ++trial) {
+        U256 x(rng.next(), rng.next(), 0, rng.next());
+        U256 y(rng.next(), rng.below(2) ? 0 : rng.next(), 0, 0);
+        for (const Case &c : cases) {
+            Assembler a;
+            a.push(y).push(x).op(c.op); // x on top = EVM operand a
+            a.returnTopWord();
+            Receipt r = run(a.assemble());
+            ASSERT_TRUE(r.success);
+            EXPECT_EQ(U256::fromBytes(r.returnData.data(), 32),
+                      c.model(x, y))
+                << evm::opInfo(std::uint8_t(c.op)).name;
+        }
+    }
+}
+
+TEST_P(EvmProperty, GasMonotoneInProgramLength)
+{
+    // Appending work before STOP never reduces gas.
+    Rng rng(GetParam() + 5);
+    Assembler a;
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 20; ++i) {
+        a.push(U256(rng.next())).op(Assembler::Op::POP);
+        Assembler snapshot = a; // copy
+        snapshot.op(Assembler::Op::STOP);
+        Receipt r = run(snapshot.assemble());
+        ASSERT_TRUE(r.success);
+        EXPECT_GE(r.gasUsed, prev);
+        prev = r.gasUsed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvmProperty,
+                         ::testing::Values(1, 7, 1234));
+
+// --- targeted edge cases -------------------------------------------------
+
+class EvmEdge : public ::testing::Test
+{
+  protected:
+    EvmEdge()
+    {
+        state.setBalance(kSender, U256::fromDec("1000000000000000000"));
+        header.coinbase = U256(0xfee);
+    }
+
+    static const Address kSender;
+    WorldState state;
+    BlockHeader header;
+    Interpreter interp;
+};
+
+const Address EvmEdge::kSender = U256(0xaaaa);
+
+TEST_F(EvmEdge, CallToEmptyAccountSucceeds)
+{
+    // Caller: CALL an address with no code; must push 1.
+    Assembler a;
+    a.push(U256(0)).push(U256(0)).push(U256(0)).push(U256(0));
+    a.push(U256(0)); // value
+    a.push(U256(0x9999));
+    a.op(Assembler::Op::GAS).op(Assembler::Op::CALL);
+    a.returnTopWord();
+    Address contract = U256(0xcccc);
+    state.createAccount(contract);
+    state.setCode(contract, a.assemble());
+    Transaction tx;
+    tx.from = kSender;
+    tx.to = contract;
+    Receipt r = interp.applyTransaction(state, header, tx);
+    ASSERT_TRUE(r.success);
+    EXPECT_EQ(r.returnData[31], 1);
+}
+
+TEST_F(EvmEdge, Create2AddressIsDeterministic)
+{
+    // Two worlds, same CREATE2 inputs -> same address.
+    auto deploy_once = [this]() -> Address {
+        WorldState scratch = state;
+        Assembler a;
+        // mstore8 a trivial init code RETURNing empty.
+        // init: PUSH1 0 PUSH1 0 RETURN  == 60 00 60 00 f3
+        a.push(U256(0x60006000f3ull));
+        a.push(U256(0)).op(Assembler::Op::MSTORE); // right-aligned
+        a.push(U256(0x1234));    // salt
+        a.push(U256(5));         // size
+        a.push(U256(27));        // offset (last 5 bytes of the word)
+        a.push(U256(0));         // value
+        a.op(Assembler::Op::CREATE2);
+        a.returnTopWord();
+        Address contract = U256(0xcafe);
+        scratch.createAccount(contract);
+        scratch.setCode(contract, a.assemble());
+        Transaction tx;
+        tx.from = kSender;
+        tx.to = contract;
+        Interpreter in;
+        Receipt r = in.applyTransaction(scratch, header, tx);
+        EXPECT_TRUE(r.success) << r.error;
+        return toAddress(U256::fromBytes(r.returnData.data(), 32));
+    };
+    Address a1 = deploy_once();
+    Address a2 = deploy_once();
+    EXPECT_EQ(a1, a2);
+    EXPECT_FALSE(a1.isZero());
+}
+
+TEST_F(EvmEdge, ReturndatacopyOutOfBoundsFails)
+{
+    Assembler a;
+    // No prior call: returndatasize == 0; copying 1 byte must halt.
+    a.push(U256(1)).push(U256(0)).push(U256(0));
+    a.op(Assembler::Op::RETURNDATACOPY);
+    a.op(Assembler::Op::STOP);
+    Address contract = U256(0xcccc);
+    state.createAccount(contract);
+    state.setCode(contract, a.assemble());
+    Transaction tx;
+    tx.from = kSender;
+    tx.to = contract;
+    Receipt r = interp.applyTransaction(state, header, tx);
+    EXPECT_FALSE(r.success);
+}
+
+TEST_F(EvmEdge, StackOverflowAt1024)
+{
+    // 1024-deep pushes plus one more must halt with stack overflow.
+    Assembler a;
+    a.dest("loop");
+    a.push(U256(1)); // grows each iteration
+    a.pushLabel("loop").op(Assembler::Op::JUMP);
+    Address contract = U256(0xcccc);
+    state.createAccount(contract);
+    state.setCode(contract, a.assemble());
+    Transaction tx;
+    tx.from = kSender;
+    tx.to = contract;
+    tx.gasLimit = 10'000'000;
+    Receipt r = interp.applyTransaction(state, header, tx);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.error, "stack overflow");
+}
+
+TEST_F(EvmEdge, MemoryExpansionChargesQuadratically)
+{
+    auto gas_for_touch = [this](std::uint64_t offset) {
+        WorldState scratch = state;
+        Assembler a;
+        a.push(U256(1)).push(U256(offset)).op(Assembler::Op::MSTORE);
+        a.op(Assembler::Op::STOP);
+        Address contract = U256(0xcccc);
+        scratch.createAccount(contract);
+        scratch.setCode(contract, a.assemble());
+        Transaction tx;
+        tx.from = kSender;
+        tx.to = contract;
+        tx.gasLimit = 30'000'000;
+        Interpreter in;
+        return in.applyTransaction(scratch, header, tx).gasUsed;
+    };
+    std::uint64_t small = gas_for_touch(64);
+    std::uint64_t large = gas_for_touch(1 << 20);
+    EXPECT_GT(large, small + 1'000'000); // quadratic term dominates
+}
+
+} // namespace
+} // namespace mtpu::evm

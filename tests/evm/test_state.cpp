@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "evm/state.hpp"
+
+namespace mtpu::evm {
+namespace {
+
+const Address kA = U256(0x1111);
+const Address kB = U256(0x2222);
+
+TEST(WorldState, EmptyDefaults)
+{
+    WorldState st;
+    EXPECT_FALSE(st.exists(kA));
+    EXPECT_EQ(st.balance(kA), U256());
+    EXPECT_EQ(st.nonce(kA), 0u);
+    EXPECT_TRUE(st.code(kA).empty());
+    EXPECT_EQ(st.storageAt(kA, U256(1)), U256());
+}
+
+TEST(WorldState, BalanceArithmetic)
+{
+    WorldState st;
+    st.setBalance(kA, U256(100));
+    EXPECT_EQ(st.balance(kA), U256(100));
+    st.addBalance(kA, U256(50));
+    EXPECT_EQ(st.balance(kA), U256(150));
+    EXPECT_TRUE(st.subBalance(kA, U256(150)));
+    EXPECT_EQ(st.balance(kA), U256());
+    EXPECT_FALSE(st.subBalance(kA, U256(1)));
+}
+
+TEST(WorldState, StorageSetAndClear)
+{
+    WorldState st;
+    st.setStorage(kA, U256(5), U256(42));
+    EXPECT_EQ(st.storageAt(kA, U256(5)), U256(42));
+    st.setStorage(kA, U256(5), U256(0));
+    EXPECT_EQ(st.storageAt(kA, U256(5)), U256());
+}
+
+TEST(WorldState, CodeHashTracksCode)
+{
+    WorldState st;
+    st.setCode(kA, {0x60, 0x00});
+    U256 h1 = st.codeHash(kA);
+    EXPECT_FALSE(h1.isZero());
+    st.setCode(kA, {0x60, 0x01});
+    EXPECT_NE(st.codeHash(kA), h1);
+}
+
+TEST(WorldState, SnapshotRevertsStorage)
+{
+    WorldState st;
+    st.setStorage(kA, U256(1), U256(10));
+    auto snap = st.snapshot();
+    st.setStorage(kA, U256(1), U256(20));
+    st.setStorage(kA, U256(2), U256(30));
+    st.revert(snap);
+    EXPECT_EQ(st.storageAt(kA, U256(1)), U256(10));
+    EXPECT_EQ(st.storageAt(kA, U256(2)), U256());
+}
+
+TEST(WorldState, SnapshotRevertsBalanceNonceCode)
+{
+    WorldState st;
+    st.setBalance(kA, U256(7));
+    st.setNonce(kA, 3);
+    st.setCode(kA, {0x01});
+    auto snap = st.snapshot();
+    st.setBalance(kA, U256(9));
+    st.incNonce(kA);
+    st.setCode(kA, {0x02, 0x03});
+    st.revert(snap);
+    EXPECT_EQ(st.balance(kA), U256(7));
+    EXPECT_EQ(st.nonce(kA), 3u);
+    EXPECT_EQ(st.code(kA), Bytes({0x01}));
+}
+
+TEST(WorldState, RevertRemovesCreatedAccounts)
+{
+    WorldState st;
+    auto snap = st.snapshot();
+    st.setBalance(kB, U256(1)); // implicitly creates
+    EXPECT_TRUE(st.exists(kB));
+    st.revert(snap);
+    EXPECT_FALSE(st.exists(kB));
+}
+
+TEST(WorldState, NestedSnapshots)
+{
+    WorldState st;
+    st.setStorage(kA, U256(1), U256(1));
+    auto s1 = st.snapshot();
+    st.setStorage(kA, U256(1), U256(2));
+    auto s2 = st.snapshot();
+    st.setStorage(kA, U256(1), U256(3));
+    st.revert(s2);
+    EXPECT_EQ(st.storageAt(kA, U256(1)), U256(2));
+    st.revert(s1);
+    EXPECT_EQ(st.storageAt(kA, U256(1)), U256(1));
+}
+
+TEST(WorldState, CommitClearsJournal)
+{
+    WorldState st;
+    st.setStorage(kA, U256(1), U256(5));
+    st.commit();
+    auto snap = st.snapshot();
+    EXPECT_EQ(snap, 0u);
+    st.revert(snap); // no-op
+    EXPECT_EQ(st.storageAt(kA, U256(1)), U256(5));
+}
+
+TEST(AccessSet, TracksReadsAndWrites)
+{
+    WorldState st;
+    AccessSet set;
+    st.track(&set);
+    st.storageAt(kA, U256(1));
+    st.setStorage(kA, U256(2), U256(9));
+    st.balance(kB);
+    st.track(nullptr);
+    st.storageAt(kA, U256(77)); // untracked
+
+    EXPECT_TRUE(set.reads.count({kA, U256(1)}));
+    EXPECT_TRUE(set.writes.count({kA, U256(2)}));
+    EXPECT_TRUE(set.reads.count({kB, WorldState::kBalanceSlot}));
+    EXPECT_FALSE(set.reads.count({kA, U256(77)}));
+}
+
+TEST(AccessSet, ConflictRules)
+{
+    AccessSet a, b, c;
+    a.writes.insert({kA, U256(1)});
+    b.reads.insert({kA, U256(1)});
+    c.reads.insert({kA, U256(2)});
+
+    EXPECT_TRUE(a.conflictsWith(b));  // W-R
+    EXPECT_TRUE(b.conflictsWith(a));  // R-W
+    EXPECT_FALSE(b.conflictsWith(c)); // R-R never conflicts
+    EXPECT_FALSE(a.conflictsWith(c));
+
+    AccessSet d;
+    d.writes.insert({kA, U256(1)});
+    EXPECT_TRUE(a.conflictsWith(d));  // W-W
+}
+
+TEST(AccessSet, DifferentContractsSameSlotNoConflict)
+{
+    AccessSet a, b;
+    a.writes.insert({kA, U256(1)});
+    b.writes.insert({kB, U256(1)});
+    EXPECT_FALSE(a.conflictsWith(b));
+}
+
+} // namespace
+} // namespace mtpu::evm

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "evm/types.hpp"
+
+namespace mtpu::evm {
+namespace {
+
+TEST(Transaction, FunctionIdFromCalldata)
+{
+    Transaction tx;
+    tx.data = {0xa9, 0x05, 0x9c, 0xbb, 0x00, 0x01};
+    EXPECT_EQ(tx.functionId(), 0xa9059cbbu);
+    tx.data = {0xa9, 0x05};
+    EXPECT_EQ(tx.functionId(), 0u);
+    tx.data.clear();
+    EXPECT_EQ(tx.functionId(), 0u);
+}
+
+TEST(Transaction, RlpRoundTrip)
+{
+    Transaction tx;
+    tx.nonce = 42;
+    tx.gasLimit = 500000;
+    tx.gasPrice = U256(7);
+    tx.from = U256(0x1234);
+    tx.to = U256(0x5678);
+    tx.callValue = U256::fromDec("1000000000000000000");
+    tx.data = {0xa9, 0x05, 0x9c, 0xbb, 0xff};
+
+    Transaction back = Transaction::fromRlp(tx.toRlp());
+    EXPECT_EQ(back.nonce, tx.nonce);
+    EXPECT_EQ(back.gasLimit, tx.gasLimit);
+    EXPECT_EQ(back.gasPrice, tx.gasPrice);
+    EXPECT_EQ(back.from, tx.from);
+    EXPECT_EQ(back.to, tx.to);
+    EXPECT_EQ(back.callValue, tx.callValue);
+    EXPECT_EQ(back.data, tx.data);
+}
+
+TEST(Transaction, FromRlpRejectsNonTransaction)
+{
+    EXPECT_THROW(Transaction::fromRlp({0x80}), std::invalid_argument);
+    EXPECT_THROW(Transaction::fromRlp({0xc1, 0x01}), std::invalid_argument);
+}
+
+TEST(BlockHeader, BlockHashLookup)
+{
+    BlockHeader h;
+    h.height = 100;
+    h.recentHashes = {U256(99), U256(98), U256(97)}; // parent first
+    EXPECT_EQ(h.blockHash(99), U256(99));
+    EXPECT_EQ(h.blockHash(98), U256(98));
+    EXPECT_EQ(h.blockHash(100), U256()); // current and future: zero
+    EXPECT_EQ(h.blockHash(50), U256());  // too old
+}
+
+TEST(Receipt, RlpRoundTrip)
+{
+    Receipt r;
+    r.success = true;
+    r.gasUsed = 34007;
+    r.returnData = Bytes(32, 0x01);
+    LogEntry log;
+    log.address = U256(0xc0de);
+    log.topics = {U256(1), U256(2), U256(3)};
+    log.data = {0xaa, 0xbb};
+    r.logs.push_back(log);
+
+    Receipt back = Receipt::fromRlp(r.toRlp());
+    EXPECT_EQ(back.success, r.success);
+    EXPECT_EQ(back.gasUsed, r.gasUsed);
+    EXPECT_EQ(back.returnData, r.returnData);
+    ASSERT_EQ(back.logs.size(), 1u);
+    EXPECT_EQ(back.logs[0].address, log.address);
+    EXPECT_EQ(back.logs[0].topics, log.topics);
+    EXPECT_EQ(back.logs[0].data, log.data);
+    EXPECT_TRUE(back.error.empty());
+}
+
+TEST(Receipt, RlpRoundTripFailure)
+{
+    Receipt r;
+    r.success = false;
+    r.gasUsed = 100000;
+    r.error = "out of gas";
+    Receipt back = Receipt::fromRlp(r.toRlp());
+    EXPECT_FALSE(back.success);
+    EXPECT_EQ(back.error, "out of gas");
+    EXPECT_TRUE(back.logs.empty());
+}
+
+TEST(Receipt, RlpRejectsGarbage)
+{
+    EXPECT_THROW(Receipt::fromRlp({0x80}), std::invalid_argument);
+    EXPECT_THROW(Receipt::fromRlp({0xc2, 0x01, 0x02}),
+                 std::invalid_argument);
+}
+
+TEST(Address, ToAddressMasks160Bits)
+{
+    U256 v = U256::max();
+    Address a = toAddress(v);
+    EXPECT_EQ(a, U256::max().shr(96));
+    EXPECT_EQ(toAddress(U256(5)), U256(5));
+}
+
+} // namespace
+} // namespace mtpu::evm

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Contract Table persistence tests (§3.4: "the optimization results
+ * are always valid for the lifetime of the contract", so they are
+ * stored persistently and restored across block intervals).
+ */
+
+#include <gtest/gtest.h>
+
+#include "contracts/contracts.hpp"
+#include "hotspot/hotspot.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::hotspot {
+namespace {
+
+class PersistenceTest : public ::testing::Test
+{
+  protected:
+    PersistenceTest() : gen(404, 128) {}
+    workload::Generator gen;
+};
+
+TEST_F(PersistenceTest, RoundTripPreservesEveryField)
+{
+    auto block = gen.contractBatch("TetherUSD", 40);
+    ContractTable table;
+    for (const auto &rec : block.txs)
+        table.collect(rec.trace);
+    ASSERT_GT(table.size(), 2u);
+
+    ContractTable back = ContractTable::deserialize(table.serialize());
+    ASSERT_EQ(back.size(), table.size());
+    for (const PathInfo *info : table.entries()) {
+        const PathInfo *restored =
+            back.find(info->contract, info->functionId);
+        ASSERT_NE(restored, nullptr);
+        EXPECT_EQ(restored->invocations, info->invocations);
+        EXPECT_EQ(restored->preExecEvents, info->preExecEvents);
+        EXPECT_EQ(restored->codeBlocks, info->codeBlocks);
+        EXPECT_EQ(restored->constantPushPcs, info->constantPushPcs);
+        EXPECT_EQ(restored->prefetchableReads, info->prefetchableReads);
+        EXPECT_EQ(restored->totalReads, info->totalReads);
+        EXPECT_EQ(restored->loadedBytes(), info->loadedBytes());
+    }
+}
+
+TEST_F(PersistenceTest, SerializationIsDeterministic)
+{
+    auto block = gen.contractBatch("Dai", 25);
+    ContractTable table;
+    for (const auto &rec : block.txs)
+        table.collect(rec.trace);
+    EXPECT_EQ(table.serialize(), table.serialize());
+    // And stable across a round trip.
+    ContractTable back = ContractTable::deserialize(table.serialize());
+    EXPECT_EQ(back.serialize(), table.serialize());
+}
+
+TEST_F(PersistenceTest, EmptyTableRoundTrips)
+{
+    ContractTable empty;
+    ContractTable back = ContractTable::deserialize(empty.serialize());
+    EXPECT_EQ(back.size(), 0u);
+}
+
+TEST_F(PersistenceTest, RejectsGarbage)
+{
+    EXPECT_THROW(ContractTable::deserialize({0x01, 0x02}),
+                 std::invalid_argument);
+    EXPECT_THROW(ContractTable::deserialize({0xc1, 0x80}),
+                 std::invalid_argument);
+}
+
+TEST_F(PersistenceTest, RestoredTableDrivesSameOptimization)
+{
+    auto block = gen.contractBatch("TetherUSD", 30);
+    ContractTable table;
+    for (const auto &rec : block.txs)
+        table.collect(rec.trace);
+
+    ContractTable restored =
+        ContractTable::deserialize(table.serialize());
+    const auto *orig = table.find(contracts::contractAddress(0),
+                                  contracts::sel::kTransfer);
+    const auto *rest = restored.find(contracts::contractAddress(0),
+                                     contracts::sel::kTransfer);
+    ASSERT_NE(orig, nullptr);
+    ASSERT_NE(rest, nullptr);
+    // Chunked-load decision is identical.
+    EXPECT_EQ(rest->loadedBytes(), orig->loadedBytes());
+}
+
+} // namespace
+} // namespace mtpu::hotspot

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Spatio-temporal engine tests: serializability (dependencies are
+ * honoured), parallel speedup, redundancy steering, and utilization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/baseline.hpp"
+#include "sched/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::sched {
+namespace {
+
+class EngineTest : public ::testing::Test
+{
+  protected:
+    EngineTest() : gen(31, 256) {}
+
+    workload::BlockRun
+    block(int txs, double dep)
+    {
+        workload::BlockParams params;
+        params.txCount = txs;
+        params.depRatio = dep;
+        return gen.generateBlock(params);
+    }
+
+    workload::Generator gen;
+};
+
+TEST_F(EngineTest, ExecutesEveryTransaction)
+{
+    auto b = block(50, 0.3);
+    arch::MtpuConfig cfg;
+    SpatioTemporalEngine engine(cfg);
+    auto stats = engine.run(b);
+    EXPECT_EQ(stats.txCount, 50u);
+    std::uint64_t instr = 0;
+    for (const auto &rec : b.txs)
+        instr += rec.trace.events.size();
+    EXPECT_EQ(stats.instructions, instr);
+}
+
+TEST_F(EngineTest, EmptyBlockIsNoop)
+{
+    workload::BlockRun empty;
+    arch::MtpuConfig cfg;
+    SpatioTemporalEngine engine(cfg);
+    auto stats = engine.run(empty);
+    EXPECT_EQ(stats.makespan, 0u);
+    EXPECT_EQ(stats.txCount, 0u);
+}
+
+TEST_F(EngineTest, MultiPuBeatsSinglePuOnIndependentWork)
+{
+    auto b = block(60, 0.0);
+    arch::MtpuConfig one;
+    one.numPus = 1;
+    arch::MtpuConfig four;
+    four.numPus = 4;
+    SpatioTemporalEngine e1(one), e4(four);
+    auto s1 = e1.run(b);
+    auto s4 = e4.run(b);
+    double speedup = double(s1.makespan) / double(s4.makespan);
+    EXPECT_GT(speedup, 2.0);
+    EXPECT_LE(speedup, 4.5);
+}
+
+TEST_F(EngineTest, FullyDependentBlockSerializes)
+{
+    auto b = block(40, 1.0);
+    // Force an actual chain: verify the critical path is long.
+    ASSERT_GT(b.criticalPathLength(), 10);
+    arch::MtpuConfig four;
+    four.numPus = 4;
+    four.enableContextReuse = false;
+    four.retainDbAcrossTxs = false;
+    SpatioTemporalEngine e4(four);
+    auto s4 = e4.run(b);
+    // Utilization collapses when the DAG is mostly serial.
+    EXPECT_LT(s4.utilization(), 0.75);
+}
+
+TEST_F(EngineTest, MakespanRespectsCriticalPath)
+{
+    // The makespan can never be shorter than the longest dependency
+    // chain's serial execution (measured per-tx on a fresh PU).
+    auto b = block(40, 0.8);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    SpatioTemporalEngine engine(cfg);
+    auto stats = engine.run(b);
+
+    // Makespan is at least total work / numPus.
+    EXPECT_GE(stats.makespan * 4, stats.busyCycles);
+    // And utilization is consistent with busy/makespan.
+    EXPECT_NEAR(stats.utilization(),
+                double(stats.busyCycles) / (4.0 * double(stats.makespan)),
+                1e-9);
+}
+
+TEST_F(EngineTest, DependenciesNeverOverlap)
+{
+    // Instrument: a dependent transaction must not start before its
+    // predecessor completes. We verify via a custom run in which each
+    // tx's engine-observed start/end ordering is reflected in the
+    // makespan accounting: running with 1 PU equals the sum of txs.
+    auto b = block(30, 0.5);
+    arch::MtpuConfig one;
+    one.numPus = 1;
+    SpatioTemporalEngine engine(one);
+    auto stats = engine.run(b);
+    EXPECT_EQ(stats.busyCycles, stats.makespan);
+}
+
+TEST_F(EngineTest, RedundancySteeringHappens)
+{
+    workload::BlockParams params;
+    params.txCount = 60;
+    params.depRatio = 0.0;
+    params.onlyContract = "TetherUSD"; // all redundant
+    auto b = gen.generateBlock(params);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    SpatioTemporalEngine engine(cfg);
+    auto stats = engine.run(b);
+    // Nearly every selection after the first per PU matches Re.
+    EXPECT_GT(stats.redundantSteers, 40u);
+}
+
+TEST_F(EngineTest, RedundantSteeringImprovesThroughputWithReuse)
+{
+    workload::BlockParams params;
+    params.txCount = 80;
+    params.depRatio = 0.0;
+    auto b = gen.generateBlock(params);
+
+    arch::MtpuConfig reuse;
+    reuse.numPus = 4;
+    reuse.enableContextReuse = true;
+    reuse.retainDbAcrossTxs = true;
+    arch::MtpuConfig no_reuse = reuse;
+    no_reuse.enableContextReuse = false;
+    no_reuse.retainDbAcrossTxs = false;
+
+    SpatioTemporalEngine e_reuse(reuse), e_plain(no_reuse);
+    auto s_reuse = e_reuse.run(b);
+    auto s_plain = e_plain.run(b);
+    EXPECT_LT(s_reuse.makespan, s_plain.makespan);
+}
+
+TEST_F(EngineTest, BeatsSynchronousOnMixedBlocks)
+{
+    auto b = block(80, 0.5);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    SpatioTemporalEngine st(cfg);
+    baseline::SynchronousEngine sync(cfg);
+    auto s_st = st.run(b);
+    auto s_sync = sync.run(b);
+    // Asynchronous scheduling is at least as good as barriers.
+    EXPECT_LE(s_st.makespan, std::uint64_t(double(s_sync.makespan) * 1.05));
+}
+
+TEST_F(EngineTest, DeterministicAcrossRuns)
+{
+    auto b = block(40, 0.4);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    auto run = [&]() {
+        SpatioTemporalEngine engine(cfg);
+        return engine.run(b).makespan;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+TEST_F(EngineTest, ResetClearsPuState)
+{
+    auto b = block(20, 0.0);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 2;
+    SpatioTemporalEngine engine(cfg);
+    auto first = engine.run(b);
+    auto warm = engine.run(b); // warm caches: faster
+    EXPECT_LT(warm.makespan, first.makespan);
+    engine.reset();
+    auto cold = engine.run(b);
+    EXPECT_EQ(cold.makespan, first.makespan);
+}
+
+} // namespace
+} // namespace mtpu::sched

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Scheduling/Transaction table tests, including the worked example of
+ * Fig. 6 and the validity-bit (asynchronous update) behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/tables.hpp"
+
+namespace mtpu::sched {
+namespace {
+
+TEST(SchedulingTables, RejectsBadWindow)
+{
+    EXPECT_THROW(SchedulingTables(2, 0), std::invalid_argument);
+    EXPECT_THROW(SchedulingTables(2, 65), std::invalid_argument);
+    EXPECT_NO_THROW(SchedulingTables(2, 64));
+}
+
+TEST(SchedulingTables, FreeSlotScan)
+{
+    SchedulingTables t(2, 4);
+    EXPECT_EQ(t.freeSlot(), 0);
+    t.slot(0).occupied = true;
+    t.slot(1).occupied = true;
+    EXPECT_EQ(t.freeSlot(), 2);
+    for (int i = 0; i < 4; ++i)
+        t.slot(i).occupied = true;
+    EXPECT_EQ(t.freeSlot(), -1);
+}
+
+TEST(SchedulingTables, AvailableMaskExcludesLocked)
+{
+    SchedulingTables t(1, 4);
+    t.slot(0).occupied = true;
+    t.slot(1).occupied = true;
+    t.slot(1).locked = true;
+    t.slot(3).occupied = true;
+    EXPECT_EQ(t.availableMask(), 0b1001u);
+}
+
+/** Reproduce the Fig. 6 walkthrough. */
+TEST(SchedulingTables, Figure6Example)
+{
+    // Window of 5 candidates: T2, T3, T4, Tb, Tc. Three PUs run T0,
+    // T1, Ta. T2/T3/T4 depend on T0 (PU0); T4 also depends on T1.
+    SchedulingTables t(3, 5);
+    const char *names[5] = {"T2", "T3", "T4", "Tb", "Tc"};
+    (void)names;
+    for (int i = 0; i < 5; ++i) {
+        t.slot(i).occupied = true;
+        t.slot(i).txIndex = i;
+    }
+    t.slot(0).value = 2; // T2 redundancy value
+    t.slot(1).value = 1;
+    t.slot(2).value = 1;
+    t.slot(3).value = 3; // Tb has the largest V
+    t.slot(4).value = 1;
+
+    // PU0 just finished T0: its De row is invalid (completed tx no
+    // longer blocks anyone).
+    t.row(0).valid = false;
+    t.row(0).de = 0b00111; // stale: T2, T3, T4 depended on T0
+    t.row(0).re = 0b00101; // T2 and T4 call the same contract as PU0
+    t.row(0).valid = false;
+
+    // PU1 runs T1: T4 (bit 2) depends on it.
+    t.row(1).de = 0b00100;
+    t.row(1).valid = true;
+
+    // PU2 runs Ta: no candidate depends on it.
+    t.row(2).de = 0;
+    t.row(2).valid = true;
+
+    // PU0 selects: blocked = 00100 -> allowed = {T2, T3, Tb, Tc};
+    // redundancy prefers T2 (Re bit set and allowed).
+    EXPECT_EQ(t.select(0), 0);
+
+    // Without the redundancy bits, PU0 would take the largest V (Tb).
+    t.row(0).re = 0;
+    EXPECT_EQ(t.select(0), 3);
+}
+
+TEST(SchedulingTables, InvalidDependencyRowReadsAsZero)
+{
+    SchedulingTables t(2, 2);
+    t.slot(0).occupied = true;
+    t.slot(0).value = 1;
+    // PU1 claims candidate 0 depends on its tx, but the row is stale.
+    t.row(1).de = 0b01;
+    t.row(1).valid = false;
+    EXPECT_EQ(t.select(0), 0); // not blocked
+    t.row(1).valid = true;
+    EXPECT_EQ(t.select(0), -1); // now blocked
+}
+
+TEST(SchedulingTables, SelectPrefersRedundantOverLargerValue)
+{
+    SchedulingTables t(1, 3);
+    for (int i = 0; i < 3; ++i)
+        t.slot(i).occupied = true;
+    t.slot(0).value = 10;
+    t.slot(1).value = 1;
+    t.slot(2).value = 5;
+    t.row(0).re = 0b010;
+    t.row(0).valid = true;
+    EXPECT_EQ(t.select(0), 1); // redundancy wins despite V = 1
+}
+
+TEST(SchedulingTables, SelectFallsBackToLargestValue)
+{
+    SchedulingTables t(1, 3);
+    for (int i = 0; i < 3; ++i)
+        t.slot(i).occupied = true;
+    t.slot(0).value = 3;
+    t.slot(1).value = 9;
+    t.slot(2).value = 5;
+    EXPECT_EQ(t.select(0), 1);
+}
+
+TEST(SchedulingTables, SelectSkipsLockedSlots)
+{
+    SchedulingTables t(1, 2);
+    t.slot(0).occupied = true;
+    t.slot(0).locked = true;
+    t.slot(0).value = 9;
+    t.slot(1).occupied = true;
+    t.slot(1).value = 1;
+    EXPECT_EQ(t.select(0), 1);
+}
+
+TEST(SchedulingTables, EmptyWindowSelectsNothing)
+{
+    SchedulingTables t(2, 4);
+    EXPECT_EQ(t.select(0), -1);
+}
+
+} // namespace
+} // namespace mtpu::sched

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Keccak-256 known-answer tests (Ethereum variant, 0x01 padding).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "support/hex.hpp"
+#include "support/keccak.hpp"
+
+namespace mtpu {
+namespace {
+
+std::string
+keccakHex(const std::string &input)
+{
+    std::uint8_t digest[32];
+    keccak256(reinterpret_cast<const std::uint8_t *>(input.data()),
+              input.size(), digest);
+    return toHex(Bytes(digest, digest + 32), false);
+}
+
+TEST(Keccak, EmptyString)
+{
+    // Well-known Ethereum constant (empty code hash).
+    EXPECT_EQ(keccakHex(""),
+              "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85"
+              "a470");
+}
+
+TEST(Keccak, Abc)
+{
+    EXPECT_EQ(keccakHex("abc"),
+              "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d"
+              "6c45");
+}
+
+TEST(Keccak, FunctionSelectorTransfer)
+{
+    // keccak("transfer(address,uint256)")[0..4) == a9059cbb — the ERC20
+    // selector the contract factory hardcodes.
+    EXPECT_EQ(keccakHex("transfer(address,uint256)").substr(0, 8),
+              "a9059cbb");
+}
+
+TEST(Keccak, FunctionSelectorBalanceOf)
+{
+    EXPECT_EQ(keccakHex("balanceOf(address)").substr(0, 8), "70a08231");
+}
+
+TEST(Keccak, MultiBlockInput)
+{
+    // 200 bytes crosses the 136-byte rate boundary.
+    std::string long_input(200, 'x');
+    EXPECT_EQ(keccakHex(long_input).size(), 64u);
+    // Deterministic and differs from a 199-byte prefix.
+    EXPECT_NE(keccakHex(long_input), keccakHex(long_input.substr(0, 199)));
+    EXPECT_EQ(keccakHex(long_input), keccakHex(long_input));
+}
+
+TEST(Keccak, ExactRateBlock)
+{
+    // Exactly 136 bytes: padding occupies a full extra block.
+    std::string input(136, 'a');
+    EXPECT_EQ(keccakHex(input).size(), 64u);
+    EXPECT_NE(keccakHex(input), keccakHex(std::string(135, 'a')));
+}
+
+TEST(Keccak, PairHashMatchesConcatenation)
+{
+    U256 a(123), b(456);
+    std::uint8_t buf[64];
+    a.toBytes(buf);
+    b.toBytes(buf + 32);
+    std::uint8_t digest[32];
+    keccak256(buf, 64, digest);
+    EXPECT_EQ(keccak256Pair(a, b), U256::fromBytes(digest, 32));
+}
+
+TEST(Keccak, WordHelperMatchesRaw)
+{
+    Bytes data = {1, 2, 3, 4, 5};
+    std::uint8_t digest[32];
+    keccak256(data.data(), data.size(), digest);
+    EXPECT_EQ(keccak256Word(data), U256::fromBytes(digest, 32));
+}
+
+} // namespace
+} // namespace mtpu

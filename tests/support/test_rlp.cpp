@@ -1,0 +1,116 @@
+/**
+ * @file
+ * RLP codec tests against the canonical examples from the Ethereum
+ * wiki, plus round-trip and malformed-input coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/hex.hpp"
+#include "support/rlp.hpp"
+
+namespace mtpu::rlp {
+namespace {
+
+TEST(Rlp, EncodeSingleByte)
+{
+    EXPECT_EQ(encode(Item::bytes({0x7f})), Bytes({0x7f}));
+    // 0x80 and above need a length prefix.
+    EXPECT_EQ(encode(Item::bytes({0x80})), Bytes({0x81, 0x80}));
+    EXPECT_EQ(encode(Item::bytes({0x00})), Bytes({0x00}));
+}
+
+TEST(Rlp, EncodeEmptyString)
+{
+    EXPECT_EQ(encode(Item::bytes({})), Bytes({0x80}));
+}
+
+TEST(Rlp, EncodeDog)
+{
+    EXPECT_EQ(encode(Item::text("dog")), Bytes({0x83, 'd', 'o', 'g'}));
+}
+
+TEST(Rlp, EncodeCatDogList)
+{
+    Item list = Item::makeList({Item::text("cat"), Item::text("dog")});
+    EXPECT_EQ(encode(list),
+              Bytes({0xc8, 0x83, 'c', 'a', 't', 0x83, 'd', 'o', 'g'}));
+}
+
+TEST(Rlp, EncodeEmptyList)
+{
+    EXPECT_EQ(encode(Item::makeList({})), Bytes({0xc0}));
+}
+
+TEST(Rlp, EncodeLongString)
+{
+    std::string s(56, 'a');
+    Bytes enc = encode(Item::text(s));
+    EXPECT_EQ(enc[0], 0xb8); // long form, 1 length byte
+    EXPECT_EQ(enc[1], 56);
+    EXPECT_EQ(enc.size(), 58u);
+}
+
+TEST(Rlp, EncodeNestedList)
+{
+    // [ [], [[]], [ [], [[]] ] ] — the set-theoretic nesting example.
+    Item empty = Item::makeList({});
+    Item l1 = Item::makeList({empty});
+    Item l2 = Item::makeList({empty, l1});
+    Item top = Item::makeList({empty, l1, l2});
+    EXPECT_EQ(encode(top),
+              Bytes({0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0}));
+}
+
+TEST(Rlp, WordEncoding)
+{
+    // Words are minimal big-endian; zero is the empty string.
+    EXPECT_EQ(encode(Item::word(U256(0))), Bytes({0x80}));
+    EXPECT_EQ(encode(Item::word(U256(15))), Bytes({0x0f}));
+    EXPECT_EQ(encode(Item::word(U256(1024))), Bytes({0x82, 0x04, 0x00}));
+}
+
+TEST(Rlp, RoundTripTree)
+{
+    Item tree = Item::makeList({
+        Item::word(U256(42)),
+        Item::text("hello rlp"),
+        Item::makeList({Item::word(U256::max()), Item::bytes({})}),
+    });
+    Item back = decode(encode(tree));
+    ASSERT_TRUE(back.isList);
+    ASSERT_EQ(back.list.size(), 3u);
+    EXPECT_EQ(back.list[0].toWord(), U256(42));
+    EXPECT_EQ(back.list[1].str, Item::text("hello rlp").str);
+    ASSERT_TRUE(back.list[2].isList);
+    EXPECT_EQ(back.list[2].list[0].toWord(), U256::max());
+    EXPECT_TRUE(back.list[2].list[1].str.empty());
+}
+
+TEST(Rlp, DecodeRejectsTruncated)
+{
+    EXPECT_THROW(decode(Bytes({0x83, 'd', 'o'})), std::invalid_argument);
+    EXPECT_THROW(decode(Bytes({0xb8})), std::invalid_argument);
+    EXPECT_THROW(decode(Bytes({0xc8, 0x83})), std::invalid_argument);
+}
+
+TEST(Rlp, DecodeRejectsTrailingBytes)
+{
+    EXPECT_THROW(decode(Bytes({0x01, 0x02})), std::invalid_argument);
+}
+
+TEST(Rlp, DecodeRejectsNonCanonical)
+{
+    // Single byte < 0x80 must be encoded as itself, not 0x81-prefixed.
+    EXPECT_THROW(decode(Bytes({0x81, 0x01})), std::invalid_argument);
+    // Long-form length that fits short form.
+    EXPECT_THROW(decode(Bytes({0xb8, 0x01, 0x61})), std::invalid_argument);
+}
+
+TEST(Rlp, WordRejectsList)
+{
+    EXPECT_THROW(Item::makeList({}).toWord(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace mtpu::rlp

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "support/rng.hpp"
+
+namespace mtpu {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(3);
+    std::map<std::uint64_t, int> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen[rng.below(5)]++;
+    EXPECT_EQ(seen.size(), 5u);
+    for (const auto &[v, n] : seen)
+        EXPECT_GT(n, 200) << v;
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ZipfFavorsHead)
+{
+    Rng rng(9);
+    std::map<std::size_t, int> seen;
+    for (int i = 0; i < 5000; ++i)
+        seen[rng.zipf(8, 1.0)]++;
+    // Index 0 must dominate index 7 under s = 1.
+    EXPECT_GT(seen[0], seen[7] * 3);
+    // All indices reachable.
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ZipfUniformWhenExponentZero)
+{
+    Rng rng(13);
+    std::map<std::size_t, int> seen;
+    for (int i = 0; i < 8000; ++i)
+        seen[rng.zipf(4, 0.0)]++;
+    for (const auto &[v, n] : seen)
+        EXPECT_NEAR(n, 2000, 300) << v;
+}
+
+TEST(Rng, ChanceRespectsBounds)
+{
+    Rng rng(21);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.25);
+    EXPECT_NEAR(hits, 2500, 200);
+}
+
+} // namespace
+} // namespace mtpu

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace mtpu {
+namespace {
+
+TEST(Accumulator, Empty)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+}
+
+TEST(Accumulator, TracksMinMaxMean)
+{
+    Accumulator acc;
+    for (double v : {3.0, 1.0, 2.0})
+        acc.add(v);
+    EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 3.0);
+    EXPECT_EQ(acc.count(), 3u);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator acc;
+    acc.add(-5.0);
+    acc.add(5.0);
+    EXPECT_DOUBLE_EQ(acc.min(), -5.0);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+TEST(Histogram, BucketsByWidth)
+{
+    Histogram h(10);
+    h.add(5);
+    h.add(15);
+    h.add(17);
+    EXPECT_EQ(h.total(), 3u);
+    EXPECT_EQ(h.buckets().at(0), 1u);
+    EXPECT_EQ(h.buckets().at(1), 2u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1);
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.add(v);
+    EXPECT_NEAR(double(h.percentile(0.5)), 50.0, 1.0);
+    EXPECT_NEAR(double(h.percentile(0.99)), 99.0, 1.0);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(1);
+    h.add(3, 10);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.buckets().at(3), 10u);
+}
+
+TEST(LineFit, ExactLine)
+{
+    LineFit f = LineFit::fit({0, 1, 2, 3}, {1, 3, 5, 7});
+    EXPECT_NEAR(f.a, 1.0, 1e-9);
+    EXPECT_NEAR(f.b, 2.0, 1e-9);
+    EXPECT_NEAR(f.at(10), 21.0, 1e-9);
+}
+
+TEST(LineFit, DegenerateInputs)
+{
+    LineFit f = LineFit::fit({1}, {2});
+    EXPECT_DOUBLE_EQ(f.a, 0.0);
+    EXPECT_DOUBLE_EQ(f.b, 0.0);
+    LineFit g = LineFit::fit({2, 2, 2}, {1, 2, 3}); // vertical: no fit
+    EXPECT_DOUBLE_EQ(g.b, 0.0);
+}
+
+TEST(Fixed, Formatting)
+{
+    EXPECT_EQ(fixed(3.14159, 2), "3.14");
+    EXPECT_EQ(fixed(2.0, 0), "2");
+    EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+} // namespace
+} // namespace mtpu

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * U256 arithmetic unit and property tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu {
+namespace {
+
+TEST(U256, ZeroDefault)
+{
+    U256 z;
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z.bitLength(), -1);
+    EXPECT_EQ(z.byteLength(), 0);
+    EXPECT_EQ(z.toHex(), "0x0");
+    EXPECT_EQ(z.toDec(), "0");
+}
+
+TEST(U256, FromU64)
+{
+    U256 v(0xdeadbeefull);
+    EXPECT_EQ(v.low64(), 0xdeadbeefull);
+    EXPECT_TRUE(v.fitsU64());
+    EXPECT_EQ(v.toHex(), "0xdeadbeef");
+}
+
+TEST(U256, HexRoundTrip)
+{
+    const char *cases[] = {
+        "0x1", "0xff", "0x100", "0xdeadbeef",
+        "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+        "f",
+        "0x123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0",
+    };
+    for (const char *c : cases) {
+        U256 v = U256::fromHex(c);
+        EXPECT_EQ(U256::fromHex(v.toHex()), v) << c;
+    }
+}
+
+TEST(U256, DecRoundTrip)
+{
+    const char *cases[] = {
+        "0", "1", "10", "12345678901234567890123456789012345678901234567890",
+    };
+    for (const char *c : cases)
+        EXPECT_EQ(U256::fromDec(c).toDec(), c);
+}
+
+TEST(U256, BytesRoundTrip)
+{
+    U256 v = U256::fromHex("0x0102030405060708090a0b0c0d0e0f10"
+                           "1112131415161718191a1b1c1d1e1f20");
+    std::uint8_t buf[32];
+    v.toBytes(buf);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[31], 0x20);
+    EXPECT_EQ(U256::fromBytes(buf, 32), v);
+}
+
+TEST(U256, AddCarriesAcrossLimbs)
+{
+    U256 a(~0ull);
+    U256 b(1);
+    U256 s = a + b;
+    EXPECT_EQ(s.limb(0), 0u);
+    EXPECT_EQ(s.limb(1), 1u);
+}
+
+TEST(U256, AddWrapsAtMax)
+{
+    EXPECT_EQ(U256::max() + U256(1), U256());
+    EXPECT_EQ(U256::max() + U256::max(),
+              U256::max() - U256(1));
+}
+
+TEST(U256, SubBorrowsAcrossLimbs)
+{
+    U256 a(0, 1, 0, 0);
+    U256 r = a - U256(1);
+    EXPECT_EQ(r.limb(0), ~0ull);
+    EXPECT_EQ(r.limb(1), 0u);
+}
+
+TEST(U256, SubWraps)
+{
+    EXPECT_EQ(U256(0) - U256(1), U256::max());
+}
+
+TEST(U256, MulBasics)
+{
+    EXPECT_EQ(U256(6) * U256(7), U256(42));
+    U256 big(~0ull);
+    U256 sq = big * big; // (2^64-1)^2 = 2^128 - 2^65 + 1
+    EXPECT_EQ(sq.limb(0), 1u);
+    EXPECT_EQ(sq.limb(1), ~0ull - 1);
+    EXPECT_EQ(sq.limb(2), 0u);
+}
+
+TEST(U256, MulWrapsMod2e256)
+{
+    U256 big = U256(1).shl(255);
+    EXPECT_EQ(big * U256(2), U256());
+}
+
+TEST(U256, DivModBasics)
+{
+    EXPECT_EQ(U256(100).udiv(U256(7)), U256(14));
+    EXPECT_EQ(U256(100).umod(U256(7)), U256(2));
+    EXPECT_EQ(U256(100).udiv(U256(0)), U256()); // EVM: x/0 == 0
+    EXPECT_EQ(U256(100).umod(U256(0)), U256());
+}
+
+TEST(U256, DivLarge)
+{
+    U256 n = U256::fromHex(
+        "0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"
+        "ff");
+    EXPECT_EQ(n.udiv(n), U256(1));
+    EXPECT_EQ(n.udiv(U256(1)), n);
+    U256 h = n.udiv(U256(2));
+    EXPECT_EQ(h * U256(2) + n.umod(U256(2)), n);
+}
+
+TEST(U256, SignedDivision)
+{
+    U256 neg7 = U256(7).negate();
+    U256 neg2 = U256(2).negate();
+    EXPECT_EQ(neg7.sdiv(U256(2)), U256(3).negate()); // trunc toward 0
+    EXPECT_EQ(U256(7).sdiv(neg2), U256(3).negate());
+    EXPECT_EQ(neg7.sdiv(neg2), U256(3));
+    EXPECT_EQ(neg7.smod(U256(2)), U256(1).negate()); // sign of dividend
+    EXPECT_EQ(U256(7).smod(neg2), U256(1));
+    EXPECT_EQ(U256(7).sdiv(U256(0)), U256());
+    EXPECT_EQ(U256(7).smod(U256(0)), U256());
+}
+
+TEST(U256, SdivOverflowCorner)
+{
+    // INT_MIN / -1 wraps to INT_MIN in EVM semantics.
+    U256 int_min = U256(1).shl(255);
+    U256 neg1 = U256::max();
+    EXPECT_EQ(int_min.sdiv(neg1), int_min);
+}
+
+TEST(U256, AddmodMulmod)
+{
+    EXPECT_EQ(U256::addmod(U256(10), U256(10), U256(8)), U256(4));
+    EXPECT_EQ(U256::mulmod(U256(10), U256(10), U256(8)), U256(4));
+    EXPECT_EQ(U256::addmod(U256(10), U256(10), U256(0)), U256());
+    EXPECT_EQ(U256::mulmod(U256(10), U256(10), U256(0)), U256());
+    // 257-bit intermediate: MAX + MAX mod MAX == 0
+    EXPECT_EQ(U256::addmod(U256::max(), U256::max(), U256::max()), U256());
+    // MAX + 2 mod MAX == 2
+    EXPECT_EQ(U256::addmod(U256::max(), U256(2), U256::max()), U256(2));
+    // 512-bit intermediate: MAX * MAX mod MAX == 0
+    EXPECT_EQ(U256::mulmod(U256::max(), U256::max(), U256::max()), U256());
+}
+
+TEST(U256, Exp)
+{
+    EXPECT_EQ(U256::exp(U256(2), U256(10)), U256(1024));
+    EXPECT_EQ(U256::exp(U256(0), U256(0)), U256(1)); // EVM: 0^0 == 1
+    EXPECT_EQ(U256::exp(U256(7), U256(0)), U256(1));
+    EXPECT_EQ(U256::exp(U256(2), U256(256)), U256()); // wraps
+}
+
+TEST(U256, Signextend)
+{
+    // Extend 0xff as a 1-byte value: becomes -1.
+    EXPECT_EQ(U256::signextend(U256(0), U256(0xff)), U256::max());
+    // 0x7f stays positive.
+    EXPECT_EQ(U256::signextend(U256(0), U256(0x7f)), U256(0x7f));
+    // Truncation of high garbage on positive extension.
+    EXPECT_EQ(U256::signextend(U256(0), U256(0x1234)), U256(0x34));
+    // b >= 31: unchanged.
+    EXPECT_EQ(U256::signextend(U256(31), U256::max()), U256::max());
+    EXPECT_EQ(U256::signextend(U256(100), U256(5)), U256(5));
+}
+
+TEST(U256, Shifts)
+{
+    U256 v(1);
+    EXPECT_EQ(v.shl(64).limb(1), 1u);
+    EXPECT_EQ(v.shl(255).isNegative(), true);
+    EXPECT_EQ(v.shl(256), U256());
+    EXPECT_EQ(v.shl(70).shr(70), v);
+    EXPECT_EQ(U256::max().shr(255), U256(1));
+}
+
+TEST(U256, Sar)
+{
+    U256 neg = U256(16).negate();
+    EXPECT_EQ(neg.sar(2), U256(4).negate());
+    EXPECT_EQ(neg.sar(300), U256::max());
+    EXPECT_EQ(U256(16).sar(2), U256(4));
+    EXPECT_EQ(U256(16).sar(300), U256());
+}
+
+TEST(U256, ByteAt)
+{
+    U256 v = U256::fromHex(
+        "0x0102030405060708090a0b0c0d0e0f10"
+        "1112131415161718191a1b1c1d1e1f20");
+    EXPECT_EQ(v.byteAt(0), U256(0x01));
+    EXPECT_EQ(v.byteAt(31), U256(0x20));
+    EXPECT_EQ(v.byteAt(32), U256());
+}
+
+TEST(U256, Comparisons)
+{
+    EXPECT_TRUE(U256(1) < U256(2));
+    EXPECT_TRUE(U256(0, 0, 0, 1) > U256(~0ull, ~0ull, ~0ull, 0));
+    // Signed: -1 < 1
+    EXPECT_TRUE(U256::max().slt(U256(1)));
+    EXPECT_FALSE(U256(1).slt(U256::max()));
+    EXPECT_TRUE(U256(5).negate().slt(U256(3).negate()));
+}
+
+TEST(U256, BitLength)
+{
+    EXPECT_EQ(U256(1).bitLength(), 0);
+    EXPECT_EQ(U256(0xff).bitLength(), 7);
+    EXPECT_EQ(U256(0x100).bitLength(), 8);
+    EXPECT_EQ(U256::max().bitLength(), 255);
+    EXPECT_EQ(U256(0xff).byteLength(), 1);
+    EXPECT_EQ(U256(0x100).byteLength(), 2);
+}
+
+// ---- property tests over random operands --------------------------------
+
+class U256Property : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    U256
+    randomWord(Rng &rng)
+    {
+        // Mix widths: full-width, small, and sparse values.
+        switch (rng.below(3)) {
+          case 0:
+            return U256(rng.next(), rng.next(), rng.next(), rng.next());
+          case 1:
+            return U256(rng.next() & 0xffff);
+          default:
+            return U256(1).shl(unsigned(rng.below(256)));
+        }
+    }
+};
+
+TEST_P(U256Property, AddSubInverse)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        U256 a = randomWord(rng), b = randomWord(rng);
+        EXPECT_EQ((a + b) - b, a);
+        EXPECT_EQ((a - b) + b, a);
+    }
+}
+
+TEST_P(U256Property, AddCommutesMulCommutes)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        U256 a = randomWord(rng), b = randomWord(rng);
+        EXPECT_EQ(a + b, b + a);
+        EXPECT_EQ(a * b, b * a);
+    }
+}
+
+TEST_P(U256Property, DivModIdentity)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        U256 a = randomWord(rng), b = randomWord(rng);
+        if (b.isZero())
+            continue;
+        U256 q = a.udiv(b), r = a.umod(b);
+        EXPECT_TRUE(r < b);
+        EXPECT_EQ(q * b + r, a);
+    }
+}
+
+TEST_P(U256Property, MulmodMatchesSmallModel)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.below(1u << 30), b = rng.below(1u << 30),
+                      m = 1 + rng.below(1u << 30);
+        EXPECT_EQ(U256::mulmod(U256(a), U256(b), U256(m)),
+                  U256((a * b) % m));
+        EXPECT_EQ(U256::addmod(U256(a), U256(b), U256(m)),
+                  U256((a + b) % m));
+    }
+}
+
+TEST_P(U256Property, ShiftsCompose)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 100; ++i) {
+        U256 a = randomWord(rng);
+        unsigned s1 = unsigned(rng.below(128)), s2 = unsigned(rng.below(128));
+        EXPECT_EQ(a.shl(s1).shl(s2), a.shl(s1 + s2));
+        EXPECT_EQ(a.shr(s1).shr(s2), a.shr(s1 + s2));
+    }
+}
+
+TEST_P(U256Property, BitwiseDeMorgan)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 100; ++i) {
+        U256 a = randomWord(rng), b = randomWord(rng);
+        EXPECT_EQ(~(a & b), (~a | ~b));
+        EXPECT_EQ(~(a | b), (~a & ~b));
+        EXPECT_EQ((a ^ b) ^ b, a);
+    }
+}
+
+TEST_P(U256Property, NegateIsTwosComplement)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 100; ++i) {
+        U256 a = randomWord(rng);
+        EXPECT_EQ(a + a.negate(), U256());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, U256Property,
+                         ::testing::Values(1, 42, 12345, 0xfeedface));
+
+} // namespace
+} // namespace mtpu

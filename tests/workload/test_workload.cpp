@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Workload-generator tests: dependency-ratio targeting, ERC20-share
+ * targeting, DAG well-formedness, redundancy values, and transaction
+ * validity (the vast majority of generated transactions succeed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/workload.hpp"
+
+namespace mtpu::workload {
+namespace {
+
+class WorkloadTest : public ::testing::Test
+{
+  protected:
+    WorkloadTest() : gen(77, 256) {}
+    Generator gen;
+};
+
+TEST_F(WorkloadTest, BlockHasRequestedSize)
+{
+    BlockParams params;
+    params.txCount = 37;
+    auto block = gen.generateBlock(params);
+    EXPECT_EQ(block.txs.size(), 37u);
+}
+
+TEST_F(WorkloadTest, MostTransactionsSucceed)
+{
+    BlockParams params;
+    params.txCount = 100;
+    params.depRatio = 0.4;
+    auto block = gen.generateBlock(params);
+    int ok = 0;
+    for (const auto &rec : block.txs)
+        ok += rec.receipt.success;
+    EXPECT_GE(ok, 90);
+}
+
+TEST_F(WorkloadTest, IndependentBlockHasFewConflicts)
+{
+    BlockParams params;
+    params.txCount = 80;
+    params.depRatio = 0.0;
+    auto block = gen.generateBlock(params);
+    EXPECT_LT(block.measuredDepRatio(), 0.15);
+}
+
+TEST_F(WorkloadTest, DependencyRatioTracksTarget)
+{
+    for (double target : {0.2, 0.5, 0.8}) {
+        BlockParams params;
+        params.txCount = 120;
+        params.depRatio = target;
+        auto block = gen.generateBlock(params);
+        EXPECT_NEAR(block.measuredDepRatio(), target, 0.15) << target;
+    }
+}
+
+TEST_F(WorkloadTest, DepsPointBackwardsOnly)
+{
+    BlockParams params;
+    params.txCount = 60;
+    params.depRatio = 0.6;
+    auto block = gen.generateBlock(params);
+    for (std::size_t j = 0; j < block.txs.size(); ++j) {
+        for (int d : block.txs[j].deps) {
+            EXPECT_GE(d, 0);
+            EXPECT_LT(std::size_t(d), j);
+        }
+    }
+}
+
+TEST_F(WorkloadTest, DepsMatchAccessSetConflicts)
+{
+    BlockParams params;
+    params.txCount = 40;
+    params.depRatio = 0.5;
+    auto block = gen.generateBlock(params);
+    for (std::size_t j = 0; j < block.txs.size(); ++j) {
+        for (std::size_t i = 0; i < j; ++i) {
+            bool conflict =
+                block.txs[j].access.conflictsWith(block.txs[i].access);
+            bool listed = false;
+            for (int d : block.txs[j].deps)
+                listed |= (d == int(i));
+            EXPECT_EQ(conflict, listed) << i << "->" << j;
+        }
+    }
+}
+
+TEST_F(WorkloadTest, Erc20ShareTracksTarget)
+{
+    for (double target : {0.0, 0.5, 1.0}) {
+        BlockParams params;
+        params.txCount = 150;
+        params.erc20Share = target;
+        auto block = gen.generateBlock(params);
+        EXPECT_NEAR(block.erc20Ratio(), target, 0.12) << target;
+    }
+}
+
+TEST_F(WorkloadTest, RedundancyValuesCountLaterSameContractTxs)
+{
+    BlockParams params;
+    params.txCount = 30;
+    params.onlyContract = "TetherUSD";
+    auto block = gen.generateBlock(params);
+    // All same contract: redundancy counts down from N-1 to 0.
+    EXPECT_EQ(block.txs.front().redundancy, 29);
+    EXPECT_EQ(block.txs.back().redundancy, 0);
+}
+
+TEST_F(WorkloadTest, ContractBatchOnlyTargetsOneContract)
+{
+    auto block = gen.contractBatch("OpenSea", 25);
+    for (const auto &rec : block.txs)
+        EXPECT_EQ(rec.contract, "OpenSea");
+}
+
+TEST_F(WorkloadTest, TracesArePopulated)
+{
+    BlockParams params;
+    params.txCount = 20;
+    auto block = gen.generateBlock(params);
+    for (const auto &rec : block.txs) {
+        if (!rec.receipt.success)
+            continue;
+        EXPECT_GT(rec.trace.events.size(), 10u) << rec.contract;
+        EXPECT_FALSE(rec.trace.codeAddrs.empty());
+        EXPECT_EQ(rec.trace.entryFunction, rec.tx.functionId());
+    }
+}
+
+TEST_F(WorkloadTest, CriticalPathGrowsWithDependencyRatio)
+{
+    BlockParams low;
+    low.txCount = 100;
+    low.depRatio = 0.1;
+    BlockParams high = low;
+    high.depRatio = 0.95;
+    int cp_low = gen.generateBlock(low).criticalPathLength();
+    int cp_high = gen.generateBlock(high).criticalPathLength();
+    EXPECT_GT(cp_high, cp_low * 2);
+}
+
+TEST_F(WorkloadTest, DifferentSeedsDifferentBlocks)
+{
+    Generator g1(1, 128), g2(2, 128);
+    BlockParams params;
+    params.txCount = 20;
+    auto b1 = g1.generateBlock(params);
+    auto b2 = g2.generateBlock(params);
+    bool same = true;
+    for (std::size_t i = 0; i < 20; ++i)
+        same &= (b1.txs[i].tx.data == b2.txs[i].tx.data);
+    EXPECT_FALSE(same);
+}
+
+TEST_F(WorkloadTest, SameSeedReproducible)
+{
+    Generator g1(9, 128), g2(9, 128);
+    BlockParams params;
+    params.txCount = 20;
+    params.depRatio = 0.5;
+    auto b1 = g1.generateBlock(params);
+    auto b2 = g2.generateBlock(params);
+    ASSERT_EQ(b1.txs.size(), b2.txs.size());
+    for (std::size_t i = 0; i < b1.txs.size(); ++i) {
+        EXPECT_EQ(b1.txs[i].tx.data, b2.txs[i].tx.data);
+        EXPECT_EQ(b1.txs[i].receipt.gasUsed, b2.txs[i].receipt.gasUsed);
+    }
+}
+
+TEST_F(WorkloadTest, GenesisStateIsReusedNotMutated)
+{
+    BlockParams params;
+    params.txCount = 10;
+    params.onlyContract = "Ballot";
+    auto b1 = gen.generateBlock(params);
+    auto b2 = gen.generateBlock(params);
+    // Voting twice on the same proposal would fail if state leaked
+    // between blocks; both blocks must succeed independently.
+    for (const auto &rec : b2.txs)
+        EXPECT_TRUE(rec.receipt.success) << rec.function;
+    (void)b1;
+}
+
+} // namespace
+} // namespace mtpu::workload

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * mtpu_sim — command-line driver for the MTPU simulator. Generates
+ * synthetic blocks and executes them under a chosen scheme, printing
+ * per-block speedup, utilization and throughput.
+ *
+ * Usage:
+ *   mtpu_sim [--txs N] [--dep R] [--erc20 R] [--pus N] [--blocks N]
+ *            [--seed S] [--scheme seq|sync|st] [--window M]
+ *            [--db-entries N] [--no-redundancy] [--no-hotspot]
+ *            [--mhz F] [--help]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/mtpu.hpp"
+
+namespace {
+
+struct Options
+{
+    int txs = 128;
+    double dep = 0.3;
+    double erc20 = -1.0;
+    int pus = 4;
+    int blocks = 4;
+    std::uint64_t seed = 1;
+    std::string scheme = "st";
+    int window = 8;
+    std::uint32_t dbEntries = 2048;
+    bool redundancy = true;
+    bool hotspot = true;
+    double mhz = 300.0;
+};
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --txs N          transactions per block (default 128)\n"
+        "  --dep R          dependency ratio 0..1 (default 0.3)\n"
+        "  --erc20 R        ERC20 share 0..1; negative = natural mix\n"
+        "  --pus N          processing units (default 4)\n"
+        "  --blocks N       number of blocks (default 4)\n"
+        "  --seed S         workload seed (default 1)\n"
+        "  --scheme X       seq | sync | st (default st)\n"
+        "  --window M       scheduling window size (default 8)\n"
+        "  --db-entries N   DB cache lines (default 2048)\n"
+        "  --no-redundancy  disable context/DB reuse\n"
+        "  --no-hotspot     disable hotspot optimization\n"
+        "  --mhz F          clock for throughput (default 300)\n",
+        argv0);
+}
+
+bool
+parse(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", what);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return false;
+        } else if (arg == "--txs") {
+            const char *v = next("--txs");
+            if (!v)
+                return false;
+            opt.txs = std::atoi(v);
+        } else if (arg == "--dep") {
+            const char *v = next("--dep");
+            if (!v)
+                return false;
+            opt.dep = std::atof(v);
+        } else if (arg == "--erc20") {
+            const char *v = next("--erc20");
+            if (!v)
+                return false;
+            opt.erc20 = std::atof(v);
+        } else if (arg == "--pus") {
+            const char *v = next("--pus");
+            if (!v)
+                return false;
+            opt.pus = std::atoi(v);
+        } else if (arg == "--blocks") {
+            const char *v = next("--blocks");
+            if (!v)
+                return false;
+            opt.blocks = std::atoi(v);
+        } else if (arg == "--seed") {
+            const char *v = next("--seed");
+            if (!v)
+                return false;
+            opt.seed = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--scheme") {
+            const char *v = next("--scheme");
+            if (!v)
+                return false;
+            opt.scheme = v;
+        } else if (arg == "--window") {
+            const char *v = next("--window");
+            if (!v)
+                return false;
+            opt.window = std::atoi(v);
+        } else if (arg == "--db-entries") {
+            const char *v = next("--db-entries");
+            if (!v)
+                return false;
+            opt.dbEntries = std::uint32_t(std::atoi(v));
+        } else if (arg == "--no-redundancy") {
+            opt.redundancy = false;
+        } else if (arg == "--no-hotspot") {
+            opt.hotspot = false;
+        } else if (arg == "--mhz") {
+            const char *v = next("--mhz");
+            if (!v)
+                return false;
+            opt.mhz = std::atof(v);
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            usage(argv[0]);
+            return false;
+        }
+    }
+    if (opt.txs < 1 || opt.pus < 1 || opt.blocks < 1 || opt.window < 1
+        || opt.window > 64 || opt.scheme.empty()) {
+        std::fprintf(stderr, "invalid option values\n");
+        return false;
+    }
+    if (opt.scheme != "seq" && opt.scheme != "sync" && opt.scheme != "st") {
+        std::fprintf(stderr, "unknown scheme: %s\n", opt.scheme.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtpu;
+    Options opt;
+    if (!parse(argc, argv, opt))
+        return 1;
+
+    arch::MtpuConfig cfg;
+    cfg.numPus = opt.pus;
+    cfg.windowSize = opt.window;
+    cfg.dbCacheEntries = opt.dbEntries;
+
+    core::RunOptions run;
+    run.scheme = opt.scheme == "seq"    ? core::Scheme::Sequential
+                 : opt.scheme == "sync" ? core::Scheme::Synchronous
+                                        : core::Scheme::SpatioTemporal;
+    run.redundancyOpt = opt.redundancy;
+    run.hotspotOpt = opt.hotspot;
+
+    std::printf("mtpu_sim: %d PUs, scheme=%s, redundancy=%s, "
+                "hotspot=%s, window=%d, db=%u lines\n",
+                opt.pus, opt.scheme.c_str(),
+                opt.redundancy ? "on" : "off",
+                opt.hotspot ? "on" : "off", opt.window, opt.dbEntries);
+
+    workload::Generator gen(opt.seed, 512);
+    core::MtpuProcessor proc(cfg);
+
+    std::printf("%5s %6s %8s %9s %9s %8s %12s\n", "block", "txs",
+                "depMeas", "cycles", "speedup", "util", "throughput");
+
+    double total_speedup = 0;
+    for (int b = 0; b < opt.blocks; ++b) {
+        workload::BlockParams params;
+        params.txCount = opt.txs;
+        params.depRatio = opt.dep;
+        params.erc20Share = opt.erc20;
+        auto block = gen.generateBlock(params);
+
+        core::RunOptions this_run = run;
+        this_run.hotspotOpt = run.hotspotOpt && b > 0; // needs warmup
+        auto report = proc.compare(block, this_run);
+        double seconds = double(report.stats.makespan) / (opt.mhz * 1e6);
+        std::printf("%5d %6zu %8.2f %9llu %8.2fx %7.1f%% %9.0f tx/s\n",
+                    b, block.txs.size(), block.measuredDepRatio(),
+                    (unsigned long long)report.stats.makespan,
+                    report.speedup(),
+                    report.stats.utilization() * 100.0,
+                    double(block.txs.size()) / seconds);
+        total_speedup += report.speedup();
+        proc.warmup(block, 16); // hotspot collection in the interval
+    }
+    std::printf("average speedup over %d blocks: %.2fx\n", opt.blocks,
+                total_speedup / opt.blocks);
+
+    arch::AreaModel area(cfg);
+    std::printf("silicon: %.1f mm^2 @45nm, %.2f W @%.0f MHz\n",
+                area.totalArea(), area.powerWatts(opt.mhz), opt.mhz);
+    return 0;
+}
