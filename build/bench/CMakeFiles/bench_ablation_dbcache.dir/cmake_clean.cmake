@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dbcache.dir/bench_ablation_dbcache.cpp.o"
+  "CMakeFiles/bench_ablation_dbcache.dir/bench_ablation_dbcache.cpp.o.d"
+  "bench_ablation_dbcache"
+  "bench_ablation_dbcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dbcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_hitratio.dir/bench_fig13_hitratio.cpp.o"
+  "CMakeFiles/bench_fig13_hitratio.dir/bench_fig13_hitratio.cpp.o.d"
+  "bench_fig13_hitratio"
+  "bench_fig13_hitratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_hitratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

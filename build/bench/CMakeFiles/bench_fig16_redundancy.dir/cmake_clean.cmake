@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_redundancy.dir/bench_fig16_redundancy.cpp.o"
+  "CMakeFiles/bench_fig16_redundancy.dir/bench_fig16_redundancy.cpp.o.d"
+  "bench_fig16_redundancy"
+  "bench_fig16_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

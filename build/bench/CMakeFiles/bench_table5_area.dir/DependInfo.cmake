@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_area.cpp" "bench/CMakeFiles/bench_table5_area.dir/bench_table5_area.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_area.dir/bench_table5_area.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/mtpu_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mtpu_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mtpu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mtpu_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mtpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/mtpu_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mtpu_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/mtpu_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ipc.dir/bench_table7_ipc.cpp.o"
+  "CMakeFiles/bench_table7_ipc.dir/bench_table7_ipc.cpp.o.d"
+  "bench_table7_ipc"
+  "bench_table7_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

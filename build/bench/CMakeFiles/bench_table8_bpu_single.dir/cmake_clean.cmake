@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_bpu_single.dir/bench_table8_bpu_single.cpp.o"
+  "CMakeFiles/bench_table8_bpu_single.dir/bench_table8_bpu_single.cpp.o.d"
+  "bench_table8_bpu_single"
+  "bench_table8_bpu_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_bpu_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_bpu_quad.dir/bench_table9_bpu_quad.cpp.o"
+  "CMakeFiles/bench_table9_bpu_quad.dir/bench_table9_bpu_quad.cpp.o.d"
+  "bench_table9_bpu_quad"
+  "bench_table9_bpu_quad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_bpu_quad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

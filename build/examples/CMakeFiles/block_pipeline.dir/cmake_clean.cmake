@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_pipeline.dir/block_pipeline.cpp.o"
+  "CMakeFiles/block_pipeline.dir/block_pipeline.cpp.o.d"
+  "block_pipeline"
+  "block_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

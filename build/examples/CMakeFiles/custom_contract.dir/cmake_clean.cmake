@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_contract.dir/custom_contract.cpp.o"
+  "CMakeFiles/custom_contract.dir/custom_contract.cpp.o.d"
+  "custom_contract"
+  "custom_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

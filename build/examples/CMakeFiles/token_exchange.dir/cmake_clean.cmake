@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/token_exchange.dir/token_exchange.cpp.o"
+  "CMakeFiles/token_exchange.dir/token_exchange.cpp.o.d"
+  "token_exchange"
+  "token_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

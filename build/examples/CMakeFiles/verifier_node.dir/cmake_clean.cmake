@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verifier_node.dir/verifier_node.cpp.o"
+  "CMakeFiles/verifier_node.dir/verifier_node.cpp.o.d"
+  "verifier_node"
+  "verifier_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verifier_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

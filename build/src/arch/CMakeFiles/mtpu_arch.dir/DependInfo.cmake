@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/area.cpp" "src/arch/CMakeFiles/mtpu_arch.dir/area.cpp.o" "gcc" "src/arch/CMakeFiles/mtpu_arch.dir/area.cpp.o.d"
+  "/root/repo/src/arch/db_cache.cpp" "src/arch/CMakeFiles/mtpu_arch.dir/db_cache.cpp.o" "gcc" "src/arch/CMakeFiles/mtpu_arch.dir/db_cache.cpp.o.d"
+  "/root/repo/src/arch/memory.cpp" "src/arch/CMakeFiles/mtpu_arch.dir/memory.cpp.o" "gcc" "src/arch/CMakeFiles/mtpu_arch.dir/memory.cpp.o.d"
+  "/root/repo/src/arch/pu.cpp" "src/arch/CMakeFiles/mtpu_arch.dir/pu.cpp.o" "gcc" "src/arch/CMakeFiles/mtpu_arch.dir/pu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evm/CMakeFiles/mtpu_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_arch.dir/area.cpp.o"
+  "CMakeFiles/mtpu_arch.dir/area.cpp.o.d"
+  "CMakeFiles/mtpu_arch.dir/db_cache.cpp.o"
+  "CMakeFiles/mtpu_arch.dir/db_cache.cpp.o.d"
+  "CMakeFiles/mtpu_arch.dir/memory.cpp.o"
+  "CMakeFiles/mtpu_arch.dir/memory.cpp.o.d"
+  "CMakeFiles/mtpu_arch.dir/pu.cpp.o"
+  "CMakeFiles/mtpu_arch.dir/pu.cpp.o.d"
+  "libmtpu_arch.a"
+  "libmtpu_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

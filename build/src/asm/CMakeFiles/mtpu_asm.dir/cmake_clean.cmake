@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_asm.dir/assembler.cpp.o"
+  "CMakeFiles/mtpu_asm.dir/assembler.cpp.o.d"
+  "CMakeFiles/mtpu_asm.dir/disassembler.cpp.o"
+  "CMakeFiles/mtpu_asm.dir/disassembler.cpp.o.d"
+  "libmtpu_asm.a"
+  "libmtpu_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtpu_asm.a"
+)

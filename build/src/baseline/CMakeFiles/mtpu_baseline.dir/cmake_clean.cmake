@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_baseline.dir/baseline.cpp.o"
+  "CMakeFiles/mtpu_baseline.dir/baseline.cpp.o.d"
+  "libmtpu_baseline.a"
+  "libmtpu_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

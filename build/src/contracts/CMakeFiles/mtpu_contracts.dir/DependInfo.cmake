@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contracts/builders.cpp" "src/contracts/CMakeFiles/mtpu_contracts.dir/builders.cpp.o" "gcc" "src/contracts/CMakeFiles/mtpu_contracts.dir/builders.cpp.o.d"
+  "/root/repo/src/contracts/top8.cpp" "src/contracts/CMakeFiles/mtpu_contracts.dir/top8.cpp.o" "gcc" "src/contracts/CMakeFiles/mtpu_contracts.dir/top8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evm/CMakeFiles/mtpu_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mtpu_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_contracts.dir/builders.cpp.o"
+  "CMakeFiles/mtpu_contracts.dir/builders.cpp.o.d"
+  "CMakeFiles/mtpu_contracts.dir/top8.cpp.o"
+  "CMakeFiles/mtpu_contracts.dir/top8.cpp.o.d"
+  "libmtpu_contracts.a"
+  "libmtpu_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_core.dir/mtpu.cpp.o"
+  "CMakeFiles/mtpu_core.dir/mtpu.cpp.o.d"
+  "libmtpu_core.a"
+  "libmtpu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_evm.dir/gas.cpp.o"
+  "CMakeFiles/mtpu_evm.dir/gas.cpp.o.d"
+  "CMakeFiles/mtpu_evm.dir/interpreter.cpp.o"
+  "CMakeFiles/mtpu_evm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/mtpu_evm.dir/opcodes.cpp.o"
+  "CMakeFiles/mtpu_evm.dir/opcodes.cpp.o.d"
+  "CMakeFiles/mtpu_evm.dir/state.cpp.o"
+  "CMakeFiles/mtpu_evm.dir/state.cpp.o.d"
+  "CMakeFiles/mtpu_evm.dir/types.cpp.o"
+  "CMakeFiles/mtpu_evm.dir/types.cpp.o.d"
+  "libmtpu_evm.a"
+  "libmtpu_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

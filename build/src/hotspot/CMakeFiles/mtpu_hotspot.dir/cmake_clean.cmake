@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_hotspot.dir/chunker.cpp.o"
+  "CMakeFiles/mtpu_hotspot.dir/chunker.cpp.o.d"
+  "CMakeFiles/mtpu_hotspot.dir/hotspot.cpp.o"
+  "CMakeFiles/mtpu_hotspot.dir/hotspot.cpp.o.d"
+  "libmtpu_hotspot.a"
+  "libmtpu_hotspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/engine.cpp" "src/sched/CMakeFiles/mtpu_sched.dir/engine.cpp.o" "gcc" "src/sched/CMakeFiles/mtpu_sched.dir/engine.cpp.o.d"
+  "/root/repo/src/sched/tables.cpp" "src/sched/CMakeFiles/mtpu_sched.dir/tables.cpp.o" "gcc" "src/sched/CMakeFiles/mtpu_sched.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/mtpu_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mtpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/mtpu_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mtpu_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/mtpu_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

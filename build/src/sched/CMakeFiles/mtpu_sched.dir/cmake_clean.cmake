@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_sched.dir/engine.cpp.o"
+  "CMakeFiles/mtpu_sched.dir/engine.cpp.o.d"
+  "CMakeFiles/mtpu_sched.dir/tables.cpp.o"
+  "CMakeFiles/mtpu_sched.dir/tables.cpp.o.d"
+  "libmtpu_sched.a"
+  "libmtpu_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/hex.cpp" "src/support/CMakeFiles/mtpu_support.dir/hex.cpp.o" "gcc" "src/support/CMakeFiles/mtpu_support.dir/hex.cpp.o.d"
+  "/root/repo/src/support/keccak.cpp" "src/support/CMakeFiles/mtpu_support.dir/keccak.cpp.o" "gcc" "src/support/CMakeFiles/mtpu_support.dir/keccak.cpp.o.d"
+  "/root/repo/src/support/rlp.cpp" "src/support/CMakeFiles/mtpu_support.dir/rlp.cpp.o" "gcc" "src/support/CMakeFiles/mtpu_support.dir/rlp.cpp.o.d"
+  "/root/repo/src/support/stats.cpp" "src/support/CMakeFiles/mtpu_support.dir/stats.cpp.o" "gcc" "src/support/CMakeFiles/mtpu_support.dir/stats.cpp.o.d"
+  "/root/repo/src/support/u256.cpp" "src/support/CMakeFiles/mtpu_support.dir/u256.cpp.o" "gcc" "src/support/CMakeFiles/mtpu_support.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

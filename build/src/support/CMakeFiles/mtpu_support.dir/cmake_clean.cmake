@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_support.dir/hex.cpp.o"
+  "CMakeFiles/mtpu_support.dir/hex.cpp.o.d"
+  "CMakeFiles/mtpu_support.dir/keccak.cpp.o"
+  "CMakeFiles/mtpu_support.dir/keccak.cpp.o.d"
+  "CMakeFiles/mtpu_support.dir/rlp.cpp.o"
+  "CMakeFiles/mtpu_support.dir/rlp.cpp.o.d"
+  "CMakeFiles/mtpu_support.dir/stats.cpp.o"
+  "CMakeFiles/mtpu_support.dir/stats.cpp.o.d"
+  "CMakeFiles/mtpu_support.dir/u256.cpp.o"
+  "CMakeFiles/mtpu_support.dir/u256.cpp.o.d"
+  "libmtpu_support.a"
+  "libmtpu_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

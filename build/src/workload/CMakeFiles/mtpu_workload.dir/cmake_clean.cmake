@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_workload.dir/workload.cpp.o"
+  "CMakeFiles/mtpu_workload.dir/workload.cpp.o.d"
+  "libmtpu_workload.a"
+  "libmtpu_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

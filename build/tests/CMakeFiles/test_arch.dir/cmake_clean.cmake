@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/test_area.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_area.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_db_cache.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_db_cache.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_invariants.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_invariants.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_memory.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_memory.cpp.o.d"
+  "CMakeFiles/test_arch.dir/arch/test_pu.cpp.o"
+  "CMakeFiles/test_arch.dir/arch/test_pu.cpp.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

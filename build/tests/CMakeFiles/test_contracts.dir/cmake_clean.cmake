@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contracts.dir/contracts/test_assembler.cpp.o"
+  "CMakeFiles/test_contracts.dir/contracts/test_assembler.cpp.o.d"
+  "CMakeFiles/test_contracts.dir/contracts/test_builders.cpp.o"
+  "CMakeFiles/test_contracts.dir/contracts/test_builders.cpp.o.d"
+  "CMakeFiles/test_contracts.dir/contracts/test_dex_market.cpp.o"
+  "CMakeFiles/test_contracts.dir/contracts/test_dex_market.cpp.o.d"
+  "CMakeFiles/test_contracts.dir/contracts/test_erc20.cpp.o"
+  "CMakeFiles/test_contracts.dir/contracts/test_erc20.cpp.o.d"
+  "test_contracts"
+  "test_contracts.pdb"
+  "test_contracts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

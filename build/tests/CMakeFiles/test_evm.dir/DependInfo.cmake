@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/evm/test_gas.cpp" "tests/CMakeFiles/test_evm.dir/evm/test_gas.cpp.o" "gcc" "tests/CMakeFiles/test_evm.dir/evm/test_gas.cpp.o.d"
+  "/root/repo/tests/evm/test_interpreter.cpp" "tests/CMakeFiles/test_evm.dir/evm/test_interpreter.cpp.o" "gcc" "tests/CMakeFiles/test_evm.dir/evm/test_interpreter.cpp.o.d"
+  "/root/repo/tests/evm/test_opcodes.cpp" "tests/CMakeFiles/test_evm.dir/evm/test_opcodes.cpp.o" "gcc" "tests/CMakeFiles/test_evm.dir/evm/test_opcodes.cpp.o.d"
+  "/root/repo/tests/evm/test_properties.cpp" "tests/CMakeFiles/test_evm.dir/evm/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_evm.dir/evm/test_properties.cpp.o.d"
+  "/root/repo/tests/evm/test_state.cpp" "tests/CMakeFiles/test_evm.dir/evm/test_state.cpp.o" "gcc" "tests/CMakeFiles/test_evm.dir/evm/test_state.cpp.o.d"
+  "/root/repo/tests/evm/test_types.cpp" "tests/CMakeFiles/test_evm.dir/evm/test_types.cpp.o" "gcc" "tests/CMakeFiles/test_evm.dir/evm/test_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mtpu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotspot/CMakeFiles/mtpu_hotspot.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/mtpu_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mtpu_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mtpu_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mtpu_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/contracts/CMakeFiles/mtpu_contracts.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/mtpu_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/mtpu_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mtpu_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

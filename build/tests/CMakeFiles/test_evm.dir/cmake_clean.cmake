@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evm.dir/evm/test_gas.cpp.o"
+  "CMakeFiles/test_evm.dir/evm/test_gas.cpp.o.d"
+  "CMakeFiles/test_evm.dir/evm/test_interpreter.cpp.o"
+  "CMakeFiles/test_evm.dir/evm/test_interpreter.cpp.o.d"
+  "CMakeFiles/test_evm.dir/evm/test_opcodes.cpp.o"
+  "CMakeFiles/test_evm.dir/evm/test_opcodes.cpp.o.d"
+  "CMakeFiles/test_evm.dir/evm/test_properties.cpp.o"
+  "CMakeFiles/test_evm.dir/evm/test_properties.cpp.o.d"
+  "CMakeFiles/test_evm.dir/evm/test_state.cpp.o"
+  "CMakeFiles/test_evm.dir/evm/test_state.cpp.o.d"
+  "CMakeFiles/test_evm.dir/evm/test_types.cpp.o"
+  "CMakeFiles/test_evm.dir/evm/test_types.cpp.o.d"
+  "test_evm"
+  "test_evm.pdb"
+  "test_evm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotspot.dir/hotspot/test_chunker.cpp.o"
+  "CMakeFiles/test_hotspot.dir/hotspot/test_chunker.cpp.o.d"
+  "CMakeFiles/test_hotspot.dir/hotspot/test_hotspot.cpp.o"
+  "CMakeFiles/test_hotspot.dir/hotspot/test_hotspot.cpp.o.d"
+  "CMakeFiles/test_hotspot.dir/hotspot/test_persistence.cpp.o"
+  "CMakeFiles/test_hotspot.dir/hotspot/test_persistence.cpp.o.d"
+  "test_hotspot"
+  "test_hotspot.pdb"
+  "test_hotspot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

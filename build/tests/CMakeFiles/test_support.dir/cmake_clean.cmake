@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/test_keccak.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_keccak.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_rlp.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_rlp.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_rng.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_stats.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_stats.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/test_u256.cpp.o"
+  "CMakeFiles/test_support.dir/support/test_u256.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

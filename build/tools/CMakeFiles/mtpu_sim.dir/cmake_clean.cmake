@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtpu_sim.dir/mtpu_sim.cpp.o"
+  "CMakeFiles/mtpu_sim.dir/mtpu_sim.cpp.o.d"
+  "mtpu_sim"
+  "mtpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
