@@ -3,15 +3,17 @@
  * Verifier node: the execution stage of the three-stage model (Fig. 4).
  * A block arrives over the network in its RLP form — transactions plus
  * the dependency DAG the consensus stage packaged (footnote 3). The
- * node schedules it on the MTPU, executes, and verifies that the
- * resulting state digest matches the canonical (program-order) result,
- * i.e. that parallel execution preserved consistency.
+ * node schedules it on the MTPU, executes, and verifies through the
+ * fault::Auditor that the resulting state matches the canonical
+ * (program-order) result, i.e. that parallel execution preserved
+ * consistency. A second pass degrades the DAG in transit and shows the
+ * speculative-conflict recovery path absorbing the damage.
  */
 
 #include <cstdio>
 
 #include "core/mtpu.hpp"
-#include "evm/interpreter.hpp"
+#include "fault/injector.hpp"
 
 int
 main()
@@ -47,38 +49,52 @@ main()
         }
     }
 
-    // --- schedule and execute on the MTPU ----------------------------------
+    // --- schedule, execute and audit on the MTPU ---------------------------
     arch::MtpuConfig cfg;
     cfg.numPus = 4;
-    sched::SpatioTemporalEngine engine(cfg);
-    auto stats = engine.run(proposed);
+    core::MtpuProcessor proc(cfg);
+    core::RunOptions run;
+    auto res = proc.executeAudited(proposed, gen.genesis(), run);
     std::printf("executed in %llu cycles on 4 PUs (%.1f%% utilization)\n",
-                (unsigned long long)stats.makespan,
-                stats.utilization() * 100.0);
+                (unsigned long long)res.stats.makespan,
+                res.stats.utilization() * 100.0);
 
-    // --- verify: the schedule's commit order must reproduce the
-    //     canonical state ---------------------------------------------------
-    evm::Interpreter interp;
-
-    evm::WorldState canonical = gen.genesis();
-    for (const auto &rec : proposed.txs)
-        interp.applyTransaction(canonical, proposed.header, rec.tx);
-
-    evm::WorldState scheduled = gen.genesis();
-    for (int idx : stats.completionOrder) {
-        interp.applyTransaction(scheduled, proposed.header,
-                                proposed.txs[std::size_t(idx)].tx);
+    std::printf("canonical digest : %s\n",
+                res.audit.expected.toHex().c_str());
+    std::printf("scheduled digest : %s\n",
+                res.audit.actual.toHex().c_str());
+    if (!res.ok()) {
+        std::printf("MISMATCH: block rejected (%s).\n",
+                    res.audit.message.c_str());
+        return 1;
     }
+    std::printf("VERIFIED: parallel schedule is serializable; block "
+                "accepted.\n");
 
-    U256 want = canonical.digest();
-    U256 got = scheduled.digest();
-    std::printf("canonical digest : %s\n", want.toHex().c_str());
-    std::printf("scheduled digest : %s\n", got.toHex().c_str());
-    if (want == got) {
-        std::printf("VERIFIED: parallel schedule is serializable; block "
-                    "accepted.\n");
-        return 0;
+    // --- same block, corrupted DAG: recovery must still verify -------------
+    fault::FaultInjector inj(31);
+    fault::InjectionParams fparams;
+    fparams.dropEdgeRate = 1.0; // every DAG edge lost in transit
+    fault::FaultPlan plan = inj.plan(proposed, fparams);
+    workload::BlockRun degraded =
+        fault::FaultInjector::degrade(proposed, plan);
+    std::printf("\ndegraded DAG: dropped %zu of its dependency edges\n",
+                plan.droppedEdges.size());
+
+    core::RunOptions recovering;
+    recovering.recovery.validateConflicts = true;
+    recovering.recovery.plan = &plan;
+    auto rec = proc.executeAudited(degraded, gen.genesis(), recovering);
+    std::printf("recovered: %llu conflict aborts, %llu retries, "
+                "audit %s\n",
+                (unsigned long long)rec.stats.conflictAborts,
+                (unsigned long long)rec.stats.retries,
+                rec.ok() ? "clean" : "FAILED");
+    if (!rec.ok()) {
+        std::printf("recovery failed: %s\n", rec.audit.message.c_str());
+        return 1;
     }
-    std::printf("MISMATCH: block rejected.\n");
-    return 1;
+    std::printf("VERIFIED: degraded block accepted after speculative "
+                "recovery.\n");
+    return 0;
 }

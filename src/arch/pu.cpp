@@ -108,7 +108,8 @@ PuModel::lineExtra(const evm::Trace &trace, std::size_t first,
 }
 
 TxTiming
-PuModel::execute(const evm::Trace &trace, const ExecHints &hints)
+PuModel::execute(const evm::Trace &trace, const ExecHints &hints,
+                 std::size_t eventLimit)
 {
     if (cfg_.enableDbCache && !cfg_.retainDbAcrossTxs)
         db_.clear();
@@ -116,11 +117,14 @@ PuModel::execute(const evm::Trace &trace, const ExecHints &hints)
     TxTiming timing;
     timing.loadCycles = contextLoad(trace, hints);
 
+    const std::size_t n = std::min(trace.events.size(), eventLimit);
+
     // Fig. 12 upper-bound mode: prefill lines from the whole trace so
     // every lookup hits (assumes a 100 % hit rate, as §4.2 does).
     if (cfg_.enableDbCache && cfg_.forceDbHit) {
         DbCacheStats saved = db_.stats();
-        for (const evm::TraceEvent &ev : trace.events) {
+        for (std::size_t k = 0; k < n; ++k) {
+            const evm::TraceEvent &ev = trace.events[k];
             CodeAddr addr{trace.codeAddrs[ev.codeId], ev.pc};
             db_.observe(addr, ev, 0);
         }
@@ -128,7 +132,6 @@ PuModel::execute(const evm::Trace &trace, const ExecHints &hints)
         db_.stats() = saved;
     }
 
-    const std::size_t n = trace.events.size();
     std::size_t i = 0;
     std::uint64_t cycles = 0;
 

@@ -92,9 +92,13 @@ class PuModel
      * Execute a transaction trace.
      * @param trace functional execution trace
      * @param hints hotspot-layer hints (may be default)
+     * @param eventLimit replay at most this many events — models a
+     *        transaction that aborts mid-execution (REVERT /
+     *        out-of-gas); the context still loads in full
      */
     TxTiming execute(const evm::Trace &trace,
-                     const ExecHints &hints = {});
+                     const ExecHints &hints = {},
+                     std::size_t eventLimit = SIZE_MAX);
 
     /** Scalar-path extra latency of one event (public for benches). */
     std::uint32_t extraLatency(const evm::TraceEvent &ev,

@@ -55,10 +55,25 @@ MtpuProcessor::execute(const workload::BlockRun &block,
           auto &st = options.redundancyOpt ? stRedundant_ : stPlain_;
           if (!st)
               st = std::make_unique<sched::SpatioTemporalEngine>(cfg);
-          return st->run(*run, hints);
+          return st->run(*run, hints, options.recovery);
       }
     }
     return {};
+}
+
+AuditedRun
+MtpuProcessor::executeAudited(const workload::BlockRun &block,
+                              const evm::WorldState &genesis,
+                              const RunOptions &options)
+{
+    RunOptions opts = options;
+    opts.recovery.genesis = &genesis;
+
+    AuditedRun out;
+    out.stats = execute(block, opts);
+    fault::Auditor auditor(genesis, block, opts.recovery.plan);
+    out.audit = auditor.audit(out.stats);
+    return out;
 }
 
 sched::EngineStats

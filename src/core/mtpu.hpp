@@ -13,6 +13,7 @@
 #include "arch/area.hpp"
 #include "arch/config.hpp"
 #include "baseline/baseline.hpp"
+#include "fault/auditor.hpp"
 #include "hotspot/hotspot.hpp"
 #include "sched/engine.hpp"
 #include "workload/workload.hpp"
@@ -35,6 +36,21 @@ struct RunOptions
     bool redundancyOpt = false;
     /** Hotspot optimization: §3.4 (Fig. 16b). Requires warmup(). */
     bool hotspotOpt = false;
+    /**
+     * Speculative-conflict recovery, fault injection and the watchdog
+     * (SpatioTemporal scheme only; the comparator schemes execute the
+     * shipped DAG as-is).
+     */
+    sched::RecoveryOptions recovery;
+};
+
+/** An executed block plus its serializability audit. */
+struct AuditedRun
+{
+    sched::EngineStats stats;
+    fault::AuditReport audit;
+
+    bool ok() const { return audit.ok() && !stats.watchdogFired; }
 };
 
 /** Speedup comparison of one run against the sequential baseline. */
@@ -71,6 +87,16 @@ class MtpuProcessor
     /** Execute a block under the given scheme/optimizations. */
     sched::EngineStats execute(const workload::BlockRun &block,
                                const RunOptions &options);
+
+    /**
+     * Execute under @p options with functional state from @p genesis,
+     * then audit the committed completion order for serializability
+     * (fault::Auditor). The audit uses options.recovery.plan, so runs
+     * with injected faults are judged against matching semantics.
+     */
+    AuditedRun executeAudited(const workload::BlockRun &block,
+                              const evm::WorldState &genesis,
+                              const RunOptions &options);
 
     /**
      * Execute under @p options and also under the single-PU sequential

@@ -200,6 +200,16 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
     };
 
     while (frame.pc < frame.code.size()) {
+        // Injected fault: abort the transaction here. Keeps firing so
+        // every frame of the call stack unwinds.
+        if (ctx.interp && ctx.interp->abortTick()) {
+            if (ctx.interp->abortAsOutOfGas())
+                return Halt::OutOfGas;
+            reverted = true;
+            output.clear();
+            return Halt::None;
+        }
+
         std::size_t pc = frame.pc;
         std::uint8_t opcode = frame.code[pc];
         const OpInfo &info = opInfo(opcode);
@@ -1010,7 +1020,8 @@ Interpreter::call(WorldState &state, const BlockHeader &header,
 
 Receipt
 Interpreter::applyTransaction(WorldState &state, const BlockHeader &header,
-                              const Transaction &tx, Trace *trace)
+                              const Transaction &tx, Trace *trace,
+                              bool commitState)
 {
     logs_.clear();
     Receipt receipt;
@@ -1019,6 +1030,7 @@ Interpreter::applyTransaction(WorldState &state, const BlockHeader &header,
     if (tx.gasLimit < intrinsic) {
         receipt.error = "intrinsic gas exceeds limit";
         receipt.gasUsed = tx.gasLimit;
+        disarmAbort();
         return receipt;
     }
 
@@ -1026,6 +1038,7 @@ Interpreter::applyTransaction(WorldState &state, const BlockHeader &header,
     if (state.balance(tx.from) < max_fee + tx.callValue) {
         receipt.error = "insufficient balance";
         receipt.gasUsed = 0;
+        disarmAbort();
         return receipt;
     }
 
@@ -1067,7 +1080,9 @@ Interpreter::applyTransaction(WorldState &state, const BlockHeader &header,
     U256 fee = U256(receipt.gasUsed) * tx.gasPrice;
     state.subBalance(tx.from, fee);
     state.addBalance(header.coinbase, fee);
-    state.commit();
+    if (commitState)
+        state.commit();
+    disarmAbort();
 
     if (trace) {
         trace->gasUsed = receipt.gasUsed;

@@ -45,6 +45,23 @@ struct CallParams
 };
 
 /**
+ * Fault-injection hook: forcibly abort a transaction after a given
+ * number of executed instructions, either with REVERT semantics
+ * (remaining gas refunded to the sender) or as an out-of-gas exception
+ * (the frame's gas is consumed). Used by the fault subsystem to model
+ * mid-transaction aborts; the state changes of the aborted execution
+ * are rolled back through the WorldState journal exactly as a real
+ * REVERT/out-of-gas would be.
+ */
+struct AbortInjection
+{
+    /** Instructions executed before the abort fires. */
+    std::uint64_t afterInstructions = 0;
+    /** true: out-of-gas exception; false: REVERT. */
+    bool outOfGas = false;
+};
+
+/**
  * The interpreter. One instance per logical processing unit; it holds
  * no cross-transaction state of its own.
  */
@@ -69,15 +86,57 @@ class Interpreter
      * Execute a full transaction: intrinsic gas, value transfer,
      * contract execution, fee accounting; returns the receipt and
      * (optionally) fills @p trace.
+     *
+     * @param commitState when false, the journal is left open at the
+     *        transaction boundary so the caller can still undo the
+     *        whole transaction (nonce, fee and all) with revert() —
+     *        used by speculative execution; the caller must commit()
+     *        or revert() before the next transaction.
      */
     Receipt applyTransaction(WorldState &state, const BlockHeader &header,
-                             const Transaction &tx, Trace *trace = nullptr);
+                             const Transaction &tx, Trace *trace = nullptr,
+                             bool commitState = true);
+
+    /**
+     * Arm a one-shot forced abort: it applies to the next
+     * applyTransaction and is cleared when that transaction returns.
+     */
+    void
+    armAbort(const AbortInjection &inj)
+    {
+        abort_ = inj;
+        abortArmed_ = true;
+        abortRemaining_ = inj.afterInstructions;
+    }
+
+    void disarmAbort() { abortArmed_ = false; }
+
+    /**
+     * Called by the execution loop once per instruction; @return true
+     * when the armed abort fires. Keeps returning true once fired so
+     * every enclosing frame unwinds.
+     */
+    bool
+    abortTick()
+    {
+        if (!abortArmed_)
+            return false;
+        if (abortRemaining_ == 0)
+            return true;
+        --abortRemaining_;
+        return false;
+    }
+
+    bool abortAsOutOfGas() const { return abort_.outOfGas; }
 
     /** Logs collected by the most recent applyTransaction/call. */
     const std::vector<LogEntry> &logs() const { return logs_; }
 
   private:
     std::vector<LogEntry> logs_;
+    AbortInjection abort_;
+    bool abortArmed_ = false;
+    std::uint64_t abortRemaining_ = 0;
 };
 
 /** Derive a created contract's address from sender and nonce. */

@@ -1,0 +1,128 @@
+#include "fault/auditor.hpp"
+
+#include <cstdio>
+
+#include "evm/interpreter.hpp"
+
+namespace mtpu::fault {
+
+using workload::BlockRun;
+
+Auditor::Auditor(const evm::WorldState &genesis, const BlockRun &block,
+                 const FaultPlan *plan)
+    : genesis_(genesis), block_(block), plan_(plan)
+{
+    // Ground truth: recompute the conflict relation from the
+    // consensus-stage access sets, which survive DAG degradation.
+    bool have_access = false;
+    for (const auto &rec : block_.txs) {
+        if (!rec.access.reads.empty() || !rec.access.writes.empty()) {
+            have_access = true;
+            break;
+        }
+    }
+    if (have_access) {
+        for (std::size_t j = 1; j < block_.txs.size(); ++j) {
+            for (std::size_t i = 0; i < j; ++i) {
+                if (block_.txs[j].access.conflictsWith(block_.txs[i].access))
+                    edges_.emplace_back(int(j), int(i));
+            }
+        }
+    } else {
+        for (std::size_t j = 0; j < block_.txs.size(); ++j)
+            for (int d : block_.txs[j].deps)
+                edges_.emplace_back(int(j), d);
+    }
+}
+
+U256
+Auditor::digestInOrder(const std::vector<int> &order) const
+{
+    evm::WorldState state = genesis_;
+    evm::Interpreter interp;
+    for (int idx : order) {
+        if (plan_) {
+            if (const AbortDirective *dir = plan_->abortFor(idx)) {
+                interp.armAbort(
+                    {dir->afterInstructions, dir->outOfGas});
+            }
+        }
+        interp.applyTransaction(state, block_.header,
+                                block_.txs[std::size_t(idx)].tx);
+    }
+    return state.digest();
+}
+
+U256
+Auditor::canonicalDigest() const
+{
+    std::vector<int> order(block_.txs.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = int(i);
+    return digestInOrder(order);
+}
+
+AuditReport
+Auditor::audit(const std::vector<int> &completion_order) const
+{
+    AuditReport report;
+    const std::size_t n = block_.txs.size();
+
+    // (a) completeness: a permutation of [0, n).
+    std::vector<int> position(n, -1);
+    report.orderComplete = completion_order.size() == n;
+    for (std::size_t pos = 0; pos < completion_order.size(); ++pos) {
+        int idx = completion_order[pos];
+        if (idx < 0 || std::size_t(idx) >= n
+            || position[std::size_t(idx)] != -1) {
+            report.orderComplete = false;
+            break;
+        }
+        position[std::size_t(idx)] = int(pos);
+    }
+    if (!report.orderComplete) {
+        report.message = "completion order is not a permutation of the "
+                         "block ("
+                       + std::to_string(completion_order.size()) + " of "
+                       + std::to_string(n) + " txs)";
+        return report;
+    }
+
+    // (b) linear extension of the conflict relation.
+    report.linearExtension = true;
+    for (const auto &[tx, dep] : edges_) {
+        if (position[std::size_t(dep)] > position[std::size_t(tx)]) {
+            report.linearExtension = false;
+            report.message = "tx " + std::to_string(tx)
+                           + " committed before conflicting predecessor "
+                           + std::to_string(dep);
+            break;
+        }
+    }
+
+    // (c) semantic check: the replayed digest must match program order.
+    report.expected = canonicalDigest();
+    report.actual = digestInOrder(completion_order);
+    report.digestMatch = report.expected == report.actual;
+    if (!report.digestMatch && report.message.empty())
+        report.message = "state digest diverges from program order";
+    return report;
+}
+
+AuditReport
+Auditor::audit(const sched::EngineStats &stats) const
+{
+    AuditReport report = audit(stats.completionOrder);
+    if (stats.watchdogFired && report.message.empty())
+        report.message = "watchdog fired; block failed";
+    if (stats.finalState) {
+        report.engineStateMatch =
+            stats.finalState->digest() == report.actual;
+        if (!report.engineStateMatch && report.message.empty())
+            report.message = "engine live state diverges from the "
+                             "committed completion order";
+    }
+    return report;
+}
+
+} // namespace mtpu::fault

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Serializability auditor: the digest check from the integration tests
+ * promoted into a reusable library. An Auditor is bound to a block and
+ * the genesis state it executes from; audit() then verifies that a
+ * committed completion order (a) covers every transaction exactly once,
+ * (b) is a linear extension of the block's ground-truth conflict
+ * relation, and (c) replayed on real state reproduces the canonical
+ * program-order digest. When the engine maintained functional state
+ * (recovery mode), its live digest is cross-checked as well.
+ *
+ * Injected aborts (a FaultPlan) are applied identically to both the
+ * canonical and the replayed execution, so audits stay meaningful under
+ * fault injection.
+ */
+
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "evm/state.hpp"
+#include "fault/plan.hpp"
+#include "sched/engine.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::fault {
+
+/** Outcome of one audit. */
+struct AuditReport
+{
+    bool orderComplete = false;   ///< permutation of all transactions
+    bool linearExtension = false; ///< respects the conflict relation
+    bool digestMatch = false;     ///< replay digest == canonical digest
+    /** Engine live-state digest == replay digest (recovery runs only;
+     *  vacuously true when the engine kept no functional state). */
+    bool engineStateMatch = true;
+
+    U256 expected; ///< canonical (program-order) digest
+    U256 actual;   ///< digest of the replayed completion order
+
+    /** First failure, human-readable; empty when ok(). */
+    std::string message;
+
+    bool
+    ok() const
+    {
+        return orderComplete && linearExtension && digestMatch
+            && engineStateMatch;
+    }
+};
+
+/** Reusable serializability checker for one (genesis, block) pair. */
+class Auditor
+{
+  public:
+    /**
+     * @param genesis pristine pre-block state (kept by reference)
+     * @param block the block as executed; its consensus-stage access
+     *        sets define the ground-truth conflict relation, so a
+     *        degraded copy (dropped DAG edges) audits identically to
+     *        the original. Falls back to the shipped deps when access
+     *        sets are absent (e.g. RLP round-trips).
+     * @param plan faults applied to the run being audited (optional)
+     */
+    Auditor(const evm::WorldState &genesis, const workload::BlockRun &block,
+            const FaultPlan *plan = nullptr);
+
+    /** Audit a bare completion order. */
+    AuditReport audit(const std::vector<int> &completion_order) const;
+
+    /**
+     * Audit an engine run: the completion order, plus the engine's
+     * final functional state when present. A fired watchdog fails the
+     * audit (the order is incomplete by construction).
+     */
+    AuditReport audit(const sched::EngineStats &stats) const;
+
+    /** Digest of executing the block's txs in @p order from genesis. */
+    U256 digestInOrder(const std::vector<int> &order) const;
+
+    /** Canonical program-order digest (with plan aborts applied). */
+    U256 canonicalDigest() const;
+
+    /** Ground-truth conflict edges (txIndex, earlier txIndex). */
+    const std::vector<std::pair<int, int>> &conflictEdges() const
+    {
+        return edges_;
+    }
+
+  private:
+    const evm::WorldState &genesis_;
+    const workload::BlockRun &block_;
+    const FaultPlan *plan_;
+    std::vector<std::pair<int, int>> edges_;
+};
+
+} // namespace mtpu::fault

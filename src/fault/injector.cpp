@@ -1,0 +1,108 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "support/rng.hpp"
+
+namespace mtpu::fault {
+
+using workload::BlockRun;
+using workload::TxRecord;
+
+namespace {
+
+/** Minimum trace length for a forced abort to land mid-execution. */
+constexpr std::size_t kMinAbortableTrace = 8;
+
+} // namespace
+
+FaultPlan
+FaultInjector::plan(const BlockRun &block, const InjectionParams &params)
+{
+    FaultPlan plan;
+    plan.seed = seed_;
+    Rng rng(seed_ ^ (block.header.height * 0x9e3779b97f4a7c15ull));
+
+    // --- dropped DAG edges ---------------------------------------------
+    std::vector<std::pair<int, int>> edges;
+    for (std::size_t j = 0; j < block.txs.size(); ++j)
+        for (int d : block.txs[j].deps)
+            edges.emplace_back(int(j), d);
+    if (params.dropEdgeRate > 0.0 && !edges.empty()) {
+        for (const auto &e : edges) {
+            if (rng.chance(params.dropEdgeRate))
+                plan.droppedEdges.push_back(e);
+        }
+        // A nonzero rate always produces at least one misprediction.
+        if (plan.droppedEdges.empty())
+            plan.droppedEdges.push_back(edges[rng.below(edges.size())]);
+    }
+
+    // --- forced aborts --------------------------------------------------
+    if (params.abortRate > 0.0) {
+        for (std::size_t j = 0; j < block.txs.size(); ++j) {
+            const TxRecord &rec = block.txs[j];
+            if (rec.trace.events.size() < kMinAbortableTrace
+                || !rec.receipt.success) {
+                continue;
+            }
+            if (!rng.chance(params.abortRate))
+                continue;
+            AbortDirective dir;
+            // Strictly inside the trace so the abort fires mid-flight.
+            dir.afterInstructions =
+                1 + rng.below(rec.trace.events.size() - 2);
+            dir.outOfGas = rng.chance(0.5);
+            plan.aborts.emplace(int(j), dir);
+        }
+    }
+
+    // --- PU faults ------------------------------------------------------
+    int fault_count = std::min(params.puFaultCount, params.numPus);
+    if (fault_count > 0) {
+        std::uint64_t horizon = params.maxFaultCycle;
+        if (horizon == 0) {
+            // Rough mid-schedule horizon: the block's instruction count
+            // spread over the PUs.
+            std::uint64_t insns = 0;
+            for (const TxRecord &rec : block.txs)
+                insns += rec.trace.events.size();
+            horizon = insns / std::uint64_t(std::max(params.numPus, 1)) + 64;
+        }
+        std::set<int> chosen;
+        while (int(chosen.size()) < fault_count) {
+            int pu = int(rng.below(std::uint64_t(params.numPus)));
+            if (!chosen.insert(pu).second)
+                continue;
+            PuFault f;
+            f.pu = pu;
+            f.atCycle = 1 + rng.below(horizon);
+            f.kill = params.killPu;
+            f.stallCycles = params.stallCycles;
+            plan.puFaults.push_back(f);
+        }
+    }
+    return plan;
+}
+
+BlockRun
+FaultInjector::degrade(const BlockRun &block, const FaultPlan &plan)
+{
+    BlockRun out = block;
+    std::set<std::pair<int, int>> dropped(plan.droppedEdges.begin(),
+                                          plan.droppedEdges.end());
+    if (dropped.empty())
+        return out;
+    for (std::size_t j = 0; j < out.txs.size(); ++j) {
+        auto &deps = out.txs[j].deps;
+        deps.erase(std::remove_if(deps.begin(), deps.end(),
+                                  [&](int d) {
+                                      return dropped.count({int(j), d}) > 0;
+                                  }),
+                   deps.end());
+    }
+    return out;
+}
+
+} // namespace mtpu::fault

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic fault injector. Given a generated block and a set of
+ * injection rates, draws a reproducible FaultPlan (seeded xoshiro, same
+ * seed + same block => same plan) and can degrade a block's shipped
+ * dependency DAG accordingly. The consensus-stage access sets are left
+ * intact on the degraded copy: they are the ground truth the recovery
+ * layer and the Auditor validate against.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::fault {
+
+/** Injection knobs. All rates are probabilities in [0, 1]. */
+struct InjectionParams
+{
+    /** Fraction of DAG edges dropped. If > 0 and the block has any
+     *  edges, at least one is always dropped. */
+    double dropEdgeRate = 0.0;
+    /** Fraction of (sufficiently long, successful) transactions given
+     *  a forced mid-execution abort; REVERT or out-of-gas, 50/50. */
+    double abortRate = 0.0;
+    /** PU universe the puFaultCount faults are drawn from. */
+    int numPus = 0;
+    /** Number of distinct PUs to fault (clamped to numPus). */
+    int puFaultCount = 0;
+    /** true: faulted PUs are killed; false: they stall. */
+    bool killPu = true;
+    std::uint64_t stallCycles = 4000;
+    /** Upper bound for fault cycles; 0 derives one from the block. */
+    std::uint64_t maxFaultCycle = 0;
+};
+
+/** Seeded, reproducible fault planner. */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+    /**
+     * Draw a plan for @p block. The draw mixes the injector seed with
+     * the block height so consecutive blocks get independent (but
+     * individually reproducible) faults.
+     */
+    FaultPlan plan(const workload::BlockRun &block,
+                   const InjectionParams &params);
+
+    /**
+     * Copy @p block with the plan's dropped edges removed from the
+     * per-tx dependency lists. Traces, receipts and access sets are
+     * preserved.
+     */
+    static workload::BlockRun degrade(const workload::BlockRun &block,
+                                      const FaultPlan &plan);
+
+    std::uint64_t seed() const { return seed_; }
+
+  private:
+    std::uint64_t seed_;
+};
+
+} // namespace mtpu::fault

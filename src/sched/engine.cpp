@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <queue>
+#include <tuple>
+
+#include "evm/interpreter.hpp"
+#include "fault/plan.hpp"
 
 namespace mtpu::sched {
 
@@ -13,6 +17,9 @@ namespace {
 /** Fixed selection overhead: O(m) bit operations on the tables. */
 constexpr std::uint64_t kSelectionOverhead = 2;
 
+/** Pending-list cap in the watchdog dump. */
+constexpr std::size_t kMaxPendingDump = 32;
+
 enum class TxState
 {
     Pending,   ///< has unfinished deps that are not all running
@@ -20,6 +27,34 @@ enum class TxState
     Running,
     Done,
 };
+
+/**
+ * Loose upper bound on any legitimate schedule's makespan: every
+ * transaction re-run maxRetries+1 times, every byte streamed at one
+ * byte/cycle, every event at its worst-case latency. Orders of
+ * magnitude above a real schedule, so only livelock or deadlock can
+ * exceed it.
+ */
+std::uint64_t
+autoWatchdogBudget(const BlockRun &block, const RecoveryOptions &rec)
+{
+    std::uint64_t per_pass = 1000;
+    for (const TxRecord &tx : block.txs) {
+        std::uint64_t cost = 256 + tx.trace.contextBytes;
+        for (std::uint32_t sz : tx.trace.codeSizes)
+            cost += sz;
+        for (const evm::TraceEvent &ev : tx.trace.events)
+            cost += 41 + ev.dataBytes;
+        per_pass += cost;
+    }
+    std::uint64_t budget =
+        per_pass * std::uint64_t(std::max(rec.maxRetries, 0) + 1);
+    if (rec.plan) {
+        for (const fault::PuFault &f : rec.plan->puFaults)
+            budget += f.atCycle + f.stallCycles;
+    }
+    return budget;
+}
 
 } // namespace
 
@@ -41,6 +76,13 @@ SpatioTemporalEngine::reset()
 EngineStats
 SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
 {
+    return run(block, hints, RecoveryOptions{});
+}
+
+EngineStats
+SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
+                          const RecoveryOptions &rec)
+{
     const std::size_t n = block.txs.size();
     EngineStats stats;
     stats.txCount = n;
@@ -48,33 +90,69 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
     if (n == 0)
         return stats;
 
+    const fault::FaultPlan *plan = rec.plan;
+    const bool validate = rec.validateConflicts;
+    const bool functional = rec.genesis != nullptr;
+
+    // Ground-truth conflict predecessors, recomputed from the
+    // consensus-stage access sets: the shipped DAG may be
+    // under-approximated, the access sets are not.
+    std::vector<std::vector<int>> trueDeps;
+    if (validate) {
+        trueDeps.assign(n, {});
+        for (std::size_t j = 1; j < n; ++j) {
+            for (std::size_t i = 0; i < j; ++i) {
+                if (block.txs[j].access.conflictsWith(block.txs[i].access))
+                    trueDeps[j].push_back(int(i));
+            }
+        }
+    }
+
+    evm::WorldState live;
+    evm::Interpreter interp;
+    if (functional)
+        live = *rec.genesis;
+
     // --- dependency bookkeeping -------------------------------------
     std::vector<TxState> state(n, TxState::Pending);
-    std::vector<int> unfinished(n, 0);
-    std::vector<std::vector<int>> dependents(n);
-    for (std::size_t j = 0; j < n; ++j) {
-        unfinished[j] = int(block.txs[j].deps.size());
-        for (int d : block.txs[j].deps)
-            dependents[std::size_t(d)].push_back(int(j));
-    }
+    std::vector<int> attempts(n, 0); ///< aborts suffered so far
 
     // --- PU run state --------------------------------------------------
     struct PuRun
     {
         bool busy = false;
+        bool dead = false;     ///< killed by an injected PU fault
         int txIndex = -1;
         std::uint64_t finishAt = 0;
+        std::uint64_t token = 0; ///< dispatch sequence (stale events)
+        bool killVictim = false; ///< current dispatch ends in a kill
         /** Contract of the last transaction (for the Re row). */
         const std::string *lastContract = nullptr;
     };
     std::vector<PuRun> purun(std::size_t(cfg_.numPus));
+    std::uint64_t token_counter = 0;
+
+    struct PuFaultState
+    {
+        fault::PuFault fault;
+        bool consumed = false;
+    };
+    std::vector<PuFaultState> pu_faults(std::size_t(cfg_.numPus));
+    if (plan) {
+        for (const fault::PuFault &f : plan->puFaults) {
+            if (f.pu >= 0 && f.pu < cfg_.numPus)
+                pu_faults[std::size_t(f.pu)] = {f, false};
+        }
+    }
 
     SchedulingTables tables(cfg_.numPus, cfg_.windowSize);
 
     // A transaction is window-eligible when every unfinished dependency
     // is currently running (§3.2.1 writes only indegree-0 transactions,
     // where completed and running-elsewhere predecessors are tracked by
-    // the De bits).
+    // the De bits). A transaction whose retry budget is exhausted runs
+    // conservatively: only once every ground-truth predecessor has
+    // committed, which cannot be invalidated — so nothing starves.
     auto eligible = [&](std::size_t j) {
         if (state[j] != TxState::Pending)
             return false;
@@ -84,7 +162,20 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
                 return false;
             }
         }
+        if (validate && attempts[j] >= rec.maxRetries) {
+            for (int d : trueDeps[j]) {
+                if (state[std::size_t(d)] != TxState::Done)
+                    return false;
+            }
+        }
         return true;
+    };
+
+    // Priority value: composite-DAG node value plus the escalation
+    // earned by each abort, so rolled-back transactions win selection.
+    auto priority = [&](std::size_t j) {
+        return block.txs[j].redundancy
+             + attempts[j] * rec.priorityEscalation;
     };
 
     // CPU refill (§3.2.1): fill free slots, prioritizing transactions
@@ -99,7 +190,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
             for (std::size_t j = scan_cursor; j < n; ++j) {
                 if (!eligible(j))
                     continue;
-                int score = block.txs[j].redundancy;
+                int score = priority(j);
                 for (const PuRun &pr : purun) {
                     if (pr.busy && pr.lastContract
                         && *pr.lastContract == block.txs[j].contract) {
@@ -118,7 +209,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
             row.occupied = true;
             row.locked = false;
             row.txIndex = best;
-            row.value = block.txs[std::size_t(best)].redundancy;
+            row.value = priority(std::size_t(best));
             state[std::size_t(best)] = TxState::Candidate;
             slot = tables.freeSlot();
         }
@@ -154,7 +245,9 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
     };
 
     // --- event loop --------------------------------------------------
-    using Event = std::pair<std::uint64_t, int>; // (finish time, pu)
+    // (finish time, pu, dispatch token); the token filters events from
+    // dispatches that were superseded by a PU kill.
+    using Event = std::tuple<std::uint64_t, int, std::uint64_t>;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
     std::uint64_t now = 0;
     std::size_t done_count = 0;
@@ -162,7 +255,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
     auto dispatch_idle = [&]() {
         for (int p = 0; p < cfg_.numPus; ++p) {
             PuRun &pr = purun[std::size_t(p)];
-            if (pr.busy)
+            if (pr.busy || pr.dead)
                 continue;
             refill();
             update_tables();
@@ -179,25 +272,61 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
             int tx_idx = slot.txIndex;
             slot.locked = true;
 
-            const TxRecord &rec = block.txs[std::size_t(tx_idx)];
+            const TxRecord &rec_tx = block.txs[std::size_t(tx_idx)];
             arch::ExecHints h;
             if (hints)
-                h = hints(rec);
+                h = hints(rec_tx);
+
+            // An injected abort truncates the replayed trace: the PU
+            // only executes up to the abort point.
+            std::size_t event_limit = SIZE_MAX;
+            if (plan) {
+                if (const fault::AbortDirective *dir =
+                        plan->abortFor(tx_idx)) {
+                    event_limit = std::size_t(dir->afterInstructions);
+                }
+            }
             arch::TxTiming timing =
-                pus_[std::size_t(p)]->execute(rec.trace, h);
+                pus_[std::size_t(p)]->execute(rec_tx.trace, h,
+                                              event_limit);
 
             std::uint64_t latency = kSelectionOverhead + timing.cycles;
+            std::uint64_t finish = now + latency;
+
+            // Injected PU fault: a stall lengthens this dispatch, a
+            // kill truncates it and takes the PU out of service.
+            PuFaultState &pf = pu_faults[std::size_t(p)];
+            pr.killVictim = false;
+            if (pf.fault.pu == p && !pf.consumed
+                && pf.fault.atCycle <= finish) {
+                pf.consumed = true;
+                if (pf.fault.kill) {
+                    std::uint64_t kill_at =
+                        std::max(now, pf.fault.atCycle);
+                    latency = kill_at - now;
+                    finish = kill_at;
+                    pr.killVictim = true;
+                } else {
+                    latency += pf.fault.stallCycles;
+                    finish = now + latency;
+                }
+            }
+
+            if (attempts[std::size_t(tx_idx)] > 0)
+                ++stats.retries;
+
             pr.busy = true;
             pr.txIndex = tx_idx;
-            pr.finishAt = now + latency;
-            pr.lastContract = &rec.contract;
+            pr.finishAt = finish;
+            pr.token = ++token_counter;
+            pr.lastContract = &rec_tx.contract;
             state[std::size_t(tx_idx)] = TxState::Running;
 
             stats.busyCycles += latency;
             stats.seqCycles += timing.cycles;
             stats.instructions += timing.instructions;
             stats.puBusy[std::size_t(p)] += latency;
-            events.push({pr.finishAt, p});
+            events.push({finish, p, pr.token});
 
             // Read completed: slot is released and refilled by the CPU.
             slot.occupied = false;
@@ -206,25 +335,129 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
         }
     };
 
+    std::uint64_t budget = rec.watchdogBudget;
+    if (budget == 0 && rec.active())
+        budget = autoWatchdogBudget(block, rec);
+
+    auto fire_watchdog = [&](WatchdogReport::Reason why) {
+        stats.watchdogFired = true;
+        auto report = std::make_shared<WatchdogReport>();
+        report->reason = why;
+        report->now = now;
+        report->budget = budget;
+        report->committed = done_count;
+        report->txCount = n;
+        for (const PuRun &pr : purun) {
+            report->pus.push_back({pr.busy, pr.dead, pr.txIndex,
+                                   pr.finishAt, 0});
+        }
+        for (std::size_t p = 0; p < report->pus.size(); ++p)
+            report->pus[p].busyCycles = stats.puBusy[p];
+        for (int i = 0; i < tables.windowSize(); ++i) {
+            const TxRow &slot = tables.slot(i);
+            report->window.push_back(
+                {slot.occupied, slot.locked, slot.txIndex, slot.value});
+        }
+        for (std::size_t j = 0; j < n; ++j) {
+            if (state[j] == TxState::Done)
+                continue;
+            ++report->pendingTotal;
+            if (report->pending.size() < kMaxPendingDump)
+                report->pending.push_back(int(j));
+        }
+        stats.watchdog = std::move(report);
+    };
+
     dispatch_idle();
     while (done_count < n) {
         if (events.empty()) {
-            // Nothing running but work remains: deadlock would mean a
-            // dependency cycle, which a DAG cannot have.
+            // Work remains but nothing is running and nothing was
+            // selectable: a dependency cycle, or every PU is dead.
+            fire_watchdog(WatchdogReport::Reason::NoProgress);
             break;
         }
-        auto [t, p] = events.top();
+        auto [t, p, tok] = events.top();
         events.pop();
-        now = t;
         PuRun &pr = purun[std::size_t(p)];
-        state[std::size_t(pr.txIndex)] = TxState::Done;
-        stats.completionOrder.push_back(pr.txIndex);
-        ++done_count;
+        if (!pr.busy || tok != pr.token)
+            continue; // superseded dispatch
+        now = t;
+        if (budget != 0 && now > budget) {
+            fire_watchdog(WatchdogReport::Reason::CycleBudget);
+            break;
+        }
+
+        int tx_idx = pr.txIndex;
         pr.busy = false;
         pr.txIndex = -1;
+
+        if (pr.killVictim) {
+            // The PU died mid-transaction: take it out of service and
+            // hand its transaction back to the window.
+            pr.dead = true;
+            pr.killVictim = false;
+            pr.lastContract = nullptr;
+            state[std::size_t(tx_idx)] = TxState::Pending;
+            ++attempts[std::size_t(tx_idx)];
+            ++stats.puFaultAborts;
+            dispatch_idle();
+            continue;
+        }
+
+        // Commit-time validation: every ground-truth predecessor must
+        // already have committed, otherwise this transaction ran on a
+        // mispredicted DAG and its effects are rolled back.
+        bool violation = false;
+        if (validate) {
+            for (int d : trueDeps[std::size_t(tx_idx)]) {
+                if (state[std::size_t(d)] != TxState::Done) {
+                    violation = true;
+                    break;
+                }
+            }
+        }
+
+        if (functional) {
+            // Speculative functional commit: apply, then validate, and
+            // undo through the WorldState journal on a violation.
+            auto snap = live.snapshot();
+            const fault::AbortDirective *dir =
+                plan ? plan->abortFor(tx_idx) : nullptr;
+            if (dir)
+                interp.armAbort({dir->afterInstructions, dir->outOfGas});
+            evm::Receipt receipt = interp.applyTransaction(
+                live, block.header, block.txs[std::size_t(tx_idx)].tx,
+                nullptr, /*commitState=*/false);
+            if (violation) {
+                live.revert(snap);
+            } else {
+                live.commit();
+                if (!receipt.success) {
+                    ++stats.failedTxs;
+                    if (dir)
+                        ++stats.injectedAborts;
+                }
+            }
+        } else if (!violation && plan && plan->abortFor(tx_idx)) {
+            ++stats.injectedAborts;
+        }
+
+        if (violation) {
+            ++stats.conflictAborts;
+            ++attempts[std::size_t(tx_idx)];
+            state[std::size_t(tx_idx)] = TxState::Pending;
+            dispatch_idle();
+            continue;
+        }
+
+        state[std::size_t(tx_idx)] = TxState::Done;
+        stats.completionOrder.push_back(tx_idx);
+        ++done_count;
         dispatch_idle();
     }
 
+    if (functional)
+        stats.finalState = std::make_shared<evm::WorldState>(std::move(live));
     stats.makespan = now;
     return stats;
 }

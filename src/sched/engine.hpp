@@ -19,6 +19,7 @@
 #include "arch/config.hpp"
 #include "arch/memory.hpp"
 #include "arch/pu.hpp"
+#include "sched/recovery.hpp"
 #include "sched/tables.hpp"
 #include "workload/workload.hpp"
 
@@ -48,6 +49,28 @@ struct EngineStats
      */
     std::vector<int> completionOrder;
 
+    // -- recovery / fault accounting (zero on clean runs) ---------------
+    /** Speculative mispredictions rolled back at commit time. */
+    std::uint64_t conflictAborts = 0;
+    /** Transactions aborted because their PU was killed mid-flight. */
+    std::uint64_t puFaultAborts = 0;
+    /** Injected REVERT/out-of-gas directives that fired. */
+    std::uint64_t injectedAborts = 0;
+    /** Re-dispatches of previously aborted transactions. */
+    std::uint64_t retries = 0;
+    /** Committed transactions whose receipt failed (recovery mode). */
+    std::uint64_t failedTxs = 0;
+
+    /** The watchdog failed the block; completionOrder is partial. */
+    bool watchdogFired = false;
+    /** Diagnostic dump, set iff watchdogFired. */
+    std::shared_ptr<WatchdogReport> watchdog;
+    /**
+     * Final functional state of a recovery run (RecoveryOptions::
+     * genesis was set); null otherwise.
+     */
+    std::shared_ptr<evm::WorldState> finalState;
+
     double
     utilization() const
     {
@@ -71,6 +94,18 @@ class SpatioTemporalEngine
      */
     EngineStats run(const workload::BlockRun &block,
                     const HintProvider &hints = {});
+
+    /**
+     * Execute with the recovery layer: commit-time conflict validation
+     * against the consensus-stage access sets, journal rollback and
+     * priority-escalated retry of mispredicted transactions, injected
+     * faults from RecoveryOptions::plan, and a watchdog that fails the
+     * block with a diagnostic dump instead of hanging. With a default
+     * RecoveryOptions this is identical to the two-argument run().
+     */
+    EngineStats run(const workload::BlockRun &block,
+                    const HintProvider &hints,
+                    const RecoveryOptions &recovery);
 
     void reset();
 

@@ -1,0 +1,62 @@
+#include "sched/recovery.hpp"
+
+#include <cstdio>
+
+namespace mtpu::sched {
+
+const char *
+WatchdogReport::reasonName(Reason r)
+{
+    switch (r) {
+      case Reason::None: return "none";
+      case Reason::CycleBudget: return "cycle budget exceeded";
+      case Reason::NoProgress: return "no progress";
+    }
+    return "unknown";
+}
+
+std::string
+WatchdogReport::toString() const
+{
+    char buf[160];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "watchdog: %s at cycle %llu (budget %llu), %zu/%zu "
+                  "txs committed\n",
+                  reasonName(reason), (unsigned long long)now,
+                  (unsigned long long)budget, committed, txCount);
+    out += buf;
+    for (std::size_t p = 0; p < pus.size(); ++p) {
+        const PuDump &pu = pus[p];
+        std::snprintf(buf, sizeof buf,
+                      "  pu%-2zu %-5s tx=%-4d finishAt=%-10llu "
+                      "busy=%llu%s\n",
+                      p, pu.busy ? "busy" : (pu.dead ? "dead" : "idle"),
+                      pu.txIndex, (unsigned long long)pu.finishAt,
+                      (unsigned long long)pu.busyCycles,
+                      pu.dead ? " [killed]" : "");
+        out += buf;
+    }
+    for (std::size_t i = 0; i < window.size(); ++i) {
+        const SlotDump &s = window[i];
+        if (!s.occupied)
+            continue;
+        std::snprintf(buf, sizeof buf,
+                      "  slot%-2zu tx=%-4d value=%-8d%s\n", i, s.txIndex,
+                      s.value, s.locked ? " locked" : "");
+        out += buf;
+    }
+    out += "  pending:";
+    for (int tx : pending) {
+        std::snprintf(buf, sizeof buf, " %d", tx);
+        out += buf;
+    }
+    if (pendingTotal > pending.size()) {
+        std::snprintf(buf, sizeof buf, " ... (%zu total)", pendingTotal);
+        out += buf;
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace mtpu::sched

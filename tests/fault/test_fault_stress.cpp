@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Acceptance stress test for the fault subsystem: 100 random blocks
+ * with dropped DAG edges, forced mid-transaction aborts, and a PU
+ * kill per block must all pass the serializability audit with zero
+ * watchdog timeouts when recovery is enabled — and the same fault
+ * stream must demonstrably corrupt state when recovery is disabled.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/mtpu.hpp"
+#include "fault/injector.hpp"
+
+namespace mtpu {
+namespace {
+
+constexpr int kBlocks = 100;
+constexpr int kTxsPerBlock = 32;
+
+workload::BlockRun
+makeBlock(workload::Generator &gen)
+{
+    workload::BlockParams params;
+    params.txCount = kTxsPerBlock;
+    params.depRatio = 0.5;
+    return gen.generateBlock(params);
+}
+
+fault::InjectionParams
+stressParams(int num_pus)
+{
+    fault::InjectionParams params;
+    params.dropEdgeRate = 0.6;
+    params.abortRate = 0.15;
+    params.numPus = num_pus;
+    params.puFaultCount = 1;
+    params.killPu = true;
+    return params;
+}
+
+TEST(FaultStressTest, HundredFaultedBlocksAllAuditClean)
+{
+    workload::Generator gen(777, 256);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    core::MtpuProcessor proc(cfg);
+    fault::FaultInjector inj(42);
+    const auto params = stressParams(cfg.numPus);
+
+    sched::EngineStats totals;
+    int failures = 0;
+    for (int i = 0; i < kBlocks; ++i) {
+        auto b = makeBlock(gen);
+        auto plan = inj.plan(b, params);
+        auto degraded = fault::FaultInjector::degrade(b, plan);
+
+        core::RunOptions opt;
+        opt.hotspotOpt = false;
+        opt.recovery.validateConflicts = true;
+        opt.recovery.plan = &plan;
+        auto res = proc.executeAudited(degraded, gen.genesis(), opt);
+
+        EXPECT_TRUE(res.audit.ok())
+            << "block " << i << ": " << res.audit.message;
+        EXPECT_FALSE(res.stats.watchdogFired)
+            << "block " << i << " watchdog: "
+            << (res.stats.watchdog ? res.stats.watchdog->toString()
+                                   : std::string("<no report>"));
+        if (!res.ok())
+            ++failures;
+
+        totals.conflictAborts += res.stats.conflictAborts;
+        totals.puFaultAborts += res.stats.puFaultAborts;
+        totals.injectedAborts += res.stats.injectedAborts;
+        totals.retries += res.stats.retries;
+        totals.failedTxs += res.stats.failedTxs;
+    }
+
+    EXPECT_EQ(failures, 0);
+    // The run must actually have exercised every recovery path.
+    EXPECT_GT(totals.conflictAborts + totals.puFaultAborts, 0u)
+        << "no speculative rollback ever happened";
+    EXPECT_GT(totals.puFaultAborts, 0u) << "no PU kill was recovered";
+    EXPECT_GT(totals.injectedAborts, 0u)
+        << "no forced mid-transaction abort landed";
+    EXPECT_GT(totals.retries, 0u);
+
+    std::printf("[stress] %d blocks: conflictAborts=%llu "
+                "puFaultAborts=%llu injectedAborts=%llu retries=%llu "
+                "failedTxs=%llu\n",
+                kBlocks,
+                static_cast<unsigned long long>(totals.conflictAborts),
+                static_cast<unsigned long long>(totals.puFaultAborts),
+                static_cast<unsigned long long>(totals.injectedAborts),
+                static_cast<unsigned long long>(totals.retries),
+                static_cast<unsigned long long>(totals.failedTxs));
+}
+
+TEST(FaultStressTest, RecoveryDisabledFailsTheAudit)
+{
+    // Identical fault stream, but the engine trusts the degraded DAG
+    // blindly (no commit-time validation, no retry). The audit must
+    // catch serializability violations.
+    workload::Generator gen(777, 256);
+    arch::MtpuConfig cfg;
+    cfg.numPus = 4;
+    core::MtpuProcessor proc(cfg);
+    fault::FaultInjector inj(42);
+    auto params = stressParams(cfg.numPus);
+    params.puFaultCount = 0; // keep every tx schedulable; isolate the
+                             // effect of missing conflict validation
+
+    int failures = 0;
+    for (int i = 0; i < kBlocks; ++i) {
+        auto b = makeBlock(gen);
+        auto plan = inj.plan(b, params);
+        auto degraded = fault::FaultInjector::degrade(b, plan);
+
+        core::RunOptions opt;
+        opt.hotspotOpt = false;
+        opt.recovery.validateConflicts = false;
+        opt.recovery.plan = &plan;
+        auto res = proc.executeAudited(degraded, gen.genesis(), opt);
+        if (!res.audit.ok())
+            ++failures;
+        EXPECT_EQ(res.stats.conflictAborts, 0u);
+        EXPECT_EQ(res.stats.retries, 0u);
+    }
+    EXPECT_GT(failures, 0)
+        << "dropping 60% of DAG edges without recovery never produced "
+           "a serializability violation; the audit has no teeth";
+}
+
+} // namespace
+} // namespace mtpu

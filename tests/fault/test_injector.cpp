@@ -1,0 +1,143 @@
+/**
+ * @file
+ * FaultInjector unit tests: determinism of the seeded plan, the
+ * degrade() transformation, and rate edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+
+namespace mtpu {
+namespace {
+
+class InjectorTest : public ::testing::Test
+{
+  protected:
+    InjectorTest() : gen(91, 256) {}
+
+    workload::BlockRun
+    block(int txs, double dep)
+    {
+        workload::BlockParams params;
+        params.txCount = txs;
+        params.depRatio = dep;
+        return gen.generateBlock(params);
+    }
+
+    static std::size_t
+    edgeCount(const workload::BlockRun &b)
+    {
+        std::size_t count = 0;
+        for (const auto &rec : b.txs)
+            count += rec.deps.size();
+        return count;
+    }
+
+    workload::Generator gen;
+};
+
+TEST_F(InjectorTest, SameSeedSamePlan)
+{
+    auto b = block(48, 0.6);
+    fault::InjectionParams params;
+    params.dropEdgeRate = 0.4;
+    params.abortRate = 0.3;
+    params.numPus = 4;
+    params.puFaultCount = 2;
+
+    fault::FaultInjector a(7), c(7);
+    fault::FaultPlan pa = a.plan(b, params);
+    fault::FaultPlan pc = c.plan(b, params);
+
+    EXPECT_EQ(pa.droppedEdges, pc.droppedEdges);
+    ASSERT_EQ(pa.aborts.size(), pc.aborts.size());
+    for (const auto &[tx, dir] : pa.aborts) {
+        ASSERT_TRUE(pc.aborts.count(tx));
+        EXPECT_EQ(dir.afterInstructions,
+                  pc.aborts.at(tx).afterInstructions);
+        EXPECT_EQ(dir.outOfGas, pc.aborts.at(tx).outOfGas);
+    }
+    ASSERT_EQ(pa.puFaults.size(), pc.puFaults.size());
+    for (std::size_t i = 0; i < pa.puFaults.size(); ++i) {
+        EXPECT_EQ(pa.puFaults[i].pu, pc.puFaults[i].pu);
+        EXPECT_EQ(pa.puFaults[i].atCycle, pc.puFaults[i].atCycle);
+    }
+}
+
+TEST_F(InjectorTest, DifferentSeedsDiverge)
+{
+    auto b = block(48, 0.6);
+    fault::InjectionParams params;
+    params.dropEdgeRate = 0.4;
+    params.abortRate = 0.3;
+
+    fault::FaultInjector a(1), c(2);
+    fault::FaultPlan pa = a.plan(b, params);
+    fault::FaultPlan pc = c.plan(b, params);
+    EXPECT_TRUE(pa.droppedEdges != pc.droppedEdges
+                || pa.aborts.size() != pc.aborts.size());
+}
+
+TEST_F(InjectorTest, ZeroRatesYieldEmptyPlan)
+{
+    auto b = block(32, 0.5);
+    fault::FaultInjector inj(3);
+    fault::FaultPlan plan = inj.plan(b, fault::InjectionParams{});
+    EXPECT_TRUE(plan.empty());
+}
+
+TEST_F(InjectorTest, NonzeroDropRateAlwaysDropsSomething)
+{
+    auto b = block(40, 0.7);
+    ASSERT_GT(edgeCount(b), 0u);
+    fault::FaultInjector inj(5);
+    fault::InjectionParams params;
+    params.dropEdgeRate = 0.01; // tiny, but must still fire
+    fault::FaultPlan plan = inj.plan(b, params);
+    EXPECT_GE(plan.droppedEdges.size(), 1u);
+}
+
+TEST_F(InjectorTest, DegradeRemovesExactlyTheDroppedEdges)
+{
+    auto b = block(40, 0.7);
+    fault::FaultInjector inj(11);
+    fault::InjectionParams params;
+    params.dropEdgeRate = 0.5;
+    fault::FaultPlan plan = inj.plan(b, params);
+    ASSERT_FALSE(plan.droppedEdges.empty());
+
+    auto degraded = fault::FaultInjector::degrade(b, plan);
+    EXPECT_EQ(edgeCount(degraded),
+              edgeCount(b) - plan.droppedEdges.size());
+    for (const auto &[tx, dep] : plan.droppedEdges) {
+        const auto &deps = degraded.txs[std::size_t(tx)].deps;
+        EXPECT_EQ(std::count(deps.begin(), deps.end(), dep), 0)
+            << "edge (" << tx << ", " << dep << ") still present";
+    }
+    // Ground truth is preserved on the degraded copy.
+    for (std::size_t j = 0; j < b.txs.size(); ++j) {
+        EXPECT_EQ(degraded.txs[j].access.reads.size(),
+                  b.txs[j].access.reads.size());
+        EXPECT_EQ(degraded.txs[j].access.writes.size(),
+                  b.txs[j].access.writes.size());
+    }
+}
+
+TEST_F(InjectorTest, AbortBudgetsLandMidTrace)
+{
+    auto b = block(48, 0.3);
+    fault::FaultInjector inj(13);
+    fault::InjectionParams params;
+    params.abortRate = 1.0;
+    fault::FaultPlan plan = inj.plan(b, params);
+    ASSERT_FALSE(plan.aborts.empty());
+    for (const auto &[tx, dir] : plan.aborts) {
+        EXPECT_GE(dir.afterInstructions, 1u);
+        EXPECT_LT(dir.afterInstructions,
+                  b.txs[std::size_t(tx)].trace.events.size());
+    }
+}
+
+} // namespace
+} // namespace mtpu

@@ -8,7 +8,14 @@
  *   mtpu_sim [--txs N] [--dep R] [--erc20 R] [--pus N] [--blocks N]
  *            [--seed S] [--scheme seq|sync|st] [--window M]
  *            [--db-entries N] [--no-redundancy] [--no-hotspot]
- *            [--mhz F] [--help]
+ *            [--mhz F] [--inject-seed S] [--drop-edges R]
+ *            [--abort-rate R] [--pu-fault N] [--no-recovery] [--help]
+ *
+ * With any of the --inject-* / --drop-edges / --abort-rate /
+ * --pu-fault flags, each block is run through the fault injector
+ * (degraded DAG, forced aborts, PU faults), recovered speculatively,
+ * and audited for serializability. Exits 2 if any block fails the
+ * audit.
  */
 
 #include <cstdio>
@@ -17,6 +24,7 @@
 #include <string>
 
 #include "core/mtpu.hpp"
+#include "fault/injector.hpp"
 
 namespace {
 
@@ -34,6 +42,19 @@ struct Options
     bool redundancy = true;
     bool hotspot = true;
     double mhz = 300.0;
+    std::uint64_t injectSeed = 42;
+    double dropEdges = 0.0;
+    double abortRate = 0.0;
+    int puFault = 0;
+    bool recovery = true;
+    bool injectionRequested = false;
+
+    bool
+    faultMode() const
+    {
+        return injectionRequested || dropEdges > 0.0 || abortRate > 0.0
+               || puFault > 0;
+    }
 };
 
 void
@@ -52,7 +73,14 @@ usage(const char *argv0)
         "  --db-entries N   DB cache lines (default 2048)\n"
         "  --no-redundancy  disable context/DB reuse\n"
         "  --no-hotspot     disable hotspot optimization\n"
-        "  --mhz F          clock for throughput (default 300)\n",
+        "  --mhz F          clock for throughput (default 300)\n"
+        "fault injection (any of these enables the audited fault run):\n"
+        "  --inject-seed S  fault injector seed (default 42)\n"
+        "  --drop-edges R   fraction of DAG edges to drop 0..1\n"
+        "  --abort-rate R   fraction of txs force-aborted mid-run 0..1\n"
+        "  --pu-fault N     kill N processing units per block\n"
+        "  --no-recovery    disable conflict validation/retry (the\n"
+        "                   audit is expected to fail)\n",
         argv0);
 }
 
@@ -125,6 +153,29 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.mhz = std::atof(v);
+        } else if (arg == "--inject-seed") {
+            const char *v = next("--inject-seed");
+            if (!v)
+                return false;
+            opt.injectSeed = std::strtoull(v, nullptr, 10);
+            opt.injectionRequested = true;
+        } else if (arg == "--drop-edges") {
+            const char *v = next("--drop-edges");
+            if (!v)
+                return false;
+            opt.dropEdges = std::atof(v);
+        } else if (arg == "--abort-rate") {
+            const char *v = next("--abort-rate");
+            if (!v)
+                return false;
+            opt.abortRate = std::atof(v);
+        } else if (arg == "--pu-fault") {
+            const char *v = next("--pu-fault");
+            if (!v)
+                return false;
+            opt.puFault = std::atoi(v);
+        } else if (arg == "--no-recovery") {
+            opt.recovery = false;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
@@ -140,7 +191,103 @@ parse(int argc, char **argv, Options &opt)
         std::fprintf(stderr, "unknown scheme: %s\n", opt.scheme.c_str());
         return false;
     }
+    if (opt.dropEdges < 0.0 || opt.dropEdges > 1.0 || opt.abortRate < 0.0
+        || opt.abortRate > 1.0 || opt.puFault < 0
+        || opt.puFault >= opt.pus) {
+        std::fprintf(stderr, "invalid fault-injection values\n");
+        return false;
+    }
+    if (opt.faultMode() && opt.scheme != "st") {
+        std::fprintf(stderr,
+                     "fault injection requires --scheme st\n");
+        return false;
+    }
     return true;
+}
+
+/**
+ * Audited fault run: degrade each block per the seeded plan, execute
+ * with (or without) speculative recovery, audit serializability.
+ * Returns the process exit code (2 if any block failed the audit).
+ */
+int
+runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
+           const mtpu::core::RunOptions &run)
+{
+    using namespace mtpu;
+
+    std::printf("fault injection: seed=%llu drop-edges=%.2f "
+                "abort-rate=%.2f pu-fault=%d recovery=%s\n",
+                (unsigned long long)opt.injectSeed, opt.dropEdges,
+                opt.abortRate, opt.puFault,
+                opt.recovery ? "on" : "off");
+
+    workload::Generator gen(opt.seed, 512);
+    core::MtpuProcessor proc(cfg);
+    fault::FaultInjector inj(opt.injectSeed);
+
+    fault::InjectionParams params;
+    params.dropEdgeRate = opt.dropEdges;
+    params.abortRate = opt.abortRate;
+    params.numPus = cfg.numPus;
+    params.puFaultCount = opt.puFault;
+
+    std::printf("%5s %6s %8s %9s %8s %8s %8s %7s\n", "block", "txs",
+                "dropped", "cycles", "aborts", "retries", "failedTx",
+                "audit");
+
+    int failed_blocks = 0;
+    sched::EngineStats totals;
+    for (int b = 0; b < opt.blocks; ++b) {
+        workload::BlockParams block_params;
+        block_params.txCount = opt.txs;
+        block_params.depRatio = opt.dep;
+        block_params.erc20Share = opt.erc20;
+        auto block = gen.generateBlock(block_params);
+
+        auto plan = inj.plan(block, params);
+        auto degraded = fault::FaultInjector::degrade(block, plan);
+
+        core::RunOptions this_run = run;
+        this_run.hotspotOpt = run.hotspotOpt && b > 0;
+        this_run.recovery.validateConflicts = opt.recovery;
+        this_run.recovery.plan = &plan;
+        auto res = proc.executeAudited(degraded, gen.genesis(),
+                                       this_run);
+
+        bool ok = res.ok();
+        if (!ok)
+            ++failed_blocks;
+        std::uint64_t aborts =
+            res.stats.conflictAborts + res.stats.puFaultAborts;
+        std::printf("%5d %6zu %8zu %9llu %8llu %8llu %8llu %7s\n", b,
+                    block.txs.size(), plan.droppedEdges.size(),
+                    (unsigned long long)res.stats.makespan,
+                    (unsigned long long)aborts,
+                    (unsigned long long)res.stats.retries,
+                    (unsigned long long)res.stats.failedTxs,
+                    ok ? "pass" : "FAIL");
+        if (!res.audit.ok() && !res.audit.message.empty())
+            std::printf("        %s\n", res.audit.message.c_str());
+        if (res.stats.watchdogFired && res.stats.watchdog)
+            std::printf("%s", res.stats.watchdog->toString().c_str());
+
+        totals.conflictAborts += res.stats.conflictAborts;
+        totals.puFaultAborts += res.stats.puFaultAborts;
+        totals.injectedAborts += res.stats.injectedAborts;
+        totals.retries += res.stats.retries;
+        proc.warmup(block, 16);
+    }
+
+    std::printf("totals: conflictAborts=%llu puFaultAborts=%llu "
+                "injectedAborts=%llu retries=%llu; %d/%d blocks "
+                "audited clean\n",
+                (unsigned long long)totals.conflictAborts,
+                (unsigned long long)totals.puFaultAborts,
+                (unsigned long long)totals.injectedAborts,
+                (unsigned long long)totals.retries,
+                opt.blocks - failed_blocks, opt.blocks);
+    return failed_blocks == 0 ? 0 : 2;
 }
 
 } // namespace
@@ -170,6 +317,9 @@ main(int argc, char **argv)
                 opt.pus, opt.scheme.c_str(),
                 opt.redundancy ? "on" : "off",
                 opt.hotspot ? "on" : "off", opt.window, opt.dbEntries);
+
+    if (opt.faultMode())
+        return runFaulted(opt, cfg, run);
 
     workload::Generator gen(opt.seed, 512);
     core::MtpuProcessor proc(cfg);
