@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Host wall-clock benchmark of the two-phase parallel backend
+ * (DESIGN.md §9): the full verifier pipeline — block generation with
+ * its consensus stage, audited recovery execution, and the
+ * serializability audit — timed at 1/2/4/8 host threads on the TOP8
+ * mixed workload. Asserts that every thread count commits bit-identical
+ * results (completion orders and state digests), then reports
+ * blocks/sec and tx/sec per rung and writes BENCH_wallclock.json.
+ *
+ * Usage: bench_wallclock [blocks-per-rung] [txs-per-block] [json-path]
+ *
+ * Numbers scale with the physical cores of the host; a single-core
+ * machine still verifies determinism but shows no speedup (the ladder
+ * is then dominated by pool overhead).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fault/auditor.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+std::string
+fmt(const char *spec, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return buf;
+}
+
+struct RungResult
+{
+    int threads = 0;
+    double seconds = 0.0;
+    std::vector<std::vector<int>> orders; ///< per-block completion order
+    std::vector<U256> digests;            ///< per-block final digest
+    bool allOk = true;
+};
+
+/**
+ * One ladder rung: generate + execute + audit `blocks` blocks end to
+ * end at the given host-thread count. Everything thread-count-dependent
+ * lives inside, so the rung measures the whole verifier pipeline.
+ */
+RungResult
+runRung(int threads, int blocks, int txs)
+{
+    RungResult out;
+    out.threads = threads;
+
+    auto start = std::chrono::steady_clock::now();
+
+    workload::Generator gen(1, 512, threads);
+    arch::MtpuConfig cfg;
+    cfg.threads = threads;
+    core::MtpuProcessor proc(cfg);
+
+    workload::BlockParams params;
+    params.txCount = txs;
+    params.depRatio = 0.3;
+    params.erc20Share = -1.0; // natural TOP8 mix
+
+    core::RunOptions run;
+    run.scheme = core::Scheme::SpatioTemporal;
+    run.redundancyOpt = true;
+    run.recovery.validateConflicts = true;
+    run.threads = threads;
+
+    for (int b = 0; b < blocks; ++b) {
+        auto block = gen.generateBlock(params);
+        auto res = proc.executeAudited(block, gen.genesis(), run);
+        out.allOk = out.allOk && res.ok();
+        out.orders.push_back(res.stats.completionOrder);
+        out.digests.push_back(res.stats.finalState
+                                  ? res.stats.finalState->digest()
+                                  : U256());
+    }
+
+    out.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtpu::bench;
+
+    const int blocks = argc > 1 ? std::atoi(argv[1]) : 8;
+    const int txs = argc > 2 ? std::atoi(argv[2]) : 128;
+    const std::string json_path =
+        argc > 3 ? argv[3] : "BENCH_wallclock.json";
+
+    banner("Host wall-clock: verifier pipeline vs thread count");
+    std::printf("hardware threads: %u (MTPU_THREADS %s)\n\n",
+                support::ThreadPool::hardwareThreads(),
+                std::getenv("MTPU_THREADS") ? "set" : "unset");
+
+    std::vector<RungResult> rungs;
+    for (int threads : {1, 2, 4, 8})
+        rungs.push_back(runRung(threads, blocks, txs));
+
+    // Hard determinism gate: every rung must have committed the exact
+    // same orders and digests as the serial reference.
+    const RungResult &ref = rungs.front();
+    bool identical = ref.allOk;
+    for (const RungResult &r : rungs) {
+        identical = identical && r.allOk && r.orders == ref.orders
+                 && r.digests == ref.digests;
+    }
+
+    Table table({"threads", "seconds", "blocks/s", "tx/s", "speedup"});
+    for (const RungResult &r : rungs) {
+        double bps = blocks / r.seconds;
+        table.row({std::to_string(r.threads),
+                   fmt("%.3f", r.seconds), fmt("%.2f", bps),
+                   fmt("%.0f", bps * txs),
+                   fmt("%.2fx", ref.seconds / r.seconds)});
+    }
+    table.print();
+    std::printf("\ndeterminism across thread counts: %s\n",
+                identical ? "bit-identical" : "DIVERGED");
+
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"wallclock\",\n"
+                 "  \"blocksPerRung\": %d,\n  \"txsPerBlock\": %d,\n"
+                 "  \"hardwareThreads\": %u,\n"
+                 "  \"deterministic\": %s,\n  \"rungs\": [\n",
+                 blocks, txs, support::ThreadPool::hardwareThreads(),
+                 identical ? "true" : "false");
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+        const RungResult &r = rungs[i];
+        double bps = blocks / r.seconds;
+        std::fprintf(f,
+                     "    {\"threads\": %d, \"wallSeconds\": %.6f, "
+                     "\"blocksPerSec\": %.4f, \"txPerSec\": %.2f, "
+                     "\"speedupVs1\": %.4f}%s\n",
+                     r.threads, r.seconds, bps, bps * txs,
+                     ref.seconds / r.seconds,
+                     i + 1 < rungs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+
+    return identical ? 0 : 2;
+}

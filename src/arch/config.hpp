@@ -86,6 +86,17 @@ struct MtpuConfig
     std::uint32_t dcacheEntries = 1024;       ///< 64 KB / 64 B lines
     std::uint32_t callContractStackBytes = 417 * 1024;
 
+    // -- host execution backend -------------------------------------------
+    /**
+     * Host threads for the two-phase parallel backend (phase 1
+     * functionally pre-executes transactions on a work-stealing pool,
+     * phase 2 replays the cycle-level schedule single-owner; DESIGN.md
+     * §9). 0 = support::ThreadPool::defaultThreads(); 1 = fully
+     * serial legacy path. Results are bit-identical at every value —
+     * this knob only trades host wall-clock time.
+     */
+    int threads = 0;
+
     LatencyConfig lat;
 
     /** Baseline single-PU configuration with no ILP (paper's baseline). */

@@ -23,6 +23,7 @@ runRounds(const BlockRun &block, int cores,
     EngineStats stats;
     stats.txCount = n;
     stats.puBusy.assign(std::size_t(cores), 0);
+    stats.completionOrder.reserve(n);
 
     std::vector<bool> done(n, false);
     std::vector<bool> started(n, false);
@@ -89,6 +90,7 @@ SequentialExecutor::run(const BlockRun &block,
     EngineStats stats;
     stats.txCount = block.txs.size();
     stats.puBusy.assign(1, 0);
+    stats.completionOrder.reserve(block.txs.size());
     for (std::size_t i = 0; i < block.txs.size(); ++i) {
         const TxRecord &rec = block.txs[i];
         arch::ExecHints h;

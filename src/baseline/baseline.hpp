@@ -26,7 +26,16 @@
 
 namespace mtpu::baseline {
 
-/** Single-PU program-order execution. */
+/**
+ * Single-PU program-order execution.
+ *
+ * Concurrency contract (shared by every engine in this header): one
+ * instance confines all mutable state to itself — distinct instances
+ * never share PU models or state buffers — so *separate* instances may
+ * run concurrently on a host pool. MtpuProcessor::compare() relies on
+ * this to overlap the baseline with the scheme under test. A single
+ * instance is not reentrant.
+ */
 class SequentialExecutor
 {
   public:

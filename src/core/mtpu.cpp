@@ -1,5 +1,7 @@
 #include "core/mtpu.hpp"
 
+#include <algorithm>
+
 namespace mtpu::core {
 
 MtpuProcessor::MtpuProcessor(const arch::MtpuConfig &cfg) : cfg_(cfg) {}
@@ -12,7 +14,23 @@ MtpuProcessor::variantConfig(const RunOptions &options) const
     arch::MtpuConfig cfg = cfg_;
     cfg.enableContextReuse = options.redundancyOpt;
     cfg.retainDbAcrossTxs = options.redundancyOpt;
+    if (options.threads >= 0)
+        cfg.threads = options.threads;
     return cfg;
+}
+
+support::ThreadPool *
+MtpuProcessor::hostPool()
+{
+    if (!poolInit_) {
+        poolInit_ = true;
+        unsigned threads = cfg_.threads == 0
+                               ? support::ThreadPool::defaultThreads()
+                               : unsigned(std::max(cfg_.threads, 1));
+        if (threads > 1)
+            pool_ = std::make_unique<support::ThreadPool>(threads);
+    }
+    return pool_.get();
 }
 
 void
@@ -72,6 +90,7 @@ MtpuProcessor::executeAudited(const workload::BlockRun &block,
     AuditedRun out;
     out.stats = execute(block, opts);
     fault::Auditor auditor(genesis, block, opts.recovery.plan);
+    auditor.usePool(hostPool());
     out.audit = auditor.audit(out.stats);
     return out;
 }
@@ -92,12 +111,26 @@ MtpuProcessor::compare(const workload::BlockRun &block,
                        const RunOptions &options)
 {
     BlockReport report;
-    report.stats = execute(block, options);
-
     arch::MtpuConfig base = arch::MtpuConfig::baseline();
     base.lat = cfg_.lat;
-    report.baselineCycles =
-        runBaseline(baseline_, base, block).makespan;
+
+    // The scheme under test and the cold sequential baseline touch
+    // disjoint engine state, so with a pool they run as two concurrent
+    // tasks; each side is deterministic on its own, so the report is
+    // identical either way.
+    if (support::ThreadPool *pool = hostPool()) {
+        pool->runAll({
+            [&] { report.stats = execute(block, options); },
+            [&] {
+                report.baselineCycles =
+                    runBaseline(baseline_, base, block).makespan;
+            },
+        });
+    } else {
+        report.stats = execute(block, options);
+        report.baselineCycles =
+            runBaseline(baseline_, base, block).makespan;
+    }
     return report;
 }
 

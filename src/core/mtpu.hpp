@@ -42,6 +42,15 @@ struct RunOptions
      * shipped DAG as-is).
      */
     sched::RecoveryOptions recovery;
+
+    /**
+     * Host threads for this run's engine (MtpuConfig::threads):
+     * -1 inherits the processor configuration, 0 resolves to
+     * support::ThreadPool::defaultThreads(), >= 1 is explicit.
+     * Captured when the (scheme, redundancy) engine variant is first
+     * created; results are bit-identical at every value.
+     */
+    int threads = -1;
 };
 
 /** An executed block plus its serializability audit. */
@@ -118,8 +127,14 @@ class MtpuProcessor
     arch::MtpuConfig
     variantConfig(const RunOptions &options) const;
 
+    /** Lazily created host pool for compare()'s scheme-vs-baseline
+     *  fan-out and the audit digests; null when threads resolve to 1. */
+    support::ThreadPool *hostPool();
+
     arch::MtpuConfig cfg_;
     hotspot::HotspotOptimizer hotspot_;
+    std::unique_ptr<support::ThreadPool> pool_;
+    bool poolInit_ = false;
 
     // Engines are created lazily per (scheme, redundancy) variant.
     std::unique_ptr<sched::SpatioTemporalEngine> stPlain_;

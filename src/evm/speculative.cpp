@@ -1,0 +1,160 @@
+#include "evm/speculative.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+namespace mtpu::evm {
+
+namespace {
+
+/**
+ * Collapse the overlay's open journal into field-level deltas: the
+ * first journal entry per field carries the originally observed value,
+ * the overlay itself carries the final one. Entries undone by inner
+ * reverts were already popped, so the journal is exactly the net
+ * mutation set.
+ */
+void
+extractDeltas(const WorldState &overlay, SpecResult &out)
+{
+    using Kind = WorldState::JournalEntry::Kind;
+
+    std::set<std::pair<Address, U256>> seen_storage;
+    std::set<Address> seen_balance, seen_nonce, seen_code, seen_created;
+
+    for (const WorldState::JournalEntry &e : overlay.journal()) {
+        switch (e.kind) {
+          case Kind::StorageChange:
+            if (seen_storage.insert({e.address, e.slot}).second) {
+                out.storage.push_back({e.address, e.slot, e.prevWord,
+                                       U256()});
+            }
+            break;
+          case Kind::BalanceChange:
+            if (seen_balance.insert(e.address).second)
+                out.balances.push_back({e.address, e.prevWord, U256()});
+            break;
+          case Kind::NonceChange:
+            if (seen_nonce.insert(e.address).second)
+                out.nonces.push_back({e.address, e.prevNonce, 0});
+            break;
+          case Kind::CodeChange:
+            if (seen_code.insert(e.address).second)
+                out.codes.push_back({e.address, e.prevCode, {}});
+            break;
+          case Kind::AccountCreated:
+            if (seen_created.insert(e.address).second)
+                out.created.push_back(e.address);
+            break;
+        }
+    }
+
+    for (auto &d : out.storage)
+        d.final = overlay.storageAt(d.addr, d.slot);
+    for (auto &d : out.balances)
+        d.final = overlay.balance(d.addr);
+    for (auto &d : out.nonces)
+        d.final = overlay.nonce(d.addr);
+    for (auto &d : out.codes)
+        d.final = overlay.code(d.addr);
+}
+
+} // namespace
+
+SpecResult
+speculate(const WorldState &base, const BlockHeader &header,
+          const Transaction &tx, bool wantTrace,
+          const AbortInjection *abort)
+{
+    SpecResult out;
+
+    WorldState overlay;
+    overlay.bindBase(&base);
+    overlay.track(&out.access);
+
+    Interpreter interp;
+    if (abort)
+        interp.armAbort(*abort);
+    out.receipt = interp.applyTransaction(overlay, header, tx,
+                                          wantTrace ? &out.trace : nullptr,
+                                          /*commitState=*/false);
+    overlay.track(nullptr);
+
+    extractDeltas(overlay, out);
+    out.ran = true;
+    return out;
+}
+
+bool
+specValid(const SpecResult &r, const WorldState &live,
+          const WorldState &base, const Address &coinbase)
+{
+    if (!r.ran)
+        return false;
+
+    // Every location read must still carry the value the speculation
+    // observed in the base. Balance-slot sentinels cover nonce too:
+    // the nonce getter is untracked, but every nonce mutation is
+    // cross-checked through the write deltas below.
+    for (const StateKey &k : r.access.reads) {
+        if (k.address == coinbase)
+            continue;
+        if (k.slot == WorldState::kBalanceSlot) {
+            if (live.balance(k.address) != base.balance(k.address)
+                || live.nonce(k.address) != base.nonce(k.address)) {
+                return false;
+            }
+        } else if (live.storageAt(k.address, k.slot)
+                   != base.storageAt(k.address, k.slot)) {
+            return false;
+        }
+    }
+
+    // Every location written must carry the pre-value the speculation
+    // observed when it first wrote it (SSTORE gas and refund paths
+    // depend on the old value, so this guards the trace as well).
+    for (const auto &d : r.storage) {
+        if (live.storageAt(d.addr, d.slot) != d.observed)
+            return false;
+    }
+    for (const auto &d : r.balances) {
+        if (d.addr == coinbase)
+            continue;
+        if (live.balance(d.addr) != d.observed)
+            return false;
+    }
+    for (const auto &d : r.nonces) {
+        if (live.nonce(d.addr) != d.observed)
+            return false;
+    }
+    for (const auto &d : r.codes) {
+        if (live.code(d.addr) != d.observed)
+            return false;
+    }
+    return true;
+}
+
+void
+specApply(const SpecResult &r, WorldState &live, const Address &coinbase)
+{
+    for (const Address &addr : r.created)
+        live.createAccount(addr);
+    for (const auto &d : r.balances) {
+        if (d.addr == coinbase) {
+            // Commutative fee credit: apply the delta, not the
+            // absolute value, so concurrent blocks of fees stack.
+            live.addBalance(d.addr, d.final - d.observed);
+        } else {
+            live.setBalance(d.addr, d.final);
+        }
+    }
+    for (const auto &d : r.nonces)
+        live.setNonce(d.addr, d.final);
+    for (const auto &d : r.storage)
+        live.setStorage(d.addr, d.slot, d.final);
+    for (const auto &d : r.codes)
+        live.setCode(d.addr, d.final);
+}
+
+} // namespace mtpu::evm

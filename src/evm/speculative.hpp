@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Speculative per-transaction pre-execution (the functional half of the
+ * host-parallel backend, DESIGN.md §9).
+ *
+ * speculate() runs one transaction against a private copy-on-write
+ * overlay of a base state (usually the pre-block state), capturing the
+ * receipt, the execution trace, the unfiltered access set, and a
+ * field-level delta set extracted from the overlay's journal: for every
+ * mutated storage slot / balance / nonce / code, the value the
+ * execution *observed* before the first write and the value it left
+ * behind. Because the base is only read, any number of speculations can
+ * run concurrently on a thread pool.
+ *
+ * Later, a single-owner commit thread calls specValid() to check that a
+ * live state still matches every observation (reads compared base vs
+ * live, writes compared against the recorded pre-values), and on
+ * success specApply() replays the deltas through the live state's
+ * journaled setters — bit-identical to re-executing the transaction,
+ * at a fraction of the cost. On a validation miss the caller simply
+ * re-executes; the speculation is discarded.
+ *
+ * Coinbase fee accounting is treated as commutative, exactly as the
+ * consensus-stage dependency analysis already does: coinbase keys are
+ * excluded from validation and the coinbase balance is applied as a
+ * delta (addBalance), so back-to-back fee credits never invalidate
+ * otherwise-independent speculations.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "evm/interpreter.hpp"
+#include "evm/state.hpp"
+#include "evm/trace.hpp"
+#include "evm/types.hpp"
+
+namespace mtpu::evm {
+
+/** Everything captured by one speculative pre-execution. */
+struct SpecResult
+{
+    bool ran = false; ///< speculate() completed for this transaction
+
+    Receipt receipt;
+    Trace trace;      ///< filled only when requested
+    AccessSet access; ///< unfiltered (coinbase keys included)
+
+    struct StorageDelta
+    {
+        Address addr;
+        U256 slot;
+        U256 observed; ///< value seen before the first write
+        U256 final;    ///< value left behind
+    };
+    struct BalanceDelta
+    {
+        Address addr;
+        U256 observed;
+        U256 final;
+    };
+    struct NonceDelta
+    {
+        Address addr;
+        std::uint64_t observed = 0;
+        std::uint64_t final = 0;
+    };
+    struct CodeDelta
+    {
+        Address addr;
+        Bytes observed;
+        Bytes final;
+    };
+
+    std::vector<Address> created; ///< accounts that did not exist before
+    std::vector<StorageDelta> storage;
+    std::vector<BalanceDelta> balances;
+    std::vector<NonceDelta> nonces;
+    std::vector<CodeDelta> codes;
+};
+
+/**
+ * Pre-execute @p tx on a fresh overlay of @p base. Deterministic: the
+ * result depends only on (base, header, tx, abort), never on which
+ * thread runs it or what else runs concurrently.
+ *
+ * @param wantTrace also capture the execution trace (consensus-stage
+ *        use); the scheduling engine re-uses the shipped trace and
+ *        skips this.
+ * @param abort optional injected abort, armed exactly as the
+ *        non-speculative path would.
+ */
+SpecResult speculate(const WorldState &base, const BlockHeader &header,
+                     const Transaction &tx, bool wantTrace,
+                     const AbortInjection *abort = nullptr);
+
+/**
+ * True when @p live still matches every observation @p r made against
+ * @p base: all read locations carry the base values, all written
+ * locations carry the recorded pre-values. @p coinbase keys are
+ * exempt (commutative fee accounting).
+ */
+bool specValid(const SpecResult &r, const WorldState &live,
+               const WorldState &base, const Address &coinbase);
+
+/**
+ * Replay the recorded deltas into @p live through journaled setters.
+ * Only call after specValid() returned true; the caller owns the
+ * transaction-boundary commit()/revert() exactly as it does around
+ * applyTransaction(commitState=false).
+ */
+void specApply(const SpecResult &r, WorldState &live,
+               const Address &coinbase);
+
+} // namespace mtpu::evm

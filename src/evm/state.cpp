@@ -36,11 +36,35 @@ WorldState::find(const Address &addr) const
     return it == accounts_.end() ? nullptr : &it->second;
 }
 
+const Account *
+WorldState::findThrough(const Address &addr) const
+{
+    if (const Account *local = find(addr))
+        return local;
+    return base_ ? base_->find(addr) : nullptr;
+}
+
 Account &
 WorldState::touch(const Address &addr)
 {
     auto it = accounts_.find(addr);
     if (it == accounts_.end()) {
+        if (base_) {
+            if (const Account *b = base_->find(addr)) {
+                // Materialize a local copy-on-write account: scalars
+                // and code are copied, storage stays a local diff that
+                // falls through to the base. The account logically
+                // already exists, so nothing is journaled.
+                Account copy;
+                copy.nonce = b->nonce;
+                copy.balance = b->balance;
+                copy.code = b->code;
+                copy.codeHash = b->codeHash;
+                copy.baseBacked = true;
+                return accounts_.emplace(addr, std::move(copy))
+                    .first->second;
+            }
+        }
         journal_.push_back({JournalEntry::Kind::AccountCreated, addr,
                             U256(), U256(), 0, {}});
         it = accounts_.emplace(addr, Account{}).first;
@@ -65,21 +89,21 @@ WorldState::noteWrite(const Address &addr, const U256 &slot) const
 bool
 WorldState::exists(const Address &addr) const
 {
-    return find(addr) != nullptr;
+    return findThrough(addr) != nullptr;
 }
 
 U256
 WorldState::balance(const Address &addr) const
 {
     noteRead(addr, kBalanceSlot);
-    const Account *acct = find(addr);
+    const Account *acct = findThrough(addr);
     return acct ? acct->balance : U256();
 }
 
 std::uint64_t
 WorldState::nonce(const Address &addr) const
 {
-    const Account *acct = find(addr);
+    const Account *acct = findThrough(addr);
     return acct ? acct->nonce : 0;
 }
 
@@ -87,26 +111,43 @@ const Bytes &
 WorldState::code(const Address &addr) const
 {
     static const Bytes empty;
-    const Account *acct = find(addr);
+    const Account *acct = findThrough(addr);
     return acct ? acct->code : empty;
 }
 
 U256
 WorldState::codeHash(const Address &addr) const
 {
-    const Account *acct = find(addr);
+    const Account *acct = findThrough(addr);
     return acct ? acct->codeHash : U256();
+}
+
+U256
+WorldState::peekStorage(const Address &addr, const U256 &slot) const
+{
+    const Account *local = find(addr);
+    if (local) {
+        auto it = local->storage.find(slot);
+        if (it != local->storage.end())
+            return it->second;
+        if (!local->baseBacked)
+            return U256();
+        // Base-backed local diff: untouched slots live in the base.
+    } else if (!base_) {
+        return U256();
+    }
+    const Account *b = base_ ? base_->find(addr) : nullptr;
+    if (!b)
+        return U256();
+    auto it = b->storage.find(slot);
+    return it == b->storage.end() ? U256() : it->second;
 }
 
 U256
 WorldState::storageAt(const Address &addr, const U256 &slot) const
 {
     noteRead(addr, slot);
-    const Account *acct = find(addr);
-    if (!acct)
-        return U256();
-    auto it = acct->storage.find(slot);
-    return it == acct->storage.end() ? U256() : it->second;
+    return peekStorage(addr, slot);
 }
 
 void
@@ -179,16 +220,19 @@ WorldState::setStorage(const Address &addr, const U256 &slot,
 {
     noteWrite(addr, slot);
     Account &acct = touch(addr);
-    U256 prev;
-    auto it = acct.storage.find(slot);
-    if (it != acct.storage.end())
-        prev = it->second;
+    U256 prev = peekStorage(addr, slot);
     journal_.push_back({JournalEntry::Kind::StorageChange, addr, slot,
                         prev, 0, {}});
-    if (value.isZero())
-        acct.storage.erase(slot);
-    else
+    if (acct.baseBacked) {
+        // The local map is a diff over the base: zeros must be stored
+        // explicitly, or the read would fall through to a stale base
+        // value.
         acct.storage[slot] = value;
+    } else if (value.isZero()) {
+        acct.storage.erase(slot);
+    } else {
+        acct.storage[slot] = value;
+    }
 }
 
 U256
@@ -236,7 +280,9 @@ WorldState::revert(Snapshot snap)
             Account &acct = it->second;
             switch (e.kind) {
               case JournalEntry::Kind::StorageChange:
-                if (e.prevWord.isZero())
+                if (acct.baseBacked)
+                    acct.storage[e.slot] = e.prevWord;
+                else if (e.prevWord.isZero())
                     acct.storage.erase(e.slot);
                 else
                     acct.storage[e.slot] = e.prevWord;

@@ -27,6 +27,14 @@ struct Account
     U256 codeHash;
     std::unordered_map<U256, U256, U256Hash> storage;
 
+    /**
+     * Overlay metadata: the account was materialized from the overlay
+     * base on first write, and its storage map holds only the slots
+     * written locally — reads of other slots fall through to the base
+     * state. Always false outside overlay states.
+     */
+    bool baseBacked = false;
+
     bool isContract() const { return !code.empty(); }
 };
 
@@ -100,6 +108,31 @@ class WorldState
     /** Drop journal history (transaction boundary). */
     void commit() { journal_.clear(); }
 
+    // -- copy-on-write overlay -------------------------------------------
+    /**
+     * Turn this (empty, freshly constructed) state into a journaled
+     * copy-on-write overlay of @p base: reads of untouched accounts and
+     * slots fall through to the base, writes materialize per-account
+     * local copies (scalars and code are copied, storage stays a local
+     * diff). The base is only read, never mutated, so many overlays of
+     * the same base can execute concurrently — this is what gives
+     * speculative pre-execution per-transaction isolation.
+     *
+     * The overlay's journal records exactly the fields the execution
+     * mutated with the values it observed before mutating them, which
+     * the speculative executor turns into a validatable delta set.
+     * digest() is not meaningful on an overlay.
+     */
+    void
+    bindBase(const WorldState *base)
+    {
+        accounts_.clear();
+        journal_.clear();
+        base_ = base;
+    }
+
+    const WorldState *overlayBase() const { return base_; }
+
     // -- access tracking -------------------------------------------------
     /** Begin recording reads/writes into @p sink (nullptr stops). */
     void track(AccessSet *sink) { tracker_ = sink; }
@@ -114,7 +147,12 @@ class WorldState
      */
     U256 digest() const;
 
-  private:
+    /**
+     * One undo record. Public (read-only via journal()) so the
+     * speculative executor can turn an overlay's open journal into a
+     * field-level delta set; everything else should treat this as an
+     * implementation detail.
+     */
     struct JournalEntry
     {
         enum class Kind
@@ -132,14 +170,23 @@ class WorldState
         Bytes prevCode;
     };
 
+    /** Read-only view of the open journal (oldest first). */
+    const std::vector<JournalEntry> &journal() const { return journal_; }
+
+  private:
     Account &touch(const Address &addr);
     const Account *find(const Address &addr) const;
+    /** Local account, falling through to the overlay base. */
+    const Account *findThrough(const Address &addr) const;
+    /** Overlay-aware storage read without access tracking. */
+    U256 peekStorage(const Address &addr, const U256 &slot) const;
 
     void noteRead(const Address &addr, const U256 &slot) const;
     void noteWrite(const Address &addr, const U256 &slot) const;
 
     std::unordered_map<U256, Account, U256Hash> accounts_;
     std::vector<JournalEntry> journal_;
+    const WorldState *base_ = nullptr;
     mutable AccessSet *tracker_ = nullptr;
 };
 

@@ -101,8 +101,17 @@ Auditor::audit(const std::vector<int> &completion_order) const
     }
 
     // (c) semantic check: the replayed digest must match program order.
-    report.expected = canonicalDigest();
-    report.actual = digestInOrder(completion_order);
+    // The two digests are independent full replays from genesis, so
+    // with a pool they run as concurrent tasks.
+    if (pool_) {
+        pool_->runAll({
+            [&] { report.expected = canonicalDigest(); },
+            [&] { report.actual = digestInOrder(completion_order); },
+        });
+    } else {
+        report.expected = canonicalDigest();
+        report.actual = digestInOrder(completion_order);
+    }
     report.digestMatch = report.expected == report.actual;
     if (!report.digestMatch && report.message.empty())
         report.message = "state digest diverges from program order";

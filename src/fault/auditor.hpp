@@ -23,6 +23,7 @@
 #include "evm/state.hpp"
 #include "fault/plan.hpp"
 #include "sched/engine.hpp"
+#include "support/thread_pool.hpp"
 #include "workload/workload.hpp"
 
 namespace mtpu::fault {
@@ -67,6 +68,14 @@ class Auditor
     Auditor(const evm::WorldState &genesis, const workload::BlockRun &block,
             const FaultPlan *plan = nullptr);
 
+    /**
+     * Compute the canonical and replayed digests of audit() as two
+     * concurrent pool tasks (they are independent full replays, so the
+     * result is unchanged). @p pool is borrowed, not owned; pass
+     * nullptr to go back to serial.
+     */
+    void usePool(support::ThreadPool *pool) { pool_ = pool; }
+
     /** Audit a bare completion order. */
     AuditReport audit(const std::vector<int> &completion_order) const;
 
@@ -93,6 +102,7 @@ class Auditor
     const evm::WorldState &genesis_;
     const workload::BlockRun &block_;
     const FaultPlan *plan_;
+    support::ThreadPool *pool_ = nullptr;
     std::vector<std::pair<int, int>> edges_;
 };
 

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "evm/interpreter.hpp"
+#include "evm/speculative.hpp"
 #include "fault/plan.hpp"
 
 namespace mtpu::sched {
@@ -63,6 +64,12 @@ SpatioTemporalEngine::SpatioTemporalEngine(const arch::MtpuConfig &cfg)
 {
     for (int i = 0; i < cfg.numPus; ++i)
         pus_.push_back(std::make_unique<arch::PuModel>(cfg, &stateBuffer_));
+
+    unsigned threads = cfg.threads == 0
+                           ? support::ThreadPool::defaultThreads()
+                           : unsigned(std::max(cfg.threads, 1));
+    if (threads > 1)
+        pool_ = std::make_unique<support::ThreadPool>(threads);
 }
 
 void
@@ -112,6 +119,29 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     evm::Interpreter interp;
     if (functional)
         live = *rec.genesis;
+
+    // --- phase 1: parallel functional pre-execution -------------------
+    // Every transaction is speculatively executed against a private
+    // copy-on-write overlay of the pre-block state on the work-stealing
+    // pool. Phase 2 (the event loop below) stays single-owner: at each
+    // commit it either replays a still-valid speculation's deltas or
+    // falls back to real re-execution, so the committed state is
+    // bit-identical for any thread count — including 1, where this
+    // fan-out is skipped entirely.
+    std::vector<evm::SpecResult> spec;
+    if (functional && pool_ && n > 1) {
+        spec.resize(n);
+        pool_->parallelFor(n, [&](std::size_t i) {
+            const fault::AbortDirective *dir =
+                plan ? plan->abortFor(int(i)) : nullptr;
+            evm::AbortInjection inj;
+            if (dir)
+                inj = {dir->afterInstructions, dir->outOfGas};
+            spec[i] = evm::speculate(*rec.genesis, block.header,
+                                     block.txs[i].tx, /*wantTrace=*/false,
+                                     dir ? &inj : nullptr);
+        });
+    }
 
     // --- dependency bookkeeping -------------------------------------
     std::vector<TxState> state(n, TxState::Pending);
@@ -417,28 +447,42 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
             }
         }
 
-        if (functional) {
-            // Speculative functional commit: apply, then validate, and
-            // undo through the WorldState journal on a violation.
-            auto snap = live.snapshot();
+        if (functional && !violation) {
+            // Functional commit, single-owner. Fast path: a phase-1
+            // speculation whose observations still hold against the
+            // live state is committed by replaying its deltas. Slow
+            // path (always taken with threads = 1): execute the
+            // transaction for real. Both paths yield bit-identical
+            // state; a violation commits nothing at all, which equals
+            // the old apply-then-revert dance without the wasted work.
             const fault::AbortDirective *dir =
                 plan ? plan->abortFor(tx_idx) : nullptr;
-            if (dir)
-                interp.armAbort({dir->afterInstructions, dir->outOfGas});
-            evm::Receipt receipt = interp.applyTransaction(
-                live, block.header, block.txs[std::size_t(tx_idx)].tx,
-                nullptr, /*commitState=*/false);
-            if (violation) {
-                live.revert(snap);
+            evm::Receipt receipt;
+            const evm::SpecResult *sr =
+                std::size_t(tx_idx) < spec.size()
+                    ? &spec[std::size_t(tx_idx)]
+                    : nullptr;
+            if (sr
+                && evm::specValid(*sr, live, *rec.genesis,
+                                  block.header.coinbase)) {
+                evm::specApply(*sr, live, block.header.coinbase);
+                receipt = sr->receipt;
             } else {
-                live.commit();
-                if (!receipt.success) {
-                    ++stats.failedTxs;
-                    if (dir)
-                        ++stats.injectedAborts;
-                }
+                if (dir)
+                    interp.armAbort(
+                        {dir->afterInstructions, dir->outOfGas});
+                receipt = interp.applyTransaction(
+                    live, block.header, block.txs[std::size_t(tx_idx)].tx,
+                    nullptr, /*commitState=*/false);
             }
-        } else if (!violation && plan && plan->abortFor(tx_idx)) {
+            live.commit();
+            if (!receipt.success) {
+                ++stats.failedTxs;
+                if (dir)
+                    ++stats.injectedAborts;
+            }
+        } else if (!functional && !violation && plan
+                   && plan->abortFor(tx_idx)) {
             ++stats.injectedAborts;
         }
 

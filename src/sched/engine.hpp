@@ -21,6 +21,7 @@
 #include "arch/pu.hpp"
 #include "sched/recovery.hpp"
 #include "sched/tables.hpp"
+#include "support/thread_pool.hpp"
 #include "workload/workload.hpp"
 
 namespace mtpu::sched {
@@ -112,10 +113,21 @@ class SpatioTemporalEngine
     const arch::PuModel &pu(int i) const { return *pus_[std::size_t(i)]; }
     arch::StateBuffer &stateBuffer() { return stateBuffer_; }
 
+    /** Host threads backing functional pre-execution (>= 1). */
+    unsigned hostThreads() const { return pool_ ? pool_->threads() : 1; }
+
   private:
     arch::MtpuConfig cfg_;
     arch::StateBuffer stateBuffer_;
     std::vector<std::unique_ptr<arch::PuModel>> pus_;
+    /**
+     * Work-stealing pool for phase-1 functional pre-execution
+     * (cfg.threads; null when the resolved count is 1). The timing
+     * model and the commit order never run on it — they stay
+     * single-owner, which is what makes every thread count produce
+     * bit-identical results.
+     */
+    std::unique_ptr<support::ThreadPool> pool_;
 };
 
 } // namespace mtpu::sched

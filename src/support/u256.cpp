@@ -121,7 +121,7 @@ U256::bitLength() const
 }
 
 U256
-U256::operator+(const U256 &o) const
+U256::addGeneric(const U256 &o) const
 {
     U256 out;
     u64 carry = 0;
@@ -134,7 +134,7 @@ U256::operator+(const U256 &o) const
 }
 
 U256
-U256::operator-(const U256 &o) const
+U256::subGeneric(const U256 &o) const
 {
     U256 out;
     u64 borrow = 0;
@@ -147,7 +147,7 @@ U256::operator-(const U256 &o) const
 }
 
 U256
-U256::operator*(const U256 &o) const
+U256::mulGeneric(const U256 &o) const
 {
     // Schoolbook multiply keeping only the low 4 limbs.
     u64 res[4] = {0, 0, 0, 0};
@@ -169,6 +169,13 @@ U256::divmod(const U256 &num, const U256 &den, U256 &q, U256 &r)
     r = U256();
     if (den.isZero())
         return;
+    // Single-limb operands short-circuit the binary long division —
+    // this covers toDec() and the interpreter's DIV/MOD on small words.
+    if (bothSingleLimb(num, den)) {
+        q = U256(num.limbs_[0] / den.limbs_[0]);
+        r = U256(num.limbs_[0] % den.limbs_[0]);
+        return;
+    }
     int nbits = num.bitLength();
     for (int i = nbits; i >= 0; --i) {
         r = r.shl(1);
@@ -415,7 +422,7 @@ U256::byteAt(unsigned i) const
 }
 
 bool
-U256::operator<(const U256 &o) const
+U256::ltGeneric(const U256 &o) const
 {
     for (int i = 3; i >= 0; --i) {
         if (limbs_[i] != o.limbs_[i])

@@ -92,9 +92,41 @@ class U256
     }
 
     // -- arithmetic (wrapping mod 2^256) ------------------------------
-    U256 operator+(const U256 &o) const;
-    U256 operator-(const U256 &o) const;
-    U256 operator*(const U256 &o) const;
+    // The interpreter inner loop overwhelmingly sees small operands
+    // (gas words, counters, token amounts), so add/sub/mul/compare take
+    // an inline single-limb shortcut and fall back to the generic limb
+    // implementations out of line.
+    U256
+    operator+(const U256 &o) const
+    {
+        if (bothSingleLimb(*this, o)) {
+            unsigned __int128 s =
+                (unsigned __int128)limbs_[0] + o.limbs_[0];
+            return U256(std::uint64_t(s), std::uint64_t(s >> 64), 0, 0);
+        }
+        return addGeneric(o);
+    }
+
+    U256
+    operator-(const U256 &o) const
+    {
+        // Only the borrow-free single-limb case is shortcut; a borrow
+        // propagates through all four limbs and takes the generic path.
+        if (bothSingleLimb(*this, o) && limbs_[0] >= o.limbs_[0])
+            return U256(limbs_[0] - o.limbs_[0]);
+        return subGeneric(o);
+    }
+
+    U256
+    operator*(const U256 &o) const
+    {
+        if (bothSingleLimb(*this, o)) {
+            unsigned __int128 p =
+                (unsigned __int128)limbs_[0] * o.limbs_[0];
+            return U256(std::uint64_t(p), std::uint64_t(p >> 64), 0, 0);
+        }
+        return mulGeneric(o);
+    }
 
     /** Unsigned division; x / 0 == 0 per EVM DIV. */
     U256 udiv(const U256 &o) const;
@@ -139,7 +171,13 @@ class U256
     // -- comparison ---------------------------------------------------
     bool operator==(const U256 &o) const { return limbs_ == o.limbs_; }
     bool operator!=(const U256 &o) const { return !(*this == o); }
-    bool operator<(const U256 &o) const;
+    bool
+    operator<(const U256 &o) const
+    {
+        if (bothSingleLimb(*this, o))
+            return limbs_[0] < o.limbs_[0];
+        return ltGeneric(o);
+    }
     bool operator>(const U256 &o) const { return o < *this; }
     bool operator<=(const U256 &o) const { return !(o < *this); }
     bool operator>=(const U256 &o) const { return !(*this < o); }
@@ -154,6 +192,20 @@ class U256
 
   private:
     std::array<std::uint64_t, 4> limbs_;
+
+    /** True when neither operand has bits above limb 0. */
+    static bool
+    bothSingleLimb(const U256 &a, const U256 &b)
+    {
+        return !((a.limbs_[1] | a.limbs_[2] | a.limbs_[3])
+                 | (b.limbs_[1] | b.limbs_[2] | b.limbs_[3]));
+    }
+
+    // Generic multi-limb implementations (the pre-fast-path bodies).
+    U256 addGeneric(const U256 &o) const;
+    U256 subGeneric(const U256 &o) const;
+    U256 mulGeneric(const U256 &o) const;
+    bool ltGeneric(const U256 &o) const;
 
     /** Long division returning quotient and remainder. */
     static void divmod(const U256 &num, const U256 &den, U256 &q, U256 &r);

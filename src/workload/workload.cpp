@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "evm/speculative.hpp"
+
 namespace mtpu::workload {
 
 using contracts::ContractSet;
@@ -121,8 +123,15 @@ BlockRun::fromRlp(const Bytes &encoded)
     return out;
 }
 
-Generator::Generator(std::uint64_t seed, int num_users) : rng_(seed)
+Generator::Generator(std::uint64_t seed, int num_users, int threads)
+    : rng_(seed)
 {
+    unsigned resolved = threads == 0
+                            ? support::ThreadPool::defaultThreads()
+                            : unsigned(std::max(threads, 1));
+    if (resolved > 1)
+        pool_ = std::make_unique<support::ThreadPool>(resolved);
+
     for (int i = 0; i < num_users; ++i) {
         users_.push_back(contracts::userAddress(i));
         genesis_.setBalance(users_.back(),
@@ -540,12 +549,39 @@ Generator::runConsensusStage(BlockRun &block)
     evm::WorldState state = genesis_;
     evm::Interpreter interp;
 
-    for (TxRecord &rec : block.txs) {
+    // Phase 1 (pool only): pre-execute every transaction against the
+    // pre-block state concurrently, capturing trace + receipt + access
+    // set + field deltas. Phase 2 below commits in program order: a
+    // speculation whose observations still hold is committed by
+    // replaying its deltas; anything else is re-executed for real.
+    // Either way the committed state, traces and access sets are
+    // bit-identical to the sequential path.
+    std::vector<evm::SpecResult> spec;
+    if (pool_ && block.txs.size() > 1) {
+        spec.resize(block.txs.size());
+        pool_->parallelFor(block.txs.size(), [&](std::size_t i) {
+            spec[i] = evm::speculate(genesis_, block.header,
+                                     block.txs[i].tx, /*wantTrace=*/true);
+        });
+    }
+
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        TxRecord &rec = block.txs[i];
         evm::AccessSet access;
-        state.track(&access);
-        rec.receipt = interp.applyTransaction(state, block.header, rec.tx,
-                                              &rec.trace);
-        state.track(nullptr);
+        evm::SpecResult *sr = i < spec.size() ? &spec[i] : nullptr;
+        if (sr && evm::specValid(*sr, state, genesis_,
+                                 block.header.coinbase)) {
+            evm::specApply(*sr, state, block.header.coinbase);
+            state.commit();
+            rec.receipt = sr->receipt;
+            rec.trace = std::move(sr->trace);
+            access = std::move(sr->access);
+        } else {
+            state.track(&access);
+            rec.receipt = interp.applyTransaction(state, block.header,
+                                                  rec.tx, &rec.trace);
+            state.track(nullptr);
+        }
 
         // Filter commutative fee accounting (coinbase) out of the
         // dependency analysis, as concurrency-control schemes do.

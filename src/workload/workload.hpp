@@ -24,6 +24,7 @@
 #include "evm/state.hpp"
 #include "evm/trace.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace mtpu::workload {
 
@@ -95,7 +96,16 @@ struct BlockParams
 class Generator
 {
   public:
-    explicit Generator(std::uint64_t seed = 1, int num_users = 512);
+    /**
+     * @param threads host threads for the consensus stage: 1 (default)
+     *        executes sequentially, 0 resolves to
+     *        support::ThreadPool::defaultThreads(), >1 pre-executes
+     *        transactions on a work-stealing pool and commits them
+     *        in program order (DESIGN.md §9). Generated blocks are
+     *        bit-identical at every value.
+     */
+    explicit Generator(std::uint64_t seed = 1, int num_users = 512,
+                       int threads = 1);
 
     /** Generate a block and execute it sequentially for ground truth. */
     BlockRun generateBlock(const BlockParams &params);
@@ -144,13 +154,19 @@ class Generator
     Draft draftGateway();
     Draft draftVote();
 
-    /** Sequential execution to obtain traces/receipts/deps. */
+    /**
+     * Program-order execution to obtain traces/receipts/deps. With a
+     * pool, transactions are speculatively pre-executed in parallel
+     * against the genesis state and committed in program order via
+     * validate-or-re-execute — bit-identical to the sequential path.
+     */
     void runConsensusStage(BlockRun &block);
 
     contracts::ContractSet set_;
     evm::WorldState genesis_;
     std::vector<evm::Address> users_;
     Rng rng_;
+    std::unique_ptr<support::ThreadPool> pool_;
 
     // Per-block allocation cursors (reset in generateBlock).
     int userCursor_ = 0;

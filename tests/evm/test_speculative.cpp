@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests of the speculative pre-execution primitives
+ * (evm/speculative.hpp): delta extraction, commit-time validation, and
+ * fast-path delta replay. These pin down that the fast path (a) is
+ * actually taken for independent transactions — i.e. it is not dead
+ * code behind an always-failing validator — and (b) refuses exactly
+ * the transactions whose observations a committed conflict
+ * invalidated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "contracts/contracts.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/speculative.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::evm {
+namespace {
+
+/** The header Generator::singleCall() builds its records against. */
+BlockHeader
+testHeader()
+{
+    BlockHeader header;
+    header.height = 1;
+    header.timestamp = 1700000000;
+    header.coinbase = U256(0xc01bba5e);
+    return header;
+}
+
+struct SpecFixture : ::testing::Test
+{
+    workload::Generator gen{42, 64};
+
+    Transaction
+    transfer(int sender, int recipient, std::uint64_t amount)
+    {
+        return gen.singleCall("TetherUSD", "transfer",
+                              {contracts::userAddress(recipient),
+                               U256(amount)},
+                              U256(), sender)
+            .tx;
+    }
+};
+
+TEST_F(SpecFixture, SpeculationCapturesReceiptAndDeltas)
+{
+    BlockHeader header = testHeader();
+    Transaction tx = transfer(0, 1, 5);
+
+    SpecResult r = speculate(gen.genesis(), header, tx,
+                             /*wantTrace=*/true);
+    ASSERT_TRUE(r.ran);
+    EXPECT_TRUE(r.receipt.success);
+    EXPECT_FALSE(r.trace.events.empty());
+    EXPECT_FALSE(r.access.reads.empty());
+    // A token transfer mutates at least two storage slots (sender and
+    // recipient balances), the sender nonce, and balances (fee).
+    EXPECT_GE(r.storage.size(), 2u);
+    EXPECT_FALSE(r.nonces.empty());
+
+    // The speculation must not have touched the base state.
+    EXPECT_EQ(gen.genesis().digest(),
+              workload::Generator(42, 64).genesis().digest());
+}
+
+TEST_F(SpecFixture, IndependentSpeculationSurvivesCommit)
+{
+    BlockHeader header = testHeader();
+    Transaction tx0 = transfer(0, 1, 5);
+    Transaction tx1 = transfer(2, 3, 7); // disjoint accounts
+
+    SpecResult s0 = speculate(gen.genesis(), header, tx0, false);
+    SpecResult s1 = speculate(gen.genesis(), header, tx1, false);
+
+    // Reference: plain sequential execution.
+    WorldState ref = gen.genesis();
+    Interpreter interp;
+    Receipt ref0 = interp.applyTransaction(ref, header, tx0);
+    Receipt ref1 = interp.applyTransaction(ref, header, tx1);
+
+    WorldState live = gen.genesis();
+    ASSERT_TRUE(specValid(s0, live, gen.genesis(), header.coinbase));
+    specApply(s0, live, header.coinbase);
+    live.commit();
+
+    // tx1 touches none of tx0's keys, so its speculation must still
+    // validate against the mutated live state — the fast path fires.
+    ASSERT_TRUE(specValid(s1, live, gen.genesis(), header.coinbase));
+    specApply(s1, live, header.coinbase);
+    live.commit();
+
+    EXPECT_EQ(s0.receipt.toRlp(), ref0.toRlp());
+    EXPECT_EQ(s1.receipt.toRlp(), ref1.toRlp());
+    EXPECT_EQ(live.digest(), ref.digest());
+}
+
+TEST_F(SpecFixture, ConflictingSpeculationIsRejected)
+{
+    BlockHeader header = testHeader();
+    Transaction tx0 = transfer(0, 1, 5);
+    Transaction tx1 = transfer(1, 2, 3); // reads/writes user 1's slot
+
+    SpecResult s0 = speculate(gen.genesis(), header, tx0, false);
+    SpecResult s1 = speculate(gen.genesis(), header, tx1, false);
+
+    WorldState live = gen.genesis();
+    ASSERT_TRUE(specValid(s0, live, gen.genesis(), header.coinbase));
+    specApply(s0, live, header.coinbase);
+    live.commit();
+
+    // tx0 changed user 1's token balance, which tx1's speculation both
+    // read and wrote from its pre-tx0 value: stale, must be rejected.
+    EXPECT_FALSE(specValid(s1, live, gen.genesis(), header.coinbase));
+
+    // The slow path (real re-execution) then matches the sequential
+    // reference exactly.
+    Interpreter interp;
+    interp.applyTransaction(live, header, tx1);
+
+    WorldState ref = gen.genesis();
+    Interpreter ref_interp;
+    ref_interp.applyTransaction(ref, header, tx0);
+    ref_interp.applyTransaction(ref, header, tx1);
+    EXPECT_EQ(live.digest(), ref.digest());
+}
+
+TEST_F(SpecFixture, CoinbaseFeesAreCommutative)
+{
+    BlockHeader header = testHeader();
+    Transaction tx0 = transfer(0, 1, 5);
+    Transaction tx1 = transfer(2, 3, 7);
+
+    SpecResult s0 = speculate(gen.genesis(), header, tx0, false);
+    SpecResult s1 = speculate(gen.genesis(), header, tx1, false);
+
+    WorldState live = gen.genesis();
+    specApply(s0, live, header.coinbase);
+    live.commit();
+    // Both speculations observed the coinbase's pre-block balance;
+    // committing tx0 bumped it. tx1 must survive anyway (fees are
+    // applied as deltas, not absolute values)...
+    ASSERT_TRUE(specValid(s1, live, gen.genesis(), header.coinbase));
+    specApply(s1, live, header.coinbase);
+    live.commit();
+
+    // ...and the stacked credits must equal the sequential total.
+    WorldState ref = gen.genesis();
+    Interpreter interp;
+    interp.applyTransaction(ref, header, tx0);
+    interp.applyTransaction(ref, header, tx1);
+    EXPECT_EQ(live.balance(header.coinbase), ref.balance(header.coinbase));
+}
+
+} // namespace
+} // namespace mtpu::evm

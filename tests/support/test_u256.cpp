@@ -332,5 +332,103 @@ TEST_P(U256Property, NegateIsTwosComplement)
 INSTANTIATE_TEST_SUITE_P(Seeds, U256Property,
                          ::testing::Values(1, 42, 12345, 0xfeedface));
 
+// --- single-limb fast paths -------------------------------------------
+// add/sub/mul/cmp/divmod take a shortcut when both operands fit one
+// limb. Each test checks the shortcut against a 128-bit reference AND
+// against the generic limb path, reached by lifting the same operands
+// into higher limbs where the identity must still hold.
+
+/** High-limb offset used to force operands onto the generic path. */
+const U256 kHigh(0, 0, 1, 0);
+
+TEST(U256FastPath, AddMatchesReferenceAndGeneric)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.next(), b = rng.next();
+        unsigned __int128 ref =
+            (unsigned __int128)a + (unsigned __int128)b;
+        U256 fast = U256(a) + U256(b);
+        EXPECT_EQ(fast,
+                  U256(std::uint64_t(ref), std::uint64_t(ref >> 64), 0, 0));
+        // (a + H) + b - H walks the generic adder; the carry out of
+        // limb 0 cannot reach limb 2, so the identity is exact.
+        EXPECT_EQ(((U256(a) + kHigh) + U256(b)) - kHigh, fast);
+    }
+    // Carry across the limb boundary.
+    EXPECT_EQ(U256(~0ull) + U256(1), U256(0, 1, 0, 0));
+}
+
+TEST(U256FastPath, SubMatchesReferenceAndGeneric)
+{
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.next(), b = rng.next();
+        if (a < b)
+            std::swap(a, b); // borrow-free: the fast path's domain
+        U256 fast = U256(a) - U256(b);
+        EXPECT_EQ(fast, U256(a - b));
+        EXPECT_EQ(((U256(a) + kHigh) - U256(b)) - kHigh, fast);
+        // a < b borrows into limb 1 and must fall back to the generic
+        // subtractor: check two's-complement wraparound.
+        EXPECT_EQ(U256(b) - U256(a), (U256(a) - U256(b)).negate());
+    }
+    EXPECT_EQ(U256() - U256(1), U256::max());
+}
+
+TEST(U256FastPath, MulMatchesReferenceAndGeneric)
+{
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.next(), b = rng.next();
+        unsigned __int128 ref =
+            (unsigned __int128)a * (unsigned __int128)b;
+        U256 fast = U256(a) * U256(b);
+        EXPECT_EQ(fast,
+                  U256(std::uint64_t(ref), std::uint64_t(ref >> 64), 0, 0));
+        // Distributivity in Z/2^256 pits fast against generic:
+        // (a + H) * b == a*b + H*b, and the left side is multi-limb.
+        EXPECT_EQ((U256(a) + kHigh) * U256(b), fast + kHigh * U256(b));
+    }
+    EXPECT_EQ(U256(~0ull) * U256(~0ull),
+              U256(1, ~0ull - 1, 0, 0)); // (2^64-1)^2
+}
+
+TEST(U256FastPath, CompareMatchesReferenceAndGeneric)
+{
+    Rng rng(17);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.next(), b = rng.next();
+        EXPECT_EQ(U256(a) < U256(b), a < b);
+        EXPECT_FALSE(U256(a) < U256(a));
+        // Lifting both sides preserves the order and walks the
+        // generic comparator.
+        EXPECT_EQ(U256(a) + kHigh < U256(b) + kHigh, a < b);
+        // Any high limb dominates a single-limb value.
+        EXPECT_TRUE(U256(a) < kHigh);
+        EXPECT_FALSE(kHigh < U256(b));
+    }
+}
+
+TEST(U256FastPath, DivmodMatchesReferenceAndGeneric)
+{
+    Rng rng(19);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t a = rng.next();
+        std::uint64_t b = 1 + rng.next() % 1000000;
+        EXPECT_EQ(U256(a).udiv(U256(b)), U256(a / b));
+        EXPECT_EQ(U256(a).umod(U256(b)), U256(a % b));
+        // Scaling numerator and denominator by 2^64 leaves the
+        // quotient unchanged and scales the remainder — and the
+        // scaled call is multi-limb, i.e. the generic long division.
+        EXPECT_EQ(U256(0, a, 0, 0).udiv(U256(0, b, 0, 0)), U256(a / b));
+        EXPECT_EQ(U256(0, a, 0, 0).umod(U256(0, b, 0, 0)),
+                  U256(0, a % b, 0, 0));
+    }
+    // Div-by-zero: EVM semantics, quotient and remainder both zero.
+    EXPECT_TRUE(U256(42).udiv(U256()).isZero());
+    EXPECT_TRUE(U256(42).umod(U256()).isZero());
+}
+
 } // namespace
 } // namespace mtpu

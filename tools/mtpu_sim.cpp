@@ -8,7 +8,8 @@
  *   mtpu_sim [--txs N] [--dep R] [--erc20 R] [--pus N] [--blocks N]
  *            [--seed S] [--scheme seq|sync|st] [--window M]
  *            [--db-entries N] [--no-redundancy] [--no-hotspot]
- *            [--mhz F] [--inject-seed S] [--drop-edges R]
+ *            [--mhz F] [--threads N] [--json PATH]
+ *            [--inject-seed S] [--drop-edges R]
  *            [--abort-rate R] [--pu-fault N] [--no-recovery] [--help]
  *
  * With any of the --inject-* / --drop-edges / --abort-rate /
@@ -18,10 +19,12 @@
  * audit.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/mtpu.hpp"
 #include "fault/injector.hpp"
@@ -42,6 +45,8 @@ struct Options
     bool redundancy = true;
     bool hotspot = true;
     double mhz = 300.0;
+    int threads = 0;      ///< host threads; 0 = auto (defaultThreads)
+    std::string jsonPath; ///< machine-readable report; empty = off
     std::uint64_t injectSeed = 42;
     double dropEdges = 0.0;
     double abortRate = 0.0;
@@ -74,6 +79,11 @@ usage(const char *argv0)
         "  --no-redundancy  disable context/DB reuse\n"
         "  --no-hotspot     disable hotspot optimization\n"
         "  --mhz F          clock for throughput (default 300)\n"
+        "  --threads N      host threads for the parallel backend;\n"
+        "                   0 = auto (hardware, MTPU_THREADS override,\n"
+        "                   capped at 8); results are identical at\n"
+        "                   every value (default 0)\n"
+        "  --json PATH      also write a machine-readable JSON report\n"
         "fault injection (any of these enables the audited fault run):\n"
         "  --inject-seed S  fault injector seed (default 42)\n"
         "  --drop-edges R   fraction of DAG edges to drop 0..1\n"
@@ -153,6 +163,16 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.mhz = std::atof(v);
+        } else if (arg == "--threads") {
+            const char *v = next("--threads");
+            if (!v)
+                return false;
+            opt.threads = std::atoi(v);
+        } else if (arg == "--json") {
+            const char *v = next("--json");
+            if (!v)
+                return false;
+            opt.jsonPath = v;
         } else if (arg == "--inject-seed") {
             const char *v = next("--inject-seed");
             if (!v)
@@ -183,7 +203,7 @@ parse(int argc, char **argv, Options &opt)
         }
     }
     if (opt.txs < 1 || opt.pus < 1 || opt.blocks < 1 || opt.window < 1
-        || opt.window > 64 || opt.scheme.empty()) {
+        || opt.window > 64 || opt.scheme.empty() || opt.threads < 0) {
         std::fprintf(stderr, "invalid option values\n");
         return false;
     }
@@ -205,6 +225,83 @@ parse(int argc, char **argv, Options &opt)
     return true;
 }
 
+/** Number literal for the JSON report (%.10g round-trips doubles
+ *  well enough for throughput/speedup figures). */
+std::string
+jnum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+jnum(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+/**
+ * Minimal JSON report accumulator: a flat object of scalar fields plus
+ * one "blocks" array of pre-rendered row objects. Field values are
+ * passed pre-rendered too (use jnum / "\"str\"" / "true").
+ */
+struct JsonReport
+{
+    std::vector<std::pair<std::string, std::string>> fields;
+    std::vector<std::string> blocks;
+
+    void
+    set(const std::string &key, const std::string &rendered)
+    {
+        fields.emplace_back(key, rendered);
+    }
+
+    bool
+    write(const std::string &path) const
+    {
+        FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return false;
+        }
+        std::fputs("{\n", f);
+        for (const auto &[k, v] : fields)
+            std::fprintf(f, "  \"%s\": %s,\n", k.c_str(), v.c_str());
+        std::fputs("  \"blocks\": [\n", f);
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+            std::fprintf(f, "    %s%s\n", blocks[i].c_str(),
+                         i + 1 < blocks.size() ? "," : "");
+        }
+        std::fputs("  ]\n}\n", f);
+        return std::fclose(f) == 0;
+    }
+};
+
+/** Shared config section of both report flavours. */
+void
+describeRun(JsonReport &report, const Options &opt,
+            const mtpu::arch::MtpuConfig &cfg)
+{
+    using mtpu::support::ThreadPool;
+    unsigned host = opt.threads == 0 ? ThreadPool::defaultThreads()
+                                     : unsigned(opt.threads);
+    report.set("tool", "\"mtpu_sim\"");
+    report.set("scheme", "\"" + opt.scheme + "\"");
+    report.set("pus", jnum(std::uint64_t(cfg.numPus)));
+    report.set("window", jnum(std::uint64_t(cfg.windowSize)));
+    report.set("dbEntries", jnum(std::uint64_t(cfg.dbCacheEntries)));
+    report.set("redundancyOpt", opt.redundancy ? "true" : "false");
+    report.set("hotspotOpt", opt.hotspot ? "true" : "false");
+    report.set("txsPerBlock", jnum(std::uint64_t(opt.txs)));
+    report.set("depRatio", jnum(opt.dep));
+    report.set("erc20Share", jnum(opt.erc20));
+    report.set("numBlocks", jnum(std::uint64_t(opt.blocks)));
+    report.set("seed", jnum(opt.seed));
+    report.set("mhz", jnum(opt.mhz));
+    report.set("hostThreads", jnum(std::uint64_t(host)));
+}
+
 /**
  * Audited fault run: degrade each block per the seeded plan, execute
  * with (or without) speculative recovery, audit serializability.
@@ -222,9 +319,19 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
                 opt.abortRate, opt.puFault,
                 opt.recovery ? "on" : "off");
 
-    workload::Generator gen(opt.seed, 512);
+    workload::Generator gen(opt.seed, 512, opt.threads);
     core::MtpuProcessor proc(cfg);
     fault::FaultInjector inj(opt.injectSeed);
+
+    JsonReport report;
+    describeRun(report, opt, cfg);
+    report.set("faultMode", "true");
+    report.set("injectSeed", jnum(opt.injectSeed));
+    report.set("dropEdges", jnum(opt.dropEdges));
+    report.set("abortRate", jnum(opt.abortRate));
+    report.set("puFault", jnum(std::uint64_t(opt.puFault)));
+    report.set("recovery", opt.recovery ? "true" : "false");
+    auto wall_start = std::chrono::steady_clock::now();
 
     fault::InjectionParams params;
     params.dropEdgeRate = opt.dropEdges;
@@ -277,7 +384,28 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         totals.injectedAborts += res.stats.injectedAborts;
         totals.retries += res.stats.retries;
         proc.warmup(block, 16);
+
+        report.blocks.push_back(
+            "{\"block\": " + jnum(std::uint64_t(b))
+            + ", \"txs\": " + jnum(std::uint64_t(block.txs.size()))
+            + ", \"droppedEdges\": "
+            + jnum(std::uint64_t(plan.droppedEdges.size()))
+            + ", \"makespan\": " + jnum(res.stats.makespan)
+            + ", \"conflictAborts\": " + jnum(res.stats.conflictAborts)
+            + ", \"puFaultAborts\": " + jnum(res.stats.puFaultAborts)
+            + ", \"injectedAborts\": " + jnum(res.stats.injectedAborts)
+            + ", \"retries\": " + jnum(res.stats.retries)
+            + ", \"failedTxs\": " + jnum(res.stats.failedTxs)
+            + ", \"auditOk\": " + (ok ? "true" : "false") + "}");
     }
+
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+    report.set("wallSeconds", jnum(wall));
+    report.set("failedBlocks", jnum(std::uint64_t(failed_blocks)));
+    if (!opt.jsonPath.empty() && !report.write(opt.jsonPath))
+        return 1;
 
     std::printf("totals: conflictAborts=%llu puFaultAborts=%llu "
                 "injectedAborts=%llu retries=%llu; %d/%d blocks "
@@ -304,6 +432,7 @@ main(int argc, char **argv)
     cfg.numPus = opt.pus;
     cfg.windowSize = opt.window;
     cfg.dbCacheEntries = opt.dbEntries;
+    cfg.threads = opt.threads;
 
     core::RunOptions run;
     run.scheme = opt.scheme == "seq"    ? core::Scheme::Sequential
@@ -321,8 +450,13 @@ main(int argc, char **argv)
     if (opt.faultMode())
         return runFaulted(opt, cfg, run);
 
-    workload::Generator gen(opt.seed, 512);
+    workload::Generator gen(opt.seed, 512, opt.threads);
     core::MtpuProcessor proc(cfg);
+
+    JsonReport report_json;
+    describeRun(report_json, opt, cfg);
+    report_json.set("faultMode", "false");
+    auto wall_start = std::chrono::steady_clock::now();
 
     std::printf("%5s %6s %8s %9s %9s %8s %12s\n", "block", "txs",
                 "depMeas", "cycles", "speedup", "util", "throughput");
@@ -347,6 +481,17 @@ main(int argc, char **argv)
                     double(block.txs.size()) / seconds);
         total_speedup += report.speedup();
         proc.warmup(block, 16); // hotspot collection in the interval
+
+        report_json.blocks.push_back(
+            "{\"block\": " + jnum(std::uint64_t(b))
+            + ", \"txs\": " + jnum(std::uint64_t(block.txs.size()))
+            + ", \"measuredDepRatio\": " + jnum(block.measuredDepRatio())
+            + ", \"makespan\": " + jnum(report.stats.makespan)
+            + ", \"baselineCycles\": " + jnum(report.baselineCycles)
+            + ", \"speedup\": " + jnum(report.speedup())
+            + ", \"utilization\": " + jnum(report.stats.utilization())
+            + ", \"txPerSec\": "
+            + jnum(double(block.txs.size()) / seconds) + "}");
     }
     std::printf("average speedup over %d blocks: %.2fx\n", opt.blocks,
                 total_speedup / opt.blocks);
@@ -354,5 +499,15 @@ main(int argc, char **argv)
     arch::AreaModel area(cfg);
     std::printf("silicon: %.1f mm^2 @45nm, %.2f W @%.0f MHz\n",
                 area.totalArea(), area.powerWatts(opt.mhz), opt.mhz);
+
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+    report_json.set("wallSeconds", jnum(wall));
+    report_json.set("avgSpeedup", jnum(total_speedup / opt.blocks));
+    report_json.set("siliconMm2", jnum(area.totalArea()));
+    report_json.set("powerWatts", jnum(area.powerWatts(opt.mhz)));
+    if (!opt.jsonPath.empty() && !report_json.write(opt.jsonPath))
+        return 1;
     return 0;
 }
