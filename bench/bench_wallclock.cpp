@@ -103,6 +103,12 @@ main(int argc, char **argv)
     const std::string json_path =
         argc > 3 ? argv[3] : "BENCH_wallclock.json";
 
+    // Observability stays off unless asked for, so the committed
+    // wall-clock figures measure the disabled-macro fast path.
+    const bool metrics_on = std::getenv("MTPU_BENCH_METRICS") != nullptr;
+    if (metrics_on)
+        mtpu::obs::Registry::global().enable(true);
+
     banner("Host wall-clock: verifier pipeline vs thread count");
     std::printf("hardware threads: %u (MTPU_THREADS %s)\n\n",
                 support::ThreadPool::hardwareThreads(),
@@ -156,7 +162,11 @@ main(int argc, char **argv)
                      ref.seconds / r.seconds,
                      i + 1 < rungs.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    if (metrics_on)
+        std::fprintf(f, "  ],\n  \"metrics\": %s\n}\n",
+                     metricsJson().c_str());
+    else
+        std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
 

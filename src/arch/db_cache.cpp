@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace mtpu::arch {
 
 using evm::FuncUnit;
@@ -87,6 +89,7 @@ DbCache::lookup(const CodeAddr &addr)
     pos->second = lru_.begin();
     ++stats_.lineHits;
     stats_.instrHits += it->second.count();
+    MTPU_OBS_COUNT("db.line_hits", 1);
     return &it->second;
 }
 
@@ -227,6 +230,10 @@ DbCache::install()
     if (fill_.size() <= 1) {
         ++stats_.singleDiscarded;
         singles_.push_back(fillTag_);
+        if (tracer_)
+            tracer_->emit(obs::TraceKind::DbSingle, traceNow_, lane_,
+                          fillTag_.pc);
+        MTPU_OBS_COUNT("db.singles_discarded", 1);
     } else if (cfg_.enableDbCache && !lines_.count(fillTag_)) {
         DbLine line;
         line.tag = fillTag_;
@@ -240,11 +247,17 @@ DbCache::install()
         }
         line.usedForwarding = fillForwards_ > 0;
         line.endsWithBranch = terminatesLine(fill_.back().slot.opcode);
+        std::size_t len = line.slots.size();
         evictIfFull();
         lines_.emplace(fillTag_, std::move(line));
         lru_.push_front(fillTag_);
         lruPos_[fillTag_] = lru_.begin();
         ++stats_.linesInstalled;
+        if (tracer_)
+            tracer_->emit(obs::TraceKind::DbInstall, traceNow_, lane_,
+                          len, fillTag_.pc);
+        MTPU_OBS_COUNT("db.lines_installed", 1);
+        MTPU_OBS_HIST("db.line_len", obs::pow2Bounds(0, 5), len);
     }
     fill_.clear();
     fillForwards_ = 0;
@@ -266,8 +279,14 @@ DbCache::evictIfFull()
         CodeAddr victim = lru_.back();
         lru_.pop_back();
         lruPos_.erase(victim);
+        auto it = lines_.find(victim);
+        std::size_t len = it != lines_.end() ? it->second.count() : 0;
         lines_.erase(victim);
         ++stats_.linesEvicted;
+        if (tracer_)
+            tracer_->emit(obs::TraceKind::DbEvict, traceNow_, lane_,
+                          len, victim.pc);
+        MTPU_OBS_COUNT("db.lines_evicted", 1);
     }
 }
 

@@ -29,6 +29,7 @@
 #include "arch/config.hpp"
 #include "evm/trace.hpp"
 #include "evm/types.hpp"
+#include "obs/tracer.hpp"
 
 namespace mtpu::arch {
 
@@ -139,6 +140,17 @@ class DbCache
      */
     std::vector<CodeAddr> &singles() { return singles_; }
 
+    /** Attach a tracer (nullptr detaches); @p lane is the owning PU. */
+    void
+    setTracer(obs::Tracer *tracer, int lane)
+    {
+        tracer_ = tracer;
+        lane_ = lane;
+    }
+
+    /** Set the cycle timestamp for subsequently emitted trace events. */
+    void traceAt(std::uint64_t cycle) { traceNow_ = cycle; }
+
   private:
     struct PendingInstr
     {
@@ -173,6 +185,10 @@ class DbCache
     std::vector<int> vstack_;
 
     std::vector<CodeAddr> singles_;
+
+    obs::Tracer *tracer_ = nullptr;
+    int lane_ = -1;
+    std::uint64_t traceNow_ = 0;
 };
 
 /** True if @p opcode terminates a DB-cache line after inclusion. */

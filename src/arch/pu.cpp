@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "evm/gas.hpp"
+#include "obs/metrics.hpp"
 
 namespace mtpu::arch {
 
@@ -115,13 +116,21 @@ PuModel::execute(const evm::Trace &trace, const ExecHints &hints,
         db_.clear();
 
     TxTiming timing;
+    std::uint64_t bytes_before = stats_.bytesLoaded;
     timing.loadCycles = contextLoad(trace, hints);
+    if (tracer_)
+        tracer_->emit(obs::TraceKind::CtxLoad, traceBase_, lane_,
+                      stats_.bytesLoaded - bytes_before, 0,
+                      timing.loadCycles);
 
     const std::size_t n = std::min(trace.events.size(), eventLimit);
 
     // Fig. 12 upper-bound mode: prefill lines from the whole trace so
     // every lookup hits (assumes a 100 % hit rate, as §4.2 does).
     if (cfg_.enableDbCache && cfg_.forceDbHit) {
+        // Detach the tracer for the warm-up pass: these installs are a
+        // modelling fiction, not pipeline activity.
+        db_.setTracer(nullptr, lane_);
         DbCacheStats saved = db_.stats();
         for (std::size_t k = 0; k < n; ++k) {
             const evm::TraceEvent &ev = trace.events[k];
@@ -130,6 +139,7 @@ PuModel::execute(const evm::Trace &trace, const ExecHints &hints,
         }
         db_.flushFill();
         db_.stats() = saved;
+        db_.setTracer(tracer_, lane_);
     }
 
     std::size_t i = 0;
@@ -140,8 +150,15 @@ PuModel::execute(const evm::Trace &trace, const ExecHints &hints,
         CodeAddr addr{trace.codeAddrs[ev.codeId], ev.pc};
 
         if (cfg_.enableDbCache) {
+            if (tracer_)
+                db_.traceAt(traceBase_ + timing.loadCycles + cycles);
             const DbLine *line = db_.lookup(addr);
             if (line) {
+                if (tracer_)
+                    tracer_->emit(obs::TraceKind::DbHit,
+                                  traceBase_ + timing.loadCycles + cycles,
+                                  lane_, std::min(line->count(), n - i),
+                                  line->count());
                 db_.flushFill();
                 std::size_t count = std::min(line->count(), n - i);
                 // Invariant: the line's decoded instructions are the
@@ -175,8 +192,11 @@ PuModel::execute(const evm::Trace &trace, const ExecHints &hints,
         }
         ++i;
     }
-    if (cfg_.enableDbCache)
+    if (cfg_.enableDbCache) {
+        if (tracer_)
+            db_.traceAt(traceBase_ + timing.loadCycles + cycles);
         db_.flushFill();
+    }
 
     timing.execCycles = cycles;
     timing.instructions = n;
@@ -186,6 +206,10 @@ PuModel::execute(const evm::Trace &trace, const ExecHints &hints,
     stats_.instructions += n;
     stats_.cycles += timing.cycles;
     stats_.loadCycles += timing.loadCycles;
+    MTPU_OBS_COUNT("pu.transactions", 1);
+    MTPU_OBS_COUNT("pu.instructions", n);
+    MTPU_OBS_COUNT("pu.cycles", timing.cycles);
+    MTPU_OBS_HIST("pu.tx.cycles", obs::pow2Bounds(4, 16), timing.cycles);
     return timing;
 }
 

@@ -108,6 +108,25 @@ class PuModel
     DbCache &dbCache() { return db_; }
     const DbCache &dbCache() const { return db_; }
 
+    /**
+     * Attach a tracer (nullptr detaches); @p lane is this PU's index.
+     * Shared with the embedded DB cache so fill/evict events land on
+     * the same lane.
+     */
+    void
+    setTracer(obs::Tracer *tracer, int lane)
+    {
+        tracer_ = tracer;
+        lane_ = lane;
+        db_.setTracer(tracer, lane);
+    }
+
+    /**
+     * Tell the PU the engine-clock cycle at which the next execute()
+     * begins, so PU-internal trace events carry engine timestamps.
+     */
+    void traceDispatch(std::uint64_t cycle) { traceBase_ = cycle; }
+
     /** Forget all cached decode/context state (e.g. new benchmark). */
     void reset();
 
@@ -123,6 +142,10 @@ class PuModel
     DbCache db_;
     CallContractStack ccStack_;
     PuStats stats_;
+
+    obs::Tracer *tracer_ = nullptr;
+    int lane_ = -1;
+    std::uint64_t traceBase_ = 0; ///< engine cycle of the current dispatch
 };
 
 } // namespace mtpu::arch

@@ -71,8 +71,10 @@ MtpuProcessor::execute(const workload::BlockRun &block,
       }
       case Scheme::SpatioTemporal: {
           auto &st = options.redundancyOpt ? stRedundant_ : stPlain_;
-          if (!st)
+          if (!st) {
               st = std::make_unique<sched::SpatioTemporalEngine>(cfg);
+              st->setTracer(tracer_);
+          }
           return st->run(*run, hints, options.recovery);
       }
     }
@@ -132,6 +134,16 @@ MtpuProcessor::compare(const workload::BlockRun &block,
             runBaseline(baseline_, base, block).makespan;
     }
     return report;
+}
+
+void
+MtpuProcessor::setTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (stPlain_)
+        stPlain_->setTracer(tracer);
+    if (stRedundant_)
+        stRedundant_->setTracer(tracer);
 }
 
 void

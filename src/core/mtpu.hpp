@@ -123,6 +123,14 @@ class MtpuProcessor
     /** Reset all engines' microarchitectural state. */
     void reset();
 
+    /**
+     * Attach a cycle-level tracer to the spatio-temporal engines
+     * (existing and lazily created later); nullptr detaches. The
+     * comparator baselines stay untraced — the trace describes the
+     * MTPU schedule, not the reference executors.
+     */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     arch::MtpuConfig
     variantConfig(const RunOptions &options) const;
@@ -135,6 +143,8 @@ class MtpuProcessor
     hotspot::HotspotOptimizer hotspot_;
     std::unique_ptr<support::ThreadPool> pool_;
     bool poolInit_ = false;
+
+    obs::Tracer *tracer_ = nullptr;
 
     // Engines are created lazily per (scheme, redundancy) variant.
     std::unique_ptr<sched::SpatioTemporalEngine> stPlain_;

@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace mtpu::evm {
 
 namespace {
@@ -83,6 +85,7 @@ speculate(const WorldState &base, const BlockHeader &header,
 
     extractDeltas(overlay, out);
     out.ran = true;
+    MTPU_OBS_COUNT("spec.speculations", 1);
     return out;
 }
 
@@ -90,6 +93,8 @@ bool
 specValid(const SpecResult &r, const WorldState &live,
           const WorldState &base, const Address &coinbase)
 {
+    // Failures are derivable: spec.valid.checks - spec.valid.pass.
+    MTPU_OBS_COUNT("spec.valid.checks", 1);
     if (!r.ran)
         return false;
 
@@ -132,12 +137,14 @@ specValid(const SpecResult &r, const WorldState &live,
         if (live.code(d.addr) != d.observed)
             return false;
     }
+    MTPU_OBS_COUNT("spec.valid.pass", 1);
     return true;
 }
 
 void
 specApply(const SpecResult &r, WorldState &live, const Address &coinbase)
 {
+    MTPU_OBS_COUNT("spec.applies", 1);
     for (const Address &addr : r.created)
         live.createAccount(addr);
     for (const auto &d : r.balances) {

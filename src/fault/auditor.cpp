@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "evm/interpreter.hpp"
+#include "obs/metrics.hpp"
 
 namespace mtpu::fault {
 
@@ -131,6 +132,9 @@ Auditor::audit(const sched::EngineStats &stats) const
             report.message = "engine live state diverges from the "
                              "committed completion order";
     }
+    MTPU_OBS_COUNT("fault.audits", 1);
+    if (!report.ok())
+        MTPU_OBS_COUNT("fault.audit_failures", 1);
     return report;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "obs/metrics.hpp"
 #include "support/rng.hpp"
 
 namespace mtpu::fault {
@@ -83,6 +84,10 @@ FaultInjector::plan(const BlockRun &block, const InjectionParams &params)
             plan.puFaults.push_back(f);
         }
     }
+    MTPU_OBS_COUNT("fault.plans", 1);
+    MTPU_OBS_COUNT("fault.dropped_edges", plan.droppedEdges.size());
+    MTPU_OBS_COUNT("fault.forced_aborts", plan.aborts.size());
+    MTPU_OBS_COUNT("fault.pu_faults", plan.puFaults.size());
     return plan;
 }
 

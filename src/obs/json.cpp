@@ -1,0 +1,74 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+namespace mtpu::obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonQuote(std::string_view s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+jsonNum(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+jsonNum(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace mtpu::obs

@@ -1,0 +1,304 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace mtpu::obs {
+
+enum class MetricKind : std::uint8_t
+{
+    Counter,
+    Gauge,
+    Histogram,
+};
+
+/**
+ * Immutable after construction; owned by the registry's metrics_ list
+ * (unique_ptr, so the address is stable across registrations) and
+ * referenced by MetricId without locking.
+ */
+struct Metric
+{
+    std::string name;
+    MetricKind kind = MetricKind::Counter;
+    /** First cell in every shard (counter/histogram). */
+    std::size_t cellBase = 0;
+    /** Cells used: 1 for counters; 2 + buckets for histograms. */
+    std::size_t cellCount = 0;
+    /** Gauge slot index (gauges live at registry level). */
+    std::size_t gaugeIndex = 0;
+    /** Inclusive bucket upper bounds (ascending). */
+    std::vector<std::uint64_t> bounds;
+};
+
+struct Registry::Shard
+{
+    std::unique_ptr<std::atomic<std::uint64_t>[]> cells;
+
+    Shard() : cells(new std::atomic<std::uint64_t>[kShardCells]())
+    {}
+};
+
+namespace {
+
+/** One thread's attachment to a registry (registry id -> shard). */
+struct TlEntry
+{
+    std::uint64_t regId = 0;
+    std::shared_ptr<Registry::Shard> shard;
+};
+
+thread_local std::vector<TlEntry> t_shards;
+
+std::atomic<std::uint64_t> g_next_registry_id{1};
+
+} // namespace
+
+std::vector<std::uint64_t>
+pow2Bounds(unsigned lo_exp, unsigned hi_exp)
+{
+    std::vector<std::uint64_t> out;
+    for (unsigned e = lo_exp; e <= hi_exp && e < 64; ++e)
+        out.push_back(std::uint64_t(1) << e);
+    return out;
+}
+
+Registry &
+Registry::global()
+{
+    static Registry reg;
+    return reg;
+}
+
+Registry::Registry()
+    : gaugeCells_(new std::atomic<std::int64_t>[kMaxGauges]()),
+      id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed))
+{}
+
+Registry::~Registry() = default;
+
+Registry::Shard *
+Registry::myShard()
+{
+    for (const TlEntry &e : t_shards) {
+        if (e.regId == id_)
+            return e.shard.get();
+    }
+    auto shard = std::make_shared<Shard>();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shards_.push_back(shard);
+    }
+    t_shards.push_back({id_, shard});
+    return shard.get();
+}
+
+MetricId
+Registry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &m : metrics_) {
+        if (m->name == name)
+            return {m.get()};
+    }
+    if (cellsUsed_ + 1 > kShardCells)
+        return {};
+    auto m = std::make_unique<Metric>();
+    m->name = name;
+    m->kind = MetricKind::Counter;
+    m->cellBase = cellsUsed_;
+    m->cellCount = 1;
+    cellsUsed_ += 1;
+    metrics_.push_back(std::move(m));
+    return {metrics_.back().get()};
+}
+
+MetricId
+Registry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &m : metrics_) {
+        if (m->name == name)
+            return {m.get()};
+    }
+    if (gaugesUsed_ >= kMaxGauges)
+        return {};
+    auto m = std::make_unique<Metric>();
+    m->name = name;
+    m->kind = MetricKind::Gauge;
+    m->gaugeIndex = gaugesUsed_++;
+    metrics_.push_back(std::move(m));
+    return {metrics_.back().get()};
+}
+
+MetricId
+Registry::histogram(const std::string &name,
+                    const std::vector<std::uint64_t> &bounds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &m : metrics_) {
+        if (m->name == name)
+            return {m.get()};
+    }
+    std::vector<std::uint64_t> sorted = bounds;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    // Layout: [count, sum, bucket_0 .. bucket_{B-1}, overflow].
+    std::size_t cells = 2 + sorted.size() + 1;
+    if (cellsUsed_ + cells > kShardCells)
+        return {};
+    auto m = std::make_unique<Metric>();
+    m->name = name;
+    m->kind = MetricKind::Histogram;
+    m->cellBase = cellsUsed_;
+    m->cellCount = cells;
+    m->bounds = std::move(sorted);
+    cellsUsed_ += cells;
+    metrics_.push_back(std::move(m));
+    return {metrics_.back().get()};
+}
+
+void
+Registry::add(MetricId id, std::uint64_t delta)
+{
+    if (!enabled() || !id.valid() || id.m->kind != MetricKind::Counter)
+        return;
+    myShard()->cells[id.m->cellBase].fetch_add(delta,
+                                               std::memory_order_relaxed);
+}
+
+void
+Registry::set(MetricId id, std::int64_t value)
+{
+    if (!enabled() || !id.valid() || id.m->kind != MetricKind::Gauge)
+        return;
+    gaugeCells_[id.m->gaugeIndex].store(value, std::memory_order_relaxed);
+}
+
+void
+Registry::observe(MetricId id, std::uint64_t value)
+{
+    if (!enabled() || !id.valid() || id.m->kind != MetricKind::Histogram)
+        return;
+    Shard *shard = myShard();
+    std::atomic<std::uint64_t> *base = &shard->cells[id.m->cellBase];
+    base[0].fetch_add(1, std::memory_order_relaxed);         // count
+    base[1].fetch_add(value, std::memory_order_relaxed);     // sum
+    const std::vector<std::uint64_t> &bounds = id.m->bounds;
+    std::size_t bucket = bounds.size(); // overflow by default
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+        if (value <= bounds[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    base[2 + bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+Snapshot
+Registry::snapshot() const
+{
+    Snapshot out;
+    std::lock_guard<std::mutex> lock(mu_);
+
+    auto sumCell = [&](std::size_t cell) {
+        std::uint64_t total = 0;
+        for (const auto &shard : shards_)
+            total += shard->cells[cell].load(std::memory_order_relaxed);
+        return total;
+    };
+
+    for (const auto &m : metrics_) {
+        switch (m->kind) {
+          case MetricKind::Counter:
+            out.counters.push_back({m->name, sumCell(m->cellBase)});
+            break;
+          case MetricKind::Gauge:
+            out.gauges.push_back(
+                {m->name, gaugeCells_[m->gaugeIndex].load(
+                              std::memory_order_relaxed)});
+            break;
+          case MetricKind::Histogram: {
+              Snapshot::Histogram h;
+              h.name = m->name;
+              h.bounds = m->bounds;
+              h.count = sumCell(m->cellBase);
+              h.sum = sumCell(m->cellBase + 1);
+              for (std::size_t b = 0; b + 2 < m->cellCount; ++b)
+                  h.buckets.push_back(sumCell(m->cellBase + 2 + b));
+              out.histograms.push_back(std::move(h));
+              break;
+          }
+        }
+    }
+
+    auto byName = [](const auto &a, const auto &b) { return a.name < b.name; };
+    std::sort(out.counters.begin(), out.counters.end(), byName);
+    std::sort(out.gauges.begin(), out.gauges.end(), byName);
+    std::sort(out.histograms.begin(), out.histograms.end(), byName);
+    return out;
+}
+
+void
+Registry::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &shard : shards_) {
+        for (std::size_t i = 0; i < kShardCells; ++i)
+            shard->cells[i].store(0, std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < kMaxGauges; ++i)
+        gaugeCells_[i].store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t
+Snapshot::counter(const std::string &name) const
+{
+    for (const Counter &c : counters) {
+        if (c.name == name)
+            return c.value;
+    }
+    return 0;
+}
+
+const Snapshot::Histogram *
+Snapshot::histogram(const std::string &name) const
+{
+    for (const Histogram &h : histograms) {
+        if (h.name == name)
+            return &h;
+    }
+    return nullptr;
+}
+
+std::string
+Snapshot::toJson() const
+{
+    std::string out = "{\"counters\": {";
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        out += (i ? ", " : "") + jsonQuote(counters[i].name) + ": "
+             + jsonNum(counters[i].value);
+    }
+    out += "}, \"gauges\": {";
+    for (std::size_t i = 0; i < gauges.size(); ++i) {
+        out += (i ? ", " : "") + jsonQuote(gauges[i].name) + ": "
+             + jsonNum(gauges[i].value);
+    }
+    out += "}, \"histograms\": {";
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+        const Histogram &h = histograms[i];
+        out += (i ? ", " : "") + jsonQuote(h.name) + ": {\"bounds\": [";
+        for (std::size_t b = 0; b < h.bounds.size(); ++b)
+            out += (b ? ", " : "") + jsonNum(h.bounds[b]);
+        out += "], \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b)
+            out += (b ? ", " : "") + jsonNum(h.buckets[b]);
+        out += "], \"count\": " + jsonNum(h.count)
+             + ", \"sum\": " + jsonNum(h.sum) + "}";
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace mtpu::obs

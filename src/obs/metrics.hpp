@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Process-wide metrics registry (counters, gauges, fixed-bucket
+ * histograms) for the observability subsystem (DESIGN.md §10).
+ *
+ * Design points:
+ *  - Lock-free hot path: each thread owns a private shard of atomic
+ *    cells (relaxed increments on owner-local cache lines, so there is
+ *    no cross-thread contention); snapshot() merges all shards under
+ *    the registration mutex. Counter and histogram totals are sums, so
+ *    the merged values are independent of thread interleaving.
+ *  - Disabled by default: every mutation first checks a relaxed
+ *    atomic flag, and the MTPU_OBS_* macros do not even register the
+ *    metric until the registry is enabled. Building with
+ *    -DMTPU_OBS=OFF (cmake option) compiles the macros away entirely.
+ *  - MetricId carries a pointer to an immutable, address-stable
+ *    descriptor, so mutation never touches the registration containers
+ *    and needs no lock.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef MTPU_OBS_ENABLED
+#define MTPU_OBS_ENABLED 1
+#endif
+
+namespace mtpu::obs {
+
+struct Metric; // immutable descriptor, defined in metrics.cpp
+
+/** Opaque handle; invalid ids make every operation a no-op. */
+struct MetricId
+{
+    const Metric *m = nullptr;
+
+    bool valid() const { return m != nullptr; }
+};
+
+/** Exclusive upper bounds 2^lo .. 2^hi (for MTPU_OBS_HIST call sites). */
+std::vector<std::uint64_t> pow2Bounds(unsigned lo_exp, unsigned hi_exp);
+
+/** Merged point-in-time view of a registry. */
+struct Snapshot
+{
+    struct Counter
+    {
+        std::string name;
+        std::uint64_t value = 0;
+    };
+    struct Gauge
+    {
+        std::string name;
+        std::int64_t value = 0;
+    };
+    struct Histogram
+    {
+        std::string name;
+        /** Inclusive bucket upper bounds; one extra overflow bucket. */
+        std::vector<std::uint64_t> bounds;
+        std::vector<std::uint64_t> buckets; ///< bounds.size() + 1 entries
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+
+        double mean() const { return count ? double(sum) / double(count) : 0.0; }
+    };
+
+    std::vector<Counter> counters;     ///< sorted by name
+    std::vector<Gauge> gauges;         ///< sorted by name
+    std::vector<Histogram> histograms; ///< sorted by name
+
+    /** Counter value by name (0 when absent). */
+    std::uint64_t counter(const std::string &name) const;
+    /** Histogram by name (nullptr when absent). */
+    const Histogram *histogram(const std::string &name) const;
+
+    /** Compact single-line JSON object (deterministic field order). */
+    std::string toJson() const;
+};
+
+class Registry
+{
+  public:
+    /** Cells per thread shard; registrations beyond this are no-ops. */
+    static constexpr std::size_t kShardCells = 8192;
+    /** Gauge slots (registry-level, not sharded). */
+    static constexpr std::size_t kMaxGauges = 256;
+
+    /** Per-thread block of atomic cells (opaque; defined in the .cpp,
+     *  public so the thread-local attachment table can hold one). */
+    struct Shard;
+
+    /** The process-wide registry the MTPU_OBS_* macros use. */
+    static Registry &global();
+
+    Registry();
+    ~Registry();
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /**
+     * Register (or look up) a metric. Idempotent by name; a histogram
+     * re-registered with different bounds keeps the original bounds.
+     * Returns an invalid id when shard capacity is exhausted.
+     */
+    MetricId counter(const std::string &name);
+    MetricId gauge(const std::string &name);
+    MetricId histogram(const std::string &name,
+                       const std::vector<std::uint64_t> &bounds);
+
+    void enable(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    // Mutations are no-ops while disabled or with an invalid id.
+    void add(MetricId id, std::uint64_t delta = 1);
+    void set(MetricId id, std::int64_t value);
+    void observe(MetricId id, std::uint64_t value);
+
+    /** Merge all shards into a sorted snapshot. */
+    Snapshot snapshot() const;
+
+    /**
+     * Zero every cell. Callers must quiesce mutators first (tests and
+     * report boundaries); concurrent increments may be lost, nothing
+     * worse.
+     */
+    void reset();
+
+  private:
+    Shard *myShard();
+
+    mutable std::mutex mu_; ///< registration, shard list, snapshot
+    std::vector<std::unique_ptr<Metric>> metrics_;
+    std::vector<std::shared_ptr<Shard>> shards_;
+    std::unique_ptr<std::atomic<std::int64_t>[]> gaugeCells_;
+    std::size_t cellsUsed_ = 0;
+    std::size_t gaugesUsed_ = 0;
+    std::atomic<bool> enabled_{false};
+    std::uint64_t id_; ///< unique per registry instance (thread-local map)
+};
+
+} // namespace mtpu::obs
+
+/**
+ * Instrumentation macros. Lazy: the metric registers itself the first
+ * time the site runs with the registry enabled; while disabled the cost
+ * is one relaxed atomic load. With -DMTPU_OBS=OFF they compile to
+ * nothing. The bounds expression of MTPU_OBS_HIST must be parenthesized
+ * if it contains top-level commas (e.g. obs::pow2Bounds(0, 16) is fine).
+ */
+#if MTPU_OBS_ENABLED
+#define MTPU_OBS_COUNT(name, delta)                                       \
+    do {                                                                  \
+        ::mtpu::obs::Registry &mtpuObsReg_ =                              \
+            ::mtpu::obs::Registry::global();                              \
+        if (mtpuObsReg_.enabled()) {                                      \
+            static const ::mtpu::obs::MetricId mtpuObsId_ =               \
+                ::mtpu::obs::Registry::global().counter((name));          \
+            mtpuObsReg_.add(mtpuObsId_, (delta));                         \
+        }                                                                 \
+    } while (0)
+#define MTPU_OBS_GAUGE(name, value)                                       \
+    do {                                                                  \
+        ::mtpu::obs::Registry &mtpuObsReg_ =                              \
+            ::mtpu::obs::Registry::global();                              \
+        if (mtpuObsReg_.enabled()) {                                      \
+            static const ::mtpu::obs::MetricId mtpuObsId_ =               \
+                ::mtpu::obs::Registry::global().gauge((name));            \
+            mtpuObsReg_.set(mtpuObsId_, (value));                         \
+        }                                                                 \
+    } while (0)
+#define MTPU_OBS_HIST(name, bounds, value)                                \
+    do {                                                                  \
+        ::mtpu::obs::Registry &mtpuObsReg_ =                              \
+            ::mtpu::obs::Registry::global();                              \
+        if (mtpuObsReg_.enabled()) {                                      \
+            static const ::mtpu::obs::MetricId mtpuObsId_ =               \
+                ::mtpu::obs::Registry::global().histogram((name),         \
+                                                          (bounds));      \
+            mtpuObsReg_.observe(mtpuObsId_, (value));                     \
+        }                                                                 \
+    } while (0)
+#else
+#define MTPU_OBS_COUNT(name, delta) ((void)0)
+#define MTPU_OBS_GAUGE(name, value) ((void)0)
+#define MTPU_OBS_HIST(name, bounds, value) ((void)0)
+#endif

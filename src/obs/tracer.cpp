@@ -1,0 +1,227 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace mtpu::obs {
+
+const char *
+traceKindName(TraceKind kind)
+{
+    switch (kind) {
+      case TraceKind::BlockBegin:      return "block_begin";
+      case TraceKind::CtxLoad:         return "ctx_load";
+      case TraceKind::TxExec:          return "tx_exec";
+      case TraceKind::SchedAssign:     return "sched_assign";
+      case TraceKind::SchedSelect:     return "sched_select";
+      case TraceKind::SchedSteer:      return "sched_steer";
+      case TraceKind::SchedStall:      return "sched_stall";
+      case TraceKind::DbHit:           return "db_hit";
+      case TraceKind::DbInstall:       return "db_install";
+      case TraceKind::DbEvict:         return "db_evict";
+      case TraceKind::DbSingle:        return "db_single";
+      case TraceKind::TxCommit:        return "tx_commit";
+      case TraceKind::TxConflictAbort: return "tx_conflict_abort";
+      case TraceKind::TxPuFaultAbort:  return "tx_pu_fault_abort";
+      case TraceKind::TxInjectedAbort: return "tx_injected_abort";
+      case TraceKind::PuDead:          return "pu_dead";
+      case TraceKind::PuStallFault:    return "pu_stall_fault";
+      case TraceKind::WatchdogFire:    return "watchdog_fire";
+      case TraceKind::SpecCommitPath:  return "spec_commit_path";
+    }
+    return "unknown";
+}
+
+bool
+isHostKind(TraceKind kind)
+{
+    return kind == TraceKind::SpecCommitPath;
+}
+
+Tracer::Tracer(std::size_t capacity) : cap_(std::max<std::size_t>(capacity, 1))
+{
+    ring_.reserve(std::min<std::size_t>(cap_, 4096));
+}
+
+void
+Tracer::newEpoch()
+{
+    epochBase_ = highWater_;
+}
+
+void
+Tracer::emit(TraceKind kind, std::uint64_t cycle, int lane,
+             std::uint64_t a0, std::uint64_t a1, std::uint64_t dur)
+{
+    TraceRecord rec;
+    rec.ts = epochBase_ + cycle;
+    rec.dur = dur;
+    rec.a0 = a0;
+    rec.a1 = a1;
+    rec.kind = kind;
+    rec.lane = std::int16_t(lane);
+    highWater_ = std::max(highWater_, rec.ts + dur + 1);
+
+    if (ring_.size() < cap_)
+        ring_.push_back(rec);
+    else
+        ring_[std::size_t(total_ % cap_)] = rec;
+    ++total_;
+}
+
+std::size_t
+Tracer::size() const
+{
+    return ring_.size();
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return total_ > cap_ ? total_ - cap_ : 0;
+}
+
+void
+Tracer::clear()
+{
+    ring_.clear();
+    total_ = 0;
+    epochBase_ = 0;
+    highWater_ = 0;
+}
+
+std::vector<TraceRecord>
+Tracer::records(bool include_host) const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(ring_.size());
+    std::size_t start = total_ > cap_ ? std::size_t(total_ % cap_) : 0;
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+        const TraceRecord &rec = ring_[(start + i) % ring_.size()];
+        if (!include_host && isHostKind(rec.kind))
+            continue;
+        out.push_back(rec);
+    }
+    return out;
+}
+
+std::string
+Tracer::canonical(bool include_host) const
+{
+    std::string out;
+    for (const TraceRecord &rec : records(include_host)) {
+        out += std::to_string(rec.ts);
+        out += ' ';
+        out += std::to_string(rec.lane);
+        out += ' ';
+        out += traceKindName(rec.kind);
+        out += ' ';
+        out += std::to_string(rec.a0);
+        out += ' ';
+        out += std::to_string(rec.a1);
+        out += ' ';
+        out += std::to_string(rec.dur);
+        out += '\n';
+    }
+    return out;
+}
+
+namespace {
+
+/** Per-kind argument labels for the Chrome export (a0, a1). */
+void
+argNames(TraceKind kind, const char *&a0, const char *&a1)
+{
+    a0 = nullptr;
+    a1 = nullptr;
+    switch (kind) {
+      case TraceKind::BlockBegin:      a0 = "txs"; break;
+      case TraceKind::CtxLoad:         a0 = "bytes"; break;
+      case TraceKind::TxExec:          a0 = "tx"; a1 = "instructions"; break;
+      case TraceKind::SchedAssign:
+      case TraceKind::SchedSelect:
+      case TraceKind::SchedSteer:      a0 = "tx"; a1 = "slot"; break;
+      case TraceKind::SchedStall:      break;
+      case TraceKind::DbHit:           a0 = "issued"; a1 = "line_len"; break;
+      case TraceKind::DbInstall:
+      case TraceKind::DbEvict:         a0 = "line_len"; a1 = "pc"; break;
+      case TraceKind::DbSingle:        a0 = "pc"; break;
+      case TraceKind::TxCommit:        a0 = "tx"; a1 = "failed"; break;
+      case TraceKind::TxConflictAbort: a0 = "tx"; a1 = "attempt"; break;
+      case TraceKind::TxPuFaultAbort:
+      case TraceKind::TxInjectedAbort: a0 = "tx"; break;
+      case TraceKind::PuDead:          break;
+      case TraceKind::PuStallFault:    a0 = "cycles"; break;
+      case TraceKind::WatchdogFire:    a0 = "reason"; break;
+      case TraceKind::SpecCommitPath:  a0 = "tx"; a1 = "replayed"; break;
+    }
+}
+
+} // namespace
+
+std::string
+Tracer::chromeJson(bool include_host) const
+{
+    std::vector<TraceRecord> recs = records(include_host);
+
+    int max_lane = -1;
+    bool any_host = false;
+    for (const TraceRecord &rec : recs) {
+        max_lane = std::max(max_lane, int(rec.lane));
+        any_host = any_host || isHostKind(rec.kind);
+    }
+
+    std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+
+    // Metadata: process and lane (thread) names.
+    out += "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"args\": {\"name\": \"mtpu\"}},\n";
+    out += "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, "
+           "\"tid\": 0, \"args\": {\"name\": \"scheduler\"}}";
+    for (int lane = 0; lane <= max_lane; ++lane) {
+        out += ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", "
+               "\"pid\": 0, \"tid\": " + jsonNum(lane + 1)
+             + ", \"args\": {\"name\": " + jsonQuote("PU" + std::to_string(lane))
+             + "}}";
+    }
+    if (any_host) {
+        out += ",\n  {\"name\": \"process_name\", \"ph\": \"M\", "
+               "\"pid\": 1, \"args\": {\"name\": \"mtpu-host\"}}";
+    }
+
+    for (const TraceRecord &rec : recs) {
+        bool span = rec.dur != 0
+                    && (rec.kind == TraceKind::CtxLoad
+                        || rec.kind == TraceKind::TxExec);
+        int pid = isHostKind(rec.kind) ? 1 : 0;
+        int tid = int(rec.lane) + 1;
+        out += ",\n  {\"name\": " + jsonQuote(traceKindName(rec.kind))
+             + ", \"ph\": " + (span ? std::string("\"X\"")
+                                    : std::string("\"i\""));
+        if (!span)
+            out += ", \"s\": \"t\"";
+        out += ", \"pid\": " + jsonNum(pid) + ", \"tid\": " + jsonNum(tid)
+             + ", \"ts\": " + jsonNum(rec.ts);
+        if (span)
+            out += ", \"dur\": " + jsonNum(rec.dur);
+        const char *n0 = nullptr;
+        const char *n1 = nullptr;
+        argNames(rec.kind, n0, n1);
+        out += ", \"args\": {";
+        bool first = true;
+        if (n0) {
+            out += jsonQuote(n0) + ": " + jsonNum(rec.a0);
+            first = false;
+        }
+        if (n1) {
+            out += (first ? "" : ", ") + jsonQuote(n1) + ": "
+                 + jsonNum(rec.a1);
+        }
+        out += "}}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+} // namespace mtpu::obs

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Cycle-level event tracer (DESIGN.md §10): a ring buffer of compact
+ * records timestamped in the simulator's deterministic cycle domain —
+ * never the host wall clock — so a trace is bit-reproducible across
+ * runs and across host thread counts. Records cover pipeline/PU
+ * occupancy, DB-cache fill/hit/evict, Scheduling-Table assign/steer
+ * decisions, commit/abort/recovery outcomes, and fault-injection
+ * events, and export to Chrome trace-event JSON (loadable in Perfetto
+ * / chrome://tracing).
+ *
+ * Two event domains:
+ *  - deterministic (the default): a pure function of the block and the
+ *    configuration; identical for every host thread count. These feed
+ *    the golden-trace regression tests.
+ *  - host: describe host-backend choices (e.g. whether a commit
+ *    replayed a phase-1 speculation or re-executed) that legitimately
+ *    vary with the thread count. Excluded from exports unless asked
+ *    for, so the default export stays byte-identical.
+ *
+ * Threading contract: emit() is single-writer (the engine's phase-2
+ * event loop owns it); exports are taken after the run. The tracer is
+ * attached via SpatioTemporalEngine::setTracer / MtpuProcessor::
+ * setTracer; a null tracer (the default) keeps every hot path on a
+ * single pointer test.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtpu::obs {
+
+enum class TraceKind : std::uint8_t
+{
+    BlockBegin,      ///< lane -1; a0 = tx count
+    CtxLoad,         ///< span on a PU lane; a0 = bytes streamed
+    TxExec,          ///< span on a PU lane; a0 = tx index, a1 = instructions
+    SchedAssign,     ///< CPU refill wrote a window slot; a0 = tx, a1 = slot
+    SchedSelect,     ///< PU picked by value; a0 = tx, a1 = slot
+    SchedSteer,      ///< PU picked via the Re row; a0 = tx, a1 = slot
+    SchedStall,      ///< PU idle, nothing selectable
+    DbHit,           ///< a0 = instructions issued, a1 = line length
+    DbInstall,       ///< a0 = line length, a1 = tag pc
+    DbEvict,         ///< a0 = line length, a1 = tag pc
+    DbSingle,        ///< single-instruction line discarded; a0 = tag pc
+    TxCommit,        ///< a0 = tx, a1 = 1 when the receipt failed
+    TxConflictAbort, ///< a0 = tx, a1 = aborts suffered so far
+    TxPuFaultAbort,  ///< a0 = tx
+    TxInjectedAbort, ///< a0 = tx
+    PuDead,          ///< injected kill consumed; PU out of service
+    PuStallFault,    ///< injected stall; a0 = stall cycles
+    WatchdogFire,    ///< lane -1; a0 = WatchdogReport::Reason
+    SpecCommitPath,  ///< HOST domain; a0 = tx, a1 = 1 replayed / 0 re-executed
+};
+
+/** Stable lower-case name (canonical text and Chrome export). */
+const char *traceKindName(TraceKind kind);
+
+/** True for host-domain kinds (excluded from deterministic exports). */
+bool isHostKind(TraceKind kind);
+
+/** One trace record (32 B + kind/lane). */
+struct TraceRecord
+{
+    std::uint64_t ts = 0;   ///< epoch-adjusted cycle timestamp
+    std::uint64_t dur = 0;  ///< span length (0 = instant)
+    std::uint64_t a0 = 0;
+    std::uint64_t a1 = 0;
+    TraceKind kind = TraceKind::BlockBegin;
+    std::int16_t lane = -1; ///< PU index; -1 = CPU/scheduler
+};
+
+class Tracer
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = std::size_t(1) << 20;
+
+    explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+    /**
+     * Start a new cycle epoch (one per block): subsequent timestamps
+     * are rebased past everything already recorded, so multi-block
+     * traces stay monotone without any wall-clock involvement.
+     */
+    void newEpoch();
+
+    /** Append one record; wraps around, keeping the newest records. */
+    void emit(TraceKind kind, std::uint64_t cycle, int lane,
+              std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+              std::uint64_t dur = 0);
+
+    /** Records currently held (<= capacity). */
+    std::size_t size() const;
+    std::size_t capacity() const { return cap_; }
+    /** Total records ever emitted. */
+    std::uint64_t emitted() const { return total_; }
+    /** Records lost to wraparound. */
+    std::uint64_t dropped() const;
+
+    void clear();
+
+    /** Held records, oldest first. */
+    std::vector<TraceRecord> records(bool include_host = false) const;
+
+    /**
+     * Canonical text: one record per line,
+     *   "<ts> <lane> <kind> <a0> <a1> <dur>\n"
+     * in emission order — the golden-trace comparison format.
+     */
+    std::string canonical(bool include_host = false) const;
+
+    /**
+     * Chrome trace-event JSON ({"traceEvents": [...]}), loadable in
+     * Perfetto. Spans map to ph "X", instants to ph "i"; lanes map to
+     * tids (tid 0 = scheduler/CPU, tid i+1 = PU i); host-domain events
+     * (when included) go to pid 1.
+     */
+    std::string chromeJson(bool include_host = false) const;
+
+  private:
+    std::size_t cap_;
+    std::vector<TraceRecord> ring_;
+    std::uint64_t total_ = 0;     ///< records ever emitted
+    std::uint64_t epochBase_ = 0; ///< added to every cycle
+    std::uint64_t highWater_ = 0; ///< max ts + dur seen
+};
+
+} // namespace mtpu::obs

@@ -7,6 +7,7 @@
 #include "evm/interpreter.hpp"
 #include "evm/speculative.hpp"
 #include "fault/plan.hpp"
+#include "obs/metrics.hpp"
 
 namespace mtpu::sched {
 
@@ -80,6 +81,14 @@ SpatioTemporalEngine::reset()
     stateBuffer_.clear();
 }
 
+void
+SpatioTemporalEngine::setTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    for (std::size_t i = 0; i < pus_.size(); ++i)
+        pus_[i]->setTracer(tracer, int(i));
+}
+
 EngineStats
 SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints)
 {
@@ -96,6 +105,11 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     stats.puBusy.assign(std::size_t(cfg_.numPus), 0);
     if (n == 0)
         return stats;
+
+    if (tracer_) {
+        tracer_->newEpoch();
+        tracer_->emit(obs::TraceKind::BlockBegin, 0, -1, n);
+    }
 
     const fault::FaultPlan *plan = rec.plan;
     const bool validate = rec.validateConflicts;
@@ -158,9 +172,12 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
         bool killVictim = false; ///< current dispatch ends in a kill
         /** Contract of the last transaction (for the Re row). */
         const std::string *lastContract = nullptr;
+        std::uint64_t dispatchAt = 0;    ///< cycle the dispatch began
+        std::uint64_t instructions = 0;  ///< replayed instruction count
     };
     std::vector<PuRun> purun(std::size_t(cfg_.numPus));
     std::uint64_t token_counter = 0;
+    std::uint64_t now = 0;
 
     struct PuFaultState
     {
@@ -241,6 +258,9 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
             row.txIndex = best;
             row.value = priority(std::size_t(best));
             state[std::size_t(best)] = TxState::Candidate;
+            if (tracer_)
+                tracer_->emit(obs::TraceKind::SchedAssign, now, -1,
+                              std::uint64_t(best), std::uint64_t(slot));
             slot = tables.freeSlot();
         }
     };
@@ -279,7 +299,6 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     // dispatches that were superseded by a PU kill.
     using Event = std::tuple<std::uint64_t, int, std::uint64_t>;
     std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
-    std::uint64_t now = 0;
     std::size_t done_count = 0;
 
     auto dispatch_idle = [&]() {
@@ -289,18 +308,25 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                 continue;
             refill();
             update_tables();
-            int slot_idx = tables.select(p);
+            SelectInfo sinfo;
+            int slot_idx = tables.select(p, &sinfo);
             if (slot_idx < 0) {
                 ++stats.stalls;
+                if (tracer_)
+                    tracer_->emit(obs::TraceKind::SchedStall, now, p);
                 continue;
             }
             TxRow &slot = tables.slot(slot_idx);
-            bool redundant =
-                (tables.row(p).re >> slot_idx) & 1;
+            bool redundant = sinfo.usedRedundant;
             if (redundant)
                 ++stats.redundantSteers;
             int tx_idx = slot.txIndex;
             slot.locked = true;
+            if (tracer_)
+                tracer_->emit(redundant ? obs::TraceKind::SchedSteer
+                                        : obs::TraceKind::SchedSelect,
+                              now, p, std::uint64_t(tx_idx),
+                              std::uint64_t(slot_idx));
 
             const TxRecord &rec_tx = block.txs[std::size_t(tx_idx)];
             arch::ExecHints h;
@@ -316,6 +342,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                     event_limit = std::size_t(dir->afterInstructions);
                 }
             }
+            pus_[std::size_t(p)]->traceDispatch(now + kSelectionOverhead);
             arch::TxTiming timing =
                 pus_[std::size_t(p)]->execute(rec_tx.trace, h,
                                               event_limit);
@@ -339,6 +366,9 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                 } else {
                     latency += pf.fault.stallCycles;
                     finish = now + latency;
+                    if (tracer_)
+                        tracer_->emit(obs::TraceKind::PuStallFault, now, p,
+                                      pf.fault.stallCycles);
                 }
             }
 
@@ -350,6 +380,8 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
             pr.finishAt = finish;
             pr.token = ++token_counter;
             pr.lastContract = &rec_tx.contract;
+            pr.dispatchAt = now;
+            pr.instructions = timing.instructions;
             state[std::size_t(tx_idx)] = TxState::Running;
 
             stats.busyCycles += latency;
@@ -371,6 +403,9 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
 
     auto fire_watchdog = [&](WatchdogReport::Reason why) {
         stats.watchdogFired = true;
+        if (tracer_)
+            tracer_->emit(obs::TraceKind::WatchdogFire, now, -1,
+                          std::uint64_t(why));
         auto report = std::make_shared<WatchdogReport>();
         report->reason = why;
         report->now = now;
@@ -421,12 +456,24 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
         pr.busy = false;
         pr.txIndex = -1;
 
+        // PU-occupancy span: dispatch-to-completion, including the
+        // selection overhead and any injected stall/kill truncation.
+        if (tracer_)
+            tracer_->emit(obs::TraceKind::TxExec, pr.dispatchAt, p,
+                          std::uint64_t(tx_idx), pr.instructions,
+                          now - pr.dispatchAt);
+
         if (pr.killVictim) {
             // The PU died mid-transaction: take it out of service and
             // hand its transaction back to the window.
             pr.dead = true;
             pr.killVictim = false;
             pr.lastContract = nullptr;
+            if (tracer_) {
+                tracer_->emit(obs::TraceKind::PuDead, now, p);
+                tracer_->emit(obs::TraceKind::TxPuFaultAbort, now, p,
+                              std::uint64_t(tx_idx));
+            }
             state[std::size_t(tx_idx)] = TxState::Pending;
             ++attempts[std::size_t(tx_idx)];
             ++stats.puFaultAborts;
@@ -447,6 +494,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
             }
         }
 
+        bool receipt_failed = false;
         if (functional && !violation) {
             // Functional commit, single-owner. Fast path: a phase-1
             // speculation whose observations still hold against the
@@ -462,9 +510,10 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                 std::size_t(tx_idx) < spec.size()
                     ? &spec[std::size_t(tx_idx)]
                     : nullptr;
-            if (sr
-                && evm::specValid(*sr, live, *rec.genesis,
-                                  block.header.coinbase)) {
+            bool replayed = sr
+                            && evm::specValid(*sr, live, *rec.genesis,
+                                              block.header.coinbase);
+            if (replayed) {
                 evm::specApply(*sr, live, block.header.coinbase);
                 receipt = sr->receipt;
             } else {
@@ -475,19 +524,40 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                     live, block.header, block.txs[std::size_t(tx_idx)].tx,
                     nullptr, /*commitState=*/false);
             }
+            // Host-domain event: which commit path was taken depends on
+            // the host thread count (with threads = 1 there is nothing
+            // to replay), so it never enters the deterministic trace.
+            if (tracer_)
+                tracer_->emit(obs::TraceKind::SpecCommitPath, now, p,
+                              std::uint64_t(tx_idx), replayed ? 1 : 0);
+            if (replayed)
+                MTPU_OBS_COUNT("spec.commit.replayed", 1);
+            else
+                MTPU_OBS_COUNT("spec.commit.reexecuted", 1);
             live.commit();
             if (!receipt.success) {
+                receipt_failed = true;
                 ++stats.failedTxs;
                 if (dir)
                     ++stats.injectedAborts;
+                if (tracer_ && dir)
+                    tracer_->emit(obs::TraceKind::TxInjectedAbort, now, p,
+                                  std::uint64_t(tx_idx));
             }
         } else if (!functional && !violation && plan
                    && plan->abortFor(tx_idx)) {
             ++stats.injectedAborts;
+            if (tracer_)
+                tracer_->emit(obs::TraceKind::TxInjectedAbort, now, p,
+                              std::uint64_t(tx_idx));
         }
 
         if (violation) {
             ++stats.conflictAborts;
+            if (tracer_)
+                tracer_->emit(obs::TraceKind::TxConflictAbort, now, p,
+                              std::uint64_t(tx_idx),
+                              std::uint64_t(attempts[std::size_t(tx_idx)]));
             ++attempts[std::size_t(tx_idx)];
             state[std::size_t(tx_idx)] = TxState::Pending;
             dispatch_idle();
@@ -496,6 +566,9 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
 
         state[std::size_t(tx_idx)] = TxState::Done;
         stats.completionOrder.push_back(tx_idx);
+        if (tracer_)
+            tracer_->emit(obs::TraceKind::TxCommit, now, p,
+                          std::uint64_t(tx_idx), receipt_failed ? 1 : 0);
         ++done_count;
         dispatch_idle();
     }
@@ -503,6 +576,19 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     if (functional)
         stats.finalState = std::make_shared<evm::WorldState>(std::move(live));
     stats.makespan = now;
+
+    MTPU_OBS_COUNT("sched.blocks", 1);
+    MTPU_OBS_COUNT("sched.txs_committed", done_count);
+    MTPU_OBS_COUNT("sched.stalls", stats.stalls);
+    MTPU_OBS_COUNT("sched.redundant_steers", stats.redundantSteers);
+    MTPU_OBS_COUNT("sched.conflict_aborts", stats.conflictAborts);
+    MTPU_OBS_COUNT("sched.pu_fault_aborts", stats.puFaultAborts);
+    MTPU_OBS_COUNT("sched.injected_aborts", stats.injectedAborts);
+    MTPU_OBS_COUNT("sched.retries", stats.retries);
+    MTPU_OBS_COUNT("sched.makespan_cycles", stats.makespan);
+    MTPU_OBS_COUNT("sched.busy_cycles", stats.busyCycles);
+    MTPU_OBS_HIST("sched.block.makespan", obs::pow2Bounds(8, 24),
+                  stats.makespan);
     return stats;
 }
 

@@ -19,6 +19,7 @@
 #include "arch/config.hpp"
 #include "arch/memory.hpp"
 #include "arch/pu.hpp"
+#include "obs/tracer.hpp"
 #include "sched/recovery.hpp"
 #include "sched/tables.hpp"
 #include "support/thread_pool.hpp"
@@ -116,6 +117,14 @@ class SpatioTemporalEngine
     /** Host threads backing functional pre-execution (>= 1). */
     unsigned hostThreads() const { return pool_ ? pool_->threads() : 1; }
 
+    /**
+     * Attach a cycle-level tracer (nullptr detaches). The engine's
+     * phase-2 event loop is the single writer; all timestamps are
+     * engine-clock cycles, so the deterministic-domain trace is
+     * identical for every host thread count.
+     */
+    void setTracer(obs::Tracer *tracer);
+
   private:
     arch::MtpuConfig cfg_;
     arch::StateBuffer stateBuffer_;
@@ -128,6 +137,7 @@ class SpatioTemporalEngine
      * bit-identical results.
      */
     std::unique_ptr<support::ThreadPool> pool_;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace mtpu::sched

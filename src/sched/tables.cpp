@@ -35,7 +35,7 @@ SchedulingTables::availableMask() const
 }
 
 int
-SchedulingTables::select(int pu) const
+SchedulingTables::select(int pu, SelectInfo *info) const
 {
     // Step 1: candidates must not depend on any running transaction of
     // the other PUs: NOT(OR of their De), as in Fig. 6 (PU0 computes
@@ -52,12 +52,22 @@ SchedulingTables::select(int pu) const
     blocked |= rows_[std::size_t(pu)].effectiveDe();
 
     WindowMask allowed = availableMask() & ~blocked;
+    if (info) {
+        info->blocked = blocked;
+        info->candidates = allowed;
+        info->redundant = 0;
+        info->usedRedundant = false;
+    }
     if (!allowed)
         return -1;
 
     // Step 2: prefer redundancy with this PU's last transaction.
     WindowMask redundant = allowed & rows_[std::size_t(pu)].re;
     WindowMask pick_from = redundant ? redundant : allowed;
+    if (info) {
+        info->redundant = redundant;
+        info->usedRedundant = redundant != 0;
+    }
 
     // Largest V among the picked mask.
     int best = -1, best_v = -1;

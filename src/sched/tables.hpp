@@ -41,6 +41,15 @@ struct TxRow
     int value = 0;       ///< V: node value from the composite DAG
 };
 
+/** Introspection of one select() decision (observability). */
+struct SelectInfo
+{
+    WindowMask candidates = 0; ///< available & not blocked
+    WindowMask blocked = 0;    ///< OR of effective De rows
+    WindowMask redundant = 0;  ///< candidates also in this PU's Re row
+    bool usedRedundant = false; ///< chose via the Re preference
+};
+
 /**
  * The Scheduling Table plus Transaction Table for an m-entry window.
  */
@@ -70,8 +79,9 @@ class SchedulingTables
      *  2. prefer candidates redundant with this PU's last transaction
      *     (Re row); otherwise take the largest V.
      * @return the chosen window slot, or -1 if none is selectable.
+     * @param info when non-null, filled with the decision's inputs.
      */
-    int select(int pu) const;
+    int select(int pu, SelectInfo *info = nullptr) const;
 
   private:
     int window_;

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Disassembler round-trip: re-encoding a linear-sweep decode must
+ * reproduce the original byte string exactly, for every synthetic
+ * contract (TOP8 plus the Table 2 extras) and for every opcode byte —
+ * including the PUSH1..PUSH32 immediate edge cases (max values,
+ * leading zeros, zero, and immediates truncated by end-of-code).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asm/disassembler.hpp"
+#include "contracts/contracts.hpp"
+#include "evm/opcodes.hpp"
+
+namespace mtpu::easm {
+namespace {
+
+/**
+ * Re-encode a decode back into bytes. A PUSH whose immediate ran past
+ * end-of-code decoded zero-filled; emit only the bytes the original
+ * actually had so a truncated tail round-trips too.
+ */
+Bytes
+reassemble(const std::vector<DecodedInsn> &insns, std::size_t original_size)
+{
+    Bytes out;
+    for (const DecodedInsn &insn : insns) {
+        out.push_back(insn.opcode);
+        for (int j = 0;
+             j < insn.immBytes && out.size() < original_size; ++j) {
+            // Big-endian immediate: byteAt(0) is the MSB of the U256,
+            // so an n-byte payload starts at byte 32 - n.
+            out.push_back(std::uint8_t(
+                insn.immediate.byteAt(32u - insn.immBytes + unsigned(j))
+                    .low64()));
+        }
+    }
+    return out;
+}
+
+void
+expectRoundTrip(const Bytes &code, const std::string &what)
+{
+    std::vector<DecodedInsn> insns = disassemble(code);
+    EXPECT_EQ(reassemble(insns, code.size()), code) << what;
+
+    // The decode must also tile the byte string exactly: each pc is
+    // the previous pc plus the previous instruction's length.
+    std::size_t pc = 0;
+    for (const DecodedInsn &insn : insns) {
+        EXPECT_EQ(insn.pc, pc) << what;
+        pc += 1 + insn.immBytes;
+    }
+    EXPECT_GE(pc, code.size()) << what;
+}
+
+TEST(Disassembler, RoundTripsEverySyntheticContract)
+{
+    contracts::ContractSet set;
+    ASSERT_EQ(set.top8().size(), 8u);
+    for (const contracts::ContractSpec &spec : set.top8()) {
+        ASSERT_FALSE(spec.bytecode.empty()) << spec.name;
+        expectRoundTrip(spec.bytecode, spec.name);
+    }
+    for (const contracts::ContractSpec &spec : set.extras())
+        expectRoundTrip(spec.bytecode, spec.name);
+}
+
+TEST(Disassembler, DecodesEveryOpcodeByte)
+{
+    for (int op = 0; op < 256; ++op) {
+        const evm::OpInfo &info = evm::opInfo(std::uint8_t(op));
+
+        // Full-length program: opcode plus a distinctive immediate.
+        Bytes code;
+        code.push_back(std::uint8_t(op));
+        for (int j = 0; j < info.immediateBytes; ++j)
+            code.push_back(std::uint8_t(0xa0 + j));
+
+        DecodedInsn insn;
+        std::size_t len = decodeAt(code, 0, insn);
+        EXPECT_EQ(len, std::size_t(1) + info.immediateBytes) << op;
+        EXPECT_EQ(insn.opcode, std::uint8_t(op));
+        EXPECT_EQ(insn.valid, info.defined) << op;
+        EXPECT_EQ(insn.immBytes, info.immediateBytes) << op;
+        expectRoundTrip(code, "opcode " + std::to_string(op));
+    }
+}
+
+TEST(Disassembler, PushImmediateEdgeCases)
+{
+    for (int width = 1; width <= 32; ++width) {
+        const std::uint8_t push_op = std::uint8_t(0x5f + width); // PUSHn
+
+        // Maximum value: all 0xff.
+        Bytes all_ff(std::size_t(1) + width, 0xff);
+        all_ff[0] = push_op;
+        DecodedInsn insn;
+        EXPECT_EQ(decodeAt(all_ff, 0, insn), std::size_t(1) + width);
+        for (unsigned j = 0; j < unsigned(width); ++j) {
+            EXPECT_EQ(insn.immediate.byteAt(32u - unsigned(width) + j)
+                          .low64(),
+                      0xffu)
+                << "PUSH" << width;
+        }
+        // Bytes above the payload stay zero.
+        if (width < 32) {
+            EXPECT_EQ(insn.immediate.byteAt(31u - unsigned(width)).low64(),
+                      0u);
+        }
+        expectRoundTrip(all_ff, "PUSH" + std::to_string(width) + " max");
+
+        // Leading zeros must survive the round trip (the immediate
+        // value alone cannot distinguish 0x0001 from 0x01 — the
+        // declared width does).
+        Bytes leading_zero(std::size_t(1) + width, 0x00);
+        leading_zero[0] = push_op;
+        leading_zero.back() = 0x01;
+        expectRoundTrip(leading_zero,
+                        "PUSH" + std::to_string(width) + " leading-zero");
+
+        // All-zero immediate.
+        Bytes zeros(std::size_t(1) + width, 0x00);
+        zeros[0] = push_op;
+        expectRoundTrip(zeros, "PUSH" + std::to_string(width) + " zero");
+
+        // Truncated: the code ends mid-immediate. The decoder still
+        // consumes the declared length (zero-filling the missing
+        // bytes) and the re-encoder must not invent bytes.
+        Bytes truncated = {push_op};
+        if (width > 1)
+            truncated.push_back(0x7f); // one real payload byte
+        std::size_t len = decodeAt(truncated, 0, insn);
+        EXPECT_EQ(len, std::size_t(1) + width)
+            << "truncated PUSH" << width << " must still consume the "
+               "declared length (linear sweep terminates)";
+        expectRoundTrip(truncated,
+                        "PUSH" + std::to_string(width) + " truncated");
+    }
+}
+
+TEST(Disassembler, ListingCoversEveryInstruction)
+{
+    contracts::ContractSet set;
+    const Bytes &code = set.top8().front().bytecode;
+    std::string text = listing(code);
+    std::size_t lines = 0;
+    for (char c : text)
+        lines += c == '\n';
+    EXPECT_EQ(lines, disassemble(code).size());
+}
+
+} // namespace
+} // namespace mtpu::easm

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Metrics-registry semantics (DESIGN.md §10): idempotent registration,
+ * disabled-mode no-ops, inclusive histogram bucketing, per-thread shard
+ * merging and reset. Most tests use private Registry instances so they
+ * stay independent of the process-wide registry the MTPU_OBS_* macros
+ * target; the macro tests use the global registry with test-unique
+ * metric names.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "test_util.hpp"
+
+namespace mtpu::obs {
+namespace {
+
+TEST(Metrics, RegistrationIsIdempotentByName)
+{
+    Registry reg;
+    MetricId a = reg.counter("c");
+    MetricId b = reg.counter("c");
+    ASSERT_TRUE(a.valid());
+    EXPECT_EQ(a.m, b.m);
+
+    // A histogram re-registered with different bounds keeps the first
+    // set of bounds (the descriptor is immutable).
+    MetricId h1 = reg.histogram("h", {1, 2, 3});
+    MetricId h2 = reg.histogram("h", {10, 20});
+    ASSERT_TRUE(h1.valid());
+    EXPECT_EQ(h1.m, h2.m);
+
+    reg.enable(true);
+    reg.observe(h2, 15);
+    Snapshot snap = reg.snapshot();
+    const Snapshot::Histogram *h = snap.histogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->bounds, (std::vector<std::uint64_t>{1, 2, 3}));
+    EXPECT_EQ(h->buckets.back(), 1u); // 15 overflows the original bounds
+}
+
+TEST(Metrics, DisabledMutationsAreNoOps)
+{
+    Registry reg; // disabled is the default state
+    MetricId c = reg.counter("c");
+    MetricId g = reg.gauge("g");
+    MetricId h = reg.histogram("h", {10});
+    reg.add(c, 5);
+    reg.set(g, -3);
+    reg.observe(h, 7);
+
+    Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("c"), 0u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].value, 0);
+    ASSERT_NE(snap.histogram("h"), nullptr);
+    EXPECT_EQ(snap.histogram("h")->count, 0u);
+    EXPECT_EQ(snap.histogram("h")->sum, 0u);
+}
+
+TEST(Metrics, CounterAccumulatesAndGaugeKeepsLastValue)
+{
+    Registry reg;
+    reg.enable(true);
+    MetricId c = reg.counter("c");
+    MetricId g = reg.gauge("g");
+    reg.add(c);
+    reg.add(c, 41);
+    reg.set(g, 7);
+    reg.set(g, -9);
+
+    Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("c"), 42u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].value, -9);
+}
+
+TEST(Metrics, HistogramBucketBoundsAreInclusive)
+{
+    Registry reg;
+    reg.enable(true);
+    MetricId h = reg.histogram("h", {10, 100, 1000});
+    for (std::uint64_t v : {0ull, 10ull, 11ull, 100ull, 1000ull, 1001ull})
+        reg.observe(h, v);
+
+    Snapshot snap = reg.snapshot();
+    const Snapshot::Histogram *sh = snap.histogram("h");
+    ASSERT_NE(sh, nullptr);
+    // 0 and 10 land in [..10]; 11 and 100 in (10..100]; 1000 in
+    // (100..1000]; 1001 overflows.
+    EXPECT_EQ(sh->buckets, (std::vector<std::uint64_t>{2, 2, 1, 1}));
+    EXPECT_EQ(sh->count, 6u);
+    EXPECT_EQ(sh->sum, 2122u);
+    EXPECT_NEAR(sh->mean(), 2122.0 / 6.0, 1e-9);
+}
+
+TEST(Metrics, HistogramBoundsSortedAndDeduplicated)
+{
+    Registry reg;
+    reg.histogram("h", {100, 10, 100, 1});
+    Snapshot snap = reg.snapshot();
+    const Snapshot::Histogram *sh = snap.histogram("h");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_EQ(sh->bounds, (std::vector<std::uint64_t>{1, 10, 100}));
+    EXPECT_EQ(sh->buckets.size(), 4u); // three bounds + overflow
+}
+
+TEST(Metrics, InvalidIdIsANoOpEvenWhenEnabled)
+{
+    Registry reg;
+    reg.enable(true);
+    MetricId none;
+    EXPECT_FALSE(none.valid());
+    reg.add(none, 1);
+    reg.set(none, 1);
+    reg.observe(none, 1);
+    EXPECT_TRUE(reg.snapshot().counters.empty());
+}
+
+TEST(Metrics, ShardCapacityExhaustionYieldsInvalidIds)
+{
+    Registry reg;
+    // Each histogram takes 2 + bounds + 1 cells, so four 2045-bound
+    // histograms consume exactly the 8192-cell shard budget.
+    std::vector<std::uint64_t> wide(2045);
+    for (std::size_t i = 0; i < wide.size(); ++i)
+        wide[i] = i + 1;
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(
+            reg.histogram("wide" + std::to_string(i), wide).valid());
+    }
+    MetricId overflow = reg.counter("one-more");
+    EXPECT_FALSE(overflow.valid());
+
+    // The invalid id mutates nothing (and must not crash).
+    reg.enable(true);
+    reg.add(overflow, 7);
+    EXPECT_EQ(reg.snapshot().counter("one-more"), 0u);
+}
+
+TEST(Metrics, SnapshotMergesShardsAcrossThreads)
+{
+    constexpr int kThreads = 4;
+    constexpr int kIters = 1000;
+
+    Registry reg;
+    reg.enable(true);
+    MetricId c = reg.counter("c");
+    MetricId h = reg.histogram("h", {8});
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&reg, c, h] {
+            for (int i = 0; i < kIters; ++i) {
+                reg.add(c, 1);
+                reg.observe(h, std::uint64_t(i % 16));
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+
+    Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("c"), std::uint64_t(kThreads) * kIters);
+    const Snapshot::Histogram *sh = snap.histogram("h");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_EQ(sh->count, std::uint64_t(kThreads) * kIters);
+    // Per thread: 62 full 0..15 cycles (sum 120 each) plus 0..7.
+    EXPECT_EQ(sh->sum, std::uint64_t(kThreads) * (62 * 120 + 28));
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : sh->buckets)
+        bucket_total += b;
+    EXPECT_EQ(bucket_total, sh->count); // every observation was binned
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations)
+{
+    Registry reg;
+    reg.enable(true);
+    reg.add(reg.counter("c"), 5);
+    reg.set(reg.gauge("g"), 9);
+    reg.observe(reg.histogram("h", {4}), 3);
+    reg.reset();
+
+    Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("c"), 0u);
+    ASSERT_EQ(snap.gauges.size(), 1u);
+    EXPECT_EQ(snap.gauges[0].value, 0);
+    const Snapshot::Histogram *sh = snap.histogram("h");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_EQ(sh->count, 0u);
+    EXPECT_EQ(sh->sum, 0u);
+
+    // The ids survive a reset and keep working.
+    reg.add(reg.counter("c"), 2);
+    EXPECT_EQ(reg.snapshot().counter("c"), 2u);
+}
+
+TEST(Metrics, SnapshotSortedByNameAndJsonWellFormed)
+{
+    Registry reg;
+    reg.enable(true);
+    reg.add(reg.counter("z.last"), 1);
+    reg.add(reg.counter("a.first"), 2);
+    reg.set(reg.gauge("odd \"name\"\n"), 5); // exercises escaping
+    reg.observe(reg.histogram("h", {1, 2}), 3);
+
+    Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].name, "a.first");
+    EXPECT_EQ(snap.counters[1].name, "z.last");
+
+    std::string json = snap.toJson();
+    EXPECT_TRUE(testobs::validJson(json)) << json;
+    EXPECT_NE(json.find("\\\"name\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, Pow2BoundsSpanInclusiveExponents)
+{
+    EXPECT_EQ(pow2Bounds(0, 3), (std::vector<std::uint64_t>{1, 2, 4, 8}));
+    EXPECT_TRUE(pow2Bounds(4, 2).empty());
+    // Exponents are capped below 64 (no 2^64 overflow bucket).
+    std::vector<std::uint64_t> top = pow2Bounds(62, 70);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top.back(), std::uint64_t(1) << 63);
+}
+
+#if MTPU_OBS_ENABLED
+TEST(Metrics, MacrosRegisterLazilyOnTheGlobalRegistry)
+{
+    Registry &reg = Registry::global();
+    reg.enable(false);
+
+    // While disabled the macro must not even register the metric.
+    MTPU_OBS_COUNT("test.metrics.macro.disabled", 1);
+    for (const Snapshot::Counter &c : reg.snapshot().counters)
+        EXPECT_NE(c.name, "test.metrics.macro.disabled");
+
+    reg.enable(true);
+    MTPU_OBS_COUNT("test.metrics.macro.enabled", 1);
+    MTPU_OBS_COUNT("test.metrics.macro.enabled", 2);
+    MTPU_OBS_GAUGE("test.metrics.macro.gauge", 17);
+    MTPU_OBS_HIST("test.metrics.macro.hist", obs::pow2Bounds(0, 4), 3);
+
+    Snapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("test.metrics.macro.enabled"), 3u);
+    const Snapshot::Histogram *sh =
+        snap.histogram("test.metrics.macro.hist");
+    ASSERT_NE(sh, nullptr);
+    EXPECT_EQ(sh->count, 1u);
+    reg.enable(false);
+}
+#else
+TEST(Metrics, MacrosCompileToNothingWhenObsIsOff)
+{
+    Registry &reg = Registry::global();
+    reg.enable(true);
+    MTPU_OBS_COUNT("test.metrics.macro.compiled.out", 1);
+    for (const Snapshot::Counter &c : reg.snapshot().counters)
+        EXPECT_NE(c.name, "test.metrics.macro.compiled.out");
+    reg.enable(false);
+}
+#endif
+
+} // namespace
+} // namespace mtpu::obs

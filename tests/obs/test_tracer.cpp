@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Cycle-level tracer semantics (DESIGN.md §10): ring wraparound keeps
+ * the newest records, epochs rebase timestamps monotonically without a
+ * wall clock, host-domain events stay out of deterministic exports,
+ * and the canonical / Chrome trace-event formats are well formed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "obs/tracer.hpp"
+#include "test_util.hpp"
+
+namespace mtpu::obs {
+namespace {
+
+TEST(Tracer, KindNamesAreStableAndUnique)
+{
+    std::set<std::string> names;
+    const int last = int(TraceKind::SpecCommitPath);
+    for (int k = 0; k <= last; ++k) {
+        const char *name = traceKindName(TraceKind(k));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "unknown");
+        names.insert(name);
+        // The host domain is exactly the phase-1 commit-path choice;
+        // everything else must stay deterministic.
+        EXPECT_EQ(isHostKind(TraceKind(k)),
+                  TraceKind(k) == TraceKind::SpecCommitPath);
+    }
+    EXPECT_EQ(int(names.size()), last + 1);
+}
+
+TEST(Tracer, EmitRoundTripsAllFields)
+{
+    Tracer t;
+    t.emit(TraceKind::BlockBegin, 0, -1, 24);
+    t.emit(TraceKind::TxExec, 5, 2, 7, 100, 42);
+
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.emitted(), 2u);
+    EXPECT_EQ(t.dropped(), 0u);
+
+    auto recs = t.records();
+    ASSERT_EQ(recs.size(), 2u);
+    EXPECT_EQ(recs[0].kind, TraceKind::BlockBegin);
+    EXPECT_EQ(recs[0].lane, -1);
+    EXPECT_EQ(recs[1].ts, 5u);
+    EXPECT_EQ(recs[1].lane, 2);
+    EXPECT_EQ(recs[1].a0, 7u);
+    EXPECT_EQ(recs[1].a1, 100u);
+    EXPECT_EQ(recs[1].dur, 42u);
+}
+
+TEST(Tracer, RingKeepsNewestOnWraparound)
+{
+    Tracer t(8);
+    EXPECT_EQ(t.capacity(), 8u);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        t.emit(TraceKind::TxCommit, i, 0, /*a0=*/i);
+
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t.emitted(), 20u);
+    EXPECT_EQ(t.dropped(), 12u);
+
+    auto recs = t.records();
+    ASSERT_EQ(recs.size(), 8u);
+    for (std::size_t i = 0; i < recs.size(); ++i)
+        EXPECT_EQ(recs[i].a0, 12 + i) << "oldest-first order";
+}
+
+TEST(Tracer, ZeroCapacityClampsToOne)
+{
+    Tracer t(0);
+    EXPECT_EQ(t.capacity(), 1u);
+    t.emit(TraceKind::TxCommit, 1, 0, 1);
+    t.emit(TraceKind::TxCommit, 2, 0, 2);
+    auto recs = t.records();
+    ASSERT_EQ(recs.size(), 1u);
+    EXPECT_EQ(recs[0].a0, 2u);
+}
+
+TEST(Tracer, EpochsRebaseTimestampsMonotonically)
+{
+    Tracer t;
+    t.newEpoch();
+    t.emit(TraceKind::TxExec, 0, 0, 0, 0, /*dur=*/100);
+    t.newEpoch();
+    t.emit(TraceKind::BlockBegin, 0, -1);
+    t.emit(TraceKind::TxExec, 4, 0, 1, 0, 10);
+
+    auto recs = t.records();
+    ASSERT_EQ(recs.size(), 3u);
+    // The new epoch starts past everything recorded (ts + dur).
+    EXPECT_EQ(recs[1].ts, 101u);
+    EXPECT_EQ(recs[2].ts, 105u);
+
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.emitted(), 0u);
+    t.emit(TraceKind::BlockBegin, 0, -1);
+    EXPECT_EQ(t.records()[0].ts, 0u) << "clear resets the epoch base";
+}
+
+TEST(Tracer, HostDomainExcludedUnlessAskedFor)
+{
+    Tracer t;
+    t.emit(TraceKind::TxCommit, 1, 0, 3);
+    t.emit(TraceKind::SpecCommitPath, 1, 0, 3, 1);
+
+    EXPECT_EQ(t.records().size(), 1u);
+    EXPECT_EQ(t.records(true).size(), 2u);
+
+    EXPECT_EQ(t.canonical().find("spec_commit_path"), std::string::npos);
+    EXPECT_NE(t.canonical(true).find("spec_commit_path"),
+              std::string::npos);
+
+    // pid 1 (the host domain) appears only when host events are asked
+    // for, so the default export is a pure deterministic-domain trace.
+    EXPECT_EQ(t.chromeJson().find("mtpu-host"), std::string::npos);
+    EXPECT_NE(t.chromeJson(true).find("mtpu-host"), std::string::npos);
+}
+
+TEST(Tracer, CanonicalFormatIsOneRecordPerLine)
+{
+    Tracer t;
+    t.emit(TraceKind::DbHit, 7, 3, 4, 6);
+    t.emit(TraceKind::CtxLoad, 9, 0, 128, 0, 16);
+    EXPECT_EQ(t.canonical(),
+              "7 3 db_hit 4 6 0\n"
+              "9 0 ctx_load 128 0 16\n");
+}
+
+TEST(Tracer, ChromeJsonIsWellFormed)
+{
+    Tracer t;
+    t.newEpoch();
+    t.emit(TraceKind::BlockBegin, 0, -1, 2);
+    t.emit(TraceKind::CtxLoad, 2, 0, 64, 0, 10);
+    t.emit(TraceKind::TxExec, 12, 0, 0, 55, 40);
+    t.emit(TraceKind::SchedStall, 13, 1);
+    t.emit(TraceKind::SpecCommitPath, 52, 0, 0, 1);
+
+    std::string json = t.chromeJson();
+    EXPECT_TRUE(testobs::validJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Spans (ph X) for occupancy, instants (ph i) for point events.
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+    // Lane naming metadata: scheduler on tid 0, PUs on tid lane+1.
+    EXPECT_NE(json.find("\"scheduler\""), std::string::npos);
+    EXPECT_NE(json.find("\"PU0\""), std::string::npos);
+    EXPECT_NE(json.find("\"PU1\""), std::string::npos);
+    // Per-kind argument labels.
+    EXPECT_NE(json.find("\"instructions\": 55"), std::string::npos);
+
+    std::string with_host = t.chromeJson(true);
+    EXPECT_TRUE(testobs::validJson(with_host)) << with_host;
+    EXPECT_NE(with_host.find("\"spec_commit_path\""), std::string::npos);
+}
+
+TEST(Tracer, ChromeJsonOfEmptyTracerIsStillValid)
+{
+    Tracer t;
+    EXPECT_TRUE(testobs::validJson(t.chromeJson()));
+    EXPECT_EQ(t.canonical(), "");
+}
+
+} // namespace
+} // namespace mtpu::obs

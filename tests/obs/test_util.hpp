@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Test-local helpers for the observability suite: a strict (if small)
+ * recursive-descent JSON syntax checker, used to validate the Chrome
+ * trace export and the metrics snapshot without pulling in an external
+ * JSON dependency.
+ */
+
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <cstring>
+#include <string>
+
+namespace mtpu::testobs {
+
+/** Syntax-only JSON validator (RFC 8259 grammar, no semantic checks). */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : s_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool eof() const { return pos_ >= s_.size(); }
+    char peek() const { return s_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n'
+                          || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t len = std::strlen(word);
+        if (s_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (eof() || peek() != '"')
+            return false;
+        ++pos_;
+        while (!eof() && peek() != '"') {
+            if (peek() == '\\') {
+                ++pos_;
+                if (eof())
+                    return false;
+                char e = peek();
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++pos_;
+                        if (eof()
+                            || !std::isxdigit(static_cast<unsigned char>(
+                                peek())))
+                            return false;
+                    }
+                } else if (!std::strchr("\"\\/bfnrt", e)) {
+                    return false;
+                }
+            } else if (static_cast<unsigned char>(peek()) < 0x20) {
+                return false; // raw control characters must be escaped
+            }
+            ++pos_;
+        }
+        if (eof())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    digits()
+    {
+        std::size_t start = pos_;
+        while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    number()
+    {
+        if (!eof() && peek() == '-')
+            ++pos_;
+        if (!digits())
+            return false;
+        if (!eof() && peek() == '.') {
+            ++pos_;
+            if (!digits())
+                return false;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!eof() && (peek() == '+' || peek() == '-'))
+                ++pos_;
+            if (!digits())
+                return false;
+        }
+        return true;
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (!eof() && peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (eof() || peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (!eof() && peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (eof())
+                return false;
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        if (eof())
+            return false;
+        switch (peek()) {
+          case '{': return object();
+          case '[': return array();
+          case '"': return string();
+          case 't': return literal("true");
+          case 'f': return literal("false");
+          case 'n': return literal("null");
+          default:  return number();
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+inline bool
+validJson(const std::string &text)
+{
+    return JsonChecker(text).valid();
+}
+
+} // namespace mtpu::testobs

@@ -10,10 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "fault/auditor.hpp"
 #include "fault/injector.hpp"
+#include "obs/tracer.hpp"
 #include "sched/engine.hpp"
 #include "workload/workload.hpp"
 
@@ -191,6 +193,85 @@ TEST(Determinism, FaultedRecoveryIdenticalAcrossThreads)
                                  + std::to_string(threads) + " threads");
         }
     }
+}
+
+/**
+ * The determinism contract extends to the cycle-level trace: the
+ * deterministic-domain event stream is a pure function of the blocks
+ * and the configuration, so a multi-block run (epoch-rebased
+ * timestamps) must export byte-identical canonical text and Chrome
+ * JSON at every host thread count. Host-domain events (the phase-1
+ * commit-path choice) legitimately differ and stay excluded.
+ */
+TEST(Determinism, TraceIdenticalAcrossThreads)
+{
+    Generator gen(7, 512, /*threads=*/1);
+    std::vector<BlockRun> blocks;
+    for (double dep : {0.0, 0.4})
+        blocks.push_back(gen.generateBlock(mixedParams(48, dep)));
+
+    auto traceSequence = [&](int threads) {
+        arch::MtpuConfig cfg;
+        cfg.threads = threads;
+        sched::SpatioTemporalEngine engine(cfg);
+        obs::Tracer tracer;
+        engine.setTracer(&tracer);
+        for (const BlockRun &block : blocks) {
+            sched::RecoveryOptions rec;
+            rec.validateConflicts = true;
+            rec.genesis = &gen.genesis();
+            engine.run(block, {}, rec);
+        }
+        EXPECT_EQ(tracer.dropped(), 0u);
+        return std::make_pair(tracer.canonical(), tracer.chromeJson());
+    };
+
+    auto ref = traceSequence(1);
+    ASSERT_FALSE(ref.first.empty());
+    for (int threads : {2, 8}) {
+        auto got = traceSequence(threads);
+        EXPECT_EQ(got.first, ref.first)
+            << "canonical trace diverged at " << threads << " threads";
+        EXPECT_EQ(got.second, ref.second)
+            << "chrome export diverged at " << threads << " threads";
+    }
+}
+
+/** Faulted variant: recovery traces are deterministic too. */
+TEST(Determinism, FaultedTraceIdenticalAcrossThreads)
+{
+    Generator gen(21, 512, /*threads=*/1);
+    fault::FaultInjector inj(42);
+
+    fault::InjectionParams params;
+    params.dropEdgeRate = 0.5;
+    params.abortRate = 0.15;
+    params.numPus = 4;
+    params.puFaultCount = 1;
+
+    BlockRun block = gen.generateBlock(mixedParams(48, 0.4));
+    fault::FaultPlan plan = inj.plan(block, params);
+    BlockRun degraded = fault::FaultInjector::degrade(block, plan);
+
+    auto traceOnce = [&](int threads) {
+        arch::MtpuConfig cfg;
+        cfg.threads = threads;
+        sched::SpatioTemporalEngine engine(cfg);
+        obs::Tracer tracer;
+        engine.setTracer(&tracer);
+        sched::RecoveryOptions rec;
+        rec.validateConflicts = true;
+        rec.genesis = &gen.genesis();
+        rec.plan = &plan;
+        engine.run(degraded, {}, rec);
+        return tracer.canonical();
+    };
+
+    const std::string ref = traceOnce(1);
+    ASSERT_FALSE(ref.empty());
+    for (int threads : {2, 8})
+        EXPECT_EQ(traceOnce(threads), ref)
+            << "faulted trace diverged at " << threads << " threads";
 }
 
 } // namespace

@@ -9,6 +9,7 @@
  *            [--seed S] [--scheme seq|sync|st] [--window M]
  *            [--db-entries N] [--no-redundancy] [--no-hotspot]
  *            [--mhz F] [--threads N] [--json PATH]
+ *            [--trace PATH] [--trace-host] [--metrics]
  *            [--inject-seed S] [--drop-edges R]
  *            [--abort-rate R] [--pu-fault N] [--no-recovery] [--help]
  *
@@ -28,8 +29,13 @@
 
 #include "core/mtpu.hpp"
 #include "fault/injector.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace {
+
+using mtpu::obs::jsonQuote;
 
 struct Options
 {
@@ -53,6 +59,9 @@ struct Options
     int puFault = 0;
     bool recovery = true;
     bool injectionRequested = false;
+    std::string tracePath; ///< Chrome trace-event JSON; empty = off
+    bool traceHost = false; ///< include host-domain events in the trace
+    bool metrics = false;   ///< enable + report the metrics registry
 
     bool
     faultMode() const
@@ -84,6 +93,14 @@ usage(const char *argv0)
         "                   capped at 8); results are identical at\n"
         "                   every value (default 0)\n"
         "  --json PATH      also write a machine-readable JSON report\n"
+        "  --trace PATH     write a Chrome trace-event / Perfetto JSON\n"
+        "                   of the spatio-temporal schedule; cycle\n"
+        "                   timestamps, byte-identical at any --threads\n"
+        "  --trace-host     include host-domain events (commit-path\n"
+        "                   choices) in the trace; these legitimately\n"
+        "                   vary with --threads\n"
+        "  --metrics        enable the metrics registry; print a\n"
+        "                   summary and embed it in the --json report\n"
         "fault injection (any of these enables the audited fault run):\n"
         "  --inject-seed S  fault injector seed (default 42)\n"
         "  --drop-edges R   fraction of DAG edges to drop 0..1\n"
@@ -196,6 +213,15 @@ parse(int argc, char **argv, Options &opt)
             opt.puFault = std::atoi(v);
         } else if (arg == "--no-recovery") {
             opt.recovery = false;
+        } else if (arg == "--trace") {
+            const char *v = next("--trace");
+            if (!v)
+                return false;
+            opt.tracePath = v;
+        } else if (arg == "--trace-host") {
+            opt.traceHost = true;
+        } else if (arg == "--metrics") {
+            opt.metrics = true;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
@@ -225,21 +251,9 @@ parse(int argc, char **argv, Options &opt)
     return true;
 }
 
-/** Number literal for the JSON report (%.10g round-trips doubles
- *  well enough for throughput/speedup figures). */
-std::string
-jnum(double v)
-{
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-}
-
-std::string
-jnum(std::uint64_t v)
-{
-    return std::to_string(v);
-}
+/** Number literals come from the shared JSON writer (obs/json.hpp),
+ *  the same one bench/common.hpp uses. */
+using mtpu::obs::jsonNum;
 
 /**
  * Minimal JSON report accumulator: a flat object of scalar fields plus
@@ -267,7 +281,8 @@ struct JsonReport
         }
         std::fputs("{\n", f);
         for (const auto &[k, v] : fields)
-            std::fprintf(f, "  \"%s\": %s,\n", k.c_str(), v.c_str());
+            std::fprintf(f, "  %s: %s,\n", jsonQuote(k).c_str(),
+                         v.c_str());
         std::fputs("  \"blocks\": [\n", f);
         for (std::size_t i = 0; i < blocks.size(); ++i) {
             std::fprintf(f, "    %s%s\n", blocks[i].c_str(),
@@ -278,6 +293,48 @@ struct JsonReport
     }
 };
 
+/** Print a human-readable metrics summary and embed it in the report. */
+void
+reportMetrics(JsonReport &report)
+{
+    mtpu::obs::Snapshot snap = mtpu::obs::Registry::global().snapshot();
+    std::printf("metrics:\n");
+    for (const auto &c : snap.counters)
+        std::printf("  %-28s %12llu\n", c.name.c_str(),
+                    (unsigned long long)c.value);
+    for (const auto &g : snap.gauges)
+        std::printf("  %-28s %12lld\n", g.name.c_str(),
+                    (long long)g.value);
+    for (const auto &h : snap.histograms)
+        std::printf("  %-28s count=%llu sum=%llu mean=%.1f\n",
+                    h.name.c_str(), (unsigned long long)h.count,
+                    (unsigned long long)h.sum, h.mean());
+    report.set("metrics", snap.toJson());
+}
+
+/** Write the Chrome trace-event JSON export. */
+bool
+writeTrace(const mtpu::obs::Tracer &tracer, const Options &opt)
+{
+    if (opt.tracePath.empty())
+        return true;
+    FILE *f = std::fopen(opt.tracePath.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", opt.tracePath.c_str());
+        return false;
+    }
+    std::string json = tracer.chromeJson(opt.traceHost);
+    std::fwrite(json.data(), 1, json.size(), f);
+    bool ok = std::fclose(f) == 0;
+    if (tracer.dropped() > 0)
+        std::fprintf(stderr,
+                     "trace ring wrapped: %llu oldest records dropped\n",
+                     (unsigned long long)tracer.dropped());
+    std::printf("trace: %zu records -> %s\n", tracer.size(),
+                opt.tracePath.c_str());
+    return ok;
+}
+
 /** Shared config section of both report flavours. */
 void
 describeRun(JsonReport &report, const Options &opt,
@@ -286,20 +343,20 @@ describeRun(JsonReport &report, const Options &opt,
     using mtpu::support::ThreadPool;
     unsigned host = opt.threads == 0 ? ThreadPool::defaultThreads()
                                      : unsigned(opt.threads);
-    report.set("tool", "\"mtpu_sim\"");
-    report.set("scheme", "\"" + opt.scheme + "\"");
-    report.set("pus", jnum(std::uint64_t(cfg.numPus)));
-    report.set("window", jnum(std::uint64_t(cfg.windowSize)));
-    report.set("dbEntries", jnum(std::uint64_t(cfg.dbCacheEntries)));
+    report.set("tool", jsonQuote("mtpu_sim"));
+    report.set("scheme", jsonQuote(opt.scheme));
+    report.set("pus", jsonNum(std::uint64_t(cfg.numPus)));
+    report.set("window", jsonNum(std::uint64_t(cfg.windowSize)));
+    report.set("dbEntries", jsonNum(std::uint64_t(cfg.dbCacheEntries)));
     report.set("redundancyOpt", opt.redundancy ? "true" : "false");
     report.set("hotspotOpt", opt.hotspot ? "true" : "false");
-    report.set("txsPerBlock", jnum(std::uint64_t(opt.txs)));
-    report.set("depRatio", jnum(opt.dep));
-    report.set("erc20Share", jnum(opt.erc20));
-    report.set("numBlocks", jnum(std::uint64_t(opt.blocks)));
-    report.set("seed", jnum(opt.seed));
-    report.set("mhz", jnum(opt.mhz));
-    report.set("hostThreads", jnum(std::uint64_t(host)));
+    report.set("txsPerBlock", jsonNum(std::uint64_t(opt.txs)));
+    report.set("depRatio", jsonNum(opt.dep));
+    report.set("erc20Share", jsonNum(opt.erc20));
+    report.set("numBlocks", jsonNum(std::uint64_t(opt.blocks)));
+    report.set("seed", jsonNum(opt.seed));
+    report.set("mhz", jsonNum(opt.mhz));
+    report.set("hostThreads", jsonNum(std::uint64_t(host)));
 }
 
 /**
@@ -309,7 +366,7 @@ describeRun(JsonReport &report, const Options &opt,
  */
 int
 runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
-           const mtpu::core::RunOptions &run)
+           const mtpu::core::RunOptions &run, mtpu::obs::Tracer *tracer)
 {
     using namespace mtpu;
 
@@ -321,15 +378,17 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
 
     workload::Generator gen(opt.seed, 512, opt.threads);
     core::MtpuProcessor proc(cfg);
+    if (tracer)
+        proc.setTracer(tracer);
     fault::FaultInjector inj(opt.injectSeed);
 
     JsonReport report;
     describeRun(report, opt, cfg);
     report.set("faultMode", "true");
-    report.set("injectSeed", jnum(opt.injectSeed));
-    report.set("dropEdges", jnum(opt.dropEdges));
-    report.set("abortRate", jnum(opt.abortRate));
-    report.set("puFault", jnum(std::uint64_t(opt.puFault)));
+    report.set("injectSeed", jsonNum(opt.injectSeed));
+    report.set("dropEdges", jsonNum(opt.dropEdges));
+    report.set("abortRate", jsonNum(opt.abortRate));
+    report.set("puFault", jsonNum(std::uint64_t(opt.puFault)));
     report.set("recovery", opt.recovery ? "true" : "false");
     auto wall_start = std::chrono::steady_clock::now();
 
@@ -386,25 +445,29 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         proc.warmup(block, 16);
 
         report.blocks.push_back(
-            "{\"block\": " + jnum(std::uint64_t(b))
-            + ", \"txs\": " + jnum(std::uint64_t(block.txs.size()))
+            "{\"block\": " + jsonNum(std::uint64_t(b))
+            + ", \"txs\": " + jsonNum(std::uint64_t(block.txs.size()))
             + ", \"droppedEdges\": "
-            + jnum(std::uint64_t(plan.droppedEdges.size()))
-            + ", \"makespan\": " + jnum(res.stats.makespan)
-            + ", \"conflictAborts\": " + jnum(res.stats.conflictAborts)
-            + ", \"puFaultAborts\": " + jnum(res.stats.puFaultAborts)
-            + ", \"injectedAborts\": " + jnum(res.stats.injectedAborts)
-            + ", \"retries\": " + jnum(res.stats.retries)
-            + ", \"failedTxs\": " + jnum(res.stats.failedTxs)
+            + jsonNum(std::uint64_t(plan.droppedEdges.size()))
+            + ", \"makespan\": " + jsonNum(res.stats.makespan)
+            + ", \"conflictAborts\": " + jsonNum(res.stats.conflictAborts)
+            + ", \"puFaultAborts\": " + jsonNum(res.stats.puFaultAborts)
+            + ", \"injectedAborts\": " + jsonNum(res.stats.injectedAborts)
+            + ", \"retries\": " + jsonNum(res.stats.retries)
+            + ", \"failedTxs\": " + jsonNum(res.stats.failedTxs)
             + ", \"auditOk\": " + (ok ? "true" : "false") + "}");
     }
 
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
-    report.set("wallSeconds", jnum(wall));
-    report.set("failedBlocks", jnum(std::uint64_t(failed_blocks)));
+    report.set("wallSeconds", jsonNum(wall));
+    report.set("failedBlocks", jsonNum(std::uint64_t(failed_blocks)));
+    if (opt.metrics)
+        reportMetrics(report);
     if (!opt.jsonPath.empty() && !report.write(opt.jsonPath))
+        return 1;
+    if (tracer && !writeTrace(*tracer, opt))
         return 1;
 
     std::printf("totals: conflictAborts=%llu puFaultAborts=%llu "
@@ -447,11 +510,22 @@ main(int argc, char **argv)
                 opt.redundancy ? "on" : "off",
                 opt.hotspot ? "on" : "off", opt.window, opt.dbEntries);
 
+    if (opt.metrics)
+        obs::Registry::global().enable(true);
+    obs::Tracer tracer;
+    obs::Tracer *tracer_ptr = opt.tracePath.empty() ? nullptr : &tracer;
+    if (tracer_ptr && opt.scheme != "st") {
+        std::fprintf(stderr, "--trace requires --scheme st\n");
+        return 1;
+    }
+
     if (opt.faultMode())
-        return runFaulted(opt, cfg, run);
+        return runFaulted(opt, cfg, run, tracer_ptr);
 
     workload::Generator gen(opt.seed, 512, opt.threads);
     core::MtpuProcessor proc(cfg);
+    if (tracer_ptr)
+        proc.setTracer(tracer_ptr);
 
     JsonReport report_json;
     describeRun(report_json, opt, cfg);
@@ -483,15 +557,15 @@ main(int argc, char **argv)
         proc.warmup(block, 16); // hotspot collection in the interval
 
         report_json.blocks.push_back(
-            "{\"block\": " + jnum(std::uint64_t(b))
-            + ", \"txs\": " + jnum(std::uint64_t(block.txs.size()))
-            + ", \"measuredDepRatio\": " + jnum(block.measuredDepRatio())
-            + ", \"makespan\": " + jnum(report.stats.makespan)
-            + ", \"baselineCycles\": " + jnum(report.baselineCycles)
-            + ", \"speedup\": " + jnum(report.speedup())
-            + ", \"utilization\": " + jnum(report.stats.utilization())
+            "{\"block\": " + jsonNum(std::uint64_t(b))
+            + ", \"txs\": " + jsonNum(std::uint64_t(block.txs.size()))
+            + ", \"measuredDepRatio\": " + jsonNum(block.measuredDepRatio())
+            + ", \"makespan\": " + jsonNum(report.stats.makespan)
+            + ", \"baselineCycles\": " + jsonNum(report.baselineCycles)
+            + ", \"speedup\": " + jsonNum(report.speedup())
+            + ", \"utilization\": " + jsonNum(report.stats.utilization())
             + ", \"txPerSec\": "
-            + jnum(double(block.txs.size()) / seconds) + "}");
+            + jsonNum(double(block.txs.size()) / seconds) + "}");
     }
     std::printf("average speedup over %d blocks: %.2fx\n", opt.blocks,
                 total_speedup / opt.blocks);
@@ -503,11 +577,15 @@ main(int argc, char **argv)
     double wall = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - wall_start)
                       .count();
-    report_json.set("wallSeconds", jnum(wall));
-    report_json.set("avgSpeedup", jnum(total_speedup / opt.blocks));
-    report_json.set("siliconMm2", jnum(area.totalArea()));
-    report_json.set("powerWatts", jnum(area.powerWatts(opt.mhz)));
+    report_json.set("wallSeconds", jsonNum(wall));
+    report_json.set("avgSpeedup", jsonNum(total_speedup / opt.blocks));
+    report_json.set("siliconMm2", jsonNum(area.totalArea()));
+    report_json.set("powerWatts", jsonNum(area.powerWatts(opt.mhz)));
+    if (opt.metrics)
+        reportMetrics(report_json);
     if (!opt.jsonPath.empty() && !report_json.write(opt.jsonPath))
+        return 1;
+    if (tracer_ptr && !writeTrace(tracer, opt))
         return 1;
     return 0;
 }
