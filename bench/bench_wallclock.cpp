@@ -9,12 +9,15 @@
  * blocks/sec and tx/sec per rung and writes BENCH_wallclock.json.
  *
  * Usage: bench_wallclock [blocks-per-rung] [txs-per-block] [json-path]
+ * Env:   MTPU_BENCH_BLOCKS / MTPU_BENCH_TXS override the positional
+ *        defaults (positional arguments still win when given).
  *
  * Numbers scale with the physical cores of the host; a single-core
  * machine still verifies determinism but shows no speedup (the ladder
  * is then dominated by pool overhead).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +46,26 @@ struct RungResult
     double seconds = 0.0;
     std::vector<std::vector<int>> orders; ///< per-block completion order
     std::vector<U256> digests;            ///< per-block final digest
+    std::vector<double> blockSeconds;     ///< per-block pipeline latency
     bool allOk = true;
+
+    /**
+     * Per-tx commit latency quantile: a transaction commits when its
+     * block's generate+execute+audit pipeline finishes, so its latency
+     * is its block's wall duration. With equal-size blocks the q-th
+     * tx quantile is the q-th block-duration quantile.
+     */
+    double
+    latencyQuantile(double q) const
+    {
+        if (blockSeconds.empty())
+            return 0.0;
+        std::vector<double> sorted = blockSeconds;
+        std::sort(sorted.begin(), sorted.end());
+        std::size_t rank =
+            std::size_t(q * double(sorted.size() - 1) + 0.5);
+        return sorted[std::min(rank, sorted.size() - 1)];
+    }
 };
 
 /**
@@ -76,8 +98,13 @@ runRung(int threads, int blocks, int txs)
     run.threads = threads;
 
     for (int b = 0; b < blocks; ++b) {
+        auto block_start = std::chrono::steady_clock::now();
         auto block = gen.generateBlock(params);
         auto res = proc.executeAudited(block, gen.genesis(), run);
+        out.blockSeconds.push_back(
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - block_start)
+                .count());
         out.allOk = out.allOk && res.ok();
         out.orders.push_back(res.stats.completionOrder);
         out.digests.push_back(res.stats.finalState
@@ -98,8 +125,14 @@ main(int argc, char **argv)
 {
     using namespace mtpu::bench;
 
-    const int blocks = argc > 1 ? std::atoi(argv[1]) : 8;
-    const int txs = argc > 2 ? std::atoi(argv[2]) : 128;
+    auto env_default = [](const char *name, int fallback) {
+        const char *v = std::getenv(name);
+        return v && std::atoi(v) > 0 ? std::atoi(v) : fallback;
+    };
+    const int blocks = argc > 1 ? std::atoi(argv[1])
+                                : env_default("MTPU_BENCH_BLOCKS", 8);
+    const int txs = argc > 2 ? std::atoi(argv[2])
+                             : env_default("MTPU_BENCH_TXS", 128);
     const std::string json_path =
         argc > 3 ? argv[3] : "BENCH_wallclock.json";
 
@@ -127,12 +160,15 @@ main(int argc, char **argv)
                  && r.digests == ref.digests;
     }
 
-    Table table({"threads", "seconds", "blocks/s", "tx/s", "speedup"});
+    Table table({"threads", "seconds", "blocks/s", "tx/s", "p50 ms",
+                 "p99 ms", "speedup"});
     for (const RungResult &r : rungs) {
         double bps = blocks / r.seconds;
         table.row({std::to_string(r.threads),
                    fmt("%.3f", r.seconds), fmt("%.2f", bps),
                    fmt("%.0f", bps * txs),
+                   fmt("%.1f", r.latencyQuantile(0.50) * 1e3),
+                   fmt("%.1f", r.latencyQuantile(0.99) * 1e3),
                    fmt("%.2fx", ref.seconds / r.seconds)});
     }
     table.print();
@@ -157,8 +193,12 @@ main(int argc, char **argv)
         std::fprintf(f,
                      "    {\"threads\": %d, \"wallSeconds\": %.6f, "
                      "\"blocksPerSec\": %.4f, \"txPerSec\": %.2f, "
+                     "\"txLatencyP50Ms\": %.4f, "
+                     "\"txLatencyP99Ms\": %.4f, "
                      "\"speedupVs1\": %.4f}%s\n",
                      r.threads, r.seconds, bps, bps * txs,
+                     r.latencyQuantile(0.50) * 1e3,
+                     r.latencyQuantile(0.99) * 1e3,
                      ref.seconds / r.seconds,
                      i + 1 < rungs.size() ? "," : "");
     }

@@ -1,0 +1,52 @@
+#include "fault/stream_faults.hpp"
+
+#include "support/rng.hpp"
+
+namespace mtpu::fault {
+
+StreamFaultInjector::StreamFaultInjector(std::uint64_t seed,
+                                         const StreamFaultParams &params,
+                                         std::uint64_t horizon_slots)
+    : seed_(seed)
+{
+    Rng rng(seed ^ 0x5f4a17c0deull);
+    schedule_.resize(horizon_slots);
+
+    std::uint64_t window_left = 0;
+    SlotProfile active;
+    for (std::uint64_t s = 0; s < horizon_slots; ++s) {
+        if (window_left == 0) {
+            active = SlotProfile{};
+            // Windows are mutually exclusive; draw in severity order.
+            if (rng.chance(params.burstRate)) {
+                active.rateMultiplier = params.burstMultiplier;
+                window_left = params.burstLen;
+            } else if (rng.chance(params.stallRate)) {
+                active.stalled = true;
+                window_left = params.stallLen;
+            } else if (rng.chance(params.byzantineRate)) {
+                active.byzantine = true;
+                active.mixBoost = params.byzantineBoost;
+                window_left = params.byzantineLen;
+            }
+        }
+        schedule_[s] = active;
+        if (window_left > 0) {
+            --window_left;
+            if (active.rateMultiplier > 1.0)
+                ++burstSlots_;
+            else if (active.stalled)
+                ++stalledSlots_;
+            else if (active.byzantine)
+                ++byzantineSlots_;
+        }
+    }
+}
+
+const SlotProfile &
+StreamFaultInjector::profile(std::uint64_t slot) const
+{
+    return slot < schedule_.size() ? schedule_[slot] : benign_;
+}
+
+} // namespace mtpu::fault

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Stream-domain fault injection: a seeded, precomputed schedule of
+ * traffic-shape faults for the chaos/soak harness. Where the block
+ * injector (injector.hpp) degrades what the engine executes, this one
+ * degrades what the producer sends — burst floods at a multiple of
+ * sustained capacity, stalled producers that go silent, and byzantine
+ * windows that lace the stream with malformed bytes, duplicates and
+ * nonce storms while ignoring the mempool's credit grants.
+ *
+ * Same seed + same params + same horizon => the same schedule, so
+ * chaos runs are exactly reproducible.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/stream_gen.hpp"
+
+namespace mtpu::fault {
+
+/** Chaos knobs. Rates are per-slot probabilities of a window starting
+ *  (windows never overlap; an active window suppresses new draws). */
+struct StreamFaultParams
+{
+    /** Burst flood: offered rate multiplied by burstMultiplier. */
+    double burstRate = 0.0;
+    double burstMultiplier = 5.0;
+    std::uint64_t burstLen = 8;
+
+    /** Stalled producer: zero offered traffic. */
+    double stallRate = 0.0;
+    std::uint64_t stallLen = 4;
+
+    /** Byzantine producer: adversarial mix boost + credit violations. */
+    double byzantineRate = 0.0;
+    std::uint64_t byzantineLen = 6;
+    workload::StreamMix byzantineBoost = defaultByzantineBoost();
+    /** Byzantine windows submit the full offered load regardless of
+     *  the credit grant. */
+    bool byzantineIgnoresCredits = true;
+
+    static workload::StreamMix
+    defaultByzantineBoost()
+    {
+        workload::StreamMix boost;
+        boost.malformed = 0.25;
+        boost.duplicate = 0.15;
+        boost.staleNonce = 0.10;
+        boost.nonceGap = 0.10;
+        boost.nonceStorm = 0.25;
+        return boost;
+    }
+};
+
+/** What one slot's traffic looks like. */
+struct SlotProfile
+{
+    double rateMultiplier = 1.0;
+    bool stalled = false;
+    bool byzantine = false;
+    workload::StreamMix mixBoost; ///< added onto the producer's base mix
+};
+
+/** Seeded, reproducible chaos scheduler. */
+class StreamFaultInjector
+{
+  public:
+    StreamFaultInjector(std::uint64_t seed,
+                        const StreamFaultParams &params,
+                        std::uint64_t horizon_slots);
+
+    /** The (precomputed) profile for @p slot; benign past the horizon. */
+    const SlotProfile &profile(std::uint64_t slot) const;
+
+    std::uint64_t seed() const { return seed_; }
+    std::uint64_t burstSlots() const { return burstSlots_; }
+    std::uint64_t stalledSlots() const { return stalledSlots_; }
+    std::uint64_t byzantineSlots() const { return byzantineSlots_; }
+
+  private:
+    std::uint64_t seed_;
+    std::vector<SlotProfile> schedule_;
+    SlotProfile benign_;
+    std::uint64_t burstSlots_ = 0;
+    std::uint64_t stalledSlots_ = 0;
+    std::uint64_t byzantineSlots_ = 0;
+};
+
+} // namespace mtpu::fault

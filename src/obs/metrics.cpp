@@ -262,6 +262,26 @@ Snapshot::counter(const std::string &name) const
     return 0;
 }
 
+std::uint64_t
+Snapshot::Histogram::quantile(double q) const
+{
+    if (count == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    std::uint64_t rank = std::uint64_t(q * double(count - 1)) + 1;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return i < bounds.size() ? bounds[i]
+                                     : (bounds.empty() ? 0 : bounds.back());
+    }
+    return bounds.empty() ? 0 : bounds.back();
+}
+
 const Snapshot::Histogram *
 Snapshot::histogram(const std::string &name) const
 {

@@ -69,6 +69,15 @@ struct Snapshot
         std::uint64_t sum = 0;
 
         double mean() const { return count ? double(sum) / double(count) : 0.0; }
+
+        /**
+         * Bucket-resolution quantile: the inclusive upper bound of the
+         * bucket holding the ceil(q*count)-th sample (the histogram
+         * maximum observable value for the overflow bucket, i.e. the
+         * last finite bound; 0 when empty). Good enough for p50/p99
+         * reporting against pow2Bounds-style bucketing.
+         */
+        std::uint64_t quantile(double q) const;
     };
 
     std::vector<Counter> counters;     ///< sorted by name

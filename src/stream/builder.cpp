@@ -1,0 +1,60 @@
+#include "stream/builder.hpp"
+
+#include "support/hex.hpp"
+
+namespace mtpu::stream {
+
+BlockBuilder::BlockBuilder(const contracts::ContractSet &set,
+                           const BuilderConfig &cfg)
+    : cfg_(cfg)
+{
+    auto index = [this](const std::vector<contracts::ContractSpec> &v) {
+        for (const contracts::ContractSpec &spec : v)
+            byAddress_[spec.address] = {spec.name, spec.isErc20, &spec};
+    };
+    index(set.top8());
+    index(set.extras());
+}
+
+BuiltBlock
+BlockBuilder::build(Mempool &pool, const evm::WorldState &pre_state,
+                    support::ThreadPool *host_pool)
+{
+    BuiltBlock out;
+    std::vector<PoolTx> cut = pool.cut(cfg_.maxTxs, cfg_.gasBudget);
+    if (cut.empty())
+        return out;
+
+    std::uint64_t height = cfg_.baseHeight + built_++;
+    out.block.header.height = height;
+    out.block.header.timestamp = 1700000000 + height * 12;
+    out.block.header.coinbase = U256(0xc01bba5e);
+    out.block.header.recentHashes.assign(256, U256(height));
+
+    out.block.txs.reserve(cut.size());
+    out.arrivalSlots.reserve(cut.size());
+    for (PoolTx &p : cut) {
+        workload::TxRecord rec;
+        auto it = byAddress_.find(p.tx.to);
+        if (it != byAddress_.end()) {
+            rec.contract = it->second.contract;
+            rec.isErc20 = it->second.isErc20;
+            if (const contracts::FunctionInfo *fn =
+                    it->second.spec->functionBySelector(
+                        p.tx.functionId()))
+                rec.function = fn->name;
+        } else {
+            // Unknown callee: label by address so redundancy steering
+            // still groups repeat traffic to the same target.
+            rec.contract = p.tx.to.toHex();
+        }
+        rec.tx = std::move(p.tx);
+        out.arrivalSlots.push_back(p.arrivalSlot);
+        out.block.txs.push_back(std::move(rec));
+    }
+
+    workload::runConsensusStage(out.block, pre_state, host_pool);
+    return out;
+}
+
+} // namespace mtpu::stream

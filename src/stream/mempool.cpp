@@ -1,0 +1,250 @@
+#include "stream/mempool.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "support/keccak.hpp"
+
+namespace mtpu::stream {
+
+const char *
+admitName(Admit a)
+{
+    switch (a) {
+      case Admit::Admitted: return "admitted";
+      case Admit::Replaced: return "replaced";
+      case Admit::RejectedNoCredit: return "rejected_no_credit";
+      case Admit::RejectedOversize: return "rejected_oversize";
+      case Admit::RejectedMalformed: return "rejected_malformed";
+      case Admit::RejectedNonceStale: return "rejected_nonce_stale";
+      case Admit::RejectedNonceGap: return "rejected_nonce_gap";
+      case Admit::RejectedDuplicate: return "rejected_duplicate";
+      case Admit::RejectedUnderpriced: return "rejected_underpriced";
+      case Admit::RejectedSenderLimit: return "rejected_sender_limit";
+      case Admit::ShedInbound: return "shed_inbound";
+      case Admit::kCount: break;
+    }
+    return "unknown";
+}
+
+Mempool::Mempool(const MempoolConfig &cfg) : cfg_(cfg) {}
+
+std::size_t
+Mempool::beginSlot(std::uint64_t slot)
+{
+    slot_ = slot;
+    std::size_t free = cfg_.capacity > size_ ? cfg_.capacity - size_ : 0;
+    slotCredits_ = free + cfg_.creditReserve;
+    return slotCredits_;
+}
+
+std::uint64_t
+Mempool::committedNonce(const evm::Address &sender) const
+{
+    auto it = senders_.find(sender);
+    return it == senders_.end() ? 0 : it->second.head;
+}
+
+std::uint64_t
+Mempool::pendingNonce(const evm::Address &sender) const
+{
+    auto it = senders_.find(sender);
+    if (it == senders_.end())
+        return 0;
+    std::uint64_t expect = it->second.head;
+    for (const auto &[nonce, tx] : it->second.byNonce) {
+        if (nonce != expect)
+            break;
+        ++expect;
+    }
+    return expect;
+}
+
+std::size_t
+Mempool::readyCount() const
+{
+    std::size_t ready = 0;
+    for (const auto &[addr, q] : senders_) {
+        std::uint64_t expect = q.head;
+        for (const auto &[nonce, tx] : q.byNonce) {
+            if (nonce != expect)
+                break;
+            ++ready;
+            ++expect;
+        }
+    }
+    return ready;
+}
+
+void
+Mempool::rememberCommitted(const U256 &hash)
+{
+    if (committed_.insert(hash).second) {
+        committedRing_.push_back(hash);
+        if (committedRing_.size() > 8 * cfg_.capacity) {
+            committed_.erase(committedRing_.front());
+            committedRing_.pop_front();
+        }
+    }
+}
+
+bool
+Mempool::shedWorst(const U256 &inbound_fee, std::uint64_t inbound_seq)
+{
+    // Victim selection over sender *tails* only (highest pooled nonce
+    // per sender): shedding a mid-chain nonce would orphan everything
+    // behind it inside the pool. Worst = lowest fee, then youngest
+    // arrival; the inbound tx — always the youngest — loses fee ties.
+    const PoolTx *victim = nullptr;
+    std::map<evm::Address, SenderQ>::iterator victim_q = senders_.end();
+    for (auto it = senders_.begin(); it != senders_.end(); ++it) {
+        if (it->second.byNonce.empty())
+            continue;
+        const PoolTx &tail = it->second.byNonce.rbegin()->second;
+        if (!victim || tail.tx.gasPrice < victim->tx.gasPrice
+            || (tail.tx.gasPrice == victim->tx.gasPrice
+                && tail.seq > victim->seq)) {
+            victim = &tail;
+            victim_q = it;
+        }
+    }
+    if (!victim)
+        return false;
+    bool inbound_loses =
+        inbound_fee < victim->tx.gasPrice
+        || (inbound_fee == victim->tx.gasPrice
+            && inbound_seq > victim->seq);
+    if (inbound_loses)
+        return false;
+    resident_.erase(victim->hash);
+    victim_q->second.byNonce.erase(std::prev(
+        victim_q->second.byNonce.end()));
+    --size_;
+    ++stats_.shedEvicted;
+    MTPU_OBS_COUNT("stream.shed", 1);
+    return true;
+}
+
+Admit
+Mempool::submit(const workload::WireTx &wire)
+{
+    auto done = [this](Admit code) {
+        ++stats_.byCode[std::size_t(code)];
+        if (accepted(code)) {
+            ++stats_.admitted;
+            MTPU_OBS_COUNT("stream.admitted", 1);
+        } else {
+            MTPU_OBS_COUNT("stream.rejected", 1);
+        }
+        return code;
+    };
+    ++stats_.submitted;
+
+    // Credit gate first: over-grant traffic is bounced before any
+    // decode work, so a flooding producer cannot amplify CPU cost.
+    if (slotCredits_ == 0)
+        return done(Admit::RejectedNoCredit);
+    --slotCredits_;
+
+    if (wire.rlp.size() > cfg_.maxTxBytes)
+        return done(Admit::RejectedOversize);
+
+    evm::Transaction tx;
+    try {
+        tx = evm::Transaction::fromRlp(wire.rlp);
+    } catch (const std::exception &) {
+        return done(Admit::RejectedMalformed);
+    }
+
+    U256 hash = keccak256Word(wire.rlp);
+    if (resident_.count(hash) || committed_.count(hash))
+        return done(Admit::RejectedDuplicate);
+
+    SenderQ &q = senders_[tx.from];
+    if (tx.nonce < q.head)
+        return done(Admit::RejectedNonceStale);
+    if (tx.nonce >= q.head + cfg_.nonceWindow)
+        return done(Admit::RejectedNonceGap);
+
+    PoolTx pooled;
+    pooled.tx = std::move(tx);
+    pooled.hash = hash;
+    pooled.seq = wire.seq;
+    pooled.arrivalSlot = slot_;
+
+    auto existing = q.byNonce.find(pooled.tx.nonce);
+    if (existing != q.byNonce.end()) {
+        // Replacement: the newcomer must bump the fee by at least
+        // replaceBumpPercent over the incumbent.
+        const U256 &old_fee = existing->second.tx.gasPrice;
+        U256 threshold = old_fee * U256(100 + cfg_.replaceBumpPercent);
+        if (pooled.tx.gasPrice * U256(100) < threshold)
+            return done(Admit::RejectedUnderpriced);
+        resident_.erase(existing->second.hash);
+        resident_.insert(hash);
+        existing->second = std::move(pooled);
+        return done(Admit::Replaced);
+    }
+
+    if (q.byNonce.size() >= cfg_.perSenderLimit)
+        return done(Admit::RejectedSenderLimit);
+
+    if (size_ >= cfg_.capacity) {
+        // Saturated: deterministic fee/age shedding, never growth.
+        if (!shedWorst(pooled.tx.gasPrice, pooled.seq))
+            return done(Admit::ShedInbound);
+    }
+
+    resident_.insert(hash);
+    q.byNonce.emplace(pooled.tx.nonce, std::move(pooled));
+    ++size_;
+    stats_.peakDepth = std::max(stats_.peakDepth, size_);
+    return done(Admit::Admitted);
+}
+
+std::vector<PoolTx>
+Mempool::cut(std::size_t max_txs, std::uint64_t gas_budget)
+{
+    std::vector<PoolTx> out;
+    std::uint64_t gas_used = 0;
+    while (out.size() < max_txs) {
+        // Price-time priority over ready sender heads: highest head
+        // fee wins, oldest arrival breaks ties. Re-evaluated per pick
+        // because taking a head exposes the sender's next nonce.
+        std::map<evm::Address, SenderQ>::iterator best = senders_.end();
+        for (auto it = senders_.begin(); it != senders_.end(); ++it) {
+            SenderQ &q = it->second;
+            if (q.byNonce.empty()
+                || q.byNonce.begin()->first != q.head)
+                continue;
+            const PoolTx &head = q.byNonce.begin()->second;
+            if (best == senders_.end())
+                best = it;
+            else {
+                const PoolTx &cur = best->second.byNonce.begin()->second;
+                if (head.tx.gasPrice > cur.tx.gasPrice
+                    || (head.tx.gasPrice == cur.tx.gasPrice
+                        && head.seq < cur.seq))
+                    best = it;
+            }
+        }
+        if (best == senders_.end())
+            break;
+        SenderQ &q = best->second;
+        PoolTx picked = std::move(q.byNonce.begin()->second);
+        if (!out.empty() && gas_used + picked.tx.gasLimit > gas_budget) {
+            q.byNonce.begin()->second = std::move(picked);
+            break;
+        }
+        gas_used += picked.tx.gasLimit;
+        q.byNonce.erase(q.byNonce.begin());
+        ++q.head;
+        --size_;
+        resident_.erase(picked.hash);
+        rememberCommitted(picked.hash);
+        out.push_back(std::move(picked));
+    }
+    return out;
+}
+
+} // namespace mtpu::stream

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Bounded streaming mempool with admission control, per-sender nonce
+ * ordering, replacement rules, credit-based backpressure and
+ * deterministic load shedding (DESIGN.md §11).
+ *
+ * Invariants:
+ *  - size() never exceeds MempoolConfig::capacity; saturation is
+ *    resolved by shedding the lowest-(fee, age) resident transaction
+ *    or the inbound one — never by growing, never by crashing.
+ *  - Per sender, pooled nonces are unique and at most nonceWindow
+ *    ahead of the committed head; only a contiguous nonce run from the
+ *    head is "ready" (eligible for a block cut).
+ *  - Every admission decision returns a typed Admit code, and every
+ *    submitted wire consumes one slot credit — a producer that ignores
+ *    its credit grant gets cheap RejectedNoCredit rejections instead
+ *    of amplifying decode/validation work.
+ *
+ * Determinism: all containers iterate in address/nonce order and
+ * tie-breaks use the global arrival sequence, so the same wire stream
+ * always produces the same pool evolution and the same block cuts.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "evm/types.hpp"
+#include "workload/stream_gen.hpp"
+
+namespace mtpu::stream {
+
+/** Typed admission outcome. Order is stable: it indexes counters and
+ *  the JSON report. */
+enum class Admit : int
+{
+    Admitted = 0,        ///< inserted (ready or parked)
+    Replaced,            ///< same (sender, nonce) superseded by fee bump
+    RejectedNoCredit,    ///< producer exceeded its slot credit grant
+    RejectedOversize,    ///< wire larger than maxTxBytes
+    RejectedMalformed,   ///< bytes do not decode to a Transaction
+    RejectedNonceStale,  ///< nonce below the sender's committed head
+    RejectedNonceGap,    ///< nonce beyond head + nonceWindow
+    RejectedDuplicate,   ///< byte-identical tx already pooled/committed
+    RejectedUnderpriced, ///< replacement fee bump below the threshold
+    RejectedSenderLimit, ///< sender already has perSenderLimit pooled
+    ShedInbound,         ///< pool saturated and the inbound tx lost
+                         ///< the fee/age comparison
+    kCount
+};
+
+const char *admitName(Admit a);
+
+inline bool
+accepted(Admit a)
+{
+    return a == Admit::Admitted || a == Admit::Replaced;
+}
+
+struct MempoolConfig
+{
+    /** Hard bound on pooled transactions (ready + parked). */
+    std::size_t capacity = 4096;
+    /** Pooled transactions per sender. */
+    std::size_t perSenderLimit = 64;
+    /** Max admissible distance of a nonce above the committed head. */
+    std::uint64_t nonceWindow = 32;
+    /** Largest admissible wire encoding. */
+    std::size_t maxTxBytes = 2048;
+    /** Replacement must bump the fee by at least this percentage. */
+    unsigned replaceBumpPercent = 10;
+    /**
+     * Credits granted per slot beyond free pool space. Free space
+     * alone would deadlock a full pool (no credits => no replacements
+     * either); the reserve sizes the grant to the expected per-slot
+     * drain (one block cut). Overdrive beyond it is shed by fee/age.
+     */
+    std::size_t creditReserve = 64;
+};
+
+/** A pooled transaction. */
+struct PoolTx
+{
+    evm::Transaction tx;
+    U256 hash;                    ///< keccak256 of the wire bytes
+    std::uint64_t seq = 0;        ///< global arrival sequence
+    std::uint64_t arrivalSlot = 0;
+};
+
+/** Cumulative admission/shedding accounting. */
+struct MempoolStats
+{
+    std::uint64_t submitted = 0; ///< submit() calls
+    std::uint64_t admitted = 0;  ///< Admitted + Replaced
+    std::uint64_t shedEvicted = 0; ///< residents evicted at saturation
+    std::array<std::uint64_t, std::size_t(Admit::kCount)> byCode{};
+    std::size_t peakDepth = 0;
+
+    std::uint64_t
+    rejected() const
+    {
+        return submitted - admitted;
+    }
+    /** Total shed load: evicted residents + inbound losers. */
+    std::uint64_t
+    shedTotal() const
+    {
+        return shedEvicted + byCode[std::size_t(Admit::ShedInbound)];
+    }
+};
+
+class Mempool
+{
+  public:
+    explicit Mempool(const MempoolConfig &cfg);
+
+    /**
+     * Open slot @p slot and return the producer's credit grant for it:
+     * free pool space plus the configured reserve. Every subsequent
+     * submit() consumes one credit until the next beginSlot().
+     */
+    std::size_t beginSlot(std::uint64_t slot);
+
+    /** Credits remaining in the current slot. */
+    std::size_t credits() const { return slotCredits_; }
+
+    /** Admit (or reject, with a typed reason) one wire transaction. */
+    Admit submit(const workload::WireTx &wire);
+
+    /**
+     * Cut up to @p max_txs ready transactions within @p gas_budget
+     * (sum of declared gas limits) — the block builder's deadline
+     * budget. Price-time priority across senders (highest head fee,
+     * oldest arrival tie-break) while preserving each sender's nonce
+     * order; cut transactions advance the sender's committed head.
+     */
+    std::vector<PoolTx> cut(std::size_t max_txs,
+                            std::uint64_t gas_budget);
+
+    std::size_t size() const { return size_; }
+    /** Transactions eligible for the next cut (contiguous nonces). */
+    std::size_t readyCount() const;
+    /** Pooled-but-gapped transactions (waiting on a missing nonce). */
+    std::size_t parkedCount() const { return size_ - readyCount(); }
+
+    /** Committed nonce head for @p sender. */
+    std::uint64_t committedNonce(const evm::Address &sender) const;
+
+    /**
+     * Pending nonce for @p sender: committed head plus the contiguous
+     * pooled run above it — what eth_getTransactionCount("pending")
+     * answers. Producers resync their wallets against this each slot,
+     * so a shed tail's nonce hole is re-issued instead of parking the
+     * sender's stream forever.
+     */
+    std::uint64_t pendingNonce(const evm::Address &sender) const;
+
+    const MempoolStats &stats() const { return stats_; }
+    const MempoolConfig &config() const { return cfg_; }
+
+  private:
+    struct SenderQ
+    {
+        std::map<std::uint64_t, PoolTx> byNonce;
+        std::uint64_t head = 0; ///< next nonce expected to commit
+    };
+
+    /** Evict the worst resident by (fee, age); true if one was shed.
+     *  @p inboundKey loses ties deliberately (FIFO fairness). */
+    bool shedWorst(const U256 &inbound_fee, std::uint64_t inbound_seq);
+    void rememberCommitted(const U256 &hash);
+
+    MempoolConfig cfg_;
+    std::map<evm::Address, SenderQ> senders_;
+    std::size_t size_ = 0;
+    std::uint64_t slot_ = 0;
+    std::size_t slotCredits_ = 0;
+    MempoolStats stats_;
+
+    std::unordered_set<U256, U256Hash> resident_; ///< pooled wire hashes
+    std::unordered_set<U256, U256Hash> committed_;
+    std::deque<U256> committedRing_; ///< bounds committed_
+};
+
+} // namespace mtpu::stream

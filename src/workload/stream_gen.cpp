@@ -1,0 +1,145 @@
+#include "workload/stream_gen.hpp"
+
+#include <algorithm>
+
+namespace mtpu::workload {
+
+namespace {
+
+double
+clamp01(double v)
+{
+    return std::min(1.0, std::max(0.0, v));
+}
+
+} // namespace
+
+StreamMix
+StreamMix::boosted(const StreamMix &boost) const
+{
+    StreamMix out = *this;
+    out.malformed = clamp01(malformed + boost.malformed);
+    out.duplicate = clamp01(duplicate + boost.duplicate);
+    out.staleNonce = clamp01(staleNonce + boost.staleNonce);
+    out.nonceGap = clamp01(nonceGap + boost.nonceGap);
+    out.nonceStorm = clamp01(nonceStorm + boost.nonceStorm);
+    return out;
+}
+
+StreamGenerator::StreamGenerator(Generator &gen, std::uint64_t seed,
+                                 int senders, const StreamMix &mix)
+    : gen_(gen), rng_(seed ^ 0x57ea357ea3ull), mix_(mix)
+{
+    const auto &users = gen.users();
+    senders_.reserve(std::size_t(senders));
+    for (int i = 0; i < senders; ++i)
+        senders_.push_back(users[std::size_t(i) % users.size()]);
+}
+
+std::uint64_t
+StreamGenerator::nonceHead(const evm::Address &sender) const
+{
+    auto it = nonce_.find(sender);
+    return it == nonce_.end() ? 0 : it->second;
+}
+
+void
+StreamGenerator::resyncNonces(
+    const std::function<std::uint64_t(const evm::Address &)> &pending)
+{
+    for (auto &[sender, head] : nonce_)
+        head = pending(sender);
+}
+
+std::vector<WireTx>
+StreamGenerator::slotTxs(std::uint64_t slot, std::size_t count)
+{
+    return slotTxs(slot, count, mix_);
+}
+
+std::vector<WireTx>
+StreamGenerator::slotTxs(std::uint64_t slot, std::size_t count,
+                         const StreamMix &mix)
+{
+    std::vector<WireTx> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(emit(slot, mix));
+    return out;
+}
+
+WireTx
+StreamGenerator::emit(std::uint64_t slot, const StreamMix &mix)
+{
+    WireTx wire;
+    wire.seq = seq_++;
+    wire.arrivalSlot = slot;
+
+    // Duplicate attack: resubmit a recent wire byte-for-byte.
+    if (!recent_.empty() && rng_.chance(mix.duplicate)) {
+        wire.rlp = recent_[rng_.below(recent_.size())];
+        return wire;
+    }
+
+    // Draft a real transaction and give it a streaming identity: a
+    // Zipf-hot sender, that sender's next nonce, and a fee drawn from
+    // a small spread so the shedding policy has something to rank.
+    TxRecord draft = gen_.draftStreamTx(mix.erc20Share,
+                                        mix.zipfContracts);
+    evm::Transaction tx = draft.tx;
+    // Re-home the draft onto a Zipf-hot sender, except where the
+    // draft's semantics are bound to its original sender (allowance
+    // spenders, auction owners) — re-homing those just manufactures
+    // reverts.
+    bool sender_bound = draft.function == "transferFrom"
+                     || draft.function == "createSaleAuction";
+    evm::Address sender =
+        sender_bound
+            ? tx.from
+            : senders_[rng_.zipf(senders_.size(), mix.zipfSenders)];
+    tx.from = sender;
+    tx.gasLimit = 500'000;
+    tx.gasPrice = U256(1 + rng_.below(32));
+
+    std::uint64_t &head = nonce_[sender];
+    tx.nonce = head;
+
+    // Adversarial nonce variants. Only the well-formed path advances
+    // the issued head: rejected traffic must not open real gaps.
+    bool advance = true;
+    if (head > 0 && rng_.chance(mix.staleNonce)) {
+        tx.nonce = rng_.below(head);
+        advance = false;
+    } else if (rng_.chance(mix.nonceGap)) {
+        tx.nonce = head + 64 + rng_.below(64);
+        advance = false;
+    } else if (rng_.chance(mix.nonceStorm)) {
+        // Same-nonce fee bump: half priced to win the replacement
+        // race, half deliberately underpriced.
+        tx.nonce = head > 0 ? head - 1 : 0;
+        tx.gasPrice = rng_.chance(0.5)
+                          ? tx.gasPrice + U256(64)
+                          : U256(1);
+        advance = false;
+    }
+    if (advance)
+        ++head;
+
+    wire.rlp = tx.toRlp();
+
+    // Malformed attack: truncate the valid encoding so it no longer
+    // decodes (deterministically undecodable, unlike random bytes).
+    if (rng_.chance(mix.malformed)) {
+        wire.rlp.resize(std::max<std::size_t>(1, wire.rlp.size() / 2));
+        if (advance)
+            --head; // the valid form was never actually sent
+        return wire;
+    }
+
+    recent_.push_back(wire.rlp);
+    if (recent_.size() > 64)
+        recent_.pop_front();
+    return wire;
+}
+
+} // namespace mtpu::workload

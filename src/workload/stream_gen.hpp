@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Open-loop streaming transaction source: the batch Generator's draft
+ * machinery re-targeted at an endless wire-format stream. Senders are
+ * drawn with Zipf skew from a bounded hot-sender pool (Garamvölgyi et
+ * al. 2022: production traffic clusters on a few hot accounts), each
+ * sender carries its own nonce sequence, and an adversarial mix can
+ * lace the stream with malformed bytes, duplicates, nonce gaps, stale
+ * nonces and same-nonce fee-bump storms — the inputs the mempool's
+ * admission control must reject or absorb with typed reasons.
+ *
+ * Everything is seeded and deterministic: the same generator, seed and
+ * call sequence produce byte-identical wire streams.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "support/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::workload {
+
+/** One transaction as received off the wire: opaque bytes plus
+ *  arrival bookkeeping (assigned by the producer). */
+struct WireTx
+{
+    Bytes rlp;                   ///< RLP-encoded Transaction (or garbage)
+    std::uint64_t seq = 0;       ///< global arrival sequence number
+    std::uint64_t arrivalSlot = 0; ///< producer slot when submitted
+};
+
+/** Adversarial/shape knobs of the stream. All rates are per-tx
+ *  probabilities in [0, 1]; they are drawn independently in order
+ *  (malformed, duplicate, stale, gap, storm) per emitted tx. */
+struct StreamMix
+{
+    double erc20Share = -1.0; ///< negative = natural Zipf TOP8 mix
+    double zipfContracts = 1.0; ///< contract-popularity exponent
+    double zipfSenders = 1.0;   ///< sender-popularity exponent
+    double malformed = 0.0;   ///< undecodable bytes (truncated RLP)
+    double duplicate = 0.0;   ///< byte-identical resubmission
+    double staleNonce = 0.0;  ///< nonce below the sender's issued head
+    double nonceGap = 0.0;    ///< nonce far above the issued head
+    double nonceStorm = 0.0;  ///< same nonce again with a bumped fee
+
+    /** Component-wise sum, clamped to [0, 1] — used to overlay a
+     *  fault window's severity boost onto the base mix. */
+    StreamMix boosted(const StreamMix &boost) const;
+};
+
+/**
+ * The streaming producer. Borrows a batch Generator for its contract
+ * universe and draft machinery; owns the sender pool and per-sender
+ * nonce sequences.
+ */
+class StreamGenerator
+{
+  public:
+    /**
+     * @param gen      draft source (borrowed; its RNG advances)
+     * @param seed     stream-local seed (sender picks, adversarial draws)
+     * @param senders  hot-sender pool size, drawn from gen.users()
+     */
+    StreamGenerator(Generator &gen, std::uint64_t seed, int senders = 256,
+                    const StreamMix &mix = {});
+
+    /**
+     * Emit @p count wire transactions for @p slot. The per-call
+     * @p mix_override (e.g. a chaos window's boosted mix) replaces the
+     * base mix for this slot only.
+     */
+    std::vector<WireTx> slotTxs(std::uint64_t slot, std::size_t count);
+    std::vector<WireTx> slotTxs(std::uint64_t slot, std::size_t count,
+                                const StreamMix &mix);
+
+    /** Total wire txs emitted (including adversarial ones). */
+    std::uint64_t emitted() const { return seq_; }
+
+    /** Issued-nonce head for @p sender (next nonce a well-formed tx
+     *  will carry). */
+    std::uint64_t nonceHead(const evm::Address &sender) const;
+
+    /**
+     * Resync every issued-nonce head against the consumer's
+     * pending-nonce view — what a wallet does with
+     * eth_getTransactionCount("pending") before signing. Producers
+     * call this at slot start so the nonce holes left by shed or
+     * credit-bounced transactions get re-issued instead of the sender
+     * streaming forever past a gap the pool can never fill.
+     */
+    void resyncNonces(
+        const std::function<std::uint64_t(const evm::Address &)> &pending);
+
+  private:
+    WireTx emit(std::uint64_t slot, const StreamMix &mix);
+
+    Generator &gen_;
+    Rng rng_;
+    StreamMix mix_;
+    std::vector<evm::Address> senders_;
+    std::map<evm::Address, std::uint64_t> nonce_;
+    std::deque<Bytes> recent_; ///< ring of recent valid wires (duplicates)
+    std::uint64_t seq_ = 0;
+};
+
+} // namespace mtpu::workload

@@ -544,9 +544,10 @@ Generator::singleCall(const std::string &contract,
 }
 
 void
-Generator::runConsensusStage(BlockRun &block)
+runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
+                  support::ThreadPool *pool)
 {
-    evm::WorldState state = genesis_;
+    evm::WorldState state = pre_state;
     evm::Interpreter interp;
 
     // Phase 1 (pool only): pre-execute every transaction against the
@@ -557,10 +558,10 @@ Generator::runConsensusStage(BlockRun &block)
     // Either way the committed state, traces and access sets are
     // bit-identical to the sequential path.
     std::vector<evm::SpecResult> spec;
-    if (pool_ && block.txs.size() > 1) {
+    if (pool && block.txs.size() > 1) {
         spec.resize(block.txs.size());
-        pool_->parallelFor(block.txs.size(), [&](std::size_t i) {
-            spec[i] = evm::speculate(genesis_, block.header,
+        pool->parallelFor(block.txs.size(), [&](std::size_t i) {
+            spec[i] = evm::speculate(pre_state, block.header,
                                      block.txs[i].tx, /*wantTrace=*/true);
         });
     }
@@ -569,7 +570,7 @@ Generator::runConsensusStage(BlockRun &block)
         TxRecord &rec = block.txs[i];
         evm::AccessSet access;
         evm::SpecResult *sr = i < spec.size() ? &spec[i] : nullptr;
-        if (sr && evm::specValid(*sr, state, genesis_,
+        if (sr && evm::specValid(*sr, state, pre_state,
                                  block.header.coinbase)) {
             evm::specApply(*sr, state, block.header.coinbase);
             state.commit();
@@ -614,6 +615,24 @@ Generator::runConsensusStage(BlockRun &block)
         remaining[rec.contract]--;
         rec.redundancy = remaining[rec.contract];
     }
+}
+
+void
+Generator::runConsensusStage(BlockRun &block)
+{
+    workload::runConsensusStage(block, genesis_, pool_.get());
+}
+
+TxRecord
+Generator::draftStreamTx(double erc20_share, double zipf_s)
+{
+    Draft d = draftIndependent(erc20_share, zipf_s, "");
+    TxRecord rec;
+    rec.tx = std::move(d.tx);
+    rec.contract = std::move(d.contract);
+    rec.function = std::move(d.function);
+    rec.isErc20 = d.isErc20;
+    return rec;
 }
 
 } // namespace mtpu::workload

@@ -90,6 +90,19 @@ struct BlockParams
 };
 
 /**
+ * Consensus-stage execution against an arbitrary pre-block state:
+ * program-order execution filling each TxRecord's trace, receipt and
+ * access set, then the ground-truth dependency DAG and redundancy
+ * values. With a pool, transactions are speculatively pre-executed in
+ * parallel and committed in program order via validate-or-re-execute —
+ * bit-identical to the sequential path. This is the batch Generator's
+ * consensus stage factored out so the streaming block builder can run
+ * it against the evolving chain state.
+ */
+void runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
+                       support::ThreadPool *pool = nullptr);
+
+/**
  * The generator. Owns the deployed contract universe and a pristine
  * post-deployment world state that each block starts from.
  */
@@ -126,10 +139,22 @@ class Generator
                         const std::vector<U256> &args,
                         const U256 &value = U256(), int sender = 0);
 
+    /**
+     * Draft one independent transaction (no execution) for streaming
+     * producers: the tx plus its contract/function labels. Negative
+     * @p erc20_share selects the natural Zipf TOP8 mix. Deterministic
+     * given the generator's call history.
+     */
+    TxRecord draftStreamTx(double erc20_share = -1.0,
+                           double zipf_s = 1.0);
+
     const contracts::ContractSet &contracts() const { return set_; }
 
     /** Pristine world state (post-deployment). */
     const evm::WorldState &genesis() const { return genesis_; }
+
+    /** The synthetic user universe (all funded in genesis). */
+    const std::vector<evm::Address> &users() const { return users_; }
 
   private:
     struct Draft

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Subprocess tests asserting mtpu_sim's documented exit codes:
+ *   0 success, 1 config error, 2 audit failure, 3 watchdog trip,
+ *   4 overload abort.
+ * The binary path is injected by CMake as MTPU_SIM_PATH.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+int
+runSim(const std::string &args)
+{
+    std::string cmd =
+        std::string(MTPU_SIM_PATH) + " " + args + " >/dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    EXPECT_NE(rc, -1);
+    EXPECT_TRUE(WIFEXITED(rc)) << "crashed: mtpu_sim " << args;
+    return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(ExitCodes, SuccessIsZero)
+{
+    EXPECT_EQ(runSim("--blocks 1 --txs 16"), 0);
+}
+
+TEST(ExitCodes, StreamSuccessIsZero)
+{
+    EXPECT_EQ(runSim("--stream --blocks 3 --txs 8 --rate 8"), 0);
+}
+
+TEST(ExitCodes, ConfigErrorIsOne)
+{
+    EXPECT_EQ(runSim("--no-such-flag"), 1);
+    EXPECT_EQ(runSim("--txs 0"), 1);
+    EXPECT_EQ(runSim("--stream --scheme seq"), 1);
+    EXPECT_EQ(runSim("--stream --rate 0"), 1);
+}
+
+TEST(ExitCodes, AuditFailureIsTwo)
+{
+    // Dropping every DAG edge with recovery disabled commits a
+    // non-serializable order: the audit must fail, not the watchdog.
+    EXPECT_EQ(
+        runSim("--drop-edges 1.0 --no-recovery --dep 0.7 --blocks 1 "
+               "--txs 48"),
+        2);
+}
+
+TEST(ExitCodes, WatchdogTripIsThree)
+{
+    // A one-cycle watchdog budget cannot cover any block.
+    EXPECT_EQ(runSim("--watchdog-budget 1 --blocks 1 --txs 32"), 3);
+}
+
+TEST(ExitCodes, OverloadAbortIsFour)
+{
+    // 50x offered load into a tiny pool with a strict shed ceiling.
+    EXPECT_EQ(
+        runSim("--stream --rate 400 --pool-cap 64 --txs 8 "
+               "--max-shed-ratio 0.3 --blocks 24 --seed 3"),
+        4);
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for the bounded streaming mempool (DESIGN.md §11):
+ * typed admission outcomes, per-sender nonce ordering, replacement
+ * rules, credit-based backpressure and deterministic fee/age shedding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stream/mempool.hpp"
+
+namespace mtpu::stream {
+namespace {
+
+evm::Transaction
+makeTx(std::uint64_t sender, std::uint64_t nonce, std::uint64_t fee)
+{
+    evm::Transaction tx;
+    tx.from = U256(sender);
+    tx.to = U256(0xbeef);
+    tx.nonce = nonce;
+    tx.gasPrice = U256(fee);
+    tx.gasLimit = 50'000;
+    return tx;
+}
+
+workload::WireTx
+wire(const evm::Transaction &tx, std::uint64_t seq)
+{
+    workload::WireTx w;
+    w.rlp = tx.toRlp();
+    w.seq = seq;
+    return w;
+}
+
+TEST(Mempool, AdmitsAndCutsInPriceTimeOrder)
+{
+    Mempool pool{MempoolConfig{}};
+    pool.beginSlot(0);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 5), 0)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xB, 0, 9), 1)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 1, 7), 2)), Admit::Admitted);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.readyCount(), 3u);
+
+    auto cut = pool.cut(8, 1'000'000);
+    ASSERT_EQ(cut.size(), 3u);
+    // Highest head fee first (B@9), then A's nonce chain in order —
+    // A@1 (fee 7) only becomes the best head once A@0 is taken.
+    EXPECT_EQ(cut[0].tx.from, U256(0xB));
+    EXPECT_EQ(cut[1].tx.from, U256(0xA));
+    EXPECT_EQ(cut[1].tx.nonce, 0u);
+    EXPECT_EQ(cut[2].tx.nonce, 1u);
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.committedNonce(U256(0xA)), 2u);
+}
+
+TEST(Mempool, CreditGateBouncesOvergrantTraffic)
+{
+    MempoolConfig cfg;
+    cfg.capacity = 4;
+    cfg.creditReserve = 2;
+    Mempool pool{cfg};
+    std::size_t credits = pool.beginSlot(0);
+    EXPECT_EQ(credits, 6u); // free space + reserve
+
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < credits; ++i)
+        pool.submit(wire(makeTx(0xA, i, 5), seq++));
+    // The 7th submission this slot is out of credits, whatever it is.
+    EXPECT_EQ(pool.submit(wire(makeTx(0xB, 0, 99), seq++)),
+              Admit::RejectedNoCredit);
+    // A new slot re-grants.
+    pool.beginSlot(1);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xB, 0, 99), seq++)),
+              Admit::Admitted);
+}
+
+TEST(Mempool, TypedRejections)
+{
+    MempoolConfig cfg;
+    cfg.maxTxBytes = 64;
+    cfg.nonceWindow = 4;
+    Mempool pool{cfg};
+    pool.beginSlot(0);
+
+    workload::WireTx garbage;
+    garbage.rlp = {0x01, 0x02, 0x03};
+    EXPECT_EQ(pool.submit(garbage), Admit::RejectedMalformed);
+
+    evm::Transaction fat = makeTx(0xA, 0, 5);
+    fat.data.assign(128, 0x55);
+    EXPECT_EQ(pool.submit(wire(fat, 1)), Admit::RejectedOversize);
+
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 9, 5), 2)),
+              Admit::RejectedNonceGap);
+
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 5), 3)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 5), 4)),
+              Admit::RejectedDuplicate);
+
+    pool.cut(1, 1'000'000); // commits A@0, head -> 1
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 7), 5)),
+              Admit::RejectedNonceStale);
+    // A committed wire resubmitted byte-identically is a duplicate.
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 5), 6)),
+              Admit::RejectedDuplicate);
+
+    const MempoolStats &st = pool.stats();
+    EXPECT_EQ(st.byCode[std::size_t(Admit::RejectedMalformed)], 1u);
+    EXPECT_EQ(st.byCode[std::size_t(Admit::RejectedOversize)], 1u);
+    EXPECT_EQ(st.byCode[std::size_t(Admit::RejectedNonceGap)], 1u);
+    EXPECT_EQ(st.byCode[std::size_t(Admit::RejectedDuplicate)], 2u);
+    EXPECT_EQ(st.byCode[std::size_t(Admit::RejectedNonceStale)], 1u);
+}
+
+TEST(Mempool, ReplacementNeedsFeeBump)
+{
+    Mempool pool{MempoolConfig{}}; // replaceBumpPercent = 10
+    pool.beginSlot(0);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 100), 0)),
+              Admit::Admitted);
+    // +9% is underpriced, +10% replaces.
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 109), 1)),
+              Admit::RejectedUnderpriced);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 110), 2)),
+              Admit::Replaced);
+    EXPECT_EQ(pool.size(), 1u);
+
+    auto cut = pool.cut(1, 1'000'000);
+    ASSERT_EQ(cut.size(), 1u);
+    EXPECT_EQ(cut[0].tx.gasPrice, U256(110));
+}
+
+TEST(Mempool, SenderLimit)
+{
+    MempoolConfig cfg;
+    cfg.perSenderLimit = 2;
+    Mempool pool{cfg};
+    pool.beginSlot(0);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 5), 0)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 1, 5), 1)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 2, 5), 2)),
+              Admit::RejectedSenderLimit);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xB, 0, 5), 3)), Admit::Admitted);
+}
+
+TEST(Mempool, SheddingIsBoundedAndFeeOrdered)
+{
+    MempoolConfig cfg;
+    cfg.capacity = 3;
+    cfg.creditReserve = 16;
+    Mempool pool{cfg};
+    pool.beginSlot(0);
+
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 2), 0)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xB, 0, 8), 1)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xC, 0, 5), 2)), Admit::Admitted);
+    EXPECT_EQ(pool.size(), 3u);
+
+    // Saturated: a richer inbound evicts the cheapest resident (A@2).
+    EXPECT_EQ(pool.submit(wire(makeTx(0xD, 0, 6), 3)), Admit::Admitted);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_EQ(pool.stats().shedEvicted, 1u);
+
+    // A poorer inbound loses instead (and fee ties go to the resident).
+    EXPECT_EQ(pool.submit(wire(makeTx(0xE, 0, 1), 4)),
+              Admit::ShedInbound);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xF, 0, 5), 5)),
+              Admit::ShedInbound);
+    EXPECT_EQ(pool.size(), 3u);
+    EXPECT_LE(pool.stats().peakDepth, cfg.capacity);
+    EXPECT_EQ(pool.stats().shedTotal(), 3u);
+
+    // The survivors are the three highest-fee residents.
+    auto cut = pool.cut(8, 1'000'000);
+    ASSERT_EQ(cut.size(), 3u);
+    EXPECT_EQ(cut[0].tx.gasPrice, U256(8));
+    EXPECT_EQ(cut[1].tx.gasPrice, U256(6));
+    EXPECT_EQ(cut[2].tx.gasPrice, U256(5));
+}
+
+TEST(Mempool, SheddingEvictsTailsOnly)
+{
+    MempoolConfig cfg;
+    cfg.capacity = 3;
+    Mempool pool{cfg};
+    pool.beginSlot(0);
+    // A has a 3-deep chain; the cheapest tx (A@0, fee 1) is mid-chain
+    // protected: only the tail A@2 is evictable.
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 1), 0)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 1, 9), 1)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 2, 4), 2)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xB, 0, 7), 3)), Admit::Admitted);
+    EXPECT_EQ(pool.size(), 3u);
+
+    // The nonce chain stays contiguous, so everything left is ready.
+    EXPECT_EQ(pool.readyCount(), 3u);
+    auto cut = pool.cut(8, 1'000'000);
+    ASSERT_EQ(cut.size(), 3u);
+    EXPECT_EQ(cut[0].tx.from, U256(0xB));
+    EXPECT_EQ(cut[1].tx.nonce, 0u);
+    EXPECT_EQ(cut[2].tx.nonce, 1u);
+}
+
+TEST(Mempool, ParkedNonceChainsBecomeReadyWhenGapFills)
+{
+    Mempool pool{MempoolConfig{}};
+    pool.beginSlot(0);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 1, 5), 0)), Admit::Admitted);
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 2, 5), 1)), Admit::Admitted);
+    EXPECT_EQ(pool.readyCount(), 0u);
+    EXPECT_EQ(pool.parkedCount(), 2u);
+    EXPECT_TRUE(pool.cut(8, 1'000'000).empty());
+
+    EXPECT_EQ(pool.submit(wire(makeTx(0xA, 0, 5), 2)), Admit::Admitted);
+    EXPECT_EQ(pool.readyCount(), 3u);
+    EXPECT_EQ(pool.cut(8, 1'000'000).size(), 3u);
+}
+
+TEST(Mempool, CutRespectsGasBudget)
+{
+    Mempool pool{MempoolConfig{}};
+    pool.beginSlot(0);
+    for (std::uint64_t n = 0; n < 4; ++n)
+        pool.submit(wire(makeTx(0xA, n, 5), n));
+    // Each tx declares 50k gas; a 120k budget fits two.
+    EXPECT_EQ(pool.cut(8, 120'000).size(), 2u);
+    // A budget below one tx still cuts one (progress guarantee).
+    EXPECT_EQ(pool.cut(8, 1'000).size(), 1u);
+}
+
+TEST(Mempool, DeterministicAcrossIdenticalStreams)
+{
+    auto run = [] {
+        Mempool pool{MempoolConfig{.capacity = 8}};
+        std::vector<std::uint64_t> committed;
+        std::uint64_t seq = 0;
+        for (std::uint64_t slot = 0; slot < 6; ++slot) {
+            pool.beginSlot(slot);
+            for (std::uint64_t i = 0; i < 12; ++i) {
+                std::uint64_t sender = 0xA0 + (i * 7 + slot) % 3;
+                std::uint64_t nonce = (slot * 12 + i) / 5;
+                pool.submit(wire(
+                    makeTx(sender, nonce, 1 + (i * 13 + slot) % 9),
+                    seq++));
+            }
+            for (const PoolTx &p : pool.cut(4, 1'000'000))
+                committed.push_back(p.seq);
+        }
+        return committed;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace mtpu::stream

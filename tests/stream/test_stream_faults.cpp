@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Tests for the stream-domain chaos scheduler: seeded reproducibility,
+ * non-overlapping fault windows, and benign behavior outside the
+ * horizon or with zero rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/stream_faults.hpp"
+
+namespace mtpu::fault {
+namespace {
+
+StreamFaultParams
+chaosParams()
+{
+    StreamFaultParams p;
+    p.burstRate = 0.08;
+    p.burstMultiplier = 5.0;
+    p.burstLen = 6;
+    p.stallRate = 0.06;
+    p.stallLen = 3;
+    p.byzantineRate = 0.06;
+    p.byzantineLen = 5;
+    return p;
+}
+
+TEST(StreamFaultInjector, SameSeedSameSchedule)
+{
+    StreamFaultInjector a(1234, chaosParams(), 256);
+    StreamFaultInjector b(1234, chaosParams(), 256);
+    for (std::uint64_t s = 0; s < 256; ++s) {
+        const SlotProfile &pa = a.profile(s);
+        const SlotProfile &pb = b.profile(s);
+        EXPECT_EQ(pa.rateMultiplier, pb.rateMultiplier) << "slot " << s;
+        EXPECT_EQ(pa.stalled, pb.stalled);
+        EXPECT_EQ(pa.byzantine, pb.byzantine);
+    }
+    EXPECT_EQ(a.burstSlots(), b.burstSlots());
+    EXPECT_EQ(a.stalledSlots(), b.stalledSlots());
+    EXPECT_EQ(a.byzantineSlots(), b.byzantineSlots());
+}
+
+TEST(StreamFaultInjector, DifferentSeedsDiverge)
+{
+    StreamFaultInjector a(1, chaosParams(), 512);
+    StreamFaultInjector b(2, chaosParams(), 512);
+    bool diverged = false;
+    for (std::uint64_t s = 0; s < 512 && !diverged; ++s) {
+        const SlotProfile &pa = a.profile(s);
+        const SlotProfile &pb = b.profile(s);
+        diverged = pa.rateMultiplier != pb.rateMultiplier
+                || pa.stalled != pb.stalled
+                || pa.byzantine != pb.byzantine;
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(StreamFaultInjector, ProducesAllThreeFaultKindsWithoutOverlap)
+{
+    StreamFaultInjector inj(7, chaosParams(), 1024);
+    EXPECT_GT(inj.burstSlots(), 0u);
+    EXPECT_GT(inj.stalledSlots(), 0u);
+    EXPECT_GT(inj.byzantineSlots(), 0u);
+
+    std::uint64_t faulted = 0;
+    for (std::uint64_t s = 0; s < 1024; ++s) {
+        const SlotProfile &p = inj.profile(s);
+        int kinds = (p.rateMultiplier > 1.0 ? 1 : 0)
+                  + (p.stalled ? 1 : 0) + (p.byzantine ? 1 : 0);
+        EXPECT_LE(kinds, 1) << "overlapping windows at slot " << s;
+        faulted += kinds;
+        if (p.byzantine) {
+            // Byzantine windows must actually boost the adversarial mix.
+            EXPECT_GT(p.mixBoost.malformed + p.mixBoost.duplicate
+                          + p.mixBoost.nonceStorm,
+                      0.0);
+        }
+    }
+    EXPECT_EQ(faulted, inj.burstSlots() + inj.stalledSlots()
+                           + inj.byzantineSlots());
+    // Chaos must not be wall-to-wall either: most slots stay benign.
+    EXPECT_LT(faulted, 1024u);
+}
+
+TEST(StreamFaultInjector, BenignPastHorizonAndWithZeroRates)
+{
+    StreamFaultInjector inj(7, chaosParams(), 32);
+    const SlotProfile &past = inj.profile(10'000);
+    EXPECT_EQ(past.rateMultiplier, 1.0);
+    EXPECT_FALSE(past.stalled);
+    EXPECT_FALSE(past.byzantine);
+
+    StreamFaultInjector quiet(7, StreamFaultParams{}, 128);
+    EXPECT_EQ(quiet.burstSlots(), 0u);
+    EXPECT_EQ(quiet.stalledSlots(), 0u);
+    EXPECT_EQ(quiet.byzantineSlots(), 0u);
+}
+
+} // namespace
+} // namespace mtpu::fault

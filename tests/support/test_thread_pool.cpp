@@ -1,15 +1,19 @@
 /**
  * @file
  * Work-stealing ThreadPool tests: exactly-once index coverage, stealing
- * under skewed work, nested-call inlining, exception propagation, and
- * the MTPU_THREADS / cap resolution of defaultThreads().
+ * under skewed work, nested-call inlining, exception propagation,
+ * shutdown/teardown (run under TSan via the sanitizer tree's
+ * `ctest -L parallel`), and the MTPU_THREADS / cap resolution of
+ * defaultThreads().
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "support/thread_pool.hpp"
@@ -123,6 +127,89 @@ TEST(ThreadPool, SingleThreadPoolRunsSerially)
     std::size_t sum = 0; // no atomics needed: everything is inline
     pool.parallelFor(1000, [&](std::size_t i) { sum += i; });
     EXPECT_EQ(sum, std::size_t(1000 * 999 / 2));
+}
+
+TEST(ThreadPoolShutdown, IdlePoolDestructsCleanly)
+{
+    // Workers that never received a job must still join on destruction.
+    for (int round = 0; round < 8; ++round)
+        ThreadPool pool(4);
+}
+
+TEST(ThreadPoolShutdown, DestructionRightAfterWorkLosesNothing)
+{
+    // Tear the pool down immediately after parallelFor returns, while
+    // workers are still winding down from the job epoch. Every index
+    // must have run exactly once before the destructor finishes.
+    const std::size_t n = 4096;
+    for (int round = 0; round < 16; ++round) {
+        std::vector<std::atomic<int>> hits(n);
+        {
+            ThreadPool pool(4);
+            pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+        } // destructor joins here
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "round " << round << " index " << i;
+    }
+}
+
+TEST(ThreadPoolShutdown, DestructionRightAfterRunAllLosesNothing)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(4);
+        std::vector<std::function<void()>> tasks;
+        for (int t = 0; t < 64; ++t)
+            tasks.push_back([&ran] { ++ran; });
+        pool.runAll(tasks);
+    }
+    EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolShutdown, ConstructDestroyChurn)
+{
+    // Rapid create/use/destroy cycles stress the startup/shutdown
+    // handshake (epoch signalling, stop flag, join).
+    std::atomic<std::size_t> total{0};
+    for (int round = 0; round < 40; ++round) {
+        ThreadPool pool(1 + round % 4);
+        pool.parallelFor(64, [&](std::size_t) { ++total; });
+    }
+    EXPECT_EQ(total.load(), std::size_t(40 * 64));
+}
+
+TEST(ThreadPoolShutdown, OwningThreadCanDiffersFromUsingThread)
+{
+    // A pool constructed on one thread, driven from another, then
+    // destroyed on the first: the join must not depend on which
+    // thread ran the jobs.
+    auto pool = std::make_unique<ThreadPool>(4);
+    std::vector<std::atomic<int>> hits(1024);
+    std::thread driver([&] {
+        pool->parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    });
+    driver.join();
+    pool.reset(); // destruction with fully drained, just-idle workers
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolShutdown, SurvivesExceptionThenDestructs)
+{
+    std::atomic<std::size_t> after{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_THROW(pool.parallelFor(128,
+                                      [](std::size_t i) {
+                                          if (i == 7)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error);
+        pool.parallelFor(128, [&](std::size_t) { ++after; });
+    } // destruct directly after a failed + a clean job
+    EXPECT_EQ(after.load(), 128u);
 }
 
 TEST(ThreadPool, DefaultThreadsRespectsEnvAndCap)

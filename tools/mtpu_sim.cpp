@@ -14,10 +14,23 @@
  *            [--abort-rate R] [--pu-fault N] [--no-recovery] [--help]
  *
  * With any of the --inject-* / --drop-edges / --abort-rate /
- * --pu-fault flags, each block is run through the fault injector
- * (degraded DAG, forced aborts, PU faults), recovered speculatively,
- * and audited for serializability. Exits 2 if any block fails the
- * audit.
+ * --pu-fault / --watchdog-budget flags, each block is run through the
+ * fault injector (degraded DAG, forced aborts, PU faults), recovered
+ * speculatively, and audited for serializability.
+ *
+ * With --stream, blocks are not pre-generated: an open-loop producer
+ * feeds wire transactions through the bounded mempool (admission
+ * control, credit backpressure, deterministic shedding) and the
+ * StreamServer cuts and executes one block per slot. --chaos arms the
+ * seeded stream fault injector (burst floods, stalls, byzantine
+ * windows).
+ *
+ * Exit codes (stable, asserted by tests/stream/test_exit_codes.cpp):
+ *   0  success — every block executed and audited clean
+ *   1  configuration error (bad flag/value) or report-write failure
+ *   2  audit failure — a block's committed order was not serializable
+ *   3  watchdog trip — the scheduler watchdog failed a block
+ *   4  overload abort — stream shed ratio exceeded --max-shed-ratio
  */
 
 #include <chrono>
@@ -27,11 +40,16 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/mtpu.hpp"
 #include "fault/injector.hpp"
+#include "fault/stream_faults.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "stream/server.hpp"
+#include "workload/stream_gen.hpp"
 
 namespace {
 
@@ -59,15 +77,25 @@ struct Options
     int puFault = 0;
     bool recovery = true;
     bool injectionRequested = false;
+    std::uint64_t watchdogBudget = 0; ///< 0 = derive per block
     std::string tracePath; ///< Chrome trace-event JSON; empty = off
     bool traceHost = false; ///< include host-domain events in the trace
     bool metrics = false;   ///< enable + report the metrics registry
+
+    // --stream mode (--blocks becomes soak slots; --txs the block cap).
+    bool stream = false;
+    int rate = 32;             ///< offered txs per slot (open loop)
+    int poolCap = 4096;        ///< mempool capacity
+    int senders = 64;          ///< hot-sender pool size
+    bool chaos = false;        ///< arm the stream fault injector
+    double burstX = 5.0;       ///< chaos burst multiplier
+    double maxShedRatio = 1.0; ///< overload-abort ceiling; 1 = off
 
     bool
     faultMode() const
     {
         return injectionRequested || dropEdges > 0.0 || abortRate > 0.0
-               || puFault > 0;
+               || puFault > 0 || watchdogBudget > 0;
     }
 };
 
@@ -107,7 +135,26 @@ usage(const char *argv0)
         "  --abort-rate R   fraction of txs force-aborted mid-run 0..1\n"
         "  --pu-fault N     kill N processing units per block\n"
         "  --no-recovery    disable conflict validation/retry (the\n"
-        "                   audit is expected to fail)\n",
+        "                   audit is expected to fail)\n"
+        "  --watchdog-budget N  scheduler watchdog cycle budget;\n"
+        "                   0 = derive a generous bound per block\n"
+        "streaming front end (mempool + admission + backpressure):\n"
+        "  --stream         soak mode: an open-loop producer feeds the\n"
+        "                   bounded mempool; one block is cut and\n"
+        "                   executed (recovered + audited) per slot.\n"
+        "                   --blocks = soak slots, --txs = block cap\n"
+        "  --rate N         offered transactions per slot (default 32)\n"
+        "  --pool-cap N     mempool capacity (default 4096)\n"
+        "  --senders N      hot-sender pool size (default 64)\n"
+        "  --chaos          arm the seeded stream fault injector:\n"
+        "                   burst floods, producer stalls, byzantine\n"
+        "                   windows (reproducible via --inject-seed)\n"
+        "  --burst-x F      chaos burst-flood multiplier (default 5)\n"
+        "  --max-shed-ratio R  abort the soak (exit 4) when the shed\n"
+        "                   fraction exceeds R; 1.0 disables\n"
+        "exit codes:\n"
+        "  0 success    1 config error    2 audit failure\n"
+        "  3 watchdog trip    4 overload abort\n",
         argv0);
 }
 
@@ -213,6 +260,40 @@ parse(int argc, char **argv, Options &opt)
             opt.puFault = std::atoi(v);
         } else if (arg == "--no-recovery") {
             opt.recovery = false;
+        } else if (arg == "--watchdog-budget") {
+            const char *v = next("--watchdog-budget");
+            if (!v)
+                return false;
+            opt.watchdogBudget = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--stream") {
+            opt.stream = true;
+        } else if (arg == "--rate") {
+            const char *v = next("--rate");
+            if (!v)
+                return false;
+            opt.rate = std::atoi(v);
+        } else if (arg == "--pool-cap") {
+            const char *v = next("--pool-cap");
+            if (!v)
+                return false;
+            opt.poolCap = std::atoi(v);
+        } else if (arg == "--senders") {
+            const char *v = next("--senders");
+            if (!v)
+                return false;
+            opt.senders = std::atoi(v);
+        } else if (arg == "--chaos") {
+            opt.chaos = true;
+        } else if (arg == "--burst-x") {
+            const char *v = next("--burst-x");
+            if (!v)
+                return false;
+            opt.burstX = std::atof(v);
+        } else if (arg == "--max-shed-ratio") {
+            const char *v = next("--max-shed-ratio");
+            if (!v)
+                return false;
+            opt.maxShedRatio = std::atof(v);
         } else if (arg == "--trace") {
             const char *v = next("--trace");
             if (!v)
@@ -247,6 +328,18 @@ parse(int argc, char **argv, Options &opt)
         std::fprintf(stderr,
                      "fault injection requires --scheme st\n");
         return false;
+    }
+    if (opt.stream) {
+        if (opt.scheme != "st") {
+            std::fprintf(stderr, "--stream requires --scheme st\n");
+            return false;
+        }
+        if (opt.rate < 1 || opt.poolCap < 1 || opt.senders < 1
+            || opt.burstX < 1.0 || opt.maxShedRatio < 0.0
+            || opt.maxShedRatio > 1.0) {
+            std::fprintf(stderr, "invalid --stream values\n");
+            return false;
+        }
     }
     return true;
 }
@@ -362,7 +455,10 @@ describeRun(JsonReport &report, const Options &opt,
 /**
  * Audited fault run: degrade each block per the seeded plan, execute
  * with (or without) speculative recovery, audit serializability.
- * Returns the process exit code (2 if any block failed the audit).
+ * Returns the process exit code: 2 if any block failed the audit
+ * outright, else 3 if any block tripped the watchdog (a tripped
+ * block's partial completion order also fails the audit, so the
+ * watchdog is attributed first per block), else 0.
  */
 int
 runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
@@ -403,6 +499,8 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
                 "audit");
 
     int failed_blocks = 0;
+    int audit_failed_blocks = 0;
+    int watchdog_blocks = 0;
     sched::EngineStats totals;
     for (int b = 0; b < opt.blocks; ++b) {
         workload::BlockParams block_params;
@@ -418,12 +516,18 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         this_run.hotspotOpt = run.hotspotOpt && b > 0;
         this_run.recovery.validateConflicts = opt.recovery;
         this_run.recovery.plan = &plan;
+        this_run.recovery.watchdogBudget = opt.watchdogBudget;
         auto res = proc.executeAudited(degraded, gen.genesis(),
                                        this_run);
 
         bool ok = res.ok();
-        if (!ok)
+        if (!ok) {
             ++failed_blocks;
+            if (res.stats.watchdogFired)
+                ++watchdog_blocks;
+            else
+                ++audit_failed_blocks;
+        }
         std::uint64_t aborts =
             res.stats.conflictAborts + res.stats.puFaultAborts;
         std::printf("%5d %6zu %8zu %9llu %8llu %8llu %8llu %7s\n", b,
@@ -478,7 +582,190 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
                 (unsigned long long)totals.injectedAborts,
                 (unsigned long long)totals.retries,
                 opt.blocks - failed_blocks, opt.blocks);
-    return failed_blocks == 0 ? 0 : 2;
+    if (audit_failed_blocks > 0)
+        return 2;
+    return watchdog_blocks > 0 ? 3 : 0;
+}
+
+/**
+ * Streaming soak: an open-loop producer (optionally shaped by the
+ * seeded chaos injector) feeds the bounded mempool; the StreamServer
+ * cuts, executes and audits one block per slot. The process exit code
+ * is the SoakOutcome (0 ok / 2 audit / 3 watchdog / 4 overload).
+ */
+int
+runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
+          const mtpu::core::RunOptions &run)
+{
+    using namespace mtpu;
+
+    workload::Generator gen(opt.seed, 512, opt.threads);
+    workload::StreamMix mix;
+    workload::StreamGenerator wire_gen(gen, opt.seed, opt.senders, mix);
+
+    stream::StreamConfig scfg;
+    scfg.pool.capacity = std::size_t(opt.poolCap);
+    scfg.block.maxTxs = std::size_t(opt.txs);
+    scfg.maxShedRatio = opt.maxShedRatio;
+
+    fault::StreamFaultParams fparams;
+    fparams.burstMultiplier = opt.burstX;
+    if (opt.chaos) {
+        fparams.burstRate = 0.05;
+        fparams.stallRate = 0.04;
+        fparams.byzantineRate = 0.04;
+    }
+    fault::StreamFaultInjector chaos(opt.injectSeed, fparams,
+                                     std::uint64_t(opt.blocks));
+
+    core::RunOptions srun = run;
+    srun.recovery.watchdogBudget = opt.watchdogBudget;
+    stream::StreamServer server(cfg, srun, gen.genesis(),
+                                gen.contracts(), scfg);
+
+    std::printf("stream soak: %d slots, rate=%d tx/slot, pool-cap=%d, "
+                "senders=%d, chaos=%s (seed=%llu, burst-x=%.1f), "
+                "max-shed-ratio=%.2f\n",
+                opt.blocks, opt.rate, opt.poolCap, opt.senders,
+                opt.chaos ? "on" : "off",
+                (unsigned long long)opt.injectSeed, opt.burstX,
+                opt.maxShedRatio);
+
+    std::uint64_t offered = 0;
+    std::uint64_t held_back = 0;
+    auto producer = [&](std::uint64_t slot, std::size_t credits) {
+        // Wallet behaviour: resync issued nonces against the pool's
+        // pending view so shed/bounced nonces get re-issued.
+        wire_gen.resyncNonces([&](const evm::Address &a) {
+            return server.mempool().pendingNonce(a);
+        });
+        const fault::SlotProfile &prof = chaos.profile(slot);
+        std::size_t want =
+            prof.stalled
+                ? 0
+                : std::size_t(double(opt.rate) * prof.rateMultiplier
+                              + 0.5);
+        offered += want;
+        std::size_t send = want;
+        // A byzantine window ignores the credit grant (the mempool
+        // bounces the excess cheaply); everyone else respects it.
+        if (!(prof.byzantine && fparams.byzantineIgnoresCredits)
+            && send > credits) {
+            held_back += send - credits;
+            send = credits;
+        }
+        if (prof.byzantine)
+            return wire_gen.slotTxs(slot, send,
+                                    mix.boosted(prof.mixBoost));
+        return wire_gen.slotTxs(slot, send);
+    };
+
+    auto wall_start = std::chrono::steady_clock::now();
+    stream::SoakReport rep = server.run(producer,
+                                        std::uint64_t(opt.blocks));
+    rep.offered = offered;
+    rep.producerHeldBack = held_back;
+    double wall = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - wall_start)
+                      .count();
+
+    double shed_ratio =
+        rep.pool.submitted
+            ? double(rep.pool.shedTotal()) / double(rep.pool.submitted)
+            : 0.0;
+    std::printf(
+        "soak: %s after %llu slots — %llu blocks (%llu empty), "
+        "%llu committed txs (%.1f tx/slot)\n"
+        "flow: offered=%llu held-back=%llu submitted=%llu "
+        "admitted=%llu shed=%llu (ratio %.3f) peak-depth=%zu\n"
+        "exec: conflictAborts=%llu retries=%llu failedReceipts=%llu "
+        "auditFailures=%d deadlineMisses=%llu\n"
+        "latency: p50=%.0f p99=%.0f slots; chain digest %s\n",
+        stream::soakOutcomeName(rep.outcome),
+        (unsigned long long)rep.slots, (unsigned long long)rep.blocks,
+        (unsigned long long)rep.emptyBlocks,
+        (unsigned long long)rep.committedTxs, rep.committedPerSlot(),
+        (unsigned long long)rep.offered,
+        (unsigned long long)rep.producerHeldBack,
+        (unsigned long long)rep.pool.submitted,
+        (unsigned long long)rep.pool.admitted,
+        (unsigned long long)rep.pool.shedTotal(), shed_ratio,
+        rep.pool.peakDepth, (unsigned long long)rep.conflictAborts,
+        (unsigned long long)rep.retries,
+        (unsigned long long)rep.failedReceipts, rep.auditFailures,
+        (unsigned long long)rep.deadlineMisses, rep.latencyP50,
+        rep.latencyP99, rep.chainDigest.toHex().c_str());
+    if (opt.chaos)
+        std::printf("chaos: %llu burst, %llu stalled, %llu byzantine "
+                    "slots\n",
+                    (unsigned long long)chaos.burstSlots(),
+                    (unsigned long long)chaos.stalledSlots(),
+                    (unsigned long long)chaos.byzantineSlots());
+
+    JsonReport report;
+    describeRun(report, opt, cfg);
+    report.set("streamMode", "true");
+    report.set("outcome",
+               jsonQuote(stream::soakOutcomeName(rep.outcome)));
+    report.set("ratePerSlot", jsonNum(std::uint64_t(opt.rate)));
+    report.set("poolCapacity", jsonNum(std::uint64_t(opt.poolCap)));
+    report.set("senders", jsonNum(std::uint64_t(opt.senders)));
+    report.set("chaos", opt.chaos ? "true" : "false");
+    report.set("slots", jsonNum(rep.slots));
+    report.set("committedBlocks", jsonNum(rep.blocks));
+    report.set("emptyBlocks", jsonNum(rep.emptyBlocks));
+    report.set("offered", jsonNum(rep.offered));
+    report.set("producerHeldBack", jsonNum(rep.producerHeldBack));
+    report.set("submitted", jsonNum(rep.pool.submitted));
+    report.set("admitted", jsonNum(rep.pool.admitted));
+    report.set("shedTotal", jsonNum(rep.pool.shedTotal()));
+    report.set("shedRatio", jsonNum(shed_ratio));
+    report.set("peakPoolDepth", jsonNum(std::uint64_t(rep.pool.peakDepth)));
+    std::string admission = "{";
+    for (int c = 0; c < int(stream::Admit::kCount); ++c) {
+        admission += (c ? ", " : "")
+                   + jsonQuote(stream::admitName(stream::Admit(c)))
+                   + ": " + jsonNum(rep.pool.byCode[std::size_t(c)]);
+    }
+    admission += "}";
+    report.set("admission", admission);
+    report.set("committedTxs", jsonNum(rep.committedTxs));
+    report.set("committedPerSlot", jsonNum(rep.committedPerSlot()));
+    report.set("failedReceipts", jsonNum(rep.failedReceipts));
+    report.set("conflictAborts", jsonNum(rep.conflictAborts));
+    report.set("retries", jsonNum(rep.retries));
+    report.set("auditFailures", jsonNum(std::uint64_t(rep.auditFailures)));
+    report.set("watchdogFired", rep.watchdogFired ? "true" : "false");
+    report.set("deadlineMisses", jsonNum(rep.deadlineMisses));
+    report.set("latencyP50Slots", jsonNum(rep.latencyP50));
+    report.set("latencyP99Slots", jsonNum(rep.latencyP99));
+    report.set("chainDigest", jsonQuote(rep.chainDigest.toHex()));
+    report.set("wallSeconds", jsonNum(wall));
+    for (const stream::BlockSummary &row : rep.blockLog) {
+        report.blocks.push_back(
+            "{\"height\": " + jsonNum(row.height)
+            + ", \"slot\": " + jsonNum(row.slot)
+            + ", \"txs\": " + jsonNum(std::uint64_t(row.txs))
+            + ", \"makespan\": " + jsonNum(row.makespan)
+            + ", \"conflictAborts\": " + jsonNum(row.conflictAborts)
+            + ", \"retries\": " + jsonNum(row.retries)
+            + ", \"poolDepthAfter\": "
+            + jsonNum(std::uint64_t(row.poolDepthAfter))
+            + ", \"auditOk\": " + (row.auditOk ? "true" : "false")
+            + "}");
+    }
+    if (opt.metrics)
+        reportMetrics(report);
+    if (!opt.jsonPath.empty() && !report.write(opt.jsonPath))
+        return 1;
+
+    switch (rep.outcome) {
+      case stream::SoakOutcome::Ok: return 0;
+      case stream::SoakOutcome::AuditFailure: return 2;
+      case stream::SoakOutcome::WatchdogTrip: return 3;
+      case stream::SoakOutcome::OverloadAbort: return 4;
+    }
+    return 0;
 }
 
 } // namespace
@@ -519,6 +806,8 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (opt.stream)
+        return runStream(opt, cfg, run);
     if (opt.faultMode())
         return runFaulted(opt, cfg, run, tracer_ptr);
 
