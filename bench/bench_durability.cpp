@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Durability overhead and recovery-cost benchmark (DESIGN.md §12):
+ * runs the identical seeded stream three times —
+ *  - volatile:   no persistence attached (the pre-durability baseline),
+ *  - durable:    WAL append + fsync per committed block and periodic
+ *                snapshots over a fresh data directory,
+ *  - restart:    a fresh process image over the durable directory;
+ *                recovery (snapshot load + WAL replay through the real
+ *                engine) is timed separately from the replay-skip
+ *                stream pass that follows it.
+ *
+ * Reports wall time, WAL/snapshot volume, and the durability overhead
+ * ratio, and writes BENCH_durability.json.
+ *
+ * Digest-equality gate (exit 2 on violation): all three runs must
+ * finish Ok and reach the same final chain digest — durability and
+ * recovery must be invisible to the chain's semantics.
+ *
+ * Usage: bench_durability [slots] [txs-per-block] [json-path]
+ * Env:   MTPU_BENCH_BLOCKS / MTPU_BENCH_TXS override the positional
+ *        defaults (positional arguments still win when given).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "persist/persistence.hpp"
+#include "stream/server.hpp"
+#include "workload/stream_gen.hpp"
+
+namespace {
+
+using namespace mtpu;
+
+constexpr std::uint64_t kSeed = 7;
+constexpr std::size_t kAccounts = 128;
+constexpr int kSenders = 32;
+
+std::string
+fmt(const char *spec, double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), spec, v);
+    return buf;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+struct DurabilityRung
+{
+    std::string name;
+    stream::SoakReport report;
+    double wallSeconds = 0.0;
+    double recoverSeconds = 0.0; ///< restart rung only
+    persist::RecoveryResult rec; ///< restart rung only
+};
+
+/**
+ * One process lifetime over the shared seeded stream. @p data_dir
+ * empty means volatile (no persistence). Every lifetime re-feeds the
+ * identical wire stream from slot 0 — the restart contract.
+ */
+DurabilityRung
+runRung(const std::string &name, const std::string &data_dir,
+        int slots, int block_cap)
+{
+    DurabilityRung out;
+    out.name = name;
+
+    workload::Generator gen(kSeed, kAccounts, 0);
+    workload::StreamGenerator wire_gen(gen, kSeed, kSenders);
+
+    stream::StreamConfig scfg;
+    scfg.block.maxTxs = std::size_t(block_cap);
+
+    arch::MtpuConfig cfg;
+    core::RunOptions run;
+    run.scheme = core::Scheme::SpatioTemporal;
+    run.redundancyOpt = true;
+
+    std::unique_ptr<persist::Persistence> persist;
+    if (!data_dir.empty()) {
+        persist::PersistConfig pcfg;
+        pcfg.dataDir = data_dir;
+        pcfg.snapshotEvery = 16;
+        persist = std::make_unique<persist::Persistence>(pcfg);
+        auto rec_start = std::chrono::steady_clock::now();
+        out.rec = persist->recover(cfg, run, gen.genesis());
+        out.recoverSeconds = secondsSince(rec_start);
+        if (!out.rec.ok) {
+            std::fprintf(stderr, "%s: unrecoverable corruption: %s\n",
+                         name.c_str(), out.rec.error.c_str());
+            return out;
+        }
+    }
+
+    stream::StreamServer server(cfg, run, gen.genesis(),
+                                gen.contracts(), scfg);
+    if (persist) {
+        server.setChainState(out.rec.state);
+        server.attachPersistence(persist.get());
+    }
+
+    auto producer = [&](std::uint64_t slot, std::size_t credits) {
+        wire_gen.resyncNonces([&](const evm::Address &a) {
+            return server.mempool().pendingNonce(a);
+        });
+        std::size_t send =
+            std::min(std::size_t(block_cap) * 2, credits);
+        return wire_gen.slotTxs(slot, send);
+    };
+
+    auto start = std::chrono::steady_clock::now();
+    out.report = server.run(producer, std::uint64_t(slots));
+    out.wallSeconds = secondsSince(start);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mtpu::bench;
+
+    auto env_default = [](const char *name, int fallback) {
+        const char *v = std::getenv(name);
+        return v && std::atoi(v) > 0 ? std::atoi(v) : fallback;
+    };
+    const int slots = argc > 1 ? std::atoi(argv[1])
+                               : env_default("MTPU_BENCH_BLOCKS", 48);
+    const int block_cap = argc > 2 ? std::atoi(argv[2])
+                                   : env_default("MTPU_BENCH_TXS", 8);
+    const std::string json_path =
+        argc > 3 ? argv[3] : "BENCH_durability.json";
+
+    banner("Durability: WAL+snapshot overhead and recovery cost");
+    std::printf("%d slots, block cap %d txs, %zu accounts\n\n", slots,
+                block_cap, kAccounts);
+
+    char tmpl[] = "/tmp/mtpu_bench_durability_XXXXXX";
+    const char *dir_c = mkdtemp(tmpl);
+    if (!dir_c) {
+        std::fprintf(stderr, "mkdtemp failed\n");
+        return 1;
+    }
+    const std::string dir = dir_c;
+
+    std::vector<DurabilityRung> rungs;
+    rungs.push_back(runRung("volatile", "", slots, block_cap));
+    rungs.push_back(runRung("durable", dir, slots, block_cap));
+    rungs.push_back(runRung("restart", dir, slots, block_cap));
+    std::system(("rm -rf " + dir).c_str());
+
+    const DurabilityRung &vol = rungs[0];
+    const DurabilityRung &dur = rungs[1];
+    const DurabilityRung &res = rungs[2];
+
+    Table table({"rung", "seconds", "committed", "executed blk",
+                 "replayed blk", "WAL appends", "WAL KiB", "snapshots",
+                 "outcome"});
+    for (const DurabilityRung &r : rungs) {
+        table.row({r.name, fmt("%.3f", r.wallSeconds),
+                   std::to_string(r.report.committedTxs),
+                   std::to_string(r.report.blocks),
+                   std::to_string(r.report.replayedBlocks),
+                   std::to_string(r.report.walAppends),
+                   fmt("%.1f", double(r.report.walBytes) / 1024.0),
+                   std::to_string(r.report.snapshotsWritten),
+                   stream::soakOutcomeName(r.report.outcome)});
+    }
+    table.print();
+
+    double overhead = vol.wallSeconds > 0.0
+                          ? dur.wallSeconds / vol.wallSeconds
+                          : 0.0;
+    std::printf("\ndurability overhead: %.2fx wall clock "
+                "(volatile %.3fs -> durable %.3fs)\n",
+                overhead, vol.wallSeconds, dur.wallSeconds);
+    std::printf("recovery: %.3fs (snapshot at %llu, %llu blocks "
+                "replayed through the engine, %llu WAL records), then "
+                "%.3fs replay-skip stream pass\n",
+                res.recoverSeconds,
+                (unsigned long long)res.rec.snapshotHeight,
+                (unsigned long long)res.rec.blocksReplayed,
+                (unsigned long long)res.rec.walRecords,
+                res.wallSeconds);
+
+    bool all_ok = res.rec.ok;
+    for (const DurabilityRung &r : rungs)
+        all_ok = all_ok
+              && r.report.outcome == stream::SoakOutcome::Ok;
+    bool digests_equal =
+        vol.report.chainDigest == dur.report.chainDigest
+        && dur.report.chainDigest == res.report.chainDigest;
+    std::printf("digest equality across volatile/durable/restart: "
+                "%s\n",
+                digests_equal ? "bit-identical" : "DIVERGED");
+
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"durability\",\n"
+                 "  \"slots\": %d,\n  \"blockCapTxs\": %d,\n"
+                 "  \"accounts\": %zu,\n"
+                 "  \"durabilityOverhead\": %.4f,\n"
+                 "  \"digestsEqual\": %s,\n"
+                 "  \"recovery\": {\"seconds\": %.6f, "
+                 "\"usedSnapshot\": %s, \"snapshotHeight\": %llu, "
+                 "\"blocksReplayed\": %llu, \"walRecords\": %llu},\n"
+                 "  \"rungs\": [\n",
+                 slots, block_cap, kAccounts, overhead,
+                 digests_equal ? "true" : "false", res.recoverSeconds,
+                 res.rec.usedSnapshot ? "true" : "false",
+                 (unsigned long long)res.rec.snapshotHeight,
+                 (unsigned long long)res.rec.blocksReplayed,
+                 (unsigned long long)res.rec.walRecords);
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+        const DurabilityRung &r = rungs[i];
+        std::fprintf(
+            f,
+            "    {\"rung\": \"%s\", \"wallSeconds\": %.6f, "
+            "\"committedTxs\": %llu, \"blocks\": %llu, "
+            "\"replayedBlocks\": %llu, \"replayedTxs\": %llu, "
+            "\"walAppends\": %llu, \"walBytes\": %llu, "
+            "\"snapshotsWritten\": %llu, \"outcome\": \"%s\", "
+            "\"chainDigest\": \"%s\"}%s\n",
+            r.name.c_str(), r.wallSeconds,
+            (unsigned long long)r.report.committedTxs,
+            (unsigned long long)r.report.blocks,
+            (unsigned long long)r.report.replayedBlocks,
+            (unsigned long long)r.report.replayedTxs,
+            (unsigned long long)r.report.walAppends,
+            (unsigned long long)r.report.walBytes,
+            (unsigned long long)r.report.snapshotsWritten,
+            stream::soakOutcomeName(r.report.outcome),
+            r.report.chainDigest.toHex().c_str(),
+            i + 1 < rungs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+
+    bool pass = all_ok && digests_equal;
+    std::printf("durability gate: %s\n", pass ? "PASS" : "FAIL");
+    return pass ? 0 : 2;
+}

@@ -13,7 +13,10 @@
  *  - peak pool depth never exceeds the configured capacity (bounded
  *    memory), and
  *  - committed throughput under 5x overload stays >= 90% of the
- *    un-overloaded rate: overload must shed load, not capacity.
+ *    un-overloaded rate: overload must shed load, not capacity, and
+ *  - the disposition accounting identities hold (every offered tx is
+ *    either held back by credits or counted under exactly one
+ *    admission code; failedReceipts == reverted + executionFailures).
  *
  * Usage: bench_stream [slots] [txs-per-block] [json-path]
  * Env:   MTPU_BENCH_BLOCKS / MTPU_BENCH_TXS override the positional
@@ -47,7 +50,8 @@ struct StreamRung
     int rate = 0; ///< offered txs per slot
     stream::SoakReport report;
     std::uint64_t offered = 0;
-    double shedRatio = 0.0;
+    double shedRatio = 0.0;     ///< shedTotal / submitted (pool view)
+    double unservedRatio = 0.0; ///< (offered - committed) / offered
     std::size_t poolCapacity = 0;
 };
 
@@ -74,6 +78,7 @@ runRung(const std::string &name, int rate, int slots, int block_cap)
                                 gen.contracts(), scfg);
 
     std::uint64_t offered = 0;
+    std::uint64_t held_back = 0;
     auto producer = [&](std::uint64_t slot, std::size_t credits) {
         // Wallet behaviour: re-issue nonces the pool shed or bounced.
         wire_gen.resyncNonces([&](const evm::Address &a) {
@@ -81,16 +86,66 @@ runRung(const std::string &name, int rate, int slots, int block_cap)
         });
         offered += std::uint64_t(rate);
         std::size_t send = std::min(std::size_t(rate), credits);
+        held_back += std::uint64_t(rate) - std::uint64_t(send);
         return wire_gen.slotTxs(slot, send);
     };
     out.report = server.run(producer, std::uint64_t(slots));
     out.offered = offered;
+    // The server only sees what the producer sent; the credit-held
+    // remainder is the producer's to report (same convention as
+    // mtpu_sim).
+    out.report.offered = offered;
+    out.report.producerHeldBack = held_back;
     out.shedRatio =
         out.report.pool.submitted
             ? double(out.report.pool.shedTotal())
                   / double(out.report.pool.submitted)
             : 0.0;
+    // The pool-relative shed ratio alone is misleading under credit
+    // backpressure: most of a 5x overload is held back at the producer
+    // and never reaches submit(), so shedRatio can read near zero while
+    // the majority of offered load goes unserved. unservedRatio is the
+    // honest end-to-end number.
+    out.unservedRatio =
+        offered ? double(offered - out.report.committedTxs)
+                      / double(offered)
+                : 0.0;
     return out;
+}
+
+/**
+ * Every offered tx must be accounted for exactly once: either held
+ * back by credits or counted under exactly one admission code; and the
+ * failed-receipt split must cover the total. A violated identity means
+ * the disposition breakdown lies, which fails the gate.
+ */
+bool
+accountingHolds(const StreamRung &r)
+{
+    const stream::MempoolStats &p = r.report.pool;
+    std::uint64_t by_code = 0;
+    for (std::size_t c = 0; c < std::size_t(stream::Admit::kCount); ++c)
+        by_code += p.byCode[c];
+    bool ok = true;
+    auto check = [&](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "%s: accounting identity violated: %s\n",
+                         r.name.c_str(), what);
+            ok = false;
+        }
+    };
+    check(r.offered == p.submitted + r.report.producerHeldBack,
+          "offered == submitted + producerHeldBack");
+    check(p.submitted == by_code, "submitted == sum(byCode)");
+    check(p.admitted
+              == p.byCode[std::size_t(stream::Admit::Admitted)]
+                     + p.byCode[std::size_t(stream::Admit::Replaced)],
+          "admitted == Admitted + Replaced");
+    check(r.report.failedReceipts
+              == r.report.revertedReceipts
+                     + r.report.executionFailures,
+          "failedReceipts == reverted + executionFailures");
+    return ok;
 }
 
 } // namespace
@@ -123,18 +178,41 @@ main(int argc, char **argv)
         runRung("overload-5x", block_cap * 5, slots, block_cap));
 
     Table table({"rung", "rate/slot", "committed", "tx/slot", "shed%",
-                 "peak depth", "p50 slots", "p99 slots", "outcome"});
+                 "unserved%", "peak depth", "p50 slots", "p99 slots",
+                 "outcome"});
     for (const StreamRung &r : rungs) {
         table.row({r.name, std::to_string(r.rate),
                    std::to_string(r.report.committedTxs),
                    fmt("%.2f", r.report.committedPerSlot()),
                    fmt("%.1f", r.shedRatio * 100.0),
+                   fmt("%.1f", r.unservedRatio * 100.0),
                    std::to_string(r.report.pool.peakDepth),
                    fmt("%.0f", r.report.latencyP50),
                    fmt("%.0f", r.report.latencyP99),
                    stream::soakOutcomeName(r.report.outcome)});
     }
     table.print();
+
+    std::printf("\ndisposition breakdown (where every offered tx "
+                "went):\n");
+    for (const StreamRung &r : rungs) {
+        std::printf("  %-12s heldBack=%llu", r.name.c_str(),
+                    (unsigned long long)r.report.producerHeldBack);
+        for (std::size_t c = 0;
+             c < std::size_t(stream::Admit::kCount); ++c) {
+            if (r.report.pool.byCode[c])
+                std::printf(
+                    " %s=%llu",
+                    stream::admitName(stream::Admit(int(c))),
+                    (unsigned long long)r.report.pool.byCode[c]);
+        }
+        std::printf(" shedEvicted=%llu failed=%llu (%llu reverted, "
+                    "%llu real)\n",
+                    (unsigned long long)r.report.pool.shedEvicted,
+                    (unsigned long long)r.report.failedReceipts,
+                    (unsigned long long)r.report.revertedReceipts,
+                    (unsigned long long)r.report.executionFailures);
+    }
 
     const StreamRung &base = rungs[0];
     const StreamRung &over = rungs[1];
@@ -146,10 +224,12 @@ main(int argc, char **argv)
 
     bool all_ok = true;
     bool bounded = true;
+    bool accounted = true;
     for (const StreamRung &r : rungs) {
         all_ok = all_ok
               && r.report.outcome == stream::SoakOutcome::Ok;
         bounded = bounded && r.report.pool.peakDepth <= r.poolCapacity;
+        accounted = accounted && accountingHolds(r);
     }
     std::printf("\nthroughput retention under 5x overload: %.1f%% "
                 "(gate: >= 90%%)\n",
@@ -170,21 +250,46 @@ main(int argc, char **argv)
         const StreamRung &r = rungs[i];
         std::fprintf(
             f,
-            "    {\"rung\": \"%s\", \"ratePerSlot\": %d, "
-            "\"offered\": %llu, \"submitted\": %llu, "
-            "\"admitted\": %llu, \"committedTxs\": %llu, "
-            "\"committedPerSlot\": %.4f, \"shedRatio\": %.4f, "
-            "\"peakPoolDepth\": %zu, \"latencyP50Slots\": %.2f, "
-            "\"latencyP99Slots\": %.2f, \"failedReceipts\": %llu, "
-            "\"outcome\": \"%s\", \"chainDigest\": \"%s\"}%s\n",
+            "    {\"rung\": \"%s\", \"ratePerSlot\": %d,\n"
+            "     \"offered\": %llu, \"producerHeldBack\": %llu, "
+            "\"submitted\": %llu,\n"
+            "     \"admitted\": %llu, \"shedEvicted\": %llu, "
+            "\"committedTxs\": %llu,\n"
+            "     \"committedPerSlot\": %.4f, \"shedRatio\": %.4f, "
+            "\"unservedRatio\": %.4f,\n"
+            "     \"peakPoolDepth\": %zu,\n"
+            "     \"dispositions\": {",
             r.name.c_str(), r.rate, (unsigned long long)r.offered,
+            (unsigned long long)r.report.producerHeldBack,
             (unsigned long long)r.report.pool.submitted,
             (unsigned long long)r.report.pool.admitted,
+            (unsigned long long)r.report.pool.shedEvicted,
             (unsigned long long)r.report.committedTxs,
-            r.report.committedPerSlot(), r.shedRatio,
-            r.report.pool.peakDepth, r.report.latencyP50,
-            r.report.latencyP99,
+            r.report.committedPerSlot(), r.shedRatio, r.unservedRatio,
+            r.report.pool.peakDepth);
+        for (std::size_t c = 0;
+             c < std::size_t(stream::Admit::kCount); ++c)
+            std::fprintf(
+                f, "%s\"%s\": %llu", c ? ", " : "",
+                stream::admitName(stream::Admit(int(c))),
+                (unsigned long long)r.report.pool.byCode[c]);
+        std::fprintf(
+            f,
+            "},\n"
+            "     \"latencyP50Slots\": %.2f, \"latencyP90Slots\": %.2f, "
+            "\"latencyP99Slots\": %.2f, \"latencyMeanSlots\": %.4f,\n"
+            "     \"queuedTxs\": %llu, \"queuedP50Slots\": %.2f, "
+            "\"queuedP99Slots\": %.2f,\n"
+            "     \"failedReceipts\": %llu, \"revertedReceipts\": %llu, "
+            "\"executionFailures\": %llu,\n"
+            "     \"outcome\": \"%s\", \"chainDigest\": \"%s\"}%s\n",
+            r.report.latencyP50, r.report.latencyP90,
+            r.report.latencyP99, r.report.latencyMean,
+            (unsigned long long)r.report.queuedTxs, r.report.queuedP50,
+            r.report.queuedP99,
             (unsigned long long)r.report.failedReceipts,
+            (unsigned long long)r.report.revertedReceipts,
+            (unsigned long long)r.report.executionFailures,
             stream::soakOutcomeName(r.report.outcome),
             r.report.chainDigest.toHex().c_str(),
             i + 1 < rungs.size() ? "," : "");
@@ -193,7 +298,7 @@ main(int argc, char **argv)
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
 
-    bool pass = all_ok && bounded && retention >= 0.90;
+    bool pass = all_ok && bounded && accounted && retention >= 0.90;
     std::printf("graceful-degradation gate: %s\n",
                 pass ? "PASS" : "FAIL");
     return pass ? 0 : 2;

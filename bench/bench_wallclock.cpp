@@ -26,6 +26,7 @@
 
 #include "bench/common.hpp"
 #include "fault/auditor.hpp"
+#include "support/stats.hpp"
 #include "support/thread_pool.hpp"
 
 namespace {
@@ -58,13 +59,9 @@ struct RungResult
     double
     latencyQuantile(double q) const
     {
-        if (blockSeconds.empty())
-            return 0.0;
         std::vector<double> sorted = blockSeconds;
         std::sort(sorted.begin(), sorted.end());
-        std::size_t rank =
-            std::size_t(q * double(sorted.size() - 1) + 0.5);
-        return sorted[std::min(rank, sorted.size() - 1)];
+        return percentileSorted(sorted, q);
     }
 };
 

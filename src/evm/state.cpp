@@ -1,8 +1,10 @@
 #include "evm/state.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "support/keccak.hpp"
+#include "support/rlp.hpp"
 
 namespace mtpu::evm {
 
@@ -268,6 +270,97 @@ WorldState::digest() const
         }
     }
     return acc;
+}
+
+Bytes
+WorldState::toRlp() const
+{
+    // Serialization is only defined for a settled, standalone state:
+    // an overlay's accounts are a partial diff and an open journal
+    // means a transaction is mid-flight.
+    if (base_ || !journal_.empty())
+        throw std::logic_error(
+            "WorldState::toRlp: overlay or open journal");
+
+    std::vector<const std::pair<const U256, Account> *> sorted;
+    sorted.reserve(accounts_.size());
+    for (const auto &entry : accounts_)
+        sorted.push_back(&entry);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto *a, const auto *b) {
+        return a->first < b->first;
+    });
+
+    std::vector<rlp::Item> accounts;
+    accounts.reserve(sorted.size());
+    for (const auto *entry : sorted) {
+        const Account &acct = entry->second;
+        std::vector<std::pair<U256, U256>> slots(acct.storage.begin(),
+                                                 acct.storage.end());
+        std::sort(slots.begin(), slots.end(),
+                  [](const auto &a, const auto &b) {
+            return a.first < b.first;
+        });
+        std::vector<rlp::Item> slot_items;
+        slot_items.reserve(slots.size());
+        for (const auto &[slot, value] : slots)
+            slot_items.push_back(rlp::Item::makeList(
+                {rlp::Item::word(slot), rlp::Item::word(value)}));
+        accounts.push_back(rlp::Item::makeList(
+            {rlp::Item::word(entry->first),
+             rlp::Item::word(U256(acct.nonce)),
+             rlp::Item::word(acct.balance), rlp::Item::bytes(acct.code),
+             rlp::Item::makeList(std::move(slot_items))}));
+    }
+    return rlp::encode(rlp::Item::makeList(std::move(accounts)));
+}
+
+WorldState
+WorldState::fromRlp(const Bytes &encoded)
+{
+    rlp::Item root = rlp::decode(encoded);
+    if (!root.isList)
+        throw std::invalid_argument("WorldState::fromRlp: bad shape");
+
+    WorldState state;
+    for (const rlp::Item &acct_item : root.list) {
+        if (!acct_item.isList || acct_item.list.size() != 5
+            || acct_item.list[0].isList || acct_item.list[1].isList
+            || acct_item.list[2].isList || acct_item.list[3].isList
+            || !acct_item.list[4].isList)
+            throw std::invalid_argument(
+                "WorldState::fromRlp: bad account");
+        Address addr = acct_item.list[0].toWord();
+        if (state.accounts_.count(addr))
+            throw std::invalid_argument(
+                "WorldState::fromRlp: duplicate account");
+        Account acct;
+        acct.nonce = acct_item.list[1].toWord().low64();
+        acct.balance = acct_item.list[2].toWord();
+        acct.code = acct_item.list[3].str;
+        acct.codeHash = acct.code.empty() ? U256()
+                                          : keccak256Word(acct.code);
+        U256 prev_slot;
+        bool first = true;
+        for (const rlp::Item &slot_item : acct_item.list[4].list) {
+            if (!slot_item.isList || slot_item.list.size() != 2)
+                throw std::invalid_argument(
+                    "WorldState::fromRlp: bad slot");
+            U256 slot = slot_item.list[0].toWord();
+            U256 value = slot_item.list[1].toWord();
+            if (!first && !(prev_slot < slot))
+                throw std::invalid_argument(
+                    "WorldState::fromRlp: unsorted slots");
+            if (value.isZero())
+                throw std::invalid_argument(
+                    "WorldState::fromRlp: zero-valued slot");
+            acct.storage.emplace(slot, value);
+            prev_slot = slot;
+            first = false;
+        }
+        state.accounts_.emplace(addr, std::move(acct));
+    }
+    return state;
 }
 
 void

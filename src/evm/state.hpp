@@ -148,6 +148,22 @@ class WorldState
     U256 digest() const;
 
     /**
+     * Canonical RLP serialization of the full state — the snapshot
+     * payload of the durability subsystem (DESIGN.md §12). Accounts
+     * and storage slots are emitted in sorted order, so two states
+     * with equal digest() produce byte-identical encodings. Must not
+     * be called on an overlay or with an open journal.
+     */
+    Bytes toRlp() const;
+
+    /**
+     * Rebuild a state from toRlp() output. Code hashes are recomputed
+     * from the code bytes, never trusted from the wire.
+     * @throws std::invalid_argument on malformed input.
+     */
+    static WorldState fromRlp(const Bytes &encoded);
+
+    /**
      * One undo record. Public (read-only via journal()) so the
      * speculative executor can turn an overlay's open journal into a
      * field-level delta set; everything else should treat this as an

@@ -1,0 +1,183 @@
+#include "fault/storage_faults.hpp"
+
+#include <algorithm>
+
+namespace mtpu::fault {
+
+FaultyStorage::FaultyStorage(persist::Storage &inner,
+                             const StorageFaultParams &params)
+    : inner_(inner), params_(params), rng_(params.seed)
+{}
+
+void
+FaultyStorage::schedule(const std::string &name, StorageFaultKind kind,
+                        std::uint64_t arg)
+{
+    directives_.emplace(name, Directive{kind, arg});
+}
+
+bool
+FaultyStorage::takeDirective(const std::string &name,
+                             StorageFaultKind a, StorageFaultKind b,
+                             Directive &out)
+{
+    auto [lo, hi] = directives_.equal_range(name);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second.kind == a || it->second.kind == b) {
+            out = it->second;
+            directives_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+FaultyStorage::dropUnsynced()
+{
+    for (auto &[name, buf] : unsynced_)
+        buf.clear();
+}
+
+bool
+FaultyStorage::append(const std::string &name, const Bytes &data)
+{
+    Bytes staged = data;
+
+    Directive d{StorageFaultKind::TornWrite, 0};
+    bool directed = takeDirective(name, StorageFaultKind::TornWrite,
+                                  StorageFaultKind::BitFlip, d);
+    Directive trunc{StorageFaultKind::TruncateTail, 0};
+    bool want_trunc = takeDirective(name, StorageFaultKind::TruncateTail,
+                                    StorageFaultKind::TruncateTail,
+                                    trunc);
+
+    bool torn = directed ? d.kind == StorageFaultKind::TornWrite
+                         : rng_.chance(params_.tornWriteRate);
+    bool flip = directed ? d.kind == StorageFaultKind::BitFlip
+                         : (!torn && rng_.chance(params_.bitFlipRate));
+
+    if (torn && staged.size() > 1) {
+        // A strict prefix survives; the suffix never existed.
+        std::uint64_t keep = directed && d.arg
+                                 ? std::min<std::uint64_t>(
+                                       d.arg, staged.size() - 1)
+                                 : 1 + rng_.below(staged.size() - 1);
+        staged.resize(std::size_t(keep));
+        ++tornWrites_;
+    }
+    if (flip && !staged.empty()) {
+        std::uint64_t bit = directed && d.arg
+                                ? d.arg % (staged.size() * 8)
+                                : rng_.below(staged.size() * 8);
+        staged[std::size_t(bit / 8)] ^= std::uint8_t(1u << (bit % 8));
+        ++bitFlips_;
+    }
+
+    Bytes &buf = unsynced_[name];
+    buf.insert(buf.end(), staged.begin(), staged.end());
+
+    if (want_trunc) {
+        std::uint64_t chop = trunc.arg ? trunc.arg : 3;
+        chop = std::min<std::uint64_t>(chop, buf.size());
+        buf.resize(buf.size() - std::size_t(chop));
+    }
+    return true;
+}
+
+bool
+FaultyStorage::sync(const std::string &name)
+{
+    Directive d{StorageFaultKind::FailSync, 0};
+    bool fail = takeDirective(name, StorageFaultKind::FailSync,
+                              StorageFaultKind::FailSync, d)
+                || rng_.chance(params_.failSyncRate);
+    auto it = unsynced_.find(name);
+    if (fail) {
+        // The kernel reported failure; the pages it was asked to
+        // flush are in an unknown state — model the worst case and
+        // drop them (fsync-gate semantics).
+        if (it != unsynced_.end())
+            it->second.clear();
+        ++failedSyncs_;
+        return false;
+    }
+    if (it != unsynced_.end() && !it->second.empty()) {
+        if (!inner_.append(name, it->second))
+            return false;
+        it->second.clear();
+    }
+    return inner_.sync(name);
+}
+
+bool
+FaultyStorage::read(const std::string &name, Bytes &out) const
+{
+    bool have = inner_.read(name, out);
+    auto it = unsynced_.find(name);
+    if (it != unsynced_.end() && !it->second.empty()) {
+        if (!have)
+            out.clear();
+        out.insert(out.end(), it->second.begin(), it->second.end());
+        return true;
+    }
+    return have;
+}
+
+bool
+FaultyStorage::writeAtomic(const std::string &name, const Bytes &data)
+{
+    // Atomic publication is all-or-nothing by contract; fault classes
+    // target the append/sync path. Drop any stale buffer for the name.
+    unsynced_.erase(name);
+    return inner_.writeAtomic(name, data);
+}
+
+bool
+FaultyStorage::truncate(const std::string &name, std::uint64_t size)
+{
+    std::uint64_t base = inner_.size(name);
+    auto it = unsynced_.find(name);
+    std::uint64_t buffered =
+        it == unsynced_.end() ? 0 : it->second.size();
+    if (size <= base) {
+        if (it != unsynced_.end())
+            it->second.clear();
+        return inner_.truncate(name, size);
+    }
+    if (base + buffered < size)
+        return false;
+    it->second.resize(std::size_t(size - base));
+    return true;
+}
+
+bool
+FaultyStorage::remove(const std::string &name)
+{
+    unsynced_.erase(name);
+    return inner_.remove(name);
+}
+
+std::uint64_t
+FaultyStorage::size(const std::string &name) const
+{
+    auto it = unsynced_.find(name);
+    return inner_.size(name)
+        + (it == unsynced_.end() ? 0 : it->second.size());
+}
+
+std::vector<std::string>
+FaultyStorage::list() const
+{
+    std::vector<std::string> names = inner_.list();
+    for (const auto &[name, buf] : unsynced_) {
+        if (!buf.empty()
+            && std::find(names.begin(), names.end(), name)
+                   == names.end())
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace mtpu::fault

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Storage-domain fault injection for the durability subsystem
+ * (DESIGN.md §12): a persist::Storage decorator that models the
+ * failure surface of a real disk under crash — torn writes (a prefix
+ * of an append reaches the platter), bit flips (media/bus
+ * corruption), failed fsyncs that silently drop the unsynced page
+ * cache, and truncated tails.
+ *
+ * The model mirrors the POSIX durability contract the WAL relies on:
+ * appends land in a per-file unsynced buffer that readers (the same
+ * process) still see — only sync() moves it to the inner storage. A
+ * failed sync drops the buffered bytes, which is exactly the data a
+ * crashed kernel would never write back. dropUnsynced() simulates the
+ * crash itself without exiting the process (in-process restart
+ * tests).
+ *
+ * Faults are drawn from a seeded Rng (same seed => same fault
+ * schedule) or scheduled as one-shot directives for deterministic
+ * corpus tests.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "persist/storage.hpp"
+#include "support/rng.hpp"
+
+namespace mtpu::fault {
+
+/** Per-operation fault probabilities (0 disables a class). */
+struct StorageFaultParams
+{
+    std::uint64_t seed = 1;
+    /** An append writes only a random strict prefix. */
+    double tornWriteRate = 0.0;
+    /** An append lands with one random bit flipped. */
+    double bitFlipRate = 0.0;
+    /** A sync fails and drops the file's unsynced buffer. */
+    double failSyncRate = 0.0;
+};
+
+/** One-shot scheduled directive (overrides the random draw once). */
+enum class StorageFaultKind
+{
+    TornWrite,
+    BitFlip,
+    FailSync,
+    TruncateTail, ///< chop bytes off the file right after the append
+};
+
+class FaultyStorage : public persist::Storage
+{
+  public:
+    FaultyStorage(persist::Storage &inner,
+                  const StorageFaultParams &params);
+
+    /** Arm @p kind to fire on the next matching operation on @p name
+     *  (append for write faults, sync for FailSync). */
+    void schedule(const std::string &name, StorageFaultKind kind,
+                  std::uint64_t arg = 0);
+
+    /** Drop every file's unsynced buffer — the crash moment. */
+    void dropUnsynced();
+
+    // Fault observability for tests.
+    std::uint64_t tornWrites() const { return tornWrites_; }
+    std::uint64_t bitFlips() const { return bitFlips_; }
+    std::uint64_t failedSyncs() const { return failedSyncs_; }
+
+    // persist::Storage
+    bool append(const std::string &name, const Bytes &data) override;
+    bool sync(const std::string &name) override;
+    bool read(const std::string &name, Bytes &out) const override;
+    bool writeAtomic(const std::string &name,
+                     const Bytes &data) override;
+    bool truncate(const std::string &name, std::uint64_t size) override;
+    bool remove(const std::string &name) override;
+    std::uint64_t size(const std::string &name) const override;
+    std::vector<std::string> list() const override;
+
+  private:
+    struct Directive
+    {
+        StorageFaultKind kind;
+        std::uint64_t arg = 0;
+    };
+
+    /** Consume an armed directive of one of @p a / @p b for @p name. */
+    bool takeDirective(const std::string &name, StorageFaultKind a,
+                       StorageFaultKind b, Directive &out);
+
+    persist::Storage &inner_;
+    StorageFaultParams params_;
+    Rng rng_;
+    /** Appended-but-unsynced bytes per file (the page cache model). */
+    std::map<std::string, Bytes> unsynced_;
+    std::multimap<std::string, Directive> directives_;
+    std::uint64_t tornWrites_ = 0;
+    std::uint64_t bitFlips_ = 0;
+    std::uint64_t failedSyncs_ = 0;
+};
+
+} // namespace mtpu::fault

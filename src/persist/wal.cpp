@@ -1,0 +1,169 @@
+#include "persist/wal.hpp"
+
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "support/crc32.hpp"
+#include "support/rlp.hpp"
+
+namespace mtpu::persist {
+
+namespace {
+
+/** Reject frames whose length field cannot be a real record. */
+constexpr std::uint64_t kMaxPayload = 1u << 28;
+
+std::uint32_t
+readU32(const Bytes &raw, std::uint64_t off)
+{
+    return std::uint32_t(raw[off]) | (std::uint32_t(raw[off + 1]) << 8)
+        | (std::uint32_t(raw[off + 2]) << 16)
+        | (std::uint32_t(raw[off + 3]) << 24);
+}
+
+void
+putU32(Bytes &out, std::uint32_t v)
+{
+    out.push_back(std::uint8_t(v));
+    out.push_back(std::uint8_t(v >> 8));
+    out.push_back(std::uint8_t(v >> 16));
+    out.push_back(std::uint8_t(v >> 24));
+}
+
+} // namespace
+
+Bytes
+walMagic()
+{
+    static const char magic[] = "MTPUWAL1";
+    return Bytes(magic, magic + 8);
+}
+
+Bytes
+WalRecord::encodePayload() const
+{
+    return rlp::encode(rlp::Item::makeList(
+        {rlp::Item::word(U256(height)), rlp::Item::word(txDigest),
+         rlp::Item::word(preDigest), rlp::Item::word(postDigest),
+         rlp::Item::word(receiptDigest), rlp::Item::bytes(blockRlp)}));
+}
+
+WalRecord
+WalRecord::decodePayload(const Bytes &payload)
+{
+    rlp::Item root = rlp::decode(payload);
+    if (!root.isList || root.list.size() != 6)
+        throw std::invalid_argument("WalRecord: bad shape");
+    for (std::size_t i = 0; i < 6; ++i)
+        if (root.list[i].isList)
+            throw std::invalid_argument("WalRecord: bad field");
+    WalRecord rec;
+    rec.height = root.list[0].toWord().low64();
+    rec.txDigest = root.list[1].toWord();
+    rec.preDigest = root.list[2].toWord();
+    rec.postDigest = root.list[3].toWord();
+    rec.receiptDigest = root.list[4].toWord();
+    rec.blockRlp = root.list[5].str;
+    return rec;
+}
+
+Bytes
+walFrame(const Bytes &payload)
+{
+    Bytes out;
+    out.reserve(payload.size() + 8);
+    putU32(out, std::uint32_t(payload.size()));
+    putU32(out, crc32(payload));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+WalScanResult
+scanWal(const Bytes &raw)
+{
+    WalScanResult res;
+    if (raw.empty())
+        return res;
+
+    Bytes magic = walMagic();
+    if (raw.size() < magic.size()
+        || !std::equal(magic.begin(), magic.end(), raw.begin())) {
+        res.tailCorrupt = true;
+        res.note = "bad magic";
+        return res;
+    }
+
+    std::uint64_t off = magic.size();
+    res.validBytes = off;
+    while (off < raw.size()) {
+        if (raw.size() - off < 8) {
+            res.tailCorrupt = true;
+            res.note = "truncated frame header";
+            break;
+        }
+        std::uint64_t len = readU32(raw, off);
+        std::uint32_t crc = readU32(raw, off + 4);
+        if (len > kMaxPayload || raw.size() - off - 8 < len) {
+            res.tailCorrupt = true;
+            res.note = "frame extends past end of file";
+            break;
+        }
+        Bytes payload(raw.begin() + long(off) + 8,
+                      raw.begin() + long(off) + 8 + long(len));
+        if (crc32(payload) != crc) {
+            res.tailCorrupt = true;
+            res.note = "CRC mismatch";
+            break;
+        }
+        WalRecord rec;
+        try {
+            rec = WalRecord::decodePayload(payload);
+        } catch (const std::invalid_argument &) {
+            // CRC passed but the payload does not parse — corruption
+            // that happens to preserve the checksum, or a foreign
+            // record format. Treat as byte damage.
+            res.tailCorrupt = true;
+            res.note = "undecodable payload";
+            break;
+        }
+        res.records.push_back(std::move(rec));
+        off += 8 + len;
+        res.validBytes = off;
+    }
+    return res;
+}
+
+WalWriter::WalWriter(Storage &store, std::string file)
+    : store_(store), file_(std::move(file))
+{
+    if (store_.size(file_) == 0) {
+        if (!store_.append(file_, walMagic())
+            || !store_.sync(file_))
+            broken_ = true;
+    }
+}
+
+bool
+WalWriter::append(const WalRecord &rec)
+{
+    if (broken_)
+        return false;
+    Bytes frame = walFrame(rec.encodePayload());
+    if (!store_.append(file_, frame)) {
+        broken_ = true;
+        return false;
+    }
+    if (!store_.sync(file_)) {
+        MTPU_OBS_COUNT("persist.fsync_failures", 1);
+        broken_ = true;
+        return false;
+    }
+    ++appended_;
+    bytes_ += frame.size();
+    MTPU_OBS_COUNT("persist.wal_appends", 1);
+    MTPU_OBS_COUNT("persist.wal_bytes", frame.size());
+    MTPU_OBS_COUNT("persist.fsyncs", 1);
+    return true;
+}
+
+} // namespace mtpu::persist

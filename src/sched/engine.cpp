@@ -538,6 +538,8 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
             if (!receipt.success) {
                 receipt_failed = true;
                 ++stats.failedTxs;
+                if (receipt.error == "reverted")
+                    ++stats.revertedTxs;
                 if (dir)
                     ++stats.injectedAborts;
                 if (tracer_ && dir)

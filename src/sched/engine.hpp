@@ -62,6 +62,15 @@ struct EngineStats
     std::uint64_t retries = 0;
     /** Committed transactions whose receipt failed (recovery mode). */
     std::uint64_t failedTxs = 0;
+    /**
+     * Subset of failedTxs that are expected contract-level REVERTs
+     * (receipt.error == "reverted"): the contract logic itself
+     * declined — an insufficient allowance, an outbid auction — not
+     * an execution fault. The complement (failedTxs - revertedTxs) is
+     * the real-failure count: out-of-gas, bad intrinsic gas, halts.
+     * Policy in DESIGN.md §11.
+     */
+    std::uint64_t revertedTxs = 0;
 
     /** The watchdog failed the block; completionOrder is partial. */
     bool watchdogFired = false;

@@ -20,6 +20,15 @@ BuiltBlock
 BlockBuilder::build(Mempool &pool, const evm::WorldState &pre_state,
                     support::ThreadPool *host_pool)
 {
+    BuiltBlock out = buildCut(pool);
+    if (!out.empty())
+        workload::runConsensusStage(out.block, pre_state, host_pool);
+    return out;
+}
+
+BuiltBlock
+BlockBuilder::buildCut(Mempool &pool)
+{
     BuiltBlock out;
     std::vector<PoolTx> cut = pool.cut(cfg_.maxTxs, cfg_.gasBudget);
     if (cut.empty())
@@ -52,8 +61,6 @@ BlockBuilder::build(Mempool &pool, const evm::WorldState &pre_state,
         out.arrivalSlots.push_back(p.arrivalSlot);
         out.block.txs.push_back(std::move(rec));
     }
-
-    workload::runConsensusStage(out.block, pre_state, host_pool);
     return out;
 }
 

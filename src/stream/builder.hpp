@@ -60,6 +60,16 @@ class BlockBuilder
     BuiltBlock build(Mempool &pool, const evm::WorldState &pre_state,
                      support::ThreadPool *host_pool);
 
+    /**
+     * Cut-only build: identical cut, header and labels (the cut
+     * depends only on pool state, never on chain state), but no
+     * consensus stage — no traces, receipts or DAG. Used for the
+     * replay-skip phase after crash recovery: the pool must advance
+     * exactly as live, but the block's execution already happened in
+     * a previous process and its state came back via recovery.
+     */
+    BuiltBlock buildCut(Mempool &pool);
+
     /** Height the next cut block will carry. */
     std::uint64_t nextHeight() const { return cfg_.baseHeight + built_; }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "support/stats.hpp"
 
 namespace mtpu::stream {
 
@@ -15,6 +16,7 @@ soakOutcomeName(SoakOutcome o)
       case SoakOutcome::AuditFailure: return "audit_failure";
       case SoakOutcome::WatchdogTrip: return "watchdog_trip";
       case SoakOutcome::OverloadAbort: return "overload_abort";
+      case SoakOutcome::CorruptionAbort: return "corruption_abort";
     }
     return "unknown";
 }
@@ -63,13 +65,47 @@ StreamServer::run(const Producer &producer, std::uint64_t slots)
         MTPU_OBS_GAUGE("stream.parked_depth",
                        std::int64_t(pool_.parkedCount()));
 
-        // 2. Deadline-budgeted block cut + consensus stage.
+        // 2a. Replay-skip: a block at or below the recovered height
+        //     was already executed by a previous process and its
+        //     state arrived via recovery. Cut it (the pool must
+        //     advance exactly as live), verify the cut against the
+        //     durable record, and move on without executing.
+        if (persist_
+            && builder_.nextHeight() <= persist_->recoveredHeight()) {
+            BuiltBlock built = builder_.buildCut(pool_);
+            if (built.empty()) {
+                ++rep.emptyBlocks;
+                continue;
+            }
+            const persist::WalRecord *rec =
+                persist_->recordFor(built.block.header.height);
+            if (rec
+                && rec->txDigest
+                       != persist::txListDigest(built.block.txs)) {
+                rep.outcome = SoakOutcome::CorruptionAbort;
+                break;
+            }
+            ++rep.replayedBlocks;
+            rep.replayedTxs += built.block.txs.size();
+            for (std::uint64_t arrival : built.arrivalSlots)
+                rep.latencySlots.push_back(
+                    slot >= arrival ? slot - arrival : 0);
+            continue;
+        }
+
+        // 2b. Deadline-budgeted block cut + consensus stage.
         BuiltBlock built = builder_.build(pool_, chain_,
                                           hostPool_.get());
         if (built.empty()) {
             ++rep.emptyBlocks;
             continue;
         }
+
+        // The pre-state digest anchors this block's WAL record into
+        // the digest chain; only computed when persisting.
+        U256 pre_digest;
+        if (persist_)
+            pre_digest = chain_.digest();
 
         // 3. Recovered, audited execution on the engine; the committed
         //    functional state becomes the next block's pre-state.
@@ -78,6 +114,9 @@ StreamServer::run(const Producer &producer, std::uint64_t slots)
         rep.conflictAborts += res.stats.conflictAborts;
         rep.retries += res.stats.retries;
         rep.failedReceipts += res.stats.failedTxs;
+        rep.revertedReceipts += res.stats.revertedTxs;
+        rep.executionFailures +=
+            res.stats.failedTxs - res.stats.revertedTxs;
         rep.committedTxs += built.block.txs.size();
         ++rep.blocks;
         MTPU_OBS_COUNT("stream.blocks", 1);
@@ -123,6 +162,25 @@ StreamServer::run(const Producer &producer, std::uint64_t slots)
         chain_ = *res.stats.finalState;
         chain_.commit();
 
+        // 3b. Durability: append the committed block to the WAL
+        //     (fsync per slot; an armed crash plan fires inside) and
+        //     snapshot on cadence. A broken WAL stops persisting but
+        //     never stops the chain.
+        if (persist_) {
+            persist::WalRecord wrec;
+            wrec.height = built.block.header.height;
+            wrec.txDigest = persist::txListDigest(built.block.txs);
+            wrec.preDigest = pre_digest;
+            wrec.postDigest = chain_.digest();
+            wrec.receiptDigest =
+                persist::receiptListDigest(built.block.txs);
+            wrec.blockRlp = built.block.toRlp();
+            persist_->appendBlock(slot, wrec);
+            if (!persist_->walBroken())
+                persist_->maybeSnapshot(wrec.height, wrec.postDigest,
+                                        chain_);
+        }
+
         // 4. Graceful-degradation policy: bounded shedding is normal
         //    operation; a shed ratio beyond the ceiling means the
         //    offered load is unserviceable — abort cleanly.
@@ -152,13 +210,30 @@ StreamServer::run(const Producer &producer, std::uint64_t slots)
     rep.offered = rep.submitted; // producers report held-back via credits
     std::sort(rep.latencySlots.begin(), rep.latencySlots.end());
     if (!rep.latencySlots.empty()) {
-        auto at = [&](double q) {
-            std::size_t idx = std::size_t(
-                q * double(rep.latencySlots.size() - 1) + 0.5);
-            return double(rep.latencySlots[idx]);
-        };
-        rep.latencyP50 = at(0.50);
-        rep.latencyP99 = at(0.99);
+        rep.latencyP50 = percentileSorted(rep.latencySlots, 0.50);
+        rep.latencyP90 = percentileSorted(rep.latencySlots, 0.90);
+        rep.latencyP99 = percentileSorted(rep.latencySlots, 0.99);
+        std::uint64_t sum = 0;
+        for (std::uint64_t v : rep.latencySlots)
+            sum += v;
+        rep.latencyMean =
+            double(sum) / double(rep.latencySlots.size());
+        // Queued-only view: strip the same-slot fast path (sorted, so
+        // the zeros are a prefix).
+        auto first_queued = std::upper_bound(rep.latencySlots.begin(),
+                                             rep.latencySlots.end(),
+                                             std::uint64_t(0));
+        std::vector<std::uint64_t> queued(first_queued,
+                                          rep.latencySlots.end());
+        rep.queuedTxs = queued.size();
+        rep.queuedP50 = percentileSorted(queued, 0.50);
+        rep.queuedP99 = percentileSorted(queued, 0.99);
+    }
+    if (persist_) {
+        rep.walAppends = persist_->walAppends();
+        rep.walBytes = persist_->walBytes();
+        rep.snapshotsWritten = persist_->snapshotsWritten();
+        rep.walBroken = persist_->walBroken();
     }
     rep.chainDigest = chain_.digest();
     rep.wallSeconds = std::chrono::duration<double>(

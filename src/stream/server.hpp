@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/mtpu.hpp"
+#include "persist/persistence.hpp"
 #include "stream/builder.hpp"
 #include "stream/mempool.hpp"
 
@@ -53,6 +54,11 @@ enum class SoakOutcome
     AuditFailure,  ///< a committed block failed the serializability audit
     WatchdogTrip,  ///< the engine watchdog failed a block
     OverloadAbort, ///< shed ratio exceeded maxShedRatio
+    /** The replay-skip phase rebuilt a block whose transaction list
+     *  does not match the recovered WAL record — the durable history
+     *  and the deterministic re-feed diverge, which must never be
+     *  papered over (unrecoverable corruption, exit code 5). */
+    CorruptionAbort,
 };
 
 const char *soakOutcomeName(SoakOutcome o);
@@ -87,18 +93,44 @@ struct SoakReport
 
     // Execution totals.
     std::uint64_t committedTxs = 0;
+    /** Committed txs whose receipt failed, total (= revertedReceipts
+     *  + executionFailures; DESIGN.md §11 failed-receipt policy). */
     std::uint64_t failedReceipts = 0;
+    /** Expected contract-level REVERTs (business-logic declines). */
+    std::uint64_t revertedReceipts = 0;
+    /** Real failures: out-of-gas, intrinsic gas, halts. */
+    std::uint64_t executionFailures = 0;
     std::uint64_t conflictAborts = 0;
     std::uint64_t retries = 0;
     int auditFailures = 0;
     bool watchdogFired = false;
     std::uint64_t deadlineMisses = 0;
 
+    // Durability (zero when no persistence is attached).
+    std::uint64_t replayedBlocks = 0; ///< recovered blocks skipped live
+    std::uint64_t replayedTxs = 0;
+    std::uint64_t walAppends = 0;
+    std::uint64_t walBytes = 0;
+    std::uint64_t snapshotsWritten = 0;
+    bool walBroken = false; ///< persistence stopped mid-run (I/O fail)
+
     /** Enqueue→commit latency in slots, one entry per committed tx
      *  (sorted ascending after the run). */
     std::vector<std::uint64_t> latencySlots;
     double latencyP50 = 0.0;
+    double latencyP90 = 0.0;
     double latencyP99 = 0.0;
+    double latencyMean = 0.0;
+    /**
+     * Latency over only the txs that waited at least one slot. The
+     * all-tx p50 is legitimately 0 whenever same-slot commits are the
+     * majority (fresh high-fee arrivals win the price-time cut while
+     * older low-fee heads starve); the queued-only view shows the
+     * tail the aggregate median hides.
+     */
+    std::uint64_t queuedTxs = 0;
+    double queuedP50 = 0.0;
+    double queuedP99 = 0.0;
 
     U256 chainDigest; ///< digest of the final chain state
     double wallSeconds = 0.0;
@@ -143,6 +175,27 @@ class StreamServer
      *  abort. Can be called repeatedly; the chain state persists. */
     SoakReport run(const Producer &producer, std::uint64_t slots);
 
+    /**
+     * Attach the durability subsystem (non-owning; recover() must
+     * already have run). Two effects on run(): committed blocks are
+     * WAL-appended and snapshotted per the persist config, and blocks
+     * whose height is at or below the recovered height are cut but
+     * not re-executed — the producer re-feeds the same wire stream
+     * from slot 0 (all pool evolution is a pure function of it), the
+     * cut transaction list is verified against the recovered WAL
+     * record, and the chain state stays the recovered one. This is
+     * what makes a kill-and-restart run reach a final digest
+     * bit-identical to an uninterrupted one.
+     */
+    void attachPersistence(persist::Persistence *p) { persist_ = p; }
+
+    /** Replace the chain state with the recovered one. */
+    void
+    setChainState(const evm::WorldState &state)
+    {
+        chain_ = state;
+    }
+
     const evm::WorldState &chainState() const { return chain_; }
     const Mempool &mempool() const { return pool_; }
 
@@ -155,6 +208,7 @@ class StreamServer
     evm::WorldState chain_;
     std::unique_ptr<support::ThreadPool> hostPool_;
     std::uint64_t slotCursor_ = 0;
+    persist::Persistence *persist_ = nullptr;
 };
 
 } // namespace mtpu::stream

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, polynomial 0xEDB88320) for framing integrity of
+ * the write-ahead log (DESIGN.md §12). CRC catches the byte-level
+ * damage a crash can leave behind (torn writes, truncated tails, bit
+ * flips); end-to-end semantic integrity is carried by the keccak
+ * digest chain layered above it.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mtpu {
+
+/** CRC32 of @p len bytes, continuing from @p seed (0 to start). */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t len,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t
+crc32(const std::vector<std::uint8_t> &data, std::uint32_t seed = 0)
+{
+    return crc32(data.data(), data.size(), seed);
+}
+
+} // namespace mtpu

@@ -31,7 +31,14 @@ Histogram::percentile(double fraction) const
 {
     if (total_ == 0)
         return 0;
-    std::uint64_t target = std::uint64_t(fraction * double(total_));
+    // Nearest rank: truncating fraction*total here used to resolve one
+    // sample early (p99 of 10 samples answered rank 9, not 10).
+    std::uint64_t target =
+        std::uint64_t(std::ceil(fraction * double(total_)));
+    if (target < 1)
+        target = 1;
+    if (target > total_)
+        target = total_;
     std::uint64_t seen = 0;
     for (const auto &[bucket, count] : buckets_) {
         seen += count;

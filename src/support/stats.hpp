@@ -7,6 +7,7 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -47,7 +48,11 @@ class Histogram
         return buckets_;
     }
 
-    /** Value below which @p fraction of the mass lies. */
+    /**
+     * Nearest-rank percentile: the lowest bucket value such that at
+     * least ceil(fraction * total) of the mass lies at or below it
+     * (same rank convention as percentileSorted).
+     */
     std::uint64_t percentile(double fraction) const;
 
   private:
@@ -55,6 +60,31 @@ class Histogram
     std::uint64_t total_ = 0;
     std::map<std::uint64_t, std::uint64_t> buckets_;
 };
+
+/**
+ * Nearest-rank percentile over an ascending-sorted sample: the value
+ * at rank ceil(q * n) (1-based), i.e. the smallest sample such that at
+ * least a fraction q of the mass is at or below it. q <= 0 returns the
+ * minimum, q >= 1 the maximum, empty input 0. This is the single
+ * percentile definition shared by the latency paths (SoakReport,
+ * bench_wallclock, Histogram::percentile) — they previously hand-rolled
+ * three subtly different index formulas.
+ */
+template <typename T>
+double
+percentileSorted(const std::vector<T> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    if (q <= 0.0)
+        return double(sorted.front());
+    std::size_t rank = std::size_t(std::ceil(q * double(sorted.size())));
+    if (rank < 1)
+        rank = 1;
+    if (rank > sorted.size())
+        rank = sorted.size();
+    return double(sorted[rank - 1]);
+}
 
 /** Least-squares linear fit y = a + b*x over sample pairs. */
 struct LineFit

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Snapshot store semantics: atomic write + prune, newest-valid load
+ * with fallback past corrupt files (which are deleted so the fallback
+ * is stable across restarts), and the double integrity gate (keccak
+ * of the body AND decoded-state digest vs the stored chain digest).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "persist/snapshot.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::persist {
+namespace {
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/mtpu_snap_XXXXXX";
+        path = mkdtemp(tmpl);
+    }
+    ~TempDir() { std::system(("rm -rf " + path).c_str()); }
+};
+
+evm::WorldState
+someState()
+{
+    workload::Generator gen(5, 32, 1);
+    return gen.genesis();
+}
+
+TEST(SnapshotStore, FileNameRoundTrip)
+{
+    EXPECT_EQ(SnapshotStore::fileName(7), "snapshot-000000000007.snap");
+    std::uint64_t h = 0;
+    EXPECT_TRUE(
+        SnapshotStore::parseName("snapshot-000000001024.snap", h));
+    EXPECT_EQ(h, 1024u);
+    EXPECT_FALSE(SnapshotStore::parseName("wal.log", h));
+    EXPECT_FALSE(SnapshotStore::parseName("snapshot-12.snap", h));
+    EXPECT_FALSE(
+        SnapshotStore::parseName("snapshot-000000001024.tmp", h));
+}
+
+TEST(SnapshotStore, WriteLoadRoundTrip)
+{
+    TempDir t;
+    FileStorage fs(t.path);
+    SnapshotStore snaps(fs);
+    evm::WorldState state = someState();
+
+    ASSERT_TRUE(snaps.write(5, state.digest(), state));
+    std::uint64_t corrupt = 0;
+    auto loaded = snaps.loadNewest(&corrupt);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(corrupt, 0u);
+    EXPECT_EQ(loaded->height, 5u);
+    EXPECT_EQ(loaded->chainDigest, state.digest());
+    EXPECT_EQ(loaded->state.digest(), state.digest());
+}
+
+TEST(SnapshotStore, EmptyStoreLoadsNothing)
+{
+    TempDir t;
+    FileStorage fs(t.path);
+    SnapshotStore snaps(fs);
+    std::uint64_t corrupt = 0;
+    EXPECT_FALSE(snaps.loadNewest(&corrupt).has_value());
+    EXPECT_EQ(corrupt, 0u);
+}
+
+TEST(SnapshotStore, PruneKeepsNewestTwo)
+{
+    TempDir t;
+    FileStorage fs(t.path);
+    SnapshotStore snaps(fs);
+    evm::WorldState state = someState();
+
+    ASSERT_TRUE(snaps.write(8, state.digest(), state));
+    ASSERT_TRUE(snaps.write(16, state.digest(), state));
+    ASSERT_TRUE(snaps.write(24, state.digest(), state));
+
+    EXPECT_EQ(fs.list(),
+              (std::vector<std::string>{SnapshotStore::fileName(16),
+                                        SnapshotStore::fileName(24)}));
+    auto loaded = snaps.loadNewest();
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->height, 24u);
+}
+
+TEST(SnapshotStore, CorruptNewestFallsBackAndIsDeleted)
+{
+    TempDir t;
+    FileStorage fs(t.path);
+    SnapshotStore snaps(fs);
+    evm::WorldState state = someState();
+
+    ASSERT_TRUE(snaps.write(8, state.digest(), state));
+    ASSERT_TRUE(snaps.write(16, state.digest(), state));
+
+    // Flip one byte in the newest snapshot's body.
+    Bytes raw;
+    ASSERT_TRUE(fs.read(SnapshotStore::fileName(16), raw));
+    raw[raw.size() / 2] ^= 0x01;
+    ASSERT_TRUE(fs.writeAtomic(SnapshotStore::fileName(16), raw));
+
+    std::uint64_t corrupt = 0;
+    auto loaded = snaps.loadNewest(&corrupt);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->height, 8u);
+    EXPECT_EQ(corrupt, 1u);
+    // The rejected file is gone, so the next restart does not depend
+    // on re-detecting the same corruption.
+    EXPECT_EQ(fs.list(),
+              (std::vector<std::string>{SnapshotStore::fileName(8)}));
+}
+
+TEST(SnapshotStore, AllSnapshotsCorruptMeansGenesis)
+{
+    TempDir t;
+    FileStorage fs(t.path);
+    SnapshotStore snaps(fs);
+    evm::WorldState state = someState();
+
+    ASSERT_TRUE(snaps.write(8, state.digest(), state));
+    ASSERT_TRUE(snaps.write(16, state.digest(), state));
+    for (std::uint64_t h : {std::uint64_t(8), std::uint64_t(16)}) {
+        Bytes raw;
+        ASSERT_TRUE(fs.read(SnapshotStore::fileName(h), raw));
+        raw[20] ^= 0xff;
+        ASSERT_TRUE(fs.writeAtomic(SnapshotStore::fileName(h), raw));
+    }
+    std::uint64_t corrupt = 0;
+    EXPECT_FALSE(snaps.loadNewest(&corrupt).has_value());
+    EXPECT_EQ(corrupt, 2u);
+    EXPECT_TRUE(fs.list().empty());
+}
+
+TEST(SnapshotStore, ValidateRejectsEveryDamageClass)
+{
+    TempDir t;
+    FileStorage fs(t.path);
+    SnapshotStore snaps(fs);
+    evm::WorldState state = someState();
+    ASSERT_TRUE(snaps.write(5, state.digest(), state));
+    Bytes good;
+    ASSERT_TRUE(fs.read(SnapshotStore::fileName(5), good));
+
+    LoadedSnapshot out;
+    EXPECT_TRUE(SnapshotStore::validate(good, out));
+
+    // Too short to hold magic + integrity hash.
+    EXPECT_FALSE(SnapshotStore::validate(Bytes(good.begin(),
+                                               good.begin() + 16),
+                                         out));
+    // Wrong magic.
+    Bytes bad = good;
+    bad[0] ^= 0x01;
+    EXPECT_FALSE(SnapshotStore::validate(bad, out));
+    // Flipped integrity hash byte.
+    bad = good;
+    bad[8 + 3] ^= 0x01;
+    EXPECT_FALSE(SnapshotStore::validate(bad, out));
+    // Flipped body byte (keccak catches it).
+    bad = good;
+    bad[bad.size() - 1] ^= 0x01;
+    EXPECT_FALSE(SnapshotStore::validate(bad, out));
+    // Truncated body.
+    bad = Bytes(good.begin(), good.end() - 10);
+    EXPECT_FALSE(SnapshotStore::validate(bad, out));
+}
+
+} // namespace
+} // namespace mtpu::persist

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "support/crc32.hpp"
 #include "support/stats.hpp"
 
 namespace mtpu {
@@ -46,11 +47,84 @@ TEST(Histogram, BucketsByWidth)
 
 TEST(Histogram, Percentile)
 {
+    // Nearest-rank over 1..100: p50 = rank 50 = value 50 exactly.
     Histogram h(1);
     for (std::uint64_t v = 1; v <= 100; ++v)
         h.add(v);
-    EXPECT_NEAR(double(h.percentile(0.5)), 50.0, 1.0);
-    EXPECT_NEAR(double(h.percentile(0.99)), 99.0, 1.0);
+    EXPECT_EQ(h.percentile(0.5), 50u);
+    EXPECT_EQ(h.percentile(0.99), 99u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, PercentileMatchesSortedSample)
+{
+    // The two percentile paths share one rank convention: a histogram
+    // with width 1 must agree with percentileSorted on the same data.
+    std::vector<std::uint64_t> sample = {2, 2, 3, 7, 7, 7, 11, 40};
+    Histogram h(1);
+    for (std::uint64_t v : sample)
+        h.add(v);
+    for (double q : {0.25, 0.5, 0.9, 0.99})
+        EXPECT_EQ(double(h.percentile(q)), percentileSorted(sample, q))
+            << "q=" << q;
+}
+
+TEST(PercentileSorted, NearestRank)
+{
+    std::vector<std::uint64_t> v = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.25), 10.0); // rank ceil(1)=1
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.5), 20.0);  // rank ceil(2)=2
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.51), 30.0); // rank ceil(2.04)=3
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 1.0), 40.0);
+}
+
+TEST(PercentileSorted, EdgeCases)
+{
+    std::vector<std::uint64_t> empty;
+    EXPECT_DOUBLE_EQ(percentileSorted(empty, 0.5), 0.0);
+    std::vector<std::uint64_t> one = {42};
+    EXPECT_DOUBLE_EQ(percentileSorted(one, 0.0), 42.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(one, 0.5), 42.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(one, 1.0), 42.0);
+    // Out-of-range fractions clamp instead of indexing out of bounds.
+    std::vector<std::uint64_t> v = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, -0.5), 1.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 1.5), 3.0);
+}
+
+TEST(PercentileSorted, MedianOfZeroHeavySample)
+{
+    // The SoakReport case: when same-slot commits (latency 0) are the
+    // majority, the true median IS 0 — the fix is reporting it
+    // alongside a queued-only view, not bending the formula.
+    std::vector<std::uint64_t> v = {0, 0, 0, 0, 0, 0, 1, 2, 5, 9};
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.5), 0.0);
+    EXPECT_DOUBLE_EQ(percentileSorted(v, 0.9), 5.0);
+    std::vector<std::uint64_t> queued(v.begin() + 6, v.end());
+    EXPECT_DOUBLE_EQ(percentileSorted(queued, 0.5), 2.0);
+}
+
+TEST(Crc32, KnownVectors)
+{
+    // The IEEE 802.3 check value: CRC32("123456789") = 0xCBF43926.
+    const std::uint8_t check[] = {'1', '2', '3', '4', '5',
+                                  '6', '7', '8', '9'};
+    EXPECT_EQ(crc32(check, sizeof(check)), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, SeedContinuation)
+{
+    // Chunked CRC via the seed parameter must match one-shot CRC.
+    const std::uint8_t data[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+    std::uint32_t oneShot = crc32(data, 6);
+    std::uint32_t chunked = crc32(data + 3, 3, crc32(data, 3));
+    EXPECT_EQ(chunked, oneShot);
+    // And any damage changes it.
+    std::uint8_t flipped[] = {'a', 'b', 'c', 'd', 'e', 'f'};
+    flipped[2] ^= 0x01;
+    EXPECT_NE(crc32(flipped, 6), oneShot);
 }
 
 TEST(Histogram, WeightedAdd)

@@ -25,12 +25,26 @@
  * seeded stream fault injector (burst floods, stalls, byzantine
  * windows).
  *
+ * With --stream --data-dir PATH, every committed block is appended to
+ * a CRC-framed write-ahead log (fsync per slot) and the chain state is
+ * snapshotted every --snapshot-every blocks. On startup the directory
+ * is recovered first: newest valid snapshot, WAL tail repair, replay
+ * through the engine — then the soak continues where the previous
+ * process stopped, reaching a final chain digest bit-identical to an
+ * uninterrupted run. MTPU_CRASH_AT_SLOT=<n> (with MTPU_CRASH_KIND=
+ * before|torn|after|bitflip|nofsync) arms a hard crash inside the WAL
+ * append of that slot for the kill-and-restart harness.
+ *
  * Exit codes (stable, asserted by tests/stream/test_exit_codes.cpp):
  *   0  success — every block executed and audited clean
  *   1  configuration error (bad flag/value) or report-write failure
  *   2  audit failure — a block's committed order was not serializable
  *   3  watchdog trip — the scheduler watchdog failed a block
  *   4  overload abort — stream shed ratio exceeded --max-shed-ratio
+ *   5  unrecoverable corruption — the durable history is semantically
+ *      damaged (height gap, digest-chain break, snapshot/WAL
+ *      divergence) or diverges from the deterministic re-feed
+ *  42  injected crash (MTPU_CRASH_AT_SLOT) — harness use only
  */
 
 #include <chrono>
@@ -48,6 +62,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "persist/persistence.hpp"
 #include "stream/server.hpp"
 #include "workload/stream_gen.hpp"
 
@@ -58,6 +73,7 @@ using mtpu::obs::jsonQuote;
 struct Options
 {
     int txs = 128;
+    int accounts = 512; ///< genesis account-universe size
     double dep = 0.3;
     double erc20 = -1.0;
     int pus = 4;
@@ -90,6 +106,8 @@ struct Options
     bool chaos = false;        ///< arm the stream fault injector
     double burstX = 5.0;       ///< chaos burst multiplier
     double maxShedRatio = 1.0; ///< overload-abort ceiling; 1 = off
+    std::string dataDir;       ///< WAL+snapshot directory; empty = off
+    int snapshotEvery = 16;    ///< blocks between snapshots; 0 = never
 
     bool
     faultMode() const
@@ -105,6 +123,9 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [options]\n"
         "  --txs N          transactions per block (default 128)\n"
+        "  --accounts N     genesis account universe (default 512);\n"
+        "                   smaller states make digest/snapshot work\n"
+        "                   cheaper (crash-harness runs)\n"
         "  --dep R          dependency ratio 0..1 (default 0.3)\n"
         "  --erc20 R        ERC20 share 0..1; negative = natural mix\n"
         "  --pus N          processing units (default 4)\n"
@@ -152,9 +173,20 @@ usage(const char *argv0)
         "  --burst-x F      chaos burst-flood multiplier (default 5)\n"
         "  --max-shed-ratio R  abort the soak (exit 4) when the shed\n"
         "                   fraction exceeds R; 1.0 disables\n"
+        "durability (--stream only):\n"
+        "  --data-dir PATH  recover from and persist to PATH: CRC-framed\n"
+        "                   WAL (append+fsync per slot) + periodic\n"
+        "                   snapshots; a restarted soak reaches the same\n"
+        "                   final chain digest as an uninterrupted one\n"
+        "  --snapshot-every N  blocks between snapshots (default 16;\n"
+        "                   0 = WAL only)\n"
+        "  env MTPU_CRASH_AT_SLOT=N + MTPU_CRASH_KIND=before|torn|\n"
+        "                   after|bitflip|nofsync: hard-exit 42 inside\n"
+        "                   slot N's WAL append (crash harness)\n"
         "exit codes:\n"
         "  0 success    1 config error    2 audit failure\n"
-        "  3 watchdog trip    4 overload abort\n",
+        "  3 watchdog trip    4 overload abort\n"
+        "  5 unrecoverable corruption    42 injected crash\n",
         argv0);
 }
 
@@ -198,6 +230,11 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.blocks = std::atoi(v);
+        } else if (arg == "--accounts") {
+            const char *v = next("--accounts");
+            if (!v)
+                return false;
+            opt.accounts = std::atoi(v);
         } else if (arg == "--seed") {
             const char *v = next("--seed");
             if (!v)
@@ -294,6 +331,16 @@ parse(int argc, char **argv, Options &opt)
             if (!v)
                 return false;
             opt.maxShedRatio = std::atof(v);
+        } else if (arg == "--data-dir") {
+            const char *v = next("--data-dir");
+            if (!v)
+                return false;
+            opt.dataDir = v;
+        } else if (arg == "--snapshot-every") {
+            const char *v = next("--snapshot-every");
+            if (!v)
+                return false;
+            opt.snapshotEvery = std::atoi(v);
         } else if (arg == "--trace") {
             const char *v = next("--trace");
             if (!v)
@@ -310,7 +357,8 @@ parse(int argc, char **argv, Options &opt)
         }
     }
     if (opt.txs < 1 || opt.pus < 1 || opt.blocks < 1 || opt.window < 1
-        || opt.window > 64 || opt.scheme.empty() || opt.threads < 0) {
+        || opt.window > 64 || opt.scheme.empty() || opt.threads < 0
+        || opt.accounts < 8) {
         std::fprintf(stderr, "invalid option values\n");
         return false;
     }
@@ -336,10 +384,13 @@ parse(int argc, char **argv, Options &opt)
         }
         if (opt.rate < 1 || opt.poolCap < 1 || opt.senders < 1
             || opt.burstX < 1.0 || opt.maxShedRatio < 0.0
-            || opt.maxShedRatio > 1.0) {
+            || opt.maxShedRatio > 1.0 || opt.snapshotEvery < 0) {
             std::fprintf(stderr, "invalid --stream values\n");
             return false;
         }
+    } else if (!opt.dataDir.empty()) {
+        std::fprintf(stderr, "--data-dir requires --stream\n");
+        return false;
     }
     return true;
 }
@@ -472,7 +523,7 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
                 opt.abortRate, opt.puFault,
                 opt.recovery ? "on" : "off");
 
-    workload::Generator gen(opt.seed, 512, opt.threads);
+    workload::Generator gen(opt.seed, std::size_t(opt.accounts), opt.threads);
     core::MtpuProcessor proc(cfg);
     if (tracer)
         proc.setTracer(tracer);
@@ -599,7 +650,7 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
 {
     using namespace mtpu;
 
-    workload::Generator gen(opt.seed, 512, opt.threads);
+    workload::Generator gen(opt.seed, std::size_t(opt.accounts), opt.threads);
     workload::StreamMix mix;
     workload::StreamGenerator wire_gen(gen, opt.seed, opt.senders, mix);
 
@@ -622,6 +673,45 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
     srun.recovery.watchdogBudget = opt.watchdogBudget;
     stream::StreamServer server(cfg, srun, gen.genesis(),
                                 gen.contracts(), scfg);
+
+    // Durability: recover the data directory before the first slot,
+    // then attach so committed blocks are logged and recovered blocks
+    // are skipped (the producer re-feeds the wire stream from slot 0).
+    std::unique_ptr<persist::Persistence> durable;
+    persist::RecoveryResult recovered;
+    if (!opt.dataDir.empty()) {
+        persist::PersistConfig pcfg;
+        pcfg.dataDir = opt.dataDir;
+        pcfg.snapshotEvery = std::uint64_t(opt.snapshotEvery);
+        try {
+            durable = std::make_unique<persist::Persistence>(pcfg);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "persistence: %s\n", e.what());
+            return 1;
+        }
+        recovered = durable->recover(cfg, srun, gen.genesis());
+        if (!recovered.ok) {
+            std::fprintf(stderr,
+                         "recovery: unrecoverable corruption: %s\n",
+                         recovered.error.c_str());
+            return 5;
+        }
+        std::printf(
+            "recovery: height=%llu (snapshot %s at %llu, %llu "
+            "replayed, %llu WAL records%s%s) digest %s\n",
+            (unsigned long long)recovered.recoveredHeight,
+            recovered.usedSnapshot ? "used" : "none",
+            (unsigned long long)recovered.snapshotHeight,
+            (unsigned long long)recovered.blocksReplayed,
+            (unsigned long long)recovered.walRecords,
+            recovered.walTailTruncated ? ", damaged tail truncated"
+                                       : "",
+            recovered.corruptSnapshots ? ", corrupt snapshot dropped"
+                                       : "",
+            recovered.chainDigest.toHex().c_str());
+        server.setChainState(recovered.state);
+        server.attachPersistence(durable.get());
+    }
 
     std::printf("stream soak: %d slots, rate=%d tx/slot, pool-cap=%d, "
                 "senders=%d, chaos=%s (seed=%llu, burst-x=%.1f), "
@@ -679,8 +769,10 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         "flow: offered=%llu held-back=%llu submitted=%llu "
         "admitted=%llu shed=%llu (ratio %.3f) peak-depth=%zu\n"
         "exec: conflictAborts=%llu retries=%llu failedReceipts=%llu "
-        "auditFailures=%d deadlineMisses=%llu\n"
-        "latency: p50=%.0f p99=%.0f slots; chain digest %s\n",
+        "(%llu reverted, %llu real) auditFailures=%d "
+        "deadlineMisses=%llu\n"
+        "latency: p50=%.0f p90=%.0f p99=%.0f mean=%.1f slots "
+        "(queued %llu: p50=%.0f p99=%.0f); chain digest %s\n",
         stream::soakOutcomeName(rep.outcome),
         (unsigned long long)rep.slots, (unsigned long long)rep.blocks,
         (unsigned long long)rep.emptyBlocks,
@@ -692,9 +784,22 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         (unsigned long long)rep.pool.shedTotal(), shed_ratio,
         rep.pool.peakDepth, (unsigned long long)rep.conflictAborts,
         (unsigned long long)rep.retries,
-        (unsigned long long)rep.failedReceipts, rep.auditFailures,
+        (unsigned long long)rep.failedReceipts,
+        (unsigned long long)rep.revertedReceipts,
+        (unsigned long long)rep.executionFailures, rep.auditFailures,
         (unsigned long long)rep.deadlineMisses, rep.latencyP50,
-        rep.latencyP99, rep.chainDigest.toHex().c_str());
+        rep.latencyP90, rep.latencyP99, rep.latencyMean,
+        (unsigned long long)rep.queuedTxs, rep.queuedP50, rep.queuedP99,
+        rep.chainDigest.toHex().c_str());
+    if (durable)
+        std::printf("durability: %llu replayed blocks (%llu txs), "
+                    "%llu WAL appends (%llu bytes), %llu snapshots%s\n",
+                    (unsigned long long)rep.replayedBlocks,
+                    (unsigned long long)rep.replayedTxs,
+                    (unsigned long long)rep.walAppends,
+                    (unsigned long long)rep.walBytes,
+                    (unsigned long long)rep.snapshotsWritten,
+                    rep.walBroken ? " (WAL BROKEN mid-run)" : "");
     if (opt.chaos)
         std::printf("chaos: %llu burst, %llu stalled, %llu byzantine "
                     "slots\n",
@@ -732,13 +837,43 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
     report.set("committedTxs", jsonNum(rep.committedTxs));
     report.set("committedPerSlot", jsonNum(rep.committedPerSlot()));
     report.set("failedReceipts", jsonNum(rep.failedReceipts));
+    report.set("revertedReceipts", jsonNum(rep.revertedReceipts));
+    report.set("executionFailures", jsonNum(rep.executionFailures));
     report.set("conflictAborts", jsonNum(rep.conflictAborts));
     report.set("retries", jsonNum(rep.retries));
     report.set("auditFailures", jsonNum(std::uint64_t(rep.auditFailures)));
     report.set("watchdogFired", rep.watchdogFired ? "true" : "false");
     report.set("deadlineMisses", jsonNum(rep.deadlineMisses));
     report.set("latencyP50Slots", jsonNum(rep.latencyP50));
+    report.set("latencyP90Slots", jsonNum(rep.latencyP90));
     report.set("latencyP99Slots", jsonNum(rep.latencyP99));
+    report.set("latencyMeanSlots", jsonNum(rep.latencyMean));
+    report.set("queuedTxs", jsonNum(rep.queuedTxs));
+    report.set("queuedP50Slots", jsonNum(rep.queuedP50));
+    report.set("queuedP99Slots", jsonNum(rep.queuedP99));
+    report.set("persistence", durable ? "true" : "false");
+    if (durable) {
+        report.set("dataDir", jsonQuote(opt.dataDir));
+        report.set("snapshotEvery",
+                   jsonNum(std::uint64_t(opt.snapshotEvery)));
+        report.set("recoveredHeight",
+                   jsonNum(recovered.recoveredHeight));
+        report.set("recoveryUsedSnapshot",
+                   recovered.usedSnapshot ? "true" : "false");
+        report.set("recoveryBlocksReplayed",
+                   jsonNum(recovered.blocksReplayed));
+        report.set("recoveryWalRecords", jsonNum(recovered.walRecords));
+        report.set("recoveryWalTailTruncated",
+                   recovered.walTailTruncated ? "true" : "false");
+        report.set("recoveryCorruptSnapshots",
+                   jsonNum(recovered.corruptSnapshots));
+        report.set("replayedBlocks", jsonNum(rep.replayedBlocks));
+        report.set("replayedTxs", jsonNum(rep.replayedTxs));
+        report.set("walAppends", jsonNum(rep.walAppends));
+        report.set("walBytes", jsonNum(rep.walBytes));
+        report.set("snapshotsWritten", jsonNum(rep.snapshotsWritten));
+        report.set("walBroken", rep.walBroken ? "true" : "false");
+    }
     report.set("chainDigest", jsonQuote(rep.chainDigest.toHex()));
     report.set("wallSeconds", jsonNum(wall));
     for (const stream::BlockSummary &row : rep.blockLog) {
@@ -764,6 +899,7 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
       case stream::SoakOutcome::AuditFailure: return 2;
       case stream::SoakOutcome::WatchdogTrip: return 3;
       case stream::SoakOutcome::OverloadAbort: return 4;
+      case stream::SoakOutcome::CorruptionAbort: return 5;
     }
     return 0;
 }
@@ -811,7 +947,7 @@ main(int argc, char **argv)
     if (opt.faultMode())
         return runFaulted(opt, cfg, run, tracer_ptr);
 
-    workload::Generator gen(opt.seed, 512, opt.threads);
+    workload::Generator gen(opt.seed, std::size_t(opt.accounts), opt.threads);
     core::MtpuProcessor proc(cfg);
     if (tracer_ptr)
         proc.setTracer(tracer_ptr);
