@@ -1,0 +1,74 @@
+#include "core/functional.hpp"
+
+#include "evm/speculative.hpp"
+#include "obs/metrics.hpp"
+
+namespace mtpu::core {
+
+FunctionalPipeline::FunctionalPipeline(const evm::WorldState &pre_state,
+                                       int threads)
+    : state_(pre_state)
+{
+    unsigned resolved = threads <= 0
+                            ? support::ThreadPool::defaultThreads()
+                            : unsigned(threads);
+    if (resolved > 1)
+        pool_ = std::make_unique<support::ThreadPool>(resolved);
+}
+
+FunctionalPipeline::~FunctionalPipeline() = default;
+
+FunctionalBlockResult
+FunctionalPipeline::executeBlock(const workload::BlockRun &block)
+{
+    FunctionalBlockResult out;
+    out.txCount = block.txs.size();
+    out.receipts.reserve(block.txs.size());
+
+    // Phase 1 (pool only): speculative fan-out against the pre-block
+    // state. Every speculation runs the fast tier behind the memo
+    // cache. state_ is strictly read-only until the fan-out joins, so
+    // it serves as the base directly — no frozen copy; each
+    // speculation pins the values it read (readValues) for phase 2.
+    std::vector<evm::SpecResult> spec;
+    if (pool_ && block.txs.size() > 1) {
+        spec.resize(block.txs.size());
+        const U256 headerKey = evm::MemoCache::headerKey(block.header);
+        pool_->parallelFor(block.txs.size(), [&](std::size_t i) {
+            evm::SpecOptions opts;
+            opts.fastTier = true;
+            opts.memo = &evm::MemoCache::global();
+            opts.memoHeaderKey = headerKey;
+            spec[i] = evm::speculate(state_, block.header,
+                                     block.txs[i].tx, opts);
+        });
+    }
+
+    // Phase 2: single-owner program-order commit. Valid speculations
+    // replay their recorded deltas; everything else re-executes on the
+    // resident fast interpreter. Bit-identical to sequential reference
+    // execution for any thread count.
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        evm::SpecResult *sr = i < spec.size() ? &spec[i] : nullptr;
+        if (sr && evm::specValidLive(*sr, state_,
+                                     block.header.coinbase)) {
+            evm::specApply(*sr, state_, block.header.coinbase);
+            state_.commit();
+            out.receipts.push_back(std::move(sr->receipt));
+            ++out.replayed;
+        } else {
+            out.receipts.push_back(interp_.applyTransaction(
+                state_, block.header, block.txs[i].tx));
+            ++out.reexecuted;
+        }
+    }
+
+    // Deliberately no per-block digest: hashing the whole state is
+    // O(state size) and would dominate the fast tier's wall clock.
+    // Callers that want the digest take it from state() when needed.
+    MTPU_OBS_COUNT("functional.blocks", 1);
+    MTPU_OBS_COUNT("functional.txs", out.txCount);
+    return out;
+}
+
+} // namespace mtpu::core

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Functional fast-execution pipeline (DESIGN.md §13): the throughput
+ * tier of the two-tier executor. Executes whole blocks with
+ * speculative fan-out on a thread pool — each transaction runs on the
+ * direct-threaded FastInterpreter behind the decoded-program and
+ * result-memo caches — then commits in program order via
+ * validate-or-re-execute. Receipts, logs and the state digest are
+ * bit-identical to sequential reference execution at every thread
+ * count.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "evm/fast_interp.hpp"
+#include "evm/memo.hpp"
+#include "evm/state.hpp"
+#include "support/thread_pool.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu::core {
+
+/** Outcome of one functional block execution. */
+struct FunctionalBlockResult
+{
+    std::vector<evm::Receipt> receipts;
+    std::uint64_t txCount = 0;
+    std::uint64_t replayed = 0;    ///< committed via delta replay
+    std::uint64_t reexecuted = 0;  ///< validation miss, ran for real
+};
+
+/**
+ * A long-lived functional executor over an owned chain state.
+ *
+ * Construction copies the pre-state; executeBlock() mutates the owned
+ * state block by block, exactly like a node's canonical chain would
+ * advance. Thread count 1 executes sequentially (no speculation);
+ * >1 speculates on a pool and commits program-order.
+ */
+class FunctionalPipeline
+{
+  public:
+    /**
+     * @param pre_state starting chain state (copied).
+     * @param threads 0 resolves to ThreadPool::defaultThreads(),
+     *        1 = sequential, > 1 = speculative fan-out.
+     */
+    explicit FunctionalPipeline(const evm::WorldState &pre_state,
+                                int threads = 1);
+    ~FunctionalPipeline();
+
+    /** Execute and commit one block against the owned state. */
+    FunctionalBlockResult executeBlock(const workload::BlockRun &block);
+
+    const evm::WorldState &state() const { return state_; }
+
+    /** The shared caches this pipeline feeds (process-global). */
+    static evm::MemoCache &memo() { return evm::MemoCache::global(); }
+
+  private:
+    evm::WorldState state_;
+    evm::FastInterpreter interp_; ///< commit-path executor
+    std::unique_ptr<support::ThreadPool> pool_;
+};
+
+} // namespace mtpu::core

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * One-time bytecode pre-decode for the functional fast tier
+ * (DESIGN.md §13). decodeProgram() turns raw EVM bytecode into a
+ * stream of DecodedInstr the direct-threaded interpreter executes
+ * without re-touching the bytecode: PUSH immediates are fused into a
+ * full U256 once, jump destinations become precomputed instruction
+ * indices, and maximal runs of *pure* opcodes (static gas, no memory /
+ * state / log side effects, no GAS observation) are fronted by a
+ * synthetic BeginBlock marker carrying the run's summed static gas and
+ * stack bounds, so the hot loop charges and checks once per run
+ * instead of once per instruction.
+ *
+ * DecodeCache is the LRU decoded-program cache keyed by codehash that
+ * sits in front of decodeProgram(), shared process-wide across the
+ * consensus stage, phase-1 speculation and the auditor (a contract is
+ * decoded once per process, not once per call). Thread-safe; counters:
+ * evm.decode_cache.{hit,miss,evict}.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "evm/opcodes.hpp"
+#include "evm/types.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu::evm {
+
+/**
+ * Semantic opcode of the decoded stream. Opcode *groups* of the raw
+ * encoding (PUSH1..32, DUP1..16, SWAP1..16, LOG0..4) are normalized to
+ * one entry each with the group parameter in DecodedInstr::arg, which
+ * keeps the dispatch table dense for both the computed-goto and the
+ * switch backends.
+ */
+enum class FOp : std::uint8_t
+{
+    BeginBlock, ///< synthetic: fused checks for a pure run
+    Push, Dup, Swap, Pop, Jumpdest,
+    Add, Mul, Sub, Div, Sdiv, Mod, Smod, Addmod, Mulmod, Exp, Signextend,
+    Lt, Gt, Slt, Sgt, Eq, Iszero, And, Or, Xor, Not, Byte, Shl, Shr, Sar,
+    Sha3,
+    Address, Origin, Caller, Callvalue, Gasprice,
+    Calldataload, Calldatasize, Calldatacopy,
+    Codesize, Codecopy, Returndatasize, Returndatacopy,
+    Extcodesize, Extcodecopy, Extcodehash, Balance,
+    Blockhash, Coinbase, Timestamp, Number, Difficulty, Gaslimit,
+    Pc, Msize, Gas,
+    Mload, Mstore, Mstore8,
+    Sload, Sstore,
+    Jump, Jumpi,
+    Stop, Return, Revert,
+    Create, Call, Callcode, Delegatecall, Staticcall,
+    Log,
+    Invalid, ///< undefined byte (and 0xfe): immediate exceptional halt
+    Count,
+};
+
+constexpr std::size_t kNumFOps = std::size_t(FOp::Count);
+
+/** One decoded instruction (or a synthetic BeginBlock marker). */
+struct DecodedInstr
+{
+    FOp op = FOp::Invalid;
+    std::uint8_t arg = 0;    ///< DUPn/SWAPn depth, LOG topic count
+    std::uint8_t pops = 0;   ///< from OpInfo (stack-check accounting)
+    std::uint8_t pushes = 0;
+    std::uint32_t pc = 0;    ///< original byte offset (PC opcode, jumps)
+    std::uint32_t gasCost = 0; ///< static base gas of this instruction
+    // BeginBlock only: fused bounds of the pure run it fronts.
+    std::uint32_t segGas = 0;  ///< summed static gas of the run
+    std::uint32_t segEnd = 0;  ///< instr index one past the run
+    std::int32_t segMin = 0;   ///< stack height required on entry
+    std::int32_t segMax = 0;   ///< max relative height reached in-run
+    U256 imm;                ///< fused PUSH immediate
+};
+
+/**
+ * A fully pre-decoded contract. Immutable after decode, so one
+ * instance can be executed by any number of threads concurrently.
+ */
+struct DecodedProgram
+{
+    Bytes code; ///< private copy (CODESIZE/CODECOPY, stable lifetime)
+    std::vector<DecodedInstr> instrs;
+    /**
+     * Per byte offset: decoded index of the BeginBlock fronting a valid
+     * JUMPDEST at that pc, or -1. Doubles as the jump-dest bitmap: the
+     * entry is >= 0 exactly where findJumpdests() marks true.
+     */
+    std::vector<std::int32_t> jumpTarget;
+};
+
+/** True for opcodes eligible for fused (BeginBlock) pure runs. */
+bool isPureFastOp(std::uint8_t opcode);
+
+/** Pre-decode @p code (one pass; no caching). */
+std::shared_ptr<const DecodedProgram> decodeProgram(const Bytes &code);
+
+/**
+ * LRU decoded-program cache keyed by codehash. get() decodes on miss
+ * and never returns null. Decoded programs are handed out as
+ * shared_ptr-to-const, so an eviction never invalidates an execution
+ * in flight.
+ */
+class DecodeCache
+{
+  public:
+    explicit DecodeCache(std::size_t capacity = 256)
+        : capacity_(capacity ? capacity : 1)
+    {}
+
+    std::shared_ptr<const DecodedProgram> get(const U256 &codeHash,
+                                              const Bytes &code);
+
+    std::size_t size() const;
+
+    /** Process-wide instance shared by every execution path. */
+    static DecodeCache &global();
+
+  private:
+    struct Slot
+    {
+        std::shared_ptr<const DecodedProgram> prog;
+        std::list<U256>::iterator lru;
+    };
+
+    std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::unordered_map<U256, Slot, U256Hash> map_;
+    std::list<U256> lru_; ///< front = most recently used
+};
+
+} // namespace mtpu::evm

@@ -1,0 +1,88 @@
+#include "evm/executor.hpp"
+
+namespace mtpu::evm {
+
+const char *
+tierName(ExecTier tier)
+{
+    return tier == ExecTier::Functional ? "functional" : "cycle";
+}
+
+CallResult
+CycleExecutor::call(WorldState &state, const BlockHeader &header,
+                    const Address &origin, const U256 &gasPrice,
+                    const CallParams &params, Trace *trace)
+{
+    return interp_.call(state, header, origin, gasPrice, params, trace);
+}
+
+Receipt
+CycleExecutor::applyTransaction(WorldState &state, const BlockHeader &header,
+                                const Transaction &tx, Trace *trace,
+                                bool commitState)
+{
+    return interp_.applyTransaction(state, header, tx, trace, commitState);
+}
+
+void
+CycleExecutor::armAbort(const AbortInjection &inj)
+{
+    interp_.armAbort(inj);
+}
+
+void
+CycleExecutor::disarmAbort()
+{
+    interp_.disarmAbort();
+}
+
+const std::vector<LogEntry> &
+CycleExecutor::logs() const
+{
+    return interp_.logs();
+}
+
+CallResult
+FunctionalExecutor::call(WorldState &state, const BlockHeader &header,
+                         const Address &origin, const U256 &gasPrice,
+                         const CallParams &params, Trace *trace)
+{
+    return interp_.call(state, header, origin, gasPrice, params, trace);
+}
+
+Receipt
+FunctionalExecutor::applyTransaction(WorldState &state,
+                                     const BlockHeader &header,
+                                     const Transaction &tx, Trace *trace,
+                                     bool commitState)
+{
+    return interp_.applyTransaction(state, header, tx, trace, commitState);
+}
+
+void
+FunctionalExecutor::armAbort(const AbortInjection &inj)
+{
+    interp_.armAbort(inj);
+}
+
+void
+FunctionalExecutor::disarmAbort()
+{
+    interp_.disarmAbort();
+}
+
+const std::vector<LogEntry> &
+FunctionalExecutor::logs() const
+{
+    return interp_.logs();
+}
+
+std::unique_ptr<Executor>
+makeExecutor(ExecTier tier)
+{
+    if (tier == ExecTier::Functional)
+        return std::make_unique<FunctionalExecutor>();
+    return std::make_unique<CycleExecutor>();
+}
+
+} // namespace mtpu::evm

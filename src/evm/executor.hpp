@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tiered execution façade (DESIGN.md §13): one interface over the two
+ * execution engines —
+ *
+ *  - ExecTier::Cycle      the reference per-opcode Interpreter, with
+ *                         tracing and abort injection modeled exactly;
+ *  - ExecTier::Functional the direct-threaded FastInterpreter over
+ *                         pre-decoded bytecode, for throughput.
+ *
+ * Both tiers produce bit-identical receipts, gas, logs and state
+ * digests; callers pick a tier once and execute through the same
+ * virtual surface.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "evm/fast_interp.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/state.hpp"
+#include "evm/trace.hpp"
+#include "evm/types.hpp"
+
+namespace mtpu::evm {
+
+enum class ExecTier
+{
+    Cycle,      ///< reference interpreter (cycle-level modeling hooks)
+    Functional, ///< fast tier: pre-decoded, direct-threaded
+};
+
+/** Returns "cycle" or "functional". */
+const char *tierName(ExecTier tier);
+
+/** Common surface of both execution engines. */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    virtual CallResult call(WorldState &state, const BlockHeader &header,
+                            const Address &origin, const U256 &gasPrice,
+                            const CallParams &params,
+                            Trace *trace = nullptr) = 0;
+
+    virtual Receipt applyTransaction(WorldState &state,
+                                     const BlockHeader &header,
+                                     const Transaction &tx,
+                                     Trace *trace = nullptr,
+                                     bool commitState = true) = 0;
+
+    virtual void armAbort(const AbortInjection &inj) = 0;
+    virtual void disarmAbort() = 0;
+
+    virtual const std::vector<LogEntry> &logs() const = 0;
+
+    virtual ExecTier tier() const = 0;
+};
+
+/** Executor backed by the reference Interpreter. */
+class CycleExecutor final : public Executor
+{
+  public:
+    CallResult call(WorldState &state, const BlockHeader &header,
+                    const Address &origin, const U256 &gasPrice,
+                    const CallParams &params, Trace *trace = nullptr) override;
+    Receipt applyTransaction(WorldState &state, const BlockHeader &header,
+                             const Transaction &tx, Trace *trace = nullptr,
+                             bool commitState = true) override;
+    void armAbort(const AbortInjection &inj) override;
+    void disarmAbort() override;
+    const std::vector<LogEntry> &logs() const override;
+    ExecTier tier() const override { return ExecTier::Cycle; }
+
+    Interpreter &engine() { return interp_; }
+
+  private:
+    Interpreter interp_;
+};
+
+/** Executor backed by the functional FastInterpreter. */
+class FunctionalExecutor final : public Executor
+{
+  public:
+    CallResult call(WorldState &state, const BlockHeader &header,
+                    const Address &origin, const U256 &gasPrice,
+                    const CallParams &params, Trace *trace = nullptr) override;
+    Receipt applyTransaction(WorldState &state, const BlockHeader &header,
+                             const Transaction &tx, Trace *trace = nullptr,
+                             bool commitState = true) override;
+    void armAbort(const AbortInjection &inj) override;
+    void disarmAbort() override;
+    const std::vector<LogEntry> &logs() const override;
+    ExecTier tier() const override { return ExecTier::Functional; }
+
+    FastInterpreter &engine() { return interp_; }
+
+  private:
+    FastInterpreter interp_;
+};
+
+/** Factory: one fresh executor of the requested tier. */
+std::unique_ptr<Executor> makeExecutor(ExecTier tier);
+
+} // namespace mtpu::evm

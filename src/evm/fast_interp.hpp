@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Functional fast-execution tier (DESIGN.md §13): a direct-threaded
+ * interpreter over pre-decoded bytecode (evm/decode.hpp) with
+ * arena-allocated call frames, no per-instruction tracing and no taint
+ * bookkeeping. Semantics — receipts, gas, logs, state deltas, error
+ * classification — are bit-identical to the reference Interpreter;
+ * differential tests in tests/functional pin this.
+ *
+ * Runs that need per-instruction hooks (trace capture, armed abort
+ * injection) are delegated wholesale to an internal reference
+ * Interpreter, so fault-injection campaigns stay exact.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "evm/interpreter.hpp"
+#include "evm/state.hpp"
+#include "evm/trace.hpp"
+#include "evm/types.hpp"
+
+namespace mtpu::evm {
+
+class DecodeCache;
+struct FastFrame;
+
+/**
+ * Drop-in functional replacement for Interpreter. One instance per
+ * executing thread; frames and stacks are reused across transactions
+ * (reset, not reallocated), so a long-lived instance amortizes all
+ * per-call allocation.
+ */
+class FastInterpreter
+{
+  public:
+    FastInterpreter();
+    ~FastInterpreter();
+    FastInterpreter(const FastInterpreter &) = delete;
+    FastInterpreter &operator=(const FastInterpreter &) = delete;
+
+    /** Same contract as Interpreter::call. */
+    CallResult call(WorldState &state, const BlockHeader &header,
+                    const Address &origin, const U256 &gas_price,
+                    const CallParams &params, Trace *trace = nullptr);
+
+    /** Same contract as Interpreter::applyTransaction. */
+    Receipt applyTransaction(WorldState &state, const BlockHeader &header,
+                             const Transaction &tx, Trace *trace = nullptr,
+                             bool commitState = true);
+
+    /**
+     * Arm a one-shot forced abort. The next applyTransaction runs on
+     * the reference tier (the abort counts *executed instructions*,
+     * which only the per-instruction loop models exactly).
+     */
+    void armAbort(const AbortInjection &inj);
+    void disarmAbort();
+
+    /** Logs collected by the most recent applyTransaction/call. */
+    const std::vector<LogEntry> &logs() const { return logs_; }
+
+    /** Override the decoded-program cache (tests); nullptr = uncached. */
+    void setDecodeCache(DecodeCache *cache) { cache_ = cache; }
+
+  private:
+    friend struct FastCtx;
+
+    FastFrame &frameAt(std::size_t depth);
+
+    std::vector<LogEntry> logs_;
+    std::vector<std::unique_ptr<FastFrame>> arena_;
+    DecodeCache *cache_;
+    Interpreter ref_;          ///< delegate for trace/abort runs
+    bool abortArmed_ = false;
+};
+
+} // namespace mtpu::evm

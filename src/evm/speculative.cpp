@@ -4,6 +4,8 @@
 #include <set>
 #include <utility>
 
+#include "evm/fast_interp.hpp"
+#include "evm/memo.hpp"
 #include "obs/metrics.hpp"
 
 namespace mtpu::evm {
@@ -69,22 +71,77 @@ speculate(const WorldState &base, const BlockHeader &header,
           const Transaction &tx, bool wantTrace,
           const AbortInjection *abort)
 {
+    SpecOptions opts;
+    opts.wantTrace = wantTrace;
+    opts.abort = abort;
+    return speculate(base, header, tx, opts);
+}
+
+SpecResult
+speculate(const WorldState &base, const BlockHeader &header,
+          const Transaction &tx, const SpecOptions &opts)
+{
     SpecResult out;
+
+    // Injected aborts must actually execute — never serve them from
+    // the memo, and never record their (fault-shaped) results.
+    const bool canMemo = opts.memo && !opts.abort;
+    U256 key;
+    if (canMemo) {
+        const U256 hk = opts.memoHeaderKey.isZero()
+                            ? MemoCache::headerKey(header)
+                            : opts.memoHeaderKey;
+        key = MemoCache::txKey(hk, base, tx);
+        if (opts.memo->lookup(key, base, header.coinbase, opts.wantTrace,
+                              out)) {
+            MTPU_OBS_COUNT("spec.speculations", 1);
+            return out;
+        }
+    }
 
     WorldState overlay;
     overlay.bindBase(&base);
     overlay.track(&out.access);
 
-    Interpreter interp;
-    if (abort)
-        interp.armAbort(*abort);
-    out.receipt = interp.applyTransaction(overlay, header, tx,
-                                          wantTrace ? &out.trace : nullptr,
-                                          /*commitState=*/false);
+    Trace *trace = opts.wantTrace ? &out.trace : nullptr;
+    if (opts.fastTier) {
+        // Thread-resident instance: the frame/stack arena is reused
+        // across every transaction this pool thread speculates.
+        static thread_local FastInterpreter interp;
+        if (opts.abort)
+            interp.armAbort(*opts.abort);
+        out.receipt = interp.applyTransaction(overlay, header, tx, trace,
+                                              /*commitState=*/false);
+    } else {
+        Interpreter interp;
+        if (opts.abort)
+            interp.armAbort(*opts.abort);
+        out.receipt = interp.applyTransaction(overlay, header, tx, trace,
+                                              /*commitState=*/false);
+    }
     overlay.track(nullptr);
 
     extractDeltas(overlay, out);
+
+    // Pin the observed value of every tracked read (the base is frozen
+    // during the fan-out, so this is exactly what execution saw).
+    out.readValues.reserve(out.access.reads.size());
+    for (const StateKey &k : out.access.reads) {
+        if (k.address == header.coinbase)
+            continue;
+        SpecResult::ReadValue rv;
+        rv.key = k;
+        if (k.slot == WorldState::kBalanceSlot) {
+            rv.word = base.balance(k.address);
+            rv.nonce = base.nonce(k.address);
+        } else {
+            rv.word = base.storageAt(k.address, k.slot);
+        }
+        out.readValues.push_back(std::move(rv));
+    }
     out.ran = true;
+    if (canMemo)
+        opts.memo->insert(key, opts.wantTrace, out);
     MTPU_OBS_COUNT("spec.speculations", 1);
     return out;
 }
@@ -116,6 +173,40 @@ specValid(const SpecResult &r, const WorldState &live,
         }
     }
 
+    if (!specWritesMatch(r, live, coinbase))
+        return false;
+    MTPU_OBS_COUNT("spec.valid.pass", 1);
+    return true;
+}
+
+bool
+specValidLive(const SpecResult &r, const WorldState &live,
+              const Address &coinbase)
+{
+    MTPU_OBS_COUNT("spec.valid.checks", 1);
+    if (!r.ran)
+        return false;
+    for (const SpecResult::ReadValue &rv : r.readValues) {
+        if (rv.key.slot == WorldState::kBalanceSlot) {
+            if (live.balance(rv.key.address) != rv.word
+                || live.nonce(rv.key.address) != rv.nonce) {
+                return false;
+            }
+        } else if (live.storageAt(rv.key.address, rv.key.slot)
+                   != rv.word) {
+            return false;
+        }
+    }
+    if (!specWritesMatch(r, live, coinbase))
+        return false;
+    MTPU_OBS_COUNT("spec.valid.pass", 1);
+    return true;
+}
+
+bool
+specWritesMatch(const SpecResult &r, const WorldState &live,
+                const Address &coinbase)
+{
     // Every location written must carry the pre-value the speculation
     // observed when it first wrote it (SSTORE gas and refund paths
     // depend on the old value, so this guards the trace as well).
@@ -137,7 +228,6 @@ specValid(const SpecResult &r, const WorldState &live,
         if (live.code(d.addr) != d.observed)
             return false;
     }
-    MTPU_OBS_COUNT("spec.valid.pass", 1);
     return true;
 }
 

@@ -39,6 +39,8 @@
 
 namespace mtpu::evm {
 
+class MemoCache;
+
 /** Everything captured by one speculative pre-execution. */
 struct SpecResult
 {
@@ -79,6 +81,25 @@ struct SpecResult
     std::vector<BalanceDelta> balances;
     std::vector<NonceDelta> nonces;
     std::vector<CodeDelta> codes;
+
+    /**
+     * One observed read value: the balance-slot sentinel pins the
+     * account's balance and nonce, any other slot pins a storage word.
+     */
+    struct ReadValue
+    {
+        StateKey key;
+        U256 word;
+        std::uint64_t nonce = 0;
+    };
+
+    /**
+     * The value of every tracked read (coinbase keys excluded),
+     * captured from the base at speculation time. Lets a commit thread
+     * validate against its live state alone — no frozen copy of the
+     * pre-block state needed (specValidLive()).
+     */
+    std::vector<ReadValue> readValues;
 };
 
 /**
@@ -96,6 +117,35 @@ SpecResult speculate(const WorldState &base, const BlockHeader &header,
                      const Transaction &tx, bool wantTrace,
                      const AbortInjection *abort = nullptr);
 
+/** Knobs for the extended speculate() overload. */
+struct SpecOptions
+{
+    bool wantTrace = false;
+    const AbortInjection *abort = nullptr;
+
+    /**
+     * Execute on the functional fast tier (direct-threaded interpreter
+     * over pre-decoded bytecode) instead of the reference per-opcode
+     * loop. Results are bit-identical; abort-armed runs self-delegate
+     * back to the reference tier.
+     */
+    bool fastTier = false;
+
+    /**
+     * Optional result memo: consulted before executing and fed after.
+     * A hit replays the recorded deltas without running any bytecode.
+     * Ignored while an abort is armed (injected faults must execute).
+     */
+    MemoCache *memo = nullptr;
+
+    /** Precomputed MemoCache::headerKey(header); zero = compute here. */
+    U256 memoHeaderKey;
+};
+
+/** As speculate() above, with fast-tier and memo-cache options. */
+SpecResult speculate(const WorldState &base, const BlockHeader &header,
+                     const Transaction &tx, const SpecOptions &opts);
+
 /**
  * True when @p live still matches every observation @p r made against
  * @p base: all read locations carry the base values, all written
@@ -104,6 +154,23 @@ SpecResult speculate(const WorldState &base, const BlockHeader &header,
  */
 bool specValid(const SpecResult &r, const WorldState &live,
                const WorldState &base, const Address &coinbase);
+
+/**
+ * As specValid(), but compares reads against the values recorded in
+ * r.readValues instead of a frozen base state — the validation the
+ * functional pipeline uses so it never has to copy the pre-block
+ * state.
+ */
+bool specValidLive(const SpecResult &r, const WorldState &live,
+                   const Address &coinbase);
+
+/**
+ * The write-side half of specValid(): true when every location @p r
+ * wrote still carries the pre-value the recorded run observed in
+ * @p live. Shared with the memo cache's lookup-time validation.
+ */
+bool specWritesMatch(const SpecResult &r, const WorldState &live,
+                     const Address &coinbase);
 
 /**
  * Replay the recorded deltas into @p live through journaled setters.

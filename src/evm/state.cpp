@@ -68,7 +68,7 @@ WorldState::touch(const Address &addr)
             }
         }
         journal_.push_back({JournalEntry::Kind::AccountCreated, addr,
-                            U256(), U256(), 0, {}});
+                            U256(), U256(), 0, {}, U256()});
         it = accounts_.emplace(addr, Account{}).first;
     }
     return it->second;
@@ -164,7 +164,7 @@ WorldState::setBalance(const Address &addr, const U256 &value)
     noteWrite(addr, kBalanceSlot);
     Account &acct = touch(addr);
     journal_.push_back({JournalEntry::Kind::BalanceChange, addr, U256(),
-                        acct.balance, 0, {}});
+                        acct.balance, 0, {}, U256()});
     acct.balance = value;
 }
 
@@ -196,7 +196,7 @@ WorldState::setNonce(const Address &addr, std::uint64_t nonce)
 {
     Account &acct = touch(addr);
     journal_.push_back({JournalEntry::Kind::NonceChange, addr, U256(),
-                        U256(), acct.nonce, {}});
+                        U256(), acct.nonce, {}, U256()});
     acct.nonce = nonce;
 }
 
@@ -211,7 +211,7 @@ WorldState::setCode(const Address &addr, Bytes code)
 {
     Account &acct = touch(addr);
     journal_.push_back({JournalEntry::Kind::CodeChange, addr, U256(),
-                        U256(), 0, acct.code});
+                        U256(), 0, acct.code, acct.codeHash});
     acct.codeHash = keccak256Word(code);
     acct.code = std::move(code);
 }
@@ -224,7 +224,7 @@ WorldState::setStorage(const Address &addr, const U256 &slot,
     Account &acct = touch(addr);
     U256 prev = peekStorage(addr, slot);
     journal_.push_back({JournalEntry::Kind::StorageChange, addr, slot,
-                        prev, 0, {}});
+                        prev, 0, {}, U256()});
     if (acct.baseBacked) {
         // The local map is a diff over the base: zeros must be stored
         // explicitly, or the read would fall through to a stale base
@@ -387,7 +387,9 @@ WorldState::revert(Snapshot snap)
                 acct.nonce = e.prevNonce;
                 break;
               case JournalEntry::Kind::CodeChange:
-                acct.codeHash = keccak256Word(e.prevCode);
+                // The hash was journaled with the code: undo restores
+                // the cached value instead of rehashing the bytecode.
+                acct.codeHash = e.prevCodeHash;
                 acct.code = std::move(e.prevCode);
                 break;
               case JournalEntry::Kind::AccountCreated:

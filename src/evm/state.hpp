@@ -184,6 +184,7 @@ class WorldState
         U256 prevWord;  // previous storage value / balance
         std::uint64_t prevNonce = 0;
         Bytes prevCode;
+        U256 prevCodeHash; // cached hash of prevCode (no rehash on undo)
     };
 
     /** Read-only view of the open journal (oldest first). */

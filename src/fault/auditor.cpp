@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "evm/fast_interp.hpp"
 #include "evm/interpreter.hpp"
 #include "obs/metrics.hpp"
 
@@ -40,7 +41,10 @@ U256
 Auditor::digestInOrder(const std::vector<int> &order) const
 {
     evm::WorldState state = genesis_;
-    evm::Interpreter interp;
+    // The functional tier makes order audits cheap; abort directives
+    // self-delegate to the reference interpreter, so injected-fault
+    // replays stay instruction-exact.
+    evm::FastInterpreter interp;
     for (int idx : order) {
         if (plan_) {
             if (const AbortDirective *dir = plan_->abortFor(idx)) {

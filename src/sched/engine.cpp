@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "evm/interpreter.hpp"
+#include "evm/memo.hpp"
 #include "evm/speculative.hpp"
 #include "fault/plan.hpp"
 #include "obs/metrics.hpp"
@@ -145,15 +146,21 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     std::vector<evm::SpecResult> spec;
     if (functional && pool_ && n > 1) {
         spec.resize(n);
+        const U256 headerKey =
+            evm::MemoCache::headerKey(block.header);
         pool_->parallelFor(n, [&](std::size_t i) {
             const fault::AbortDirective *dir =
                 plan ? plan->abortFor(int(i)) : nullptr;
             evm::AbortInjection inj;
             if (dir)
                 inj = {dir->afterInstructions, dir->outOfGas};
+            evm::SpecOptions opts;
+            opts.abort = dir ? &inj : nullptr;
+            opts.fastTier = true;
+            opts.memo = &evm::MemoCache::global();
+            opts.memoHeaderKey = headerKey;
             spec[i] = evm::speculate(*rec.genesis, block.header,
-                                     block.txs[i].tx, /*wantTrace=*/false,
-                                     dir ? &inj : nullptr);
+                                     block.txs[i].tx, opts);
         });
     }
 

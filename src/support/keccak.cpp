@@ -24,48 +24,76 @@ constexpr std::uint64_t kRoundConstants[kRounds] = {
     0x8000000000008080ull, 0x0000000080000001ull, 0x8000000080008008ull,
 };
 
-constexpr int kRotations[5][5] = {
-    {0, 36, 3, 41, 18},
-    {1, 44, 10, 45, 2},
-    {62, 6, 43, 15, 61},
-    {28, 55, 25, 21, 56},
-    {27, 20, 39, 8, 14},
+// Rho rotation amounts and Pi lane order for the single-temp rho+pi
+// walk: step i rotates the lane that lands at kPiLane[i].
+constexpr int kRhoRot[kRounds] = {
+    1,  3,  6,  10, 15, 21, 28, 36, 45, 55, 2,  14,
+    27, 41, 56, 8,  25, 43, 62, 18, 39, 61, 20, 44,
+};
+
+constexpr int kPiLane[kRounds] = {
+    10, 7,  11, 17, 18, 3, 5,  16, 8,  21, 24, 4,
+    15, 23, 19, 13, 12, 2, 20, 14, 22, 9,  6,  1,
 };
 
 inline std::uint64_t
 rotl(std::uint64_t v, int n)
 {
-    return n == 0 ? v : (v << n) | (v >> (64 - n));
+    return (v << n) | (v >> (64 - n));
 }
 
+/**
+ * The permutation over a flat 25-lane state (lane i = A[i%5, i/5]).
+ * Theta and chi are hand-unrolled and rho+pi is the standard
+ * single-temporary cycle walk; this runs several times faster than the
+ * textbook 2-D formulation with modulo indexing, and keccak dominates
+ * state digests, mapping slots and the cache keys, so it is a hot
+ * function for the whole simulator.
+ */
 void
-keccakF1600(std::uint64_t a[5][5])
+keccakF1600(std::uint64_t a[25])
 {
     for (int round = 0; round < kRounds; ++round) {
         // Theta
-        std::uint64_t c[5], d[5];
-        for (int x = 0; x < 5; ++x)
-            c[x] = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
-        for (int x = 0; x < 5; ++x) {
-            d[x] = c[(x + 4) % 5] ^ rotl(c[(x + 1) % 5], 1);
-            for (int y = 0; y < 5; ++y)
-                a[x][y] ^= d[x];
+        std::uint64_t c0 = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20];
+        std::uint64_t c1 = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21];
+        std::uint64_t c2 = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22];
+        std::uint64_t c3 = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23];
+        std::uint64_t c4 = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24];
+        std::uint64_t d0 = c4 ^ rotl(c1, 1);
+        std::uint64_t d1 = c0 ^ rotl(c2, 1);
+        std::uint64_t d2 = c1 ^ rotl(c3, 1);
+        std::uint64_t d3 = c2 ^ rotl(c4, 1);
+        std::uint64_t d4 = c3 ^ rotl(c0, 1);
+        a[0] ^= d0; a[5] ^= d0; a[10] ^= d0; a[15] ^= d0; a[20] ^= d0;
+        a[1] ^= d1; a[6] ^= d1; a[11] ^= d1; a[16] ^= d1; a[21] ^= d1;
+        a[2] ^= d2; a[7] ^= d2; a[12] ^= d2; a[17] ^= d2; a[22] ^= d2;
+        a[3] ^= d3; a[8] ^= d3; a[13] ^= d3; a[18] ^= d3; a[23] ^= d3;
+        a[4] ^= d4; a[9] ^= d4; a[14] ^= d4; a[19] ^= d4; a[24] ^= d4;
+
+        // Rho + Pi (tables are compile-time constants; the loop fully
+        // unrolls, so every rotation amount is an immediate)
+        std::uint64_t t = a[1];
+        for (int i = 0; i < kRounds; ++i) {
+            const int j = kPiLane[i];
+            const std::uint64_t tmp = a[j];
+            a[j] = rotl(t, kRhoRot[i]);
+            t = tmp;
         }
-        // Rho + Pi
-        std::uint64_t b[5][5];
-        for (int x = 0; x < 5; ++x) {
-            for (int y = 0; y < 5; ++y)
-                b[y][(2 * x + 3 * y) % 5] = rotl(a[x][y], kRotations[x][y]);
+
+        // Chi, row by row
+        for (int j = 0; j < 25; j += 5) {
+            const std::uint64_t b0 = a[j], b1 = a[j + 1], b2 = a[j + 2],
+                                b3 = a[j + 3], b4 = a[j + 4];
+            a[j] = b0 ^ (~b1 & b2);
+            a[j + 1] = b1 ^ (~b2 & b3);
+            a[j + 2] = b2 ^ (~b3 & b4);
+            a[j + 3] = b3 ^ (~b4 & b0);
+            a[j + 4] = b4 ^ (~b0 & b1);
         }
-        // Chi
-        for (int x = 0; x < 5; ++x) {
-            for (int y = 0; y < 5; ++y) {
-                a[x][y] = b[x][y]
-                        ^ ((~b[(x + 1) % 5][y]) & b[(x + 2) % 5][y]);
-            }
-        }
+
         // Iota
-        a[0][0] ^= kRoundConstants[round];
+        a[0] ^= kRoundConstants[round];
     }
 }
 
@@ -75,7 +103,7 @@ void
 keccak256(const std::uint8_t *data, std::size_t len, std::uint8_t out[32])
 {
     constexpr std::size_t rate = 136; // 1088 bits
-    std::uint64_t state[5][5];
+    std::uint64_t state[25];
     std::memset(state, 0, sizeof(state));
 
     std::uint8_t block[rate];
@@ -84,7 +112,7 @@ keccak256(const std::uint8_t *data, std::size_t len, std::uint8_t out[32])
         for (std::size_t i = 0; i < rate / 8; ++i) {
             std::uint64_t lane;
             std::memcpy(&lane, data + offset + i * 8, 8);
-            state[i % 5][i / 5] ^= lane;
+            state[i] ^= lane;
         }
         keccakF1600(state);
         offset += rate;
@@ -98,14 +126,11 @@ keccak256(const std::uint8_t *data, std::size_t len, std::uint8_t out[32])
     for (std::size_t i = 0; i < rate / 8; ++i) {
         std::uint64_t lane;
         std::memcpy(&lane, block + i * 8, 8);
-        state[i % 5][i / 5] ^= lane;
+        state[i] ^= lane;
     }
     keccakF1600(state);
 
-    for (std::size_t i = 0; i < 4; ++i) {
-        std::uint64_t lane = state[i % 5][i / 5];
-        std::memcpy(out + i * 8, &lane, 8);
-    }
+    std::memcpy(out, state, 32);
 }
 
 U256

@@ -104,16 +104,36 @@ class U256
                 (unsigned __int128)limbs_[0] + o.limbs_[0];
             return U256(std::uint64_t(s), std::uint64_t(s >> 64), 0, 0);
         }
+        if (bothTwoLimb(*this, o)) {
+            // 128-bit operands: two chained 128-bit adds; the carry
+            // lands in limb 2 and can never reach limb 3.
+            unsigned __int128 lo =
+                (unsigned __int128)limbs_[0] + o.limbs_[0];
+            unsigned __int128 hi = (unsigned __int128)limbs_[1]
+                                   + o.limbs_[1]
+                                   + std::uint64_t(lo >> 64);
+            return U256(std::uint64_t(lo), std::uint64_t(hi),
+                        std::uint64_t(hi >> 64), 0);
+        }
         return addGeneric(o);
     }
 
     U256
     operator-(const U256 &o) const
     {
-        // Only the borrow-free single-limb case is shortcut; a borrow
-        // propagates through all four limbs and takes the generic path.
+        // Only borrow-free cases are shortcut; a borrow out of the
+        // shortcut width propagates through all four limbs and takes
+        // the generic path.
         if (bothSingleLimb(*this, o) && limbs_[0] >= o.limbs_[0])
             return U256(limbs_[0] - o.limbs_[0]);
+        if (bothTwoLimb(*this, o)
+            && (limbs_[1] > o.limbs_[1]
+                || (limbs_[1] == o.limbs_[1]
+                    && limbs_[0] >= o.limbs_[0]))) {
+            std::uint64_t borrow = limbs_[0] < o.limbs_[0];
+            return U256(limbs_[0] - o.limbs_[0],
+                        limbs_[1] - o.limbs_[1] - borrow, 0, 0);
+        }
         return subGeneric(o);
     }
 
@@ -124,6 +144,26 @@ class U256
             unsigned __int128 p =
                 (unsigned __int128)limbs_[0] * o.limbs_[0];
             return U256(std::uint64_t(p), std::uint64_t(p >> 64), 0, 0);
+        }
+        if (bothTwoLimb(*this, o)) {
+            // 128x128 -> 256 schoolbook on four 64x64 partials; the
+            // exact product fits, so no wrap handling is needed.
+            unsigned __int128 p00 =
+                (unsigned __int128)limbs_[0] * o.limbs_[0];
+            unsigned __int128 p01 =
+                (unsigned __int128)limbs_[0] * o.limbs_[1];
+            unsigned __int128 p10 =
+                (unsigned __int128)limbs_[1] * o.limbs_[0];
+            unsigned __int128 p11 =
+                (unsigned __int128)limbs_[1] * o.limbs_[1];
+            unsigned __int128 mid = (p00 >> 64) + std::uint64_t(p01)
+                                    + std::uint64_t(p10);
+            unsigned __int128 hi = (mid >> 64) + (p01 >> 64)
+                                   + (p10 >> 64) + std::uint64_t(p11);
+            return U256(std::uint64_t(p00), std::uint64_t(mid),
+                        std::uint64_t(hi),
+                        std::uint64_t(hi >> 64)
+                            + std::uint64_t(p11 >> 64));
         }
         return mulGeneric(o);
     }
@@ -176,6 +216,10 @@ class U256
     {
         if (bothSingleLimb(*this, o))
             return limbs_[0] < o.limbs_[0];
+        if (bothTwoLimb(*this, o)) {
+            return limbs_[1] != o.limbs_[1] ? limbs_[1] < o.limbs_[1]
+                                            : limbs_[0] < o.limbs_[0];
+        }
         return ltGeneric(o);
     }
     bool operator>(const U256 &o) const { return o < *this; }
@@ -199,6 +243,14 @@ class U256
     {
         return !((a.limbs_[1] | a.limbs_[2] | a.limbs_[3])
                  | (b.limbs_[1] | b.limbs_[2] | b.limbs_[3]));
+    }
+
+    /** True when neither operand has bits above limb 1 (128-bit). */
+    static bool
+    bothTwoLimb(const U256 &a, const U256 &b)
+    {
+        return !((a.limbs_[2] | a.limbs_[3])
+                 | (b.limbs_[2] | b.limbs_[3]));
     }
 
     // Generic multi-limb implementations (the pre-fast-path bodies).

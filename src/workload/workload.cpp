@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "evm/memo.hpp"
 #include "evm/speculative.hpp"
 
 namespace mtpu::workload {
@@ -560,9 +561,16 @@ runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
     std::vector<evm::SpecResult> spec;
     if (pool && block.txs.size() > 1) {
         spec.resize(block.txs.size());
+        const U256 headerKey =
+            evm::MemoCache::headerKey(block.header);
         pool->parallelFor(block.txs.size(), [&](std::size_t i) {
+            evm::SpecOptions opts;
+            opts.wantTrace = true;
+            opts.fastTier = true;
+            opts.memo = &evm::MemoCache::global();
+            opts.memoHeaderKey = headerKey;
             spec[i] = evm::speculate(pre_state, block.header,
-                                     block.txs[i].tx, /*wantTrace=*/true);
+                                     block.txs[i].tx, opts);
         });
     }
 

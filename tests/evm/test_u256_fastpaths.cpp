@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Cross-checks of the U256 single- and two-limb arithmetic fast paths
+ * against an independent byte-level reference: random operands are
+ * drawn so every shortcut tier (1-limb, 2-limb, generic) is exercised,
+ * and add/sub/mul/compare results must agree with 32-byte big-endian
+ * schoolbook arithmetic computed in the test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "support/rng.hpp"
+#include "support/u256.hpp"
+
+namespace mtpu {
+namespace {
+
+using ByteWord = std::array<std::uint8_t, 32>;
+
+ByteWord
+bytesOf(const U256 &v)
+{
+    ByteWord out;
+    v.toBytes(out.data());
+    return out;
+}
+
+U256
+wordOf(const ByteWord &b)
+{
+    return U256::fromBytes(b.data(), b.size());
+}
+
+/** Big-endian byte-wise addition mod 2^256. */
+ByteWord
+refAdd(const ByteWord &a, const ByteWord &b)
+{
+    ByteWord out{};
+    int carry = 0;
+    for (int i = 31; i >= 0; --i) {
+        int s = int(a[i]) + int(b[i]) + carry;
+        out[i] = std::uint8_t(s & 0xff);
+        carry = s >> 8;
+    }
+    return out;
+}
+
+/** Big-endian byte-wise subtraction mod 2^256. */
+ByteWord
+refSub(const ByteWord &a, const ByteWord &b)
+{
+    ByteWord out{};
+    int borrow = 0;
+    for (int i = 31; i >= 0; --i) {
+        int s = int(a[i]) - int(b[i]) - borrow;
+        borrow = s < 0;
+        out[i] = std::uint8_t((s + 256) & 0xff);
+    }
+    return out;
+}
+
+/** Big-endian byte-wise schoolbook multiply, truncated mod 2^256. */
+ByteWord
+refMul(const ByteWord &a, const ByteWord &b)
+{
+    std::array<std::uint32_t, 32> acc{};
+    for (int i = 31; i >= 0; --i) {
+        for (int j = 31; j >= 0; --j) {
+            int pos = i + j - 31; // output byte index
+            if (pos < 0)
+                continue; // overflows 2^256; truncated
+            acc[std::size_t(pos)] +=
+                std::uint32_t(a[i]) * std::uint32_t(b[j]);
+        }
+    }
+    ByteWord out{};
+    std::uint32_t carry = 0;
+    for (int i = 31; i >= 0; --i) {
+        std::uint32_t s = acc[std::size_t(i)] + carry;
+        out[i] = std::uint8_t(s & 0xff);
+        carry = s >> 8;
+    }
+    return out;
+}
+
+int
+refCmp(const ByteWord &a, const ByteWord &b)
+{
+    return std::memcmp(a.data(), b.data(), a.size());
+}
+
+/** Random operand whose magnitude hits the requested shortcut tier. */
+U256
+randomOperand(Rng &rng, int limbs)
+{
+    U256 v;
+    for (int i = 0; i < limbs; ++i)
+        v.setLimb(i, rng.next());
+    if (rng.below(4) == 0 && limbs > 0) {
+        // Quarter of the draws: small values and boundary patterns.
+        switch (rng.below(4)) {
+          case 0: return U256(rng.below(100));
+          case 1: return U256(~0ull);
+          case 2: v.setLimb(limbs - 1, ~0ull); return v;
+          default: return U256(0);
+        }
+    }
+    return v;
+}
+
+TEST(U256FastPaths, AddSubMulCmpMatchByteReference)
+{
+    Rng rng(0x5eed1234);
+    for (int iter = 0; iter < 4000; ++iter) {
+        // Sweep all operand-width pairs so 1-limb, 2-limb and generic
+        // paths (and their boundary crossings) are all hit.
+        int la = 1 + int(rng.below(4));
+        int lb = 1 + int(rng.below(4));
+        U256 a = randomOperand(rng, la);
+        U256 b = randomOperand(rng, lb);
+        ByteWord ab = bytesOf(a), bb = bytesOf(b);
+
+        EXPECT_EQ(a + b, wordOf(refAdd(ab, bb))) << a.toHex() << " + "
+                                                 << b.toHex();
+        EXPECT_EQ(a - b, wordOf(refSub(ab, bb))) << a.toHex() << " - "
+                                                 << b.toHex();
+        EXPECT_EQ(a * b, wordOf(refMul(ab, bb))) << a.toHex() << " * "
+                                                 << b.toHex();
+        EXPECT_EQ(a < b, refCmp(ab, bb) < 0);
+        EXPECT_EQ(a > b, refCmp(ab, bb) > 0);
+        EXPECT_EQ(a <= b, refCmp(ab, bb) <= 0);
+        EXPECT_EQ(a >= b, refCmp(ab, bb) >= 0);
+        EXPECT_EQ(a == b, refCmp(ab, bb) == 0);
+    }
+}
+
+TEST(U256FastPaths, TwoLimbBoundaries)
+{
+    // The exact seams of the two-limb shortcut: carries out of limb 1,
+    // borrows across the limb boundary, products that fill limb 3.
+    U256 max2 = U256(~0ull, ~0ull, 0, 0); // 2^128 - 1
+    EXPECT_EQ(max2 + U256(1), U256(0, 0, 1, 0));
+    EXPECT_EQ(max2 + max2, U256(~0ull - 1, ~0ull, 1, 0));
+    EXPECT_EQ(U256(0, 1, 0, 0) - U256(1), U256(~0ull, 0, 0, 0));
+    EXPECT_EQ(max2 - max2, U256(0));
+    EXPECT_EQ(max2 * max2,
+              U256(1, 0, ~0ull - 1, ~0ull)); // (2^128-1)^2
+    EXPECT_TRUE(U256(0, 1, 0, 0) > U256(~0ull));
+    EXPECT_TRUE(U256(5, 1, 0, 0) < U256(4, 2, 0, 0));
+    // Mixed-width operands must agree with the generic path.
+    U256 wide = U256(3, 0, 0, 1);
+    EXPECT_EQ(wide - max2, (wide - U256(1)) - (max2 - U256(1)));
+    EXPECT_TRUE(max2 < wide);
+}
+
+} // namespace
+} // namespace mtpu

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * FunctionalPipeline end-to-end: whole generated chains executed at
+ * host thread counts 1/2/8 must commit receipts and state
+ * bit-identically to the sequential reference interpreter chain, with
+ * the memo cache cold and warm, across dependency mixes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/functional.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/memo.hpp"
+#include "workload/workload.hpp"
+
+namespace mtpu {
+namespace {
+
+struct ChainResult
+{
+    std::vector<Bytes> receiptRlp;
+    U256 digest;
+};
+
+/** Sequential ground truth on the reference interpreter. */
+ChainResult
+referenceChain(const std::vector<workload::BlockRun> &blocks,
+               const evm::WorldState &genesis)
+{
+    ChainResult out;
+    evm::WorldState state = genesis;
+    evm::Interpreter interp;
+    for (const workload::BlockRun &block : blocks)
+        for (const workload::TxRecord &rec : block.txs)
+            out.receiptRlp.push_back(
+                interp.applyTransaction(state, block.header, rec.tx)
+                    .toRlp());
+    out.digest = state.digest();
+    return out;
+}
+
+ChainResult
+functionalChain(const std::vector<workload::BlockRun> &blocks,
+                const evm::WorldState &genesis, int threads)
+{
+    ChainResult out;
+    core::FunctionalPipeline pipe(genesis, threads);
+    for (const workload::BlockRun &block : blocks) {
+        core::FunctionalBlockResult res = pipe.executeBlock(block);
+        EXPECT_EQ(res.txCount, block.txs.size());
+        EXPECT_EQ(res.replayed + res.reexecuted, res.txCount);
+        for (const evm::Receipt &r : res.receipts)
+            out.receiptRlp.push_back(r.toRlp());
+    }
+    out.digest = pipe.state().digest();
+    return out;
+}
+
+std::vector<workload::BlockRun>
+makeChain(workload::Generator &gen, int blocks, double dep_ratio)
+{
+    workload::BlockParams params;
+    params.txCount = 96;
+    params.depRatio = dep_ratio;
+    params.erc20Share = -1.0;
+    std::vector<workload::BlockRun> out;
+    for (int b = 0; b < blocks; ++b)
+        out.push_back(gen.generateBlock(params));
+    return out;
+}
+
+class FunctionalPipelineTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { evm::MemoCache::global().clear(); }
+};
+
+TEST_F(FunctionalPipelineTest, ThreadCountsCommitBitIdentically)
+{
+    workload::Generator gen(7, 128, 1);
+    auto blocks = makeChain(gen, 3, 0.3);
+    const evm::WorldState genesis = gen.genesis();
+
+    ChainResult ref = referenceChain(blocks, genesis);
+    for (int threads : {1, 2, 8}) {
+        evm::MemoCache::global().clear();
+        ChainResult got = functionalChain(blocks, genesis, threads);
+        EXPECT_EQ(got.receiptRlp, ref.receiptRlp)
+            << "receipts diverged at threads=" << threads;
+        EXPECT_EQ(got.digest, ref.digest)
+            << "state diverged at threads=" << threads;
+    }
+}
+
+TEST_F(FunctionalPipelineTest, WarmMemoCacheStaysBitIdentical)
+{
+    workload::Generator gen(11, 128, 1);
+    auto blocks = makeChain(gen, 2, 0.5);
+    const evm::WorldState genesis = gen.genesis();
+
+    ChainResult ref = referenceChain(blocks, genesis);
+    // First pass populates the memo; the second replays from it.
+    ChainResult cold = functionalChain(blocks, genesis, 2);
+    ChainResult warm = functionalChain(blocks, genesis, 2);
+    EXPECT_EQ(cold.receiptRlp, ref.receiptRlp);
+    EXPECT_EQ(cold.digest, ref.digest);
+    EXPECT_EQ(warm.receiptRlp, ref.receiptRlp);
+    EXPECT_EQ(warm.digest, ref.digest);
+}
+
+TEST_F(FunctionalPipelineTest, DependencyMixesStayBitIdentical)
+{
+    for (double dep : {0.0, 0.35, 0.8}) {
+        workload::Generator gen(23, 96, 1);
+        auto blocks = makeChain(gen, 2, dep);
+        const evm::WorldState genesis = gen.genesis();
+        ChainResult ref = referenceChain(blocks, genesis);
+        evm::MemoCache::global().clear();
+        ChainResult got = functionalChain(blocks, genesis, 8);
+        EXPECT_EQ(got.receiptRlp, ref.receiptRlp) << "dep=" << dep;
+        EXPECT_EQ(got.digest, ref.digest) << "dep=" << dep;
+    }
+}
+
+TEST_F(FunctionalPipelineTest, HighContentionReexecutesAndMatches)
+{
+    // Single hot contract, fully dependent transactions: most
+    // speculations must fail validation and re-execute, and the
+    // result must still be bit-identical.
+    workload::Generator gen(31, 64, 1);
+    workload::BlockParams params;
+    params.txCount = 64;
+    params.depRatio = 1.0;
+    params.erc20Share = 1.0;
+    std::vector<workload::BlockRun> blocks;
+    blocks.push_back(gen.generateBlock(params));
+    const evm::WorldState genesis = gen.genesis();
+
+    ChainResult ref = referenceChain(blocks, genesis);
+    ChainResult got = functionalChain(blocks, genesis, 8);
+    EXPECT_EQ(got.receiptRlp, ref.receiptRlp);
+    EXPECT_EQ(got.digest, ref.digest);
+}
+
+} // namespace
+} // namespace mtpu

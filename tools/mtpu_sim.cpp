@@ -9,7 +9,7 @@
  *            [--seed S] [--scheme seq|sync|st] [--window M]
  *            [--db-entries N] [--no-redundancy] [--no-hotspot]
  *            [--mhz F] [--threads N] [--json PATH]
- *            [--trace PATH] [--trace-host] [--metrics]
+ *            [--trace PATH] [--trace-host] [--metrics] [--functional]
  *            [--inject-seed S] [--drop-edges R]
  *            [--abort-rate R] [--pu-fault N] [--no-recovery] [--help]
  *
@@ -17,6 +17,13 @@
  * --pu-fault / --watchdog-budget flags, each block is run through the
  * fault injector (degraded DAG, forced aborts, PU faults), recovered
  * speculatively, and audited for serializability.
+ *
+ * With --functional, blocks run on the functional fast tier
+ * (direct-threaded interpreter over pre-decoded programs,
+ * decoded-code + result-memo caches, speculative fan-out with
+ * program-order commit) and on the audited cycle-level MTPU model,
+ * wall-clock timed, with the final state digests cross-checked
+ * (exit 2 on divergence).
  *
  * With --stream, blocks are not pre-generated: an open-loop producer
  * feeds wire transactions through the bounded mempool (admission
@@ -56,7 +63,9 @@
 
 #include <algorithm>
 
+#include "core/functional.hpp"
 #include "core/mtpu.hpp"
+#include "evm/interpreter.hpp"
 #include "fault/injector.hpp"
 #include "fault/stream_faults.hpp"
 #include "obs/json.hpp"
@@ -97,6 +106,7 @@ struct Options
     std::string tracePath; ///< Chrome trace-event JSON; empty = off
     bool traceHost = false; ///< include host-domain events in the trace
     bool metrics = false;   ///< enable + report the metrics registry
+    bool functional = false; ///< run the functional fast tier instead
 
     // --stream mode (--blocks becomes soak slots; --txs the block cap).
     bool stream = false;
@@ -150,6 +160,14 @@ usage(const char *argv0)
         "                   vary with --threads\n"
         "  --metrics        enable the metrics registry; print a\n"
         "                   summary and embed it in the --json report\n"
+        "  --functional     run blocks on the functional fast tier\n"
+        "                   (direct-threaded interpreter + decoded-code\n"
+        "                   and result-memo caches) instead of the\n"
+        "                   cycle-level MTPU model; prints wall-clock\n"
+        "                   tx/s for both tiers and cross-checks the\n"
+        "                   final state digest (exit 2 on divergence).\n"
+        "                   evm.decode_cache.* / evm.memo.* counters\n"
+        "                   are always embedded in the --json report\n"
         "fault injection (any of these enables the audited fault run):\n"
         "  --inject-seed S  fault injector seed (default 42)\n"
         "  --drop-edges R   fraction of DAG edges to drop 0..1\n"
@@ -350,6 +368,8 @@ parse(int argc, char **argv, Options &opt)
             opt.traceHost = true;
         } else if (arg == "--metrics") {
             opt.metrics = true;
+        } else if (arg == "--functional") {
+            opt.functional = true;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
@@ -390,6 +410,13 @@ parse(int argc, char **argv, Options &opt)
         }
     } else if (!opt.dataDir.empty()) {
         std::fprintf(stderr, "--data-dir requires --stream\n");
+        return false;
+    }
+    if (opt.functional
+        && (opt.stream || opt.faultMode() || !opt.tracePath.empty())) {
+        std::fprintf(stderr, "--functional is a standalone mode; it "
+                             "cannot combine with --stream, fault "
+                             "injection or --trace\n");
         return false;
     }
     return true;
@@ -904,6 +931,145 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
     return 0;
 }
 
+/**
+ * Functional fast-tier run: execute the generated blocks on the
+ * FunctionalPipeline (speculative fan-out + memo replay) and on the
+ * audited cycle-level MTPU pipeline, wall-clock both, and cross-check
+ * the final state digests. Returns 0 on success, 2 if the tiers
+ * diverge (or the cycle tier's audit fails), 1 on a report-write
+ * failure.
+ */
+int
+runFunctional(const Options &opt, const mtpu::arch::MtpuConfig &cfg)
+{
+    using namespace mtpu;
+    using Clock = std::chrono::steady_clock;
+
+    // The decode-cache / memo counters are part of this mode's report
+    // contract, so the registry is always on here (not just --metrics).
+    obs::Registry::global().enable(true);
+
+    workload::Generator gen(opt.seed, std::size_t(opt.accounts),
+                            opt.threads);
+    JsonReport report;
+    describeRun(report, opt, cfg);
+    report.set("functionalTier", "true");
+
+    // Pre-generate every block so workload synthesis stays out of the
+    // timed regions. Generation itself runs the builder-side consensus
+    // stage, which warms the decoded-program and memo caches — the
+    // same reuse a block builder hands its attached executor.
+    std::vector<workload::BlockRun> blocks;
+    blocks.reserve(std::size_t(opt.blocks));
+    for (int b = 0; b < opt.blocks; ++b) {
+        workload::BlockParams params;
+        params.txCount = opt.txs;
+        params.depRatio = opt.dep;
+        params.erc20Share = opt.erc20;
+        blocks.push_back(gen.generateBlock(params));
+    }
+
+    // Cycle-tier reference: the audited cycle-level MTPU pipeline,
+    // chained block by block — the tier the fast path must match.
+    std::uint64_t total_txs = 0;
+    core::MtpuProcessor ref_proc(cfg);
+    core::RunOptions ref_run;
+    ref_run.scheme = core::Scheme::SpatioTemporal;
+    ref_run.redundancyOpt = opt.redundancy;
+    ref_run.hotspotOpt = opt.hotspot;
+    evm::WorldState ref_state = gen.genesis();
+    auto ref_start = Clock::now();
+    for (const workload::BlockRun &block : blocks) {
+        core::AuditedRun res =
+            ref_proc.executeAudited(block, ref_state, ref_run);
+        if (!res.ok() || !res.stats.finalState) {
+            std::fprintf(stderr, "cycle tier: audit failed\n");
+            return 2;
+        }
+        ref_state = *res.stats.finalState;
+        total_txs += block.txs.size();
+    }
+    double ref_seconds = std::chrono::duration<double>(
+                             Clock::now() - ref_start)
+                             .count();
+    U256 ref_digest = ref_state.digest();
+
+    // Functional tier: speculate + validate-or-re-execute per block.
+    core::FunctionalPipeline pipe(gen.genesis(), opt.threads);
+    std::printf("%5s %6s %9s %9s %9s %12s\n", "block", "txs",
+                "replayed", "reexec", "ms", "throughput");
+    std::uint64_t total_replayed = 0;
+    std::uint64_t total_reexec = 0;
+    double func_seconds = 0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        auto start = Clock::now();
+        core::FunctionalBlockResult res = pipe.executeBlock(blocks[b]);
+        double secs = std::chrono::duration<double>(Clock::now() - start)
+                          .count();
+        func_seconds += secs;
+        total_replayed += res.replayed;
+        total_reexec += res.reexecuted;
+        double txps = secs > 0 ? double(res.txCount) / secs : 0;
+        std::printf("%5zu %6llu %9llu %9llu %9.2f %9.0f tx/s\n", b,
+                    (unsigned long long)res.txCount,
+                    (unsigned long long)res.replayed,
+                    (unsigned long long)res.reexecuted, secs * 1e3,
+                    txps);
+        report.blocks.push_back(
+            "{\"block\": " + jsonNum(std::uint64_t(b))
+            + ", \"txs\": " + jsonNum(res.txCount)
+            + ", \"replayed\": " + jsonNum(res.replayed)
+            + ", \"reexecuted\": " + jsonNum(res.reexecuted)
+            + ", \"wallSeconds\": " + jsonNum(secs)
+            + ", \"txPerSec\": " + jsonNum(txps) + "}");
+    }
+    U256 func_digest = pipe.state().digest();
+
+    double func_txps =
+        func_seconds > 0 ? double(total_txs) / func_seconds : 0;
+    double ref_txps =
+        ref_seconds > 0 ? double(total_txs) / ref_seconds : 0;
+    std::printf("functional tier: %llu txs in %.3f s (%.0f tx/s), "
+                "%llu replayed / %llu re-executed\n",
+                (unsigned long long)total_txs, func_seconds, func_txps,
+                (unsigned long long)total_replayed,
+                (unsigned long long)total_reexec);
+    std::printf("cycle-tier reference: %.3f s (%.0f tx/s); "
+                "tier speedup %.2fx\n",
+                ref_seconds, ref_txps,
+                ref_seconds > 0 && func_seconds > 0
+                    ? ref_seconds / func_seconds
+                    : 0.0);
+
+    report.set("totalTxs", jsonNum(total_txs));
+    report.set("replayedTxs", jsonNum(total_replayed));
+    report.set("reexecutedTxs", jsonNum(total_reexec));
+    report.set("functionalSeconds", jsonNum(func_seconds));
+    report.set("functionalTxPerSec", jsonNum(func_txps));
+    report.set("cycleTierSeconds", jsonNum(ref_seconds));
+    report.set("cycleTierTxPerSec", jsonNum(ref_txps));
+    report.set("tierSpeedup",
+               jsonNum(func_seconds > 0 ? ref_seconds / func_seconds
+                                        : 0.0));
+    report.set("stateDigest", jsonQuote(func_digest.toHex()));
+    reportMetrics(report);
+
+    bool diverged = !(func_digest == ref_digest);
+    if (diverged)
+        std::fprintf(stderr,
+                     "tier divergence: functional digest %s != "
+                     "cycle digest %s\n",
+                     func_digest.toHex().c_str(),
+                     ref_digest.toHex().c_str());
+    else
+        std::printf("state digest cross-check: ok (%s)\n",
+                    func_digest.toHex().c_str());
+
+    if (!opt.jsonPath.empty() && !report.write(opt.jsonPath))
+        return 1;
+    return diverged ? 2 : 0;
+}
+
 } // namespace
 
 int
@@ -942,6 +1108,8 @@ main(int argc, char **argv)
         return 1;
     }
 
+    if (opt.functional)
+        return runFunctional(opt, cfg);
     if (opt.stream)
         return runStream(opt, cfg, run);
     if (opt.faultMode())
