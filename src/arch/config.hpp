@@ -97,6 +97,16 @@ struct MtpuConfig
      */
     int threads = 0;
 
+    /**
+     * Commutativity-aware conflict taming (DESIGN.md §14): commit
+     * speculative storage writes recorded as commutative deltas by
+     * range validation + arithmetic replay instead of exact pre-value
+     * match, and elide DAG edges between transactions whose only
+     * overlap is mutually commutative delta traffic. Off by default:
+     * the exact scheme stays the shipped behaviour.
+     */
+    bool commutative = false;
+
     LatencyConfig lat;
 
     /** Baseline single-PU configuration with no ILP (paper's baseline). */

@@ -37,6 +37,7 @@ FunctionalPipeline::executeBlock(const workload::BlockRun &block)
         pool_->parallelFor(block.txs.size(), [&](std::size_t i) {
             evm::SpecOptions opts;
             opts.fastTier = true;
+            opts.commutative = commutative_;
             opts.memo = &evm::MemoCache::global();
             opts.memoHeaderKey = headerKey;
             spec[i] = evm::speculate(state_, block.header,
@@ -50,13 +51,23 @@ FunctionalPipeline::executeBlock(const workload::BlockRun &block)
     // execution for any thread count.
     for (std::size_t i = 0; i < block.txs.size(); ++i) {
         evm::SpecResult *sr = i < spec.size() ? &spec[i] : nullptr;
-        if (sr && evm::specValidLive(*sr, state_,
-                                     block.header.coinbase)) {
+        evm::SpecVerdict verdict = evm::SpecVerdict::ValidationMiss;
+        if (sr) {
+            verdict = evm::specCheckLive(*sr, state_,
+                                         block.header.coinbase);
+        }
+        if (sr && verdict == evm::SpecVerdict::Valid) {
             evm::specApply(*sr, state_, block.header.coinbase);
             state_.commit();
             out.receipts.push_back(std::move(sr->receipt));
             ++out.replayed;
         } else {
+            if (sr) {
+                if (verdict == evm::SpecVerdict::BoundsMiss)
+                    ++out.reexecBoundsMiss;
+                else
+                    ++out.reexecValidationMiss;
+            }
             out.receipts.push_back(interp_.applyTransaction(
                 state_, block.header, block.txs[i].tx));
             ++out.reexecuted;

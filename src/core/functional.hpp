@@ -30,7 +30,11 @@ struct FunctionalBlockResult
     std::vector<evm::Receipt> receipts;
     std::uint64_t txCount = 0;
     std::uint64_t replayed = 0;    ///< committed via delta replay
-    std::uint64_t reexecuted = 0;  ///< validation miss, ran for real
+    std::uint64_t reexecuted = 0;  ///< missed validation, ran for real
+    /** Subset of reexecuted: an exact observation no longer held. */
+    std::uint64_t reexecValidationMiss = 0;
+    /** Subset of reexecuted: a commutative range constraint failed. */
+    std::uint64_t reexecBoundsMiss = 0;
 };
 
 /**
@@ -56,6 +60,14 @@ class FunctionalPipeline
     /** Execute and commit one block against the owned state. */
     FunctionalBlockResult executeBlock(const workload::BlockRun &block);
 
+    /**
+     * Commutative delta commits (DESIGN.md §14): speculations record
+     * pure add/sub storage chains as (delta, constraints) and the
+     * program-order commit validates them by range check + arithmetic
+     * replay instead of exact pre-value match. Default off.
+     */
+    void setCommutative(bool on) { commutative_ = on; }
+
     const evm::WorldState &state() const { return state_; }
 
     /** The shared caches this pipeline feeds (process-global). */
@@ -65,6 +77,7 @@ class FunctionalPipeline
     evm::WorldState state_;
     evm::FastInterpreter interp_; ///< commit-path executor
     std::unique_ptr<support::ThreadPool> pool_;
+    bool commutative_ = false;
 };
 
 } // namespace mtpu::core

@@ -91,7 +91,8 @@ MtpuProcessor::executeAudited(const workload::BlockRun &block,
 
     AuditedRun out;
     out.stats = execute(block, opts);
-    fault::Auditor auditor(genesis, block, opts.recovery.plan);
+    fault::Auditor auditor(genesis, block, opts.recovery.plan,
+                           cfg_.commutative);
     auditor.usePool(hostPool());
     out.audit = auditor.audit(out.stats);
     return out;

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "evm/commutative.hpp"
 #include "evm/gas.hpp"
 #include "support/keccak.hpp"
 
@@ -18,12 +19,48 @@ namespace mtpu::evm {
 
 namespace {
 
-/** A stack slot: value plus provenance label. */
+/**
+ * A stack slot: value plus provenance label, plus the commutative
+ * chain tag (DESIGN.md §14): when comm >= 0 the value equals
+ * (first SLOAD of the tracked slot) + commOff, where commOff is a
+ * compile-time-unknown but run-constant offset.
+ */
 struct Slot
 {
     U256 value;
     Taint taint = Taint::Constant;
+    int comm = -1; ///< CommTracker record index, -1 untagged
+    U256 commOff;
 };
+
+/**
+ * Opcodes that manage commutative tags themselves (or trivially
+ * preserve them). Any other opcode consuming a tagged operand poisons
+ * the operand's chain record — conservative by construction.
+ */
+bool
+commHandledOp(std::uint8_t opcode)
+{
+    if (isDup(opcode) || isSwap(opcode))
+        return true;
+    switch (Op(opcode)) {
+      case Op::ADD:
+      case Op::SUB:
+      case Op::LT:
+      case Op::GT:
+      case Op::SLT:
+      case Op::SGT:
+      case Op::EQ:
+      case Op::ISZERO:
+      case Op::SLOAD:
+      case Op::SSTORE:
+      case Op::JUMPI:
+      case Op::POP:
+        return true;
+      default:
+        return false;
+    }
+}
 
 /** Exceptional-halt reasons. */
 enum class Halt
@@ -247,6 +284,42 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
         auto push = [&frame](const U256 &v, Taint t) {
             frame.stack.push_back({v, t});
         };
+
+        // Commutative-chain detection (observational; DESIGN.md §14):
+        // any opcode outside the small affine/compare whitelist that
+        // consumes a tagged operand poisons that operand's record.
+        CommTracker *comm =
+            ctx.interp ? ctx.interp->commTracker() : nullptr;
+        if (comm && info.pops > 0 && !commHandledOp(opcode)) {
+            std::size_t depth = frame.stack.size();
+            for (int i = 0; i < int(info.pops); ++i) {
+                Slot &s = frame.stack[depth - 1 - std::size_t(i)];
+                if (s.comm >= 0) {
+                    comm->poison(s.comm);
+                    s.comm = -1;
+                }
+            }
+        }
+        // Comparisons on a tagged chain become commit-time constraints
+        // (two-chain compares are only meaningful within one record).
+        auto comm_compare = [&](CommConstraint::Kind kind, const Slot &a,
+                                const Slot &b, bool outcome) {
+            if (!comm || (a.comm < 0 && b.comm < 0))
+                return;
+            if (a.comm >= 0 && b.comm >= 0 && a.comm != b.comm) {
+                comm->poison(a.comm);
+                comm->poison(b.comm);
+                return;
+            }
+            CommConstraint c;
+            c.kind = kind;
+            c.aChain = a.comm >= 0;
+            c.bChain = b.comm >= 0;
+            c.aOff = a.comm >= 0 ? a.commOff : a.value;
+            c.bOff = b.comm >= 0 ? b.commOff : b.value;
+            c.expected = outcome;
+            comm->addConstraint(a.comm >= 0 ? a.comm : b.comm, c);
+        };
         auto finish_event = [&](std::uint32_t data_bytes = 0,
                                 const U256 &slot = U256()) {
             if (ctx.trace) {
@@ -315,6 +388,21 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
           case Op::ADD: {
               Slot a = pop(), b = pop();
               push(a.value + b.value, combine(a.taint, b.taint));
+              if (comm && (a.comm >= 0 || b.comm >= 0)) {
+                  Slot &r = frame.stack.back();
+                  if (a.comm >= 0 && b.comm >= 0) {
+                      // chain + chain is no longer affine(+1) in the
+                      // slot value.
+                      comm->poison(a.comm);
+                      comm->poison(b.comm);
+                  } else if (a.comm >= 0) {
+                      r.comm = a.comm;
+                      r.commOff = a.commOff + b.value;
+                  } else {
+                      r.comm = b.comm;
+                      r.commOff = b.commOff + a.value;
+                  }
+              }
               break;
           }
           case Op::MUL: {
@@ -325,6 +413,25 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
           case Op::SUB: {
               Slot a = pop(), b = pop();
               push(a.value - b.value, combine(a.taint, b.taint));
+              if (comm && (a.comm >= 0 || b.comm >= 0)) {
+                  Slot &r = frame.stack.back();
+                  if (a.comm >= 0 && b.comm >= 0) {
+                      // Same record: chain - chain is a constant; the
+                      // result is simply untagged. Different records
+                      // would entangle two slots — poison both.
+                      if (a.comm != b.comm) {
+                          comm->poison(a.comm);
+                          comm->poison(b.comm);
+                      }
+                  } else if (a.comm >= 0) {
+                      r.comm = a.comm;
+                      r.commOff = a.commOff - b.value;
+                  } else {
+                      // constant - chain negates the slot value: not
+                      // affine(+1).
+                      comm->poison(b.comm);
+                  }
+              }
               break;
           }
           case Op::DIV: {
@@ -377,37 +484,50 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
           // --- logic -----------------------------------------------------
           case Op::LT: {
               Slot a = pop(), b = pop();
-              push(U256(a.value < b.value ? 1 : 0),
-                   combine(a.taint, b.taint));
+              bool r = a.value < b.value;
+              push(U256(r ? 1 : 0), combine(a.taint, b.taint));
+              comm_compare(CommConstraint::Kind::Lt, a, b, r);
               break;
           }
           case Op::GT: {
               Slot a = pop(), b = pop();
-              push(U256(a.value > b.value ? 1 : 0),
-                   combine(a.taint, b.taint));
+              bool r = a.value > b.value;
+              push(U256(r ? 1 : 0), combine(a.taint, b.taint));
+              comm_compare(CommConstraint::Kind::Gt, a, b, r);
               break;
           }
           case Op::SLT: {
               Slot a = pop(), b = pop();
-              push(U256(a.value.slt(b.value) ? 1 : 0),
-                   combine(a.taint, b.taint));
+              bool r = a.value.slt(b.value);
+              push(U256(r ? 1 : 0), combine(a.taint, b.taint));
+              comm_compare(CommConstraint::Kind::Slt, a, b, r);
               break;
           }
           case Op::SGT: {
               Slot a = pop(), b = pop();
-              push(U256(b.value.slt(a.value) ? 1 : 0),
-                   combine(a.taint, b.taint));
+              bool r = b.value.slt(a.value);
+              push(U256(r ? 1 : 0), combine(a.taint, b.taint));
+              comm_compare(CommConstraint::Kind::Sgt, a, b, r);
               break;
           }
           case Op::EQ: {
               Slot a = pop(), b = pop();
-              push(U256(a.value == b.value ? 1 : 0),
-                   combine(a.taint, b.taint));
+              bool r = a.value == b.value;
+              push(U256(r ? 1 : 0), combine(a.taint, b.taint));
+              comm_compare(CommConstraint::Kind::Eq, a, b, r);
               break;
           }
           case Op::ISZERO: {
               Slot a = pop();
               push(U256(a.value.isZero() ? 1 : 0), a.taint);
+              if (comm && a.comm >= 0) {
+                  CommConstraint c;
+                  c.kind = CommConstraint::Kind::IsZero;
+                  c.aChain = true;
+                  c.aOff = a.commOff;
+                  c.expected = a.value.isZero();
+                  comm->addConstraint(a.comm, c);
+              }
               break;
           }
           case Op::AND: {
@@ -704,7 +824,23 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
           // --- storage -----------------------------------------------------
           case Op::SLOAD: {
               Slot key = pop();
-              push(state.storageAt(params.to, key.value), Taint::Dynamic);
+              U256 loaded = state.storageAt(params.to, key.value);
+              push(loaded, Taint::Dynamic);
+              if (comm) {
+                  if (key.comm >= 0) {
+                      // A chain value used as a storage key escapes the
+                      // affine model on both ends.
+                      comm->poison(key.comm);
+                      comm->poisonSlot(params.to, key.value);
+                  } else {
+                      int idx = comm->load(params.to, key.value, loaded);
+                      if (idx >= 0) {
+                          frame.stack.back().comm = idx;
+                          frame.stack.back().commOff =
+                              comm->at(idx)->curOff;
+                      }
+                  }
+              }
               finish_event(32, key.value);
               continue;
           }
@@ -723,6 +859,16 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
               if (!frame.chargeGas(cost))
                   return Halt::OutOfGas;
               state.setStorage(params.to, key.value, val.value);
+              if (comm) {
+                  if (key.comm >= 0) {
+                      comm->poison(key.comm);
+                      comm->poison(val.comm);
+                      comm->poisonSlot(params.to, key.value);
+                  } else {
+                      comm->store(params.to, key.value, cur, val.comm,
+                                  val.commOff);
+                  }
+              }
               finish_event(32, key.value);
               continue;
           }
@@ -741,6 +887,20 @@ runFrame(ExecContext &ctx, Frame &frame, const CallParams &params,
           case Op::JUMPI: {
               Slot dest = pop(), cond = pop();
               bool taken = !cond.value.isZero();
+              if (comm) {
+                  if (dest.comm >= 0)
+                      comm->poison(dest.comm);
+                  if (cond.comm >= 0) {
+                      // Branching directly on a chain value: pin the
+                      // outcome so a re-played run takes the same path.
+                      CommConstraint c;
+                      c.kind = CommConstraint::Kind::IsZero;
+                      c.aChain = true;
+                      c.aOff = cond.commOff;
+                      c.expected = cond.value.isZero();
+                      comm->addConstraint(cond.comm, c);
+                  }
+              }
               if (taken) {
                   if (!dest.value.fitsU64()
                       || dest.value.low64() >= frame.code.size()

@@ -17,6 +17,8 @@
 
 namespace mtpu::evm {
 
+class CommTracker;
+
 /** Maximum operand-stack depth (yellow paper / §3.3.6). */
 constexpr std::size_t kMaxStackDepth = 1024;
 /** Maximum call depth (§3.3.6, Call_Contract Stack). */
@@ -129,6 +131,15 @@ class Interpreter
 
     bool abortAsOutOfGas() const { return abort_.outOfGas; }
 
+    /**
+     * Attach a commutative-chain detector (evm/commutative.hpp) for
+     * subsequent executions; pass nullptr to detach. Purely
+     * observational — execution results are unaffected.
+     */
+    void setCommTracker(CommTracker *tracker) { comm_ = tracker; }
+
+    CommTracker *commTracker() const { return comm_; }
+
     /** Logs collected by the most recent applyTransaction/call. */
     const std::vector<LogEntry> &logs() const { return logs_; }
 
@@ -137,6 +148,7 @@ class Interpreter
     AbortInjection abort_;
     bool abortArmed_ = false;
     std::uint64_t abortRemaining_ = 0;
+    CommTracker *comm_ = nullptr;
 };
 
 /** Derive a created contract's address from sender and nonce. */

@@ -46,7 +46,10 @@ MemoCache::entryValid(const Entry &e, const WorldState &base,
                 return false;
             }
         } else if (base.storageAt(o.key.address, o.key.slot) != o.word) {
-            return false;
+            // A commutative slot may have moved; its range constraints
+            // (checked in specWritesMatch below) decide validity.
+            if (!specCommutativeDelta(e.result, o.key))
+                return false;
         }
     }
     return specWritesMatch(e.result, base, coinbase);
@@ -54,7 +57,8 @@ MemoCache::entryValid(const Entry &e, const WorldState &base,
 
 bool
 MemoCache::lookup(const U256 &key, const WorldState &base,
-                  const Address &coinbase, bool wantTrace, SpecResult &out)
+                  const Address &coinbase, bool wantTrace, bool wantComm,
+                  SpecResult &out)
 {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = map_.find(key);
@@ -65,6 +69,8 @@ MemoCache::lookup(const U256 &key, const WorldState &base,
     lru_.splice(lru_.begin(), lru_, it->second.lru);
     for (const Entry &e : it->second.entries) {
         if (wantTrace && !e.hasTrace)
+            continue;
+        if (wantComm && !e.commutative)
             continue;
         if (!entryValid(e, base, coinbase))
             continue;
@@ -79,7 +85,8 @@ MemoCache::lookup(const U256 &key, const WorldState &base,
 }
 
 void
-MemoCache::insert(const U256 &key, bool hasTrace, const SpecResult &r)
+MemoCache::insert(const U256 &key, bool hasTrace, bool comm,
+                  const SpecResult &r)
 {
     if (!r.ran)
         return;
@@ -87,6 +94,7 @@ MemoCache::insert(const U256 &key, bool hasTrace, const SpecResult &r)
     Entry e;
     e.result = r;
     e.result.trace = Trace(); // traces are stored out-of-band
+    e.commutative = comm;
     if (hasTrace) {
         e.trace = r.trace;
         e.hasTrace = true;
@@ -123,8 +131,16 @@ MemoCache::insert(const U256 &key, bool hasTrace, const SpecResult &r)
     Bucket &bucket = it->second;
     for (Entry &existing : bucket.entries) {
         if (existing.obsDigest == e.obsDigest) {
-            if (hasTrace && !existing.hasTrace)
-                existing = std::move(e); // upgrade with the trace
+            // Equal digests are the same result; upgrade the existing
+            // entry field-wise with whatever the new one adds.
+            if (hasTrace && !existing.hasTrace) {
+                existing.trace = std::move(e.trace);
+                existing.hasTrace = true;
+            }
+            if (comm && !existing.commutative) {
+                existing.result = std::move(e.result);
+                existing.commutative = true;
+            }
             return;
         }
     }

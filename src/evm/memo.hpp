@@ -60,17 +60,22 @@ class MemoCache
      * Look up a recorded result whose observations still hold in
      * @p base. On success copies the result (and, when @p wantTrace,
      * a recorded trace — trace-less entries never satisfy a wantTrace
-     * lookup) into @p out and returns true.
+     * lookup) into @p out and returns true. @p wantComm lookups only
+     * accept entries recorded with commutative detection, so the
+     * returned metadata never depends on what else warmed the cache.
      */
     bool lookup(const U256 &key, const WorldState &base,
-                const Address &coinbase, bool wantTrace, SpecResult &out);
+                const Address &coinbase, bool wantTrace, bool wantComm,
+                SpecResult &out);
 
     /**
      * Record @p r, which speculate() just produced. The read values
      * r.readValues pinned at speculation time are what future lookups
-     * re-validate against other states.
+     * re-validate against other states. @p comm marks a run executed
+     * with commutative detection armed.
      */
-    void insert(const U256 &key, bool hasTrace, const SpecResult &r);
+    void insert(const U256 &key, bool hasTrace, bool comm,
+                const SpecResult &r);
 
     std::size_t size() const;
     void clear();
@@ -85,6 +90,7 @@ class MemoCache
                            ///< pinned readValues for validation
         Trace trace;       ///< populated only when hasTrace
         bool hasTrace = false;
+        bool commutative = false; ///< recorded with detection armed
         U256 obsDigest; ///< dedupe fingerprint of the observations
     };
 

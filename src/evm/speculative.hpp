@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "evm/commutative.hpp"
 #include "evm/interpreter.hpp"
 #include "evm/state.hpp"
 #include "evm/trace.hpp"
@@ -56,6 +57,18 @@ struct SpecResult
         U256 slot;
         U256 observed; ///< value seen before the first write
         U256 final;    ///< value left behind
+
+        /**
+         * Commutative delta class (DESIGN.md §14): final == observed +
+         * delta through a pure affine chain, and every branch the
+         * execution took on the chain is captured in `constraints`.
+         * Validation then checks the constraints against the live
+         * value (range check) instead of requiring live == observed,
+         * and specApply() replays `live + delta` instead of `final`.
+         */
+        bool commutative = false;
+        U256 delta;
+        std::vector<CommConstraint> constraints;
     };
     struct BalanceDelta
     {
@@ -140,6 +153,14 @@ struct SpecOptions
 
     /** Precomputed MemoCache::headerKey(header); zero = compute here. */
     U256 memoHeaderKey;
+
+    /**
+     * Detect commutative delta chains (DESIGN.md §14). Forces the
+     * reference tier (the detector rides the per-opcode loop) and
+     * makes memo lookups require commutative-annotated entries, so the
+     * captured metadata is deterministic regardless of cache history.
+     */
+    bool commutative = false;
 };
 
 /** As speculate() above, with fast-tier and memo-cache options. */
@@ -147,13 +168,35 @@ SpecResult speculate(const WorldState &base, const BlockHeader &header,
                      const Transaction &tx, const SpecOptions &opts);
 
 /**
+ * Commit-time validation outcome, split by cause so re-executions can
+ * be attributed: an exact observation no longer matching (the classic
+ * miss) vs a commutative delta whose range constraints failed against
+ * the live value (e.g. a balance raced to zero under a sub chain).
+ */
+enum class SpecVerdict
+{
+    Valid,
+    ValidationMiss,
+    BoundsMiss,
+};
+
+/**
  * True when @p live still matches every observation @p r made against
  * @p base: all read locations carry the base values, all written
- * locations carry the recorded pre-values. @p coinbase keys are
- * exempt (commutative fee accounting).
+ * locations carry the recorded pre-values. Coinbase keys are exempt,
+ * and commutative storage deltas are validated by their recorded range
+ * constraints instead of exact match.
  */
 bool specValid(const SpecResult &r, const WorldState &live,
                const WorldState &base, const Address &coinbase);
+
+/** As specValid(), but reporting the failure cause. */
+SpecVerdict specCheck(const SpecResult &r, const WorldState &live,
+                      const WorldState &base, const Address &coinbase);
+
+/** As specValidLive(), but reporting the failure cause. */
+SpecVerdict specCheckLive(const SpecResult &r, const WorldState &live,
+                          const Address &coinbase);
 
 /**
  * As specValid(), but compares reads against the values recorded in
@@ -167,10 +210,20 @@ bool specValidLive(const SpecResult &r, const WorldState &live,
 /**
  * The write-side half of specValid(): true when every location @p r
  * wrote still carries the pre-value the recorded run observed in
- * @p live. Shared with the memo cache's lookup-time validation.
+ * @p live — except commutative deltas, which pass whenever their range
+ * constraints hold. Shared with the memo cache's lookup-time
+ * validation.
  */
 bool specWritesMatch(const SpecResult &r, const WorldState &live,
                      const Address &coinbase);
+
+/**
+ * The commutative storage delta @p r recorded for @p k, or nullptr.
+ * Read-side validation skips such keys (their only observation is the
+ * chain load, which the write-side range check covers).
+ */
+const SpecResult::StorageDelta *
+specCommutativeDelta(const SpecResult &r, const StateKey &k);
 
 /**
  * Replay the recorded deltas into @p live through journaled setters.

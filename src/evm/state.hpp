@@ -64,6 +64,14 @@ struct AccessSet
     std::set<StateKey> reads;
     std::set<StateKey> writes;
 
+    /**
+     * Keys this transaction touches only through a validated
+     * commutative delta chain (subset of reads/writes). Filled by the
+     * consensus stage's commutativity classifier; conflictsExactly()
+     * in evm/commutative.hpp forgives overlaps where both sides agree.
+     */
+    std::set<StateKey> commutative;
+
     /** True if this set conflicts (RW/WR/WW) with @p other. */
     bool conflictsWith(const AccessSet &other) const;
 };

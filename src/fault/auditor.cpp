@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "evm/commutative.hpp"
 #include "evm/fast_interp.hpp"
 #include "evm/interpreter.hpp"
 #include "obs/metrics.hpp"
@@ -11,7 +12,7 @@ namespace mtpu::fault {
 using workload::BlockRun;
 
 Auditor::Auditor(const evm::WorldState &genesis, const BlockRun &block,
-                 const FaultPlan *plan)
+                 const FaultPlan *plan, bool commutative_edges)
     : genesis_(genesis), block_(block), plan_(plan)
 {
     // Ground truth: recompute the conflict relation from the
@@ -26,8 +27,16 @@ Auditor::Auditor(const evm::WorldState &genesis, const BlockRun &block,
     if (have_access) {
         for (std::size_t j = 1; j < block_.txs.size(); ++j) {
             for (std::size_t i = 0; i < j; ++i) {
-                if (block_.txs[j].access.conflictsWith(block_.txs[i].access))
-                    edges_.emplace_back(int(j), int(i));
+                if (!block_.txs[j].access.conflictsWith(
+                        block_.txs[i].access)) {
+                    continue;
+                }
+                if (commutative_edges
+                    && !evm::conflictsExactly(block_.txs[j].access,
+                                              block_.txs[i].access)) {
+                    continue;
+                }
+                edges_.emplace_back(int(j), int(i));
             }
         }
     } else {

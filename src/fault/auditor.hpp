@@ -64,9 +64,18 @@ class Auditor
      *        the original. Falls back to the shipped deps when access
      *        sets are absent (e.g. RLP round-trips).
      * @param plan faults applied to the run being audited (optional)
+     * @param commutative_edges when true, conflict edges whose every
+     *        overlapping key is mutually commutative (access-set
+     *        `commutative` classification, DESIGN.md §14) are exempt
+     *        from the linear-extension check — matching an engine run
+     *        with cfg.commutative. The digest checks are NOT relaxed:
+     *        an elided-order replay must still be bit-identical to
+     *        program order, which is exactly what the classifier
+     *        guarantees.
      */
     Auditor(const evm::WorldState &genesis, const workload::BlockRun &block,
-            const FaultPlan *plan = nullptr);
+            const FaultPlan *plan = nullptr,
+            bool commutative_edges = false);
 
     /**
      * Compute the canonical and replayed digests of audit() as two

@@ -115,20 +115,52 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     const fault::FaultPlan *plan = rec.plan;
     const bool validate = rec.validateConflicts;
     const bool functional = rec.genesis != nullptr;
+    // Commutative edge elision (DESIGN.md §14) only with the recovery
+    // validation layer armed: the range checks at commit are what keep
+    // an elided-order commit bit-identical.
+    const bool comm = cfg_.commutative && validate;
 
     // Ground-truth conflict predecessors, recomputed from the
     // consensus-stage access sets: the shipped DAG may be
-    // under-approximated, the access sets are not.
+    // under-approximated, the access sets are not. With comm, pairs
+    // whose every overlapping key is mutually commutative lose the
+    // edge — the generalized coinbase exemption.
     std::vector<std::vector<int>> trueDeps;
     if (validate) {
         trueDeps.assign(n, {});
         for (std::size_t j = 1; j < n; ++j) {
             for (std::size_t i = 0; i < j; ++i) {
-                if (block.txs[j].access.conflictsWith(block.txs[i].access))
-                    trueDeps[j].push_back(int(i));
+                if (!block.txs[j].access.conflictsWith(
+                        block.txs[i].access)) {
+                    continue;
+                }
+                if (comm
+                    && !evm::conflictsExactly(block.txs[j].access,
+                                              block.txs[i].access)) {
+                    ++stats.commutativeDropped;
+                    continue;
+                }
+                trueDeps[j].push_back(int(i));
             }
         }
     }
+
+    // Shipped-DAG edges get the same exemption, so the scheduler is
+    // actually free to overlap the elided pairs.
+    std::vector<std::vector<int>> commDeps;
+    if (comm) {
+        commDeps.assign(n, {});
+        for (std::size_t j = 0; j < n; ++j) {
+            for (int d : block.txs[j].deps) {
+                if (evm::conflictsExactly(block.txs[j].access,
+                                          block.txs[std::size_t(d)].access))
+                    commDeps[j].push_back(d);
+            }
+        }
+    }
+    auto ship_deps = [&](std::size_t j) -> const std::vector<int> & {
+        return comm ? commDeps[j] : block.txs[j].deps;
+    };
 
     evm::WorldState live;
     evm::Interpreter interp;
@@ -157,6 +189,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
             evm::SpecOptions opts;
             opts.abort = dir ? &inj : nullptr;
             opts.fastTier = true;
+            opts.commutative = comm;
             opts.memo = &evm::MemoCache::global();
             opts.memoHeaderKey = headerKey;
             spec[i] = evm::speculate(*rec.genesis, block.header,
@@ -210,7 +243,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     auto eligible = [&](std::size_t j) {
         if (state[j] != TxState::Pending)
             return false;
-        for (int d : block.txs[j].deps) {
+        for (int d : ship_deps(j)) {
             if (state[std::size_t(d)] != TxState::Done
                 && state[std::size_t(d)] != TxState::Running) {
                 return false;
@@ -286,7 +319,7 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                     continue;
                 const TxRecord &cand = block.txs[std::size_t(slot.txIndex)];
                 if (pr.busy) {
-                    for (int d : cand.deps) {
+                    for (int d : ship_deps(std::size_t(slot.txIndex))) {
                         if (d == pr.txIndex) {
                             row.de |= (WindowMask(1) << i);
                             break;
@@ -517,13 +550,25 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                 std::size_t(tx_idx) < spec.size()
                     ? &spec[std::size_t(tx_idx)]
                     : nullptr;
-            bool replayed = sr
-                            && evm::specValid(*sr, live, *rec.genesis,
-                                              block.header.coinbase);
+            evm::SpecVerdict verdict = evm::SpecVerdict::ValidationMiss;
+            if (sr) {
+                verdict = evm::specCheck(*sr, live, *rec.genesis,
+                                         block.header.coinbase);
+            }
+            bool replayed = verdict == evm::SpecVerdict::Valid;
             if (replayed) {
                 evm::specApply(*sr, live, block.header.coinbase);
                 receipt = sr->receipt;
+                ++stats.specReplayed;
             } else {
+                // Abort-cause attribution only when a speculation was
+                // actually attempted (threads = 1 has none to miss).
+                if (sr) {
+                    if (verdict == evm::SpecVerdict::BoundsMiss)
+                        ++stats.reexecBoundsMiss;
+                    else
+                        ++stats.reexecValidationMiss;
+                }
                 if (dir)
                     interp.armAbort(
                         {dir->afterInstructions, dir->outOfGas});
@@ -594,6 +639,8 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     MTPU_OBS_COUNT("sched.pu_fault_aborts", stats.puFaultAborts);
     MTPU_OBS_COUNT("sched.injected_aborts", stats.injectedAborts);
     MTPU_OBS_COUNT("sched.retries", stats.retries);
+    if (stats.commutativeDropped)
+        MTPU_OBS_COUNT("sched.commutative_drop", stats.commutativeDropped);
     MTPU_OBS_COUNT("sched.makespan_cycles", stats.makespan);
     MTPU_OBS_COUNT("sched.busy_cycles", stats.busyCycles);
     MTPU_OBS_HIST("sched.block.makespan", obs::pow2Bounds(8, 24),

@@ -62,6 +62,17 @@ struct EngineStats
     std::uint64_t retries = 0;
     /** Committed transactions whose receipt failed (recovery mode). */
     std::uint64_t failedTxs = 0;
+    /** Functional commits served by replaying a valid speculation. */
+    std::uint64_t specReplayed = 0;
+    /** Re-executions because an exact observation no longer held. */
+    std::uint64_t reexecValidationMiss = 0;
+    /** Re-executions because a commutative range constraint failed. */
+    std::uint64_t reexecBoundsMiss = 0;
+    /**
+     * Conflict edges elided because every overlapping key was
+     * mutually commutative (cfg.commutative; DESIGN.md §14).
+     */
+    std::uint64_t commutativeDropped = 0;
     /**
      * Subset of failedTxs that are expected contract-level REVERTs
      * (receipt.error == "reverted"): the contract logic itself

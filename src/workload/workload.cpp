@@ -1,9 +1,12 @@
 #include "workload/workload.hpp"
 
 #include <algorithm>
+#include <map>
 
+#include "evm/commutative.hpp"
 #include "evm/memo.hpp"
 #include "evm/speculative.hpp"
+#include "obs/metrics.hpp"
 
 namespace mtpu::workload {
 
@@ -511,6 +514,67 @@ Generator::contractBatch(const std::string &contract, int tx_count)
     return generateBlock(params);
 }
 
+BlockRun
+Generator::hotTokenBlock(int tx_count)
+{
+    // All-out conflict on one slot: every tx is a Dai transfer from a
+    // distinct sender to one hot receiver, so the whole block collides
+    // on balances[hot] — a pure checked-add chain.
+    const ContractSpec &dai = set_.byName("Dai");
+    userCursor_ = 0;
+    Address hot = freshUser();
+    ++blockCounter_;
+
+    BlockRun block;
+    block.header.height = 1000 + blockCounter_;
+    block.header.timestamp = 1700000000 + blockCounter_ * 12;
+    block.header.coinbase = U256(0xc01bba5e);
+    block.header.recentHashes.assign(256, U256(blockCounter_));
+    for (int i = 0; i < tx_count; ++i) {
+        TxRecord rec;
+        rec.contract = dai.name;
+        rec.function = "transfer";
+        rec.isErc20 = true;
+        rec.tx.from = freshUser();
+        rec.tx.to = dai.address;
+        rec.tx.data = ContractSet::encodeCall(
+            sel::kTransfer, {hot, U256(std::uint64_t(1 + i % 97))});
+        block.txs.push_back(std::move(rec));
+    }
+    runConsensusStage(block);
+    return block;
+}
+
+BlockRun
+Generator::mintStormBlock(int tx_count)
+{
+    // Mint-storm: distinct senders (all wards in genesis) each mint to
+    // themselves; the only shared slot is the monotonic totalSupply
+    // counter behind an overflow guard.
+    const ContractSpec &dai = set_.byName("Dai");
+    userCursor_ = 0;
+    ++blockCounter_;
+
+    BlockRun block;
+    block.header.height = 1000 + blockCounter_;
+    block.header.timestamp = 1700000000 + blockCounter_ * 12;
+    block.header.coinbase = U256(0xc01bba5e);
+    block.header.recentHashes.assign(256, U256(blockCounter_));
+    for (int i = 0; i < tx_count; ++i) {
+        TxRecord rec;
+        rec.contract = dai.name;
+        rec.function = "mint";
+        rec.isErc20 = true;
+        rec.tx.from = freshUser();
+        rec.tx.to = dai.address;
+        rec.tx.data = ContractSet::encodeCall(
+            sel::kMint, {rec.tx.from, U256(std::uint64_t(1 + i % 53))});
+        block.txs.push_back(std::move(rec));
+    }
+    runConsensusStage(block);
+    return block;
+}
+
 TxRecord
 Generator::singleCall(const std::string &contract,
                       const std::string &function,
@@ -544,9 +608,118 @@ Generator::singleCall(const std::string &contract,
     return rec;
 }
 
+namespace {
+
+/** One transaction's commutative-delta candidate on one slot. */
+struct CommCand
+{
+    U256 delta;
+    std::vector<evm::CommConstraint> constraints;
+};
+
+/**
+ * Group-interval commutativity classifier (DESIGN.md §14). For every
+ * hot slot, collect the commutative-delta writers; any exact writer
+ * demotes the whole slot. Each surviving writer must keep every
+ * recorded branch constraint uniform over the full interval of values
+ * its reorderable peers' deltas can produce — computed against the
+ * sequential pre-value, iterated to a fixpoint as members drop out.
+ * Survivors get the slot in access.commutative: any linear extension
+ * of the elided DAG then replays them bit-identically.
+ */
+void
+classifyCommutative(BlockRun &block, const evm::WorldState &pre_state,
+                    std::vector<std::map<evm::StateKey, CommCand>> &cand)
+{
+    std::map<evm::StateKey, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+        for (const auto &kv : cand[i])
+            groups[kv.first].push_back(i);
+    }
+
+    for (auto &group : groups) {
+        const evm::StateKey &key = group.first;
+        // An exact (non-commutative) writer pins the slot for everyone.
+        bool demoted = false;
+        for (std::size_t j = 0; j < block.txs.size() && !demoted; ++j) {
+            if (block.txs[j].access.writes.count(key) != 0
+                && cand[j].count(key) == 0) {
+                demoted = true;
+            }
+        }
+        if (demoted)
+            continue;
+
+        struct Member
+        {
+            std::size_t tx;
+            U256 delta;
+            const std::vector<evm::CommConstraint> *cs;
+            U256 seqBefore; ///< slot value before this tx, sequentially
+            bool elided = true;
+        };
+        std::vector<Member> ms;
+        U256 v = pre_state.storageAt(key.address, key.slot);
+        for (std::size_t i : group.second) {
+            const CommCand &c = cand[i][key];
+            ms.push_back({i, c.delta, &c.constraints, v, true});
+            v = v + c.delta;
+        }
+
+        // Fixpoint: demoting a member pins it back into program order,
+        // shrinking the intervals of the rest.
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (Member &m : ms) {
+                if (!m.elided)
+                    continue;
+                // Achievable interval around the sequential value:
+                // a preceding elided peer can move after m (its delta
+                // leaves), a succeeding one can move before (its delta
+                // arrives). Split each peer's signed delta into the
+                // direction it can push m's observed value.
+                U256 down, up;
+                bool fail = false;
+                for (const Member &o : ms) {
+                    if (&o == &m || !o.elided)
+                        continue;
+                    bool neg = o.delta.isNegative();
+                    U256 mag = neg ? U256(0) - o.delta : o.delta;
+                    bool pushes_down = (o.tx < m.tx) != neg;
+                    U256 &acc = pushes_down ? down : up;
+                    U256 next = acc + mag;
+                    if (next < acc) { // magnitude sum overflow
+                        fail = true;
+                        break;
+                    }
+                    acc = next;
+                }
+                U256 lo = m.seqBefore - down;
+                U256 hi = m.seqBefore + up;
+                if (!fail && (lo > m.seqBefore || hi < m.seqBefore))
+                    fail = true; // interval wraps 2^256
+                if (!fail && !evm::constraintsUniform(*m.cs, lo, hi))
+                    fail = true;
+                if (fail) {
+                    m.elided = false;
+                    changed = true;
+                }
+            }
+        }
+
+        for (const Member &m : ms) {
+            if (m.elided)
+                block.txs[m.tx].access.commutative.insert(key);
+        }
+    }
+}
+
+} // namespace
+
 void
 runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
-                  support::ThreadPool *pool)
+                  support::ThreadPool *pool, bool commutative_dag)
 {
     evm::WorldState state = pre_state;
     evm::Interpreter interp;
@@ -557,7 +730,10 @@ runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
     // speculation whose observations still hold is committed by
     // replaying its deltas; anything else is re-executed for real.
     // Either way the committed state, traces and access sets are
-    // bit-identical to the sequential path.
+    // bit-identical to the sequential path. Commutative detection is
+    // always armed here (it is nearly free — trace capture already
+    // forces the reference tier) so every block's access sets carry
+    // the commutative classification.
     std::vector<evm::SpecResult> spec;
     if (pool && block.txs.size() > 1) {
         spec.resize(block.txs.size());
@@ -567,6 +743,7 @@ runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
             evm::SpecOptions opts;
             opts.wantTrace = true;
             opts.fastTier = true;
+            opts.commutative = true;
             opts.memo = &evm::MemoCache::global();
             opts.memoHeaderKey = headerKey;
             spec[i] = evm::speculate(pre_state, block.header,
@@ -574,6 +751,7 @@ runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
         });
     }
 
+    std::vector<std::map<evm::StateKey, CommCand>> cand(block.txs.size());
     for (std::size_t i = 0; i < block.txs.size(); ++i) {
         TxRecord &rec = block.txs[i];
         evm::AccessSet access;
@@ -585,18 +763,41 @@ runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
             rec.receipt = sr->receipt;
             rec.trace = std::move(sr->trace);
             access = std::move(sr->access);
+            if (rec.receipt.success) {
+                for (const auto &d : sr->storage) {
+                    if (d.commutative)
+                        cand[i][{d.addr, d.slot}] = {d.delta,
+                                                     d.constraints};
+                }
+            }
         } else {
+            evm::CommTracker tracker;
+            interp.setCommTracker(&tracker);
             state.track(&access);
             rec.receipt = interp.applyTransaction(state, block.header,
                                                   rec.tx, &rec.trace);
             state.track(nullptr);
+            interp.setCommTracker(nullptr);
+            if (rec.receipt.success) {
+                // Same promotion rule as speculate(): a clean chain
+                // whose committed value agrees with the tracker.
+                for (const auto &r : tracker.records()) {
+                    if (r.poisoned || !r.hasStore)
+                        continue;
+                    if (state.storageAt(r.addr, r.slot)
+                        != r.observedFirst + r.curOff) {
+                        continue;
+                    }
+                    cand[i][{r.addr, r.slot}] = {r.curOff, r.constraints};
+                }
+            }
         }
 
         // Filter commutative fee accounting (coinbase) out of the
         // dependency analysis, as concurrency-control schemes do.
         auto drop_coinbase = [&](std::set<evm::StateKey> &keys) {
             for (auto it = keys.begin(); it != keys.end();) {
-                if (it->address == block.header.coinbase)
+                if (evm::isCoinbaseKey(*it, block.header.coinbase))
                     it = keys.erase(it);
                 else
                     ++it;
@@ -607,13 +808,27 @@ runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
         rec.access = std::move(access);
     }
 
+    classifyCommutative(block, pre_state, cand);
+
     // Dependency DAG: conflicts against every earlier transaction.
+    // With commutative_dag, pairs whose overlaps are all mutually
+    // commutative lose their edge (the generalized coinbase exemption).
+    std::uint64_t elided = 0;
     for (std::size_t j = 0; j < block.txs.size(); ++j) {
         for (std::size_t i = 0; i < j; ++i) {
-            if (block.txs[j].access.conflictsWith(block.txs[i].access))
-                block.txs[j].deps.push_back(int(i));
+            if (!block.txs[j].access.conflictsWith(block.txs[i].access))
+                continue;
+            if (commutative_dag
+                && !evm::conflictsExactly(block.txs[j].access,
+                                          block.txs[i].access)) {
+                ++elided;
+                continue;
+            }
+            block.txs[j].deps.push_back(int(i));
         }
     }
+    if (elided)
+        MTPU_OBS_COUNT("sched.commutative_drop", elided);
 
     // Redundancy values: later transactions invoking the same contract.
     std::unordered_map<std::string, int> remaining;
@@ -628,7 +843,8 @@ runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
 void
 Generator::runConsensusStage(BlockRun &block)
 {
-    workload::runConsensusStage(block, genesis_, pool_.get());
+    workload::runConsensusStage(block, genesis_, pool_.get(),
+                                commutativeDag_);
 }
 
 TxRecord

@@ -99,8 +99,17 @@ struct BlockParams
  * consensus stage factored out so the streaming block builder can run
  * it against the evolving chain state.
  */
+/**
+ * @param commutative_dag when true, DAG edges between transaction
+ *        pairs whose only overlap is commutative delta traffic
+ *        (validated by the group-interval classifier, DESIGN.md §14)
+ *        are elided — mirroring the long-standing coinbase exemption.
+ *        Off by default so shipped DAGs stay exact; access sets always
+ *        carry the commutative classification either way.
+ */
 void runConsensusStage(BlockRun &block, const evm::WorldState &pre_state,
-                       support::ThreadPool *pool = nullptr);
+                       support::ThreadPool *pool = nullptr,
+                       bool commutative_dag = false);
 
 /**
  * The generator. Owns the deployed contract universe and a pristine
@@ -128,6 +137,28 @@ class Generator
      * contract's entry functions (Fig. 12/13 workloads).
      */
     BlockRun contractBatch(const std::string &contract, int tx_count);
+
+    /**
+     * Conflict-heavy pack: every transaction is a Dai transfer from a
+     * distinct sender to one hot receiver, so all of them collide on
+     * balances[hot] — a pure checked-add chain. Exact validation
+     * degenerates to serial re-execution; commutative validation
+     * (DESIGN.md §14) commits them all as deltas.
+     */
+    BlockRun hotTokenBlock(int tx_count);
+
+    /**
+     * NFT-mint-storm-style pack: distinct senders each mint to
+     * themselves, colliding only on the monotonic totalSupply counter
+     * (checked-add chain with an overflow guard).
+     */
+    BlockRun mintStormBlock(int tx_count);
+
+    /**
+     * Elide commutative-only DAG edges in subsequently generated
+     * blocks (passed through to runConsensusStage). Default off.
+     */
+    void setCommutativeDag(bool on) { commutativeDag_ = on; }
 
     /**
      * Execute one explicit call on a fresh copy of the genesis state
@@ -200,6 +231,7 @@ class Generator
     int proposalCursor_ = 0;
     int seedCursor_ = 0;       ///< rotates chain seeds over the TOP8
     std::uint64_t blockCounter_ = 0;
+    bool commutativeDag_ = false;
 };
 
 } // namespace mtpu::workload

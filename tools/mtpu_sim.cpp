@@ -107,6 +107,7 @@ struct Options
     bool traceHost = false; ///< include host-domain events in the trace
     bool metrics = false;   ///< enable + report the metrics registry
     bool functional = false; ///< run the functional fast tier instead
+    bool commutative = false; ///< commutative delta commits + elision
 
     // --stream mode (--blocks becomes soak slots; --txs the block cap).
     bool stream = false;
@@ -168,6 +169,13 @@ usage(const char *argv0)
         "                   final state digest (exit 2 on divergence).\n"
         "                   evm.decode_cache.* / evm.memo.* counters\n"
         "                   are always embedded in the --json report\n"
+        "  --commutative    commutativity-aware conflict taming: commit\n"
+        "                   pure add/sub storage chains by range-checked\n"
+        "                   delta replay instead of exact-match, and\n"
+        "                   elide DAG edges between mutually commutative\n"
+        "                   transactions (DESIGN.md §14). Applies to\n"
+        "                   the st scheme and --functional; re-execution\n"
+        "                   causes are split in the --json report\n"
         "fault injection (any of these enables the audited fault run):\n"
         "  --inject-seed S  fault injector seed (default 42)\n"
         "  --drop-edges R   fraction of DAG edges to drop 0..1\n"
@@ -370,6 +378,8 @@ parse(int argc, char **argv, Options &opt)
             opt.metrics = true;
         } else if (arg == "--functional") {
             opt.functional = true;
+        } else if (arg == "--commutative") {
+            opt.commutative = true;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
@@ -528,6 +538,7 @@ describeRun(JsonReport &report, const Options &opt,
     report.set("seed", jsonNum(opt.seed));
     report.set("mhz", jsonNum(opt.mhz));
     report.set("hostThreads", jsonNum(std::uint64_t(host)));
+    report.set("commutative", cfg.commutative ? "true" : "false");
 }
 
 /**
@@ -551,6 +562,7 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
                 opt.recovery ? "on" : "off");
 
     workload::Generator gen(opt.seed, std::size_t(opt.accounts), opt.threads);
+    gen.setCommutativeDag(opt.commutative);
     core::MtpuProcessor proc(cfg);
     if (tracer)
         proc.setTracer(tracer);
@@ -624,6 +636,9 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         totals.puFaultAborts += res.stats.puFaultAborts;
         totals.injectedAborts += res.stats.injectedAborts;
         totals.retries += res.stats.retries;
+        totals.reexecValidationMiss += res.stats.reexecValidationMiss;
+        totals.reexecBoundsMiss += res.stats.reexecBoundsMiss;
+        totals.commutativeDropped += res.stats.commutativeDropped;
         proc.warmup(block, 16);
 
         report.blocks.push_back(
@@ -635,6 +650,12 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
             + ", \"conflictAborts\": " + jsonNum(res.stats.conflictAborts)
             + ", \"puFaultAborts\": " + jsonNum(res.stats.puFaultAborts)
             + ", \"injectedAborts\": " + jsonNum(res.stats.injectedAborts)
+            + ", \"reexecValidationMiss\": "
+            + jsonNum(res.stats.reexecValidationMiss)
+            + ", \"reexecBoundsMiss\": "
+            + jsonNum(res.stats.reexecBoundsMiss)
+            + ", \"commutativeDropped\": "
+            + jsonNum(res.stats.commutativeDropped)
             + ", \"retries\": " + jsonNum(res.stats.retries)
             + ", \"failedTxs\": " + jsonNum(res.stats.failedTxs)
             + ", \"auditOk\": " + (ok ? "true" : "false") + "}");
@@ -645,6 +666,10 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
                       .count();
     report.set("wallSeconds", jsonNum(wall));
     report.set("failedBlocks", jsonNum(std::uint64_t(failed_blocks)));
+    report.set("reexecValidationMiss",
+               jsonNum(totals.reexecValidationMiss));
+    report.set("reexecBoundsMiss", jsonNum(totals.reexecBoundsMiss));
+    report.set("commutativeDropped", jsonNum(totals.commutativeDropped));
     if (opt.metrics)
         reportMetrics(report);
     if (!opt.jsonPath.empty() && !report.write(opt.jsonPath))
@@ -951,6 +976,7 @@ runFunctional(const Options &opt, const mtpu::arch::MtpuConfig &cfg)
 
     workload::Generator gen(opt.seed, std::size_t(opt.accounts),
                             opt.threads);
+    gen.setCommutativeDag(opt.commutative);
     JsonReport report;
     describeRun(report, opt, cfg);
     report.set("functionalTier", "true");
@@ -996,10 +1022,13 @@ runFunctional(const Options &opt, const mtpu::arch::MtpuConfig &cfg)
 
     // Functional tier: speculate + validate-or-re-execute per block.
     core::FunctionalPipeline pipe(gen.genesis(), opt.threads);
+    pipe.setCommutative(opt.commutative);
     std::printf("%5s %6s %9s %9s %9s %12s\n", "block", "txs",
                 "replayed", "reexec", "ms", "throughput");
     std::uint64_t total_replayed = 0;
     std::uint64_t total_reexec = 0;
+    std::uint64_t total_vmiss = 0;
+    std::uint64_t total_bmiss = 0;
     double func_seconds = 0;
     for (std::size_t b = 0; b < blocks.size(); ++b) {
         auto start = Clock::now();
@@ -1009,6 +1038,8 @@ runFunctional(const Options &opt, const mtpu::arch::MtpuConfig &cfg)
         func_seconds += secs;
         total_replayed += res.replayed;
         total_reexec += res.reexecuted;
+        total_vmiss += res.reexecValidationMiss;
+        total_bmiss += res.reexecBoundsMiss;
         double txps = secs > 0 ? double(res.txCount) / secs : 0;
         std::printf("%5zu %6llu %9llu %9llu %9.2f %9.0f tx/s\n", b,
                     (unsigned long long)res.txCount,
@@ -1020,6 +1051,9 @@ runFunctional(const Options &opt, const mtpu::arch::MtpuConfig &cfg)
             + ", \"txs\": " + jsonNum(res.txCount)
             + ", \"replayed\": " + jsonNum(res.replayed)
             + ", \"reexecuted\": " + jsonNum(res.reexecuted)
+            + ", \"reexecValidationMiss\": "
+            + jsonNum(res.reexecValidationMiss)
+            + ", \"reexecBoundsMiss\": " + jsonNum(res.reexecBoundsMiss)
             + ", \"wallSeconds\": " + jsonNum(secs)
             + ", \"txPerSec\": " + jsonNum(txps) + "}");
     }
@@ -1044,6 +1078,8 @@ runFunctional(const Options &opt, const mtpu::arch::MtpuConfig &cfg)
     report.set("totalTxs", jsonNum(total_txs));
     report.set("replayedTxs", jsonNum(total_replayed));
     report.set("reexecutedTxs", jsonNum(total_reexec));
+    report.set("reexecValidationMiss", jsonNum(total_vmiss));
+    report.set("reexecBoundsMiss", jsonNum(total_bmiss));
     report.set("functionalSeconds", jsonNum(func_seconds));
     report.set("functionalTxPerSec", jsonNum(func_txps));
     report.set("cycleTierSeconds", jsonNum(ref_seconds));
@@ -1085,6 +1121,7 @@ main(int argc, char **argv)
     cfg.windowSize = opt.window;
     cfg.dbCacheEntries = opt.dbEntries;
     cfg.threads = opt.threads;
+    cfg.commutative = opt.commutative;
 
     core::RunOptions run;
     run.scheme = opt.scheme == "seq"    ? core::Scheme::Sequential
@@ -1116,6 +1153,7 @@ main(int argc, char **argv)
         return runFaulted(opt, cfg, run, tracer_ptr);
 
     workload::Generator gen(opt.seed, std::size_t(opt.accounts), opt.threads);
+    gen.setCommutativeDag(opt.commutative);
     core::MtpuProcessor proc(cfg);
     if (tracer_ptr)
         proc.setTracer(tracer_ptr);
