@@ -249,7 +249,7 @@ main(int argc, char **argv)
             (unsigned long long)r.report.walBytes,
             (unsigned long long)r.report.snapshotsWritten,
             stream::soakOutcomeName(r.report.outcome),
-            r.report.chainDigest.toHex().c_str(),
+            r.report.chainDigest.toHex64().c_str(),
             i + 1 < rungs.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");

@@ -287,6 +287,24 @@ SolBuilder::callExternal3(const evm::Address &callee, std::uint32_t selector)
 }
 
 void
+SolBuilder::callExternal1At(std::uint32_t selector)
+{
+    // [addr, arg1] -> [success]
+    a_.pushFuncId(selector).push(U256(224)).op(Op::SHL);
+    a_.push(U256(0x100)).op(Op::MSTORE);  // [addr, arg1]
+    a_.push(U256(0x104)).op(Op::MSTORE);  // [addr]
+    a_.push(U256(0x20));
+    a_.push(U256(0x1c0));
+    a_.push(U256(0x24));
+    a_.push(U256(0x100));
+    a_.push(U256(0));                     // [addr, oS, oO, iS, iO, v]
+    a_.op(Op::DUP6);                      // [..., addr]
+    a_.op(Op::GAS);
+    a_.op(Op::CALL);                      // [addr, success]
+    a_.op(Op::SWAP1).op(Op::POP);         // [success]
+}
+
+void
 SolBuilder::callExternal2At(std::uint32_t selector)
 {
     // [addr, arg2, arg1] -> [success]
@@ -317,6 +335,28 @@ SolBuilder::callExternal3At(std::uint32_t selector)
     a_.push(U256(0x20));
     a_.push(U256(0x1c0));
     a_.push(U256(0x64));
+    a_.push(U256(0x100));
+    a_.push(U256(0));
+    a_.op(Op::DUP6);
+    a_.op(Op::GAS);
+    a_.op(Op::CALL);
+    a_.op(Op::SWAP1).op(Op::POP);
+}
+
+void
+SolBuilder::callExternal5At(std::uint32_t selector)
+{
+    // [addr, arg5, arg4, arg3, arg2, arg1] -> [success]
+    a_.pushFuncId(selector).push(U256(224)).op(Op::SHL);
+    a_.push(U256(0x100)).op(Op::MSTORE);
+    a_.push(U256(0x104)).op(Op::MSTORE);
+    a_.push(U256(0x124)).op(Op::MSTORE);
+    a_.push(U256(0x144)).op(Op::MSTORE);
+    a_.push(U256(0x164)).op(Op::MSTORE);
+    a_.push(U256(0x184)).op(Op::MSTORE);  // [addr]
+    a_.push(U256(0x20));
+    a_.push(U256(0x1c0));
+    a_.push(U256(0xa4));
     a_.push(U256(0x100));
     a_.push(U256(0));
     a_.op(Op::DUP6);

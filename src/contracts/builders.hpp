@@ -123,6 +123,12 @@ class SolBuilder
 
     /**
      * CALL with the callee address taken from the stack:
+     * [addr, arg1] -> [success].
+     */
+    void callExternal1At(std::uint32_t selector);
+
+    /**
+     * CALL with the callee address taken from the stack:
      * [addr, arg2, arg1] -> [success].
      */
     void callExternal2At(std::uint32_t selector);
@@ -132,6 +138,13 @@ class SolBuilder
      * [addr, arg3, arg2, arg1] -> [success].
      */
     void callExternal3At(std::uint32_t selector);
+
+    /**
+     * CALL with the callee address taken from the stack:
+     * [addr, arg5, arg4, arg3, arg2, arg1] -> [success]. Covers the
+     * 5-word router swap ABI used by the flash-loan call chains.
+     */
+    void callExternal5At(std::uint32_t selector);
 
     /**
      * Append unreachable-but-plausible filler code until the program

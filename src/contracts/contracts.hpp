@@ -69,6 +69,15 @@ constexpr std::uint32_t kBurn = 0x9dc29fac;          // burn(address,uint256)
 constexpr std::uint32_t kVote = 0x0121b93f;          // vote(uint256)
 constexpr std::uint32_t kDepositEth = 0xb6b55f25;    // deposit(uint256)
 constexpr std::uint32_t kWithdrawToken = 0xf3fef3a3; // withdraw(address,uint256)
+// DeFi-composability / adversarial pack contracts (DESIGN.md §15).
+constexpr std::uint32_t kFlashArb = 0x5cffe9de;      // flashLoan (ERC-3156 flavour)
+constexpr std::uint32_t kSetPrice = 0x00e4768b;      // setPrice(address,uint256)
+constexpr std::uint32_t kGetPrice = 0x41976e09;      // getPrice(address)
+constexpr std::uint32_t kLiquidate = 0xf5e3c462;     // liquidateBorrow flavour
+constexpr std::uint32_t kPoke = 0x18178358;          // poke(uint256)
+constexpr std::uint32_t kPokeMul = 0x6f4a2cd0;       // pokeMul(uint256) (synthetic)
+constexpr std::uint32_t kTease = 0x9f3b2f51;         // tease(uint256) (synthetic)
+constexpr std::uint32_t kBurnGas = 0xd0a494e4;       // burnGas(uint256) (synthetic)
 } // namespace sel
 
 /**

@@ -1,0 +1,331 @@
+/**
+ * @file
+ * DeFi-composability and adversarial pack contracts (DESIGN.md §15).
+ * Stack-effect comments use [bottom, ..., top] notation.
+ */
+
+#include "contracts/defi.hpp"
+
+#include "asm/assembler.hpp"
+#include "contracts/builders.hpp"
+#include "support/keccak.hpp"
+
+namespace mtpu::contracts::defi {
+
+using easm::Assembler;
+using Op = evm::Op;
+
+namespace {
+
+// ERC20 slots of the token contracts the hub trades through.
+constexpr std::uint64_t kSlotBalances = 1;
+constexpr std::uint64_t kSlotAllowance = 2;
+
+} // namespace
+
+ContractSpec
+buildFlashLoanHub()
+{
+    // flashArb(tokenIn, tokenOut, amount): borrow -> swap -> repay.
+    // The outstanding-loan counter opens a checked-add chain *before*
+    // the external router call and closes it after, so the
+    // commutativity tracker sees delta traffic spanning a call frame;
+    // the router swap itself performs exact MUL/DIV reserve writes,
+    // giving every transaction a 4-contract footprint (hub, router,
+    // tokenIn, tokenOut).
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kFlashArb, "f_flash");
+    a.revert();
+
+    a.dest("f_flash");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(3);
+    b.loadWordArg(2);                 // [amt]
+    a.op(Op::DUP1);
+    b.requireTrue();                  // amt != 0
+    // outstanding += amt
+    a.push(U256(kHubSlotOutstanding)).op(Op::SLOAD); // [amt, out]
+    a.op(Op::DUP2);                   // [amt, out, amt]
+    b.checkedAdd();                   // [amt, out+amt]
+    a.push(U256(kHubSlotOutstanding)).op(Op::SSTORE); // [amt]
+    // router.swapExactTokensForTokens(amt, 1, tokenIn, tokenOut, this)
+    a.push(U256(kHubSlotRouter)).op(Op::SLOAD); // [amt, router]
+    a.op(Op::ADDRESS);                // [amt, router, this]   arg5 = to
+    b.loadAddressArg(1);              // [.., tokenOut]        arg4
+    b.loadAddressArg(0);              // [.., tokenIn]         arg3
+    a.push(U256(1));                  // [.., minOut]          arg2
+    a.op(Op::DUP6);                   // [.., amt]             arg1
+    b.callExternal5At(sel::kSwapExactTokens); // [amt, ok]
+    b.requireTrue();                  // [amt]
+    // fees += amt >> 8 (the flash premium)
+    a.op(Op::DUP1).push(U256(8)).op(Op::SHR); // [amt, fee]
+    a.push(U256(kHubSlotFees)).op(Op::SLOAD); // [amt, fee, acc]
+    b.checkedAdd();                   // [amt, fee+acc]
+    a.push(U256(kHubSlotFees)).op(Op::SSTORE); // [amt]
+    // outstanding -= amt (loan repaid; net delta zero)
+    a.push(U256(kHubSlotOutstanding)).op(Op::SLOAD); // [amt, out]
+    a.op(Op::DUP2);                   // [amt, out, amt]
+    b.checkedSub();                   // [amt, out-amt]
+    a.push(U256(kHubSlotOutstanding)).op(Op::SSTORE); // [amt]
+    a.op(Op::POP);
+    b.returnWord(U256(1));
+    b.padTo(4200);
+
+    ContractSpec spec;
+    spec.name = "FlashLoanHub";
+    spec.address = contractAddress(kFlashLoanHubIndex);
+    spec.bytecode = a.assemble();
+    spec.functions = {{"flashArb", sel::kFlashArb, 3, false, 1.0}};
+    return spec;
+}
+
+ContractSpec
+buildPriceOracle()
+{
+    // setPrice(feed, price): exact write of price[feed] plus a
+    // checked-add round counter; getPrice(feed) is the read side of
+    // the oracle-update-then-liquidate dependency chains.
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kSetPrice, "f_set");
+    a.dispatchCase(sel::kGetPrice, "f_get");
+    a.revert();
+
+    a.dest("f_set");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(2);
+    b.loadAddressArg(0);              // [feed]
+    a.op(Op::DUP1);                   // [feed, feed]
+    b.loadWordArg(1);                 // [feed, feed, price]
+    b.mappingStore(kOracleSlotPrice); // [feed] (exact write)
+    a.op(Op::DUP1);                   // [feed, feed]
+    b.mappingLoad(kOracleSlotRound);  // [feed, round]
+    a.push(U256(1));
+    b.checkedAdd();                   // [feed, round+1]
+    b.mappingStore(kOracleSlotRound); // []
+    b.returnWord(U256(1));
+
+    a.dest("f_get");
+    a.op(Op::POP);
+    b.calldataGuard(1);
+    b.loadAddressArg(0);
+    b.mappingLoad(kOracleSlotPrice);
+    b.returnTop();
+    b.padTo(1800);
+
+    ContractSpec spec;
+    spec.name = "PriceOracle";
+    spec.address = contractAddress(kPriceOracleIndex);
+    spec.bytecode = a.assemble();
+    spec.functions = {{"setPrice", sel::kSetPrice, 2, false, 1.0},
+                      {"getPrice", sel::kGetPrice, 1, false, 1.0}};
+    return spec;
+}
+
+ContractSpec
+buildLendingPool()
+{
+    // liquidate(feed, victim): reads the oracle through a live CALL
+    // (write-then-read chain against setPrice in the same block),
+    // seizes a price-dependent slice of the victim's collateral via an
+    // exact write, and bumps a shared checked-add liquidation counter.
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kLiquidate, "f_liq");
+    a.revert();
+
+    a.dest("f_liq");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(2);
+    b.loadAddressArg(0);              // [feed]
+    a.push(U256(kPoolSlotOracle)).op(Op::SLOAD); // [feed, oracle]
+    a.op(Op::SWAP1);                  // [oracle, feed]
+    b.callExternal1At(sel::kGetPrice); // [ok]
+    b.requireTrue();                  // []
+    a.push(U256(0x1c0)).op(Op::MLOAD); // [price]
+    a.op(Op::DUP1);
+    b.requireTrue();                  // [price] (price != 0)
+    b.loadAddressArg(1);              // [price, victim]
+    a.op(Op::DUP1);                   // [price, victim, victim]
+    b.mappingLoad(kPoolSlotCollateral); // [price, victim, coll]
+    // seized = (coll >> 4) + (price & 0xf)
+    a.op(Op::DUP1).push(U256(4)).op(Op::SHR); // [.., coll, coll>>4]
+    a.op(Op::DUP4).push(U256(0x0f)).op(Op::AND); // [.., price&15]
+    a.op(Op::ADD);                    // [price, victim, coll, seized]
+    b.checkedSub();                   // [price, victim, coll-seized]
+    a.op(Op::DUP2).op(Op::SWAP1);     // [price, victim, victim, ncoll]
+    b.mappingStore(kPoolSlotCollateral); // [price, victim]
+    a.op(Op::POP).op(Op::POP);        // []
+    // liquidations += 1 (shared commutative counter)
+    a.push(U256(kPoolSlotCounter)).op(Op::SLOAD);
+    a.push(U256(1));
+    b.checkedAdd();
+    a.push(U256(kPoolSlotCounter)).op(Op::SSTORE);
+    b.returnWord(U256(1));
+    b.padTo(3600);
+
+    ContractSpec spec;
+    spec.name = "LendingPool";
+    spec.address = contractAddress(kLendingPoolIndex);
+    spec.bytecode = a.assemble();
+    spec.functions = {{"liquidate", sel::kLiquidate, 2, false, 1.0}};
+    return spec;
+}
+
+ContractSpec
+buildRecursor()
+{
+    // The adversarial stressor aimed at the commutativity tracker:
+    //  - poke(n): counter += 1, then a recursive self-call n deep —
+    //    the chain must stay clean across nested frames;
+    //  - pokeMul(n): a MUL-derived store that must poison its slot;
+    //  - tease(x): a clean checked-add chain that is then reloaded and
+    //    stored to a *different* slot (cross-slot poisoning);
+    //  - burnGas(r): a keccak loop for gas-griefing under tight
+    //    per-transaction gas limits.
+    Assembler a;
+    SolBuilder b(a);
+    b.runtimePrologue();
+    a.loadFunctionId();
+    a.dispatchCase(sel::kPoke, "f_poke");
+    a.dispatchCase(sel::kPokeMul, "f_pokemul");
+    a.dispatchCase(sel::kTease, "f_tease");
+    a.dispatchCase(sel::kBurnGas, "f_burn");
+    a.revert();
+
+    a.dest("f_poke");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    a.push(U256(kRecursorSlotCounter)).op(Op::SLOAD);
+    a.push(U256(1));
+    b.checkedAdd();
+    a.push(U256(kRecursorSlotCounter)).op(Op::SSTORE);
+    b.loadWordArg(0);                 // [n]
+    {
+        std::string done = b.fresh("pokedone");
+        a.op(Op::DUP1).op(Op::ISZERO);
+        a.pushLabel(done).op(Op::JUMPI); // [n]
+        a.op(Op::DUP1);               // [n, n]
+        a.push(U256(1)).op(Op::SWAP1).op(Op::SUB); // [n, n-1]
+        a.op(Op::ADDRESS);            // [n, n-1, this]
+        a.op(Op::SWAP1);              // [n, this, n-1]
+        b.callExternal1At(sel::kPoke); // [n, ok]
+        b.requireTrue();              // [n]
+        a.dest(done);
+    }
+    a.op(Op::POP);
+    b.returnWord(U256(1));
+
+    a.dest("f_pokemul");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    a.push(U256(kRecursorSlotProduct)).op(Op::SLOAD); // [v]
+    a.push(U256(2)).op(Op::MUL);      // [2v] — poisons the record
+    a.push(U256(1)).op(Op::ADD);      // [2v+1]
+    a.push(U256(kRecursorSlotProduct)).op(Op::SSTORE);
+    b.returnWord(U256(1));
+
+    a.dest("f_tease");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    b.loadWordArg(0);                 // [x]
+    a.push(U256(kRecursorSlotAcc)).op(Op::SLOAD); // [x, acc]
+    b.checkedAdd();                   // [acc+x] — clean so far
+    a.push(U256(kRecursorSlotAcc)).op(Op::SSTORE);
+    a.push(U256(kRecursorSlotAcc)).op(Op::SLOAD); // tagged reload
+    a.push(U256(kRecursorSlotMirror)).op(Op::SSTORE); // cross-slot
+    b.returnWord(U256(1));
+
+    a.dest("f_burn");
+    a.op(Op::POP);
+    b.nonPayable();
+    b.calldataGuard(1);
+    b.loadWordArg(0);                 // [i]
+    {
+        std::string loop = b.fresh("burn");
+        std::string done = b.fresh("burndone");
+        a.dest(loop);
+        a.op(Op::DUP1).op(Op::ISZERO);
+        a.pushLabel(done).op(Op::JUMPI);
+        a.push(U256(0x40)).push(U256(0)).op(Op::SHA3).op(Op::POP);
+        a.push(U256(1)).op(Op::SWAP1).op(Op::SUB); // [i-1]
+        a.pushLabel(loop).op(Op::JUMP);
+        a.dest(done);
+    }
+    a.op(Op::POP);
+    b.returnWord(U256(1));
+    b.padTo(2400);
+
+    ContractSpec spec;
+    spec.name = "Recursor";
+    spec.address = contractAddress(kRecursorIndex);
+    spec.bytecode = a.assemble();
+    spec.functions = {{"poke", sel::kPoke, 1, false, 1.0},
+                      {"pokeMul", sel::kPokeMul, 1, false, 1.0},
+                      {"tease", sel::kTease, 1, false, 1.0},
+                      {"burnGas", sel::kBurnGas, 1, false, 1.0}};
+    return spec;
+}
+
+void
+seedDefi(evm::WorldState &state, const ContractSet &set,
+         const std::vector<evm::Address> &users)
+{
+    const U256 kInventory = U256::fromDec("1000000000000000"); // 1e15
+    const U256 kCollateral = U256(1'000'000'000'000ull);       // 1e12
+
+    auto mapSlot = [](const U256 &key, std::uint64_t slot) {
+        return keccak256Pair(key, U256(slot));
+    };
+    auto nestedSlot = [](const U256 &k1, const U256 &k2,
+                         std::uint64_t slot) {
+        return keccak256Pair(k2, keccak256Pair(k1, U256(slot)));
+    };
+
+    const evm::Address hub = contractAddress(kFlashLoanHubIndex);
+    const evm::Address oracle = contractAddress(kPriceOracleIndex);
+    const evm::Address pool = contractAddress(kLendingPoolIndex);
+    const evm::Address router = set.byName("UniswapV2Router02").address;
+
+    // Only *new* storage slots below: the hub's token balances and
+    // router allowances, oracle feed prices, pool pointers/collateral.
+    // Pre-existing contract slots (totalSupply, user balances, router
+    // reserves) are deliberately untouched so every TOP8 workload
+    // still executes the exact same traces.
+    state.setStorage(hub, U256(kHubSlotRouter), router);
+    state.setStorage(pool, U256(kPoolSlotOracle), oracle);
+
+    const char *pool_tokens[] = {"TetherUSD", "LinkToken", "Dai",
+                                 "WETH9"};
+    int price = 1000;
+    for (const char *name : pool_tokens) {
+        const ContractSpec &token = set.byName(name);
+        state.setStorage(token.address, mapSlot(hub, kSlotBalances),
+                         kInventory);
+        state.setStorage(token.address,
+                         nestedSlot(hub, router, kSlotAllowance),
+                         U256::max().shr(1));
+        state.setStorage(oracle, mapSlot(token.address, kOracleSlotPrice),
+                         U256(std::uint64_t(price++)));
+    }
+
+    for (const evm::Address &user : users) {
+        state.setStorage(pool, mapSlot(user, kPoolSlotCollateral),
+                         kCollateral);
+    }
+}
+
+} // namespace mtpu::contracts::defi

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * DeFi-composability and adversarial contracts backing the workload
+ * packs (DESIGN.md §15): a flash-loan hub that chains borrow -> swap ->
+ * repay across 3+ contracts per transaction, a price oracle plus
+ * lending pool forming write-then-read dependency chains, and a
+ * Recursor whose entry points are aimed squarely at the commutativity
+ * tracker (clean chains under recursion, MUL poisoning, cross-slot
+ * poisoning, gas griefing).
+ *
+ * Internal header: consumed by top8.cpp (ContractSet wiring) only.
+ */
+
+#pragma once
+
+#include "contracts/contracts.hpp"
+
+namespace mtpu::contracts::defi {
+
+/** Storage slots of the pack contracts (documented for tests). */
+constexpr std::uint64_t kHubSlotOutstanding = 0;
+constexpr std::uint64_t kHubSlotFees = 1;
+constexpr std::uint64_t kHubSlotRouter = 2;
+
+constexpr std::uint64_t kOracleSlotPrice = 1;
+constexpr std::uint64_t kOracleSlotRound = 2;
+
+constexpr std::uint64_t kPoolSlotCounter = 0;
+constexpr std::uint64_t kPoolSlotCollateral = 1;
+constexpr std::uint64_t kPoolSlotOracle = 3;
+
+constexpr std::uint64_t kRecursorSlotCounter = 0;
+constexpr std::uint64_t kRecursorSlotAcc = 1;
+constexpr std::uint64_t kRecursorSlotMirror = 2;
+constexpr std::uint64_t kRecursorSlotProduct = 3;
+
+/** Deterministic contract indices (contractAddress(index)). */
+constexpr int kFlashLoanHubIndex = 13;
+constexpr int kPriceOracleIndex = 14;
+constexpr int kLendingPoolIndex = 15;
+constexpr int kRecursorIndex = 16;
+
+ContractSpec buildFlashLoanHub();
+ContractSpec buildPriceOracle();
+ContractSpec buildLendingPool();
+ContractSpec buildRecursor();
+
+/**
+ * Seed pack-contract state: hub token inventory + router allowances,
+ * oracle base prices for the pool tokens, lending-pool collateral for
+ * every user and the oracle/router pointers. Only creates slots that
+ * no pre-existing contract reads, so the TOP8 workloads are untouched.
+ */
+void seedDefi(evm::WorldState &state, const ContractSet &set,
+              const std::vector<evm::Address> &users);
+
+} // namespace mtpu::contracts::defi

@@ -11,6 +11,7 @@
 
 #include "asm/assembler.hpp"
 #include "contracts/builders.hpp"
+#include "contracts/defi.hpp"
 #include "support/keccak.hpp"
 
 namespace mtpu::contracts {
@@ -987,6 +988,12 @@ ContractSet::ContractSet()
     extras_.push_back(buildMarketplace(10, "CryptoCat", 12500));
     extras_.push_back(buildFiatTokenImpl());
     extras_.push_back(buildLinkReceiver());
+
+    // DeFi-composability / adversarial pack contracts (DESIGN.md §15).
+    extras_.push_back(defi::buildFlashLoanHub());
+    extras_.push_back(defi::buildPriceOracle());
+    extras_.push_back(defi::buildLendingPool());
+    extras_.push_back(defi::buildRecursor());
 }
 
 const ContractSpec &
@@ -1161,6 +1168,10 @@ ContractSet::deploy(evm::WorldState &state,
     // WETH9 can pay out withdrawals in native value.
     state.setBalance(byName("WETH9").address,
                      U256::fromDec("1000000000000000000000"));
+
+    // Pack contracts (hub inventory, oracle prices, pool collateral) —
+    // new slots only, so the TOP8 workloads above are unaffected.
+    defi::seedDefi(state, *this, users);
 
     state.commit();
 }

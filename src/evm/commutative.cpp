@@ -196,8 +196,17 @@ CommTracker::find(const Address &addr, const U256 &slot) const
 bool
 conflictsExactly(const AccessSet &a, const AccessSet &b)
 {
+    static const std::set<StateKey> none;
+    return conflictsExactly(a, b, none);
+}
+
+bool
+conflictsExactly(const AccessSet &a, const AccessSet &b,
+                 const std::set<StateKey> &unforgivable)
+{
     auto forgiven = [&](const StateKey &k) {
-        return a.commutative.count(k) != 0 && b.commutative.count(k) != 0;
+        return a.commutative.count(k) != 0 && b.commutative.count(k) != 0
+            && unforgivable.count(k) == 0;
     };
     auto intersects_exactly = [&](const std::set<StateKey> &x,
                                   const std::set<StateKey> &y) {

@@ -166,4 +166,16 @@ class CommTracker
  */
 bool conflictsExactly(const AccessSet &a, const AccessSet &b);
 
+/**
+ * conflictsExactly with a veto list: keys in @p unforgivable never
+ * take the commutative exemption. The classifier's uniformity proof
+ * assumes every group member's delta lands; an injected abort removes
+ * the victim's delta from the group, shifting peers' observed values
+ * outside the proven interval (e.g. flipping an SSTORE between its
+ * zero and non-zero gas class), so runs under an abort plan must pin
+ * every key an abort victim writes back into program order.
+ */
+bool conflictsExactly(const AccessSet &a, const AccessSet &b,
+                      const std::set<StateKey> &unforgivable);
+
 } // namespace mtpu::evm

@@ -1,6 +1,7 @@
 #include "fault/auditor.hpp"
 
 #include <cstdio>
+#include <set>
 
 #include "evm/commutative.hpp"
 #include "evm/fast_interp.hpp"
@@ -25,6 +26,19 @@ Auditor::Auditor(const evm::WorldState &genesis, const BlockRun &block,
         }
     }
     if (have_access) {
+        // Same veto as the engine: an injected abort withdraws the
+        // victim's delta from its commutative group, so keys the
+        // victim writes keep their edges — the classifier's uniformity
+        // interval no longer covers the group without them.
+        std::set<evm::StateKey> abortTouched;
+        if (commutative_edges && plan_) {
+            for (std::size_t i = 0; i < block_.txs.size(); ++i) {
+                if (!plan_->abortFor(int(i)))
+                    continue;
+                const auto &w = block_.txs[i].access.writes;
+                abortTouched.insert(w.begin(), w.end());
+            }
+        }
         for (std::size_t j = 1; j < block_.txs.size(); ++j) {
             for (std::size_t i = 0; i < j; ++i) {
                 if (!block_.txs[j].access.conflictsWith(
@@ -33,7 +47,8 @@ Auditor::Auditor(const evm::WorldState &genesis, const BlockRun &block,
                 }
                 if (commutative_edges
                     && !evm::conflictsExactly(block_.txs[j].access,
-                                              block_.txs[i].access)) {
+                                              block_.txs[i].access,
+                                              abortTouched)) {
                     continue;
                 }
                 edges_.emplace_back(int(j), int(i));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <set>
 #include <tuple>
 
 #include "evm/interpreter.hpp"
@@ -120,6 +121,23 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
     // an elided-order commit bit-identical.
     const bool comm = cfg_.commutative && validate;
 
+    // The classifier's uniformity proof assumes every group member's
+    // delta lands; an injected abort rolls the victim's delta back,
+    // shifting peers' observed values outside the proven interval (an
+    // SSTORE can flip between its zero and non-zero gas class, moving
+    // the peers' fees with it). Keys an abort victim writes therefore
+    // lose the commutative exemption: the whole group commits in
+    // program order. The auditor applies the same veto.
+    std::set<evm::StateKey> abortTouched;
+    if (comm && plan) {
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!plan->abortFor(int(i)))
+                continue;
+            const auto &w = block.txs[i].access.writes;
+            abortTouched.insert(w.begin(), w.end());
+        }
+    }
+
     // Ground-truth conflict predecessors, recomputed from the
     // consensus-stage access sets: the shipped DAG may be
     // under-approximated, the access sets are not. With comm, pairs
@@ -136,7 +154,8 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
                 }
                 if (comm
                     && !evm::conflictsExactly(block.txs[j].access,
-                                              block.txs[i].access)) {
+                                              block.txs[i].access,
+                                              abortTouched)) {
                     ++stats.commutativeDropped;
                     continue;
                 }
@@ -153,8 +172,10 @@ SpatioTemporalEngine::run(const BlockRun &block, const HintProvider &hints,
         for (std::size_t j = 0; j < n; ++j) {
             for (int d : block.txs[j].deps) {
                 if (evm::conflictsExactly(block.txs[j].access,
-                                          block.txs[std::size_t(d)].access))
+                                          block.txs[std::size_t(d)].access,
+                                          abortTouched)) {
                     commDeps[j].push_back(d);
+                }
             }
         }
     }

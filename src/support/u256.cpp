@@ -94,6 +94,19 @@ U256::toHex() const
 }
 
 std::string
+U256::toHex64() const
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s = "0x";
+    s.reserve(66);
+    for (int i = 255; i >= 0; i -= 4) {
+        unsigned nib = unsigned((limbs_[i >> 6] >> ((i & 63) - 3)) & 0xf);
+        s.push_back(digits[nib]);
+    }
+    return s;
+}
+
+std::string
 U256::toDec() const
 {
     if (isZero())

@@ -57,6 +57,13 @@ class U256
     /** Render as 0x-prefixed minimal hex. */
     std::string toHex() const;
 
+    /**
+     * Render as 0x-prefixed fixed-width hex (always 64 digits).
+     * Digests and other 32-byte identities serialize through this so
+     * their textual width never depends on the leading nibble.
+     */
+    std::string toHex64() const;
+
     /** Render as decimal. */
     std::string toDec() const;
 

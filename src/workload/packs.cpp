@@ -1,0 +1,282 @@
+#include "workload/packs.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "contracts/contracts.hpp"
+
+namespace mtpu::workload {
+
+using contracts::ContractSet;
+using contracts::ContractSpec;
+
+const char *
+packName(Pack pack)
+{
+    switch (pack) {
+    case Pack::HotToken:
+        return "hot-token";
+    case Pack::MintStorm:
+        return "mint-storm";
+    case Pack::FlashLoan:
+        return "flash-loan";
+    case Pack::Airdrop:
+        return "airdrop";
+    case Pack::OracleLiquidate:
+        return "oracle-liquidate";
+    case Pack::Adversarial:
+        return "adversarial";
+    }
+    return "unknown";
+}
+
+bool
+parsePack(const std::string &name, Pack &out)
+{
+    for (Pack pack : allPacks()) {
+        if (name == packName(pack)) {
+            out = pack;
+            return true;
+        }
+    }
+    return false;
+}
+
+const std::vector<Pack> &
+allPacks()
+{
+    static const std::vector<Pack> all = {
+        Pack::HotToken,  Pack::MintStorm,       Pack::FlashLoan,
+        Pack::Airdrop,   Pack::OracleLiquidate, Pack::Adversarial,
+    };
+    return all;
+}
+
+namespace {
+
+Generator::PackTx
+packCall(const ContractSpec &spec, const char *function,
+         const evm::Address &from, std::uint32_t selector,
+         const std::vector<U256> &args)
+{
+    Generator::PackTx d;
+    d.contract = spec.name;
+    d.function = function;
+    d.isErc20 = spec.isErc20;
+    d.tx.from = from;
+    d.tx.to = spec.address;
+    d.tx.data = ContractSet::encodeCall(selector, args);
+    return d;
+}
+
+/**
+ * All-out conflict on one slot: every tx a Dai transfer from a
+ * distinct sender to one hot receiver — a pure checked-add chain on
+ * balances[hot] that degenerates to serial re-execution under exact
+ * validation and commits as deltas under commutative validation.
+ */
+std::vector<Generator::PackTx>
+draftHotToken(Generator &gen, const PackParams &p)
+{
+    const ContractSpec &dai = gen.contracts().byName("Dai");
+    evm::Address hot = gen.user(0);
+    std::vector<Generator::PackTx> drafts;
+    drafts.reserve(std::size_t(p.txCount));
+    for (int i = 0; i < p.txCount; ++i) {
+        drafts.push_back(packCall(
+            dai, "transfer", gen.user(1 + i), contracts::sel::kTransfer,
+            {hot, U256(std::uint64_t(1 + i % 97))}));
+    }
+    return drafts;
+}
+
+/**
+ * NFT-mint-storm shape: distinct senders (all wards in genesis) each
+ * mint to themselves; the only shared slot is the monotonic
+ * totalSupply counter behind an overflow guard.
+ */
+std::vector<Generator::PackTx>
+draftMintStorm(Generator &gen, const PackParams &p)
+{
+    const ContractSpec &dai = gen.contracts().byName("Dai");
+    std::vector<Generator::PackTx> drafts;
+    drafts.reserve(std::size_t(p.txCount));
+    for (int i = 0; i < p.txCount; ++i) {
+        evm::Address self = gen.user(i);
+        drafts.push_back(packCall(dai, "mint", self,
+                                  contracts::sel::kMint,
+                                  {self, U256(std::uint64_t(1 + i % 53))}));
+    }
+    return drafts;
+}
+
+/**
+ * Flash-loan call chains: each tx runs hub.flashArb(tokenIn, tokenOut,
+ * amount) — borrow (hub delta chain), swap through the V2 router
+ * (exact MUL/DIV reserve writes + token transfers), repay. Four
+ * contracts per transaction; consecutive txs rotate over the ordered
+ * token pairs so reserve slots are shared and real dependency chains
+ * form.
+ */
+std::vector<Generator::PackTx>
+draftFlashLoan(Generator &gen, const PackParams &p)
+{
+    const ContractSet &set = gen.contracts();
+    const ContractSpec &hub = set.byName("FlashLoanHub");
+    static const char *pool[] = {"TetherUSD", "LinkToken", "Dai",
+                                 "WETH9"};
+    std::vector<Generator::PackTx> drafts;
+    drafts.reserve(std::size_t(p.txCount));
+    for (int i = 0; i < p.txCount; ++i) {
+        const ContractSpec &tin = set.byName(pool[i % 4]);
+        const ContractSpec &tout = set.byName(pool[(i + 1) % 4]);
+        U256 amount(std::uint64_t(1000 + (i % 7) * 500));
+        drafts.push_back(packCall(hub, "flashArb", gen.user(i),
+                                  contracts::sel::kFlashArb,
+                                  {tin.address, tout.address, amount}));
+    }
+    return drafts;
+}
+
+/**
+ * Airdrop fanout: one sender pays fresh receiver addresses outside the
+ * funded universe. Every tx collides on balances[sender] — a
+ * checked-sub chain whose range constraints (balance >= value) the
+ * commutative committer must re-validate per reordering.
+ */
+std::vector<Generator::PackTx>
+draftAirdrop(Generator &gen, const PackParams &p)
+{
+    const ContractSpec &dai = gen.contracts().byName("Dai");
+    evm::Address sender = gen.user(0);
+    std::vector<Generator::PackTx> drafts;
+    drafts.reserve(std::size_t(p.txCount));
+    for (int i = 0; i < p.txCount; ++i) {
+        evm::Address receiver = contracts::userAddress(100000 + i);
+        drafts.push_back(packCall(
+            dai, "transfer", sender, contracts::sel::kTransfer,
+            {receiver, U256(std::uint64_t(1 + i % 31))}));
+    }
+    return drafts;
+}
+
+/**
+ * Oracle-update-then-liquidate bursts: every fifth tx writes a feed's
+ * price (exact write), the following liquidations CALL the oracle for
+ * that feed — a write-then-read dependency chain — then seize
+ * price-dependent collateral (exact write per victim) and bump one
+ * shared checked-add liquidation counter.
+ */
+std::vector<Generator::PackTx>
+draftOracleLiquidate(Generator &gen, const PackParams &p)
+{
+    const ContractSet &set = gen.contracts();
+    const ContractSpec &oracle = set.byName("PriceOracle");
+    const ContractSpec &pool = set.byName("LendingPool");
+    static const char *feeds[] = {"TetherUSD", "LinkToken", "Dai",
+                                  "WETH9"};
+    int nfeeds = std::min(std::max(p.feeds, 1), 4);
+
+    std::vector<Generator::PackTx> drafts;
+    drafts.reserve(std::size_t(p.txCount));
+    for (int i = 0; i < p.txCount; ++i) {
+        int f = (i / 5) % nfeeds;
+        const evm::Address feed = set.byName(feeds[f]).address;
+        if (i % 5 == 0) {
+            drafts.push_back(packCall(
+                oracle, "setPrice", gen.user(40 + f),
+                contracts::sel::kSetPrice,
+                {feed, U256(std::uint64_t(900 + i))}));
+        } else {
+            drafts.push_back(packCall(pool, "liquidate", gen.user(200 + i),
+                                      contracts::sel::kLiquidate,
+                                      {feed, gen.user(i)}));
+        }
+    }
+    return drafts;
+}
+
+/**
+ * Adversarial pack aimed at the commutativity tracker and the fault
+ * machinery: recursive self-calls whose counter chain must stay clean
+ * across nested frames, MUL-poisoned stores, cross-slot poisoning of
+ * an otherwise-clean chain, keccak loops under a tight gas limit
+ * (deterministic out-of-gas griefing), and clean Dai mints in between
+ * that the classifier must still commit commutatively.
+ */
+std::vector<Generator::PackTx>
+draftAdversarial(Generator &gen, const PackParams &p)
+{
+    const ContractSet &set = gen.contracts();
+    const ContractSpec &rec = set.byName("Recursor");
+    const ContractSpec &dai = set.byName("Dai");
+    std::vector<Generator::PackTx> drafts;
+    drafts.reserve(std::size_t(p.txCount));
+    for (int i = 0; i < p.txCount; ++i) {
+        evm::Address from = gen.user(i);
+        switch (i % 5) {
+        case 0:
+            drafts.push_back(packCall(
+                rec, "poke", from, contracts::sel::kPoke,
+                {U256(std::uint64_t(p.recursionDepth))}));
+            break;
+        case 1:
+            drafts.push_back(packCall(rec, "tease", from,
+                                      contracts::sel::kTease,
+                                      {U256(std::uint64_t(1 + i % 13))}));
+            break;
+        case 2:
+            drafts.push_back(packCall(rec, "pokeMul", from,
+                                      contracts::sel::kPokeMul,
+                                      {U256(std::uint64_t(i))}));
+            break;
+        case 3: {
+            // Gas griefing: enough keccak rounds (~90 gas each on a
+            // ~21k base) to exhaust the tight per-tx budget partway
+            // through the loop.
+            Generator::PackTx d =
+                packCall(rec, "burnGas", from, contracts::sel::kBurnGas,
+                         {U256(std::uint64_t(600 + i))});
+            d.tx.gasLimit = 60'000;
+            drafts.push_back(std::move(d));
+            break;
+        }
+        default:
+            drafts.push_back(packCall(
+                dai, "mint", from, contracts::sel::kMint,
+                {from, U256(std::uint64_t(1 + i % 29))}));
+            break;
+        }
+    }
+    return drafts;
+}
+
+} // namespace
+
+std::vector<Generator::PackTx>
+draftPack(Generator &gen, Pack pack, const PackParams &params)
+{
+    switch (pack) {
+    case Pack::HotToken:
+        return draftHotToken(gen, params);
+    case Pack::MintStorm:
+        return draftMintStorm(gen, params);
+    case Pack::FlashLoan:
+        return draftFlashLoan(gen, params);
+    case Pack::Airdrop:
+        return draftAirdrop(gen, params);
+    case Pack::OracleLiquidate:
+        return draftOracleLiquidate(gen, params);
+    case Pack::Adversarial:
+        return draftAdversarial(gen, params);
+    }
+    throw std::invalid_argument("draftPack: unknown pack");
+}
+
+BlockRun
+buildPackBlock(Generator &gen, Pack pack, const PackParams &params)
+{
+    return gen.buildBlockFrom(draftPack(gen, pack, params));
+}
+
+} // namespace mtpu::workload

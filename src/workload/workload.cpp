@@ -7,6 +7,7 @@
 #include "evm/memo.hpp"
 #include "evm/speculative.hpp"
 #include "obs/metrics.hpp"
+#include "workload/packs.hpp"
 
 namespace mtpu::workload {
 
@@ -515,14 +516,11 @@ Generator::contractBatch(const std::string &contract, int tx_count)
 }
 
 BlockRun
-Generator::hotTokenBlock(int tx_count)
+Generator::buildBlockFrom(std::vector<PackTx> drafts)
 {
-    // All-out conflict on one slot: every tx is a Dai transfer from a
-    // distinct sender to one hot receiver, so the whole block collides
-    // on balances[hot] — a pure checked-add chain.
-    const ContractSpec &dai = set_.byName("Dai");
-    userCursor_ = 0;
-    Address hot = freshUser();
+    // The one block builder behind every hand-rolled pack: stamp the
+    // standard synthetic header, adopt the drafts in order, then run
+    // the consensus stage for ground truth.
     ++blockCounter_;
 
     BlockRun block;
@@ -530,15 +528,13 @@ Generator::hotTokenBlock(int tx_count)
     block.header.timestamp = 1700000000 + blockCounter_ * 12;
     block.header.coinbase = U256(0xc01bba5e);
     block.header.recentHashes.assign(256, U256(blockCounter_));
-    for (int i = 0; i < tx_count; ++i) {
+    block.txs.reserve(drafts.size());
+    for (PackTx &d : drafts) {
         TxRecord rec;
-        rec.contract = dai.name;
-        rec.function = "transfer";
-        rec.isErc20 = true;
-        rec.tx.from = freshUser();
-        rec.tx.to = dai.address;
-        rec.tx.data = ContractSet::encodeCall(
-            sel::kTransfer, {hot, U256(std::uint64_t(1 + i % 97))});
+        rec.tx = std::move(d.tx);
+        rec.contract = std::move(d.contract);
+        rec.function = std::move(d.function);
+        rec.isErc20 = d.isErc20;
         block.txs.push_back(std::move(rec));
     }
     runConsensusStage(block);
@@ -546,33 +542,19 @@ Generator::hotTokenBlock(int tx_count)
 }
 
 BlockRun
+Generator::hotTokenBlock(int tx_count)
+{
+    PackParams params;
+    params.txCount = tx_count;
+    return buildPackBlock(*this, Pack::HotToken, params);
+}
+
+BlockRun
 Generator::mintStormBlock(int tx_count)
 {
-    // Mint-storm: distinct senders (all wards in genesis) each mint to
-    // themselves; the only shared slot is the monotonic totalSupply
-    // counter behind an overflow guard.
-    const ContractSpec &dai = set_.byName("Dai");
-    userCursor_ = 0;
-    ++blockCounter_;
-
-    BlockRun block;
-    block.header.height = 1000 + blockCounter_;
-    block.header.timestamp = 1700000000 + blockCounter_ * 12;
-    block.header.coinbase = U256(0xc01bba5e);
-    block.header.recentHashes.assign(256, U256(blockCounter_));
-    for (int i = 0; i < tx_count; ++i) {
-        TxRecord rec;
-        rec.contract = dai.name;
-        rec.function = "mint";
-        rec.isErc20 = true;
-        rec.tx.from = freshUser();
-        rec.tx.to = dai.address;
-        rec.tx.data = ContractSet::encodeCall(
-            sel::kMint, {rec.tx.from, U256(std::uint64_t(1 + i % 53))});
-        block.txs.push_back(std::move(rec));
-    }
-    runConsensusStage(block);
-    return block;
+    PackParams params;
+    params.txCount = tx_count;
+    return buildPackBlock(*this, Pack::MintStorm, params);
 }
 
 TxRecord

@@ -155,6 +155,34 @@ class Generator
     BlockRun mintStormBlock(int tx_count);
 
     /**
+     * One drafted (not yet executed) pack transaction. The workload
+     * packs (packs.hpp) draft these and hand them to buildBlockFrom;
+     * the stress fuzzer interleaves drafts from several packs into a
+     * single adversarial block.
+     */
+    struct PackTx
+    {
+        evm::Transaction tx;
+        std::string contract;
+        std::string function;
+        bool isErc20 = false;
+    };
+
+    /**
+     * The shared block builder behind every hand-rolled pack: stamps
+     * the standard synthetic header (height/timestamp advance with the
+     * generator's block counter), adopts the drafts in order and runs
+     * the consensus stage for ground-truth traces, receipts and DAG.
+     */
+    BlockRun buildBlockFrom(std::vector<PackTx> drafts);
+
+    /** The k-th synthetic user (wraps around the universe). */
+    evm::Address user(int k) const
+    {
+        return users_[std::size_t(k) % users_.size()];
+    }
+
+    /**
      * Elide commutative-only DAG edges in subsequently generated
      * blocks (passed through to runConsensusStage). Default off.
      */

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * The cross-backend stress matrix (DESIGN.md §15): every workload pack
+ * x every fault configuration x all four execution paths —
+ *
+ *   1. cycle-exact engine (audited, commit-time conflict validation),
+ *   2. cycle engine with commutative delta commits,
+ *   3. functional pipeline (speculative fan-out, cold memo),
+ *   4. functional pipeline against a warm memo cache,
+ *
+ * gating on bit-identical state digests against the sequential
+ * reference, clean serializability audits, and receipt equality
+ * against the consensus-stage ground truth. The faulted cycle runs
+ * execute a degraded block (dropped DAG edges, forced aborts, PU
+ * kills) and must still converge to the same digest.
+ *
+ * Scale via MTPU_STRESS_TXS (default 20 txs per block).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/functional.hpp"
+#include "core/mtpu.hpp"
+#include "evm/memo.hpp"
+#include "fault/injector.hpp"
+#include "workload/packs.hpp"
+
+namespace mtpu {
+namespace {
+
+constexpr int kNumPus = 4;
+constexpr int kThreads = 2;
+
+int
+stressTxs()
+{
+    const char *v = std::getenv("MTPU_STRESS_TXS");
+    int n = v ? std::atoi(v) : 0;
+    return n > 0 ? n : 20;
+}
+
+/** One axis of the fault matrix. */
+struct FaultConfig
+{
+    const char *name;
+    fault::InjectionParams params;
+    bool any = true; ///< false: clean run, no plan attached
+
+    /**
+     * Injected mid-transaction aborts change the final state (the
+     * victim's call effects roll back for good), so those configs
+     * gate on cross-backend bit-identity + clean audits instead of
+     * equality with the fault-free reference.
+     */
+    bool
+    semantic() const
+    {
+        return params.abortRate > 0.0;
+    }
+};
+
+std::vector<FaultConfig>
+faultConfigs()
+{
+    std::vector<FaultConfig> configs;
+    {
+        FaultConfig c{"clean", {}, false};
+        configs.push_back(c);
+    }
+    {
+        FaultConfig c{"drop-edges", {}, true};
+        c.params.dropEdgeRate = 0.5;
+        c.params.numPus = kNumPus;
+        configs.push_back(c);
+    }
+    {
+        FaultConfig c{"aborts", {}, true};
+        c.params.abortRate = 0.3;
+        c.params.numPus = kNumPus;
+        configs.push_back(c);
+    }
+    {
+        FaultConfig c{"pu-kill", {}, true};
+        c.params.puFaultCount = 1;
+        c.params.killPu = true;
+        c.params.numPus = kNumPus;
+        configs.push_back(c);
+    }
+    {
+        FaultConfig c{"combined", {}, true};
+        c.params.dropEdgeRate = 0.3;
+        c.params.abortRate = 0.2;
+        c.params.puFaultCount = 1;
+        c.params.killPu = true;
+        c.params.numPus = kNumPus;
+        configs.push_back(c);
+    }
+    return configs;
+}
+
+/** Shared contract universe: deploying is the expensive part. */
+workload::Generator &
+sharedGen()
+{
+    static workload::Generator gen(2024, 128, kThreads);
+    return gen;
+}
+
+/** Audited engine run; returns the final digest (asserts audit/state). */
+U256
+runCycleBackend(const workload::BlockRun &block,
+                const evm::WorldState &genesis,
+                const fault::FaultPlan *plan, bool commutative,
+                const std::string &label)
+{
+    arch::MtpuConfig cfg;
+    cfg.numPus = kNumPus;
+    cfg.threads = kThreads;
+    cfg.commutative = commutative;
+    core::MtpuProcessor proc(cfg);
+
+    core::RunOptions opt;
+    opt.recovery.validateConflicts = true;
+    opt.recovery.plan = plan && !plan->empty() ? plan : nullptr;
+
+    core::AuditedRun res = proc.executeAudited(block, genesis, opt);
+    EXPECT_TRUE(res.audit.ok()) << label << ": " << res.audit.message;
+    EXPECT_FALSE(res.stats.watchdogFired) << label;
+    if (!res.stats.finalState) {
+        ADD_FAILURE() << label << ": no final state";
+        return U256();
+    }
+    return res.stats.finalState->digest();
+}
+
+class PackMatrix : public ::testing::TestWithParam<workload::Pack>
+{
+};
+
+TEST_P(PackMatrix, AllBackendsBitIdenticalUnderFaults)
+{
+    workload::Generator &gen = sharedGen();
+    const evm::WorldState &genesis = gen.genesis();
+
+    workload::PackParams params;
+    params.txCount = stressTxs();
+    workload::BlockRun block =
+        workload::buildPackBlock(gen, GetParam(), params);
+    ASSERT_EQ(block.txs.size(), std::size_t(params.txCount));
+
+    // Sequential reference: functional pipeline, one thread, from
+    // genesis. Its receipts must equal the consensus-stage ground
+    // truth shipped in the block.
+    evm::MemoCache::global().clear();
+    core::FunctionalPipeline ref(genesis, 1);
+    core::FunctionalBlockResult ref_res = ref.executeBlock(block);
+    const U256 want = ref.state().digest();
+    ASSERT_EQ(ref_res.receipts.size(), block.txs.size());
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        EXPECT_EQ(ref_res.receipts[i].toRlp(),
+                  block.txs[i].receipt.toRlp())
+            << "reference receipt " << i;
+    }
+
+    const std::string pack_name = workload::packName(GetParam());
+
+    // Functional tier: cold-memo exact, cold-memo commutative, then a
+    // warm-memo replay over the cache the cold runs just filled. The
+    // fault matrix below is a cycle-engine concern — the functional
+    // tier has no DAG or PUs to degrade.
+    for (bool commutative : {false, true}) {
+        evm::MemoCache::global().clear();
+        core::FunctionalPipeline pipe(genesis, kThreads);
+        pipe.setCommutative(commutative);
+        core::FunctionalBlockResult res = pipe.executeBlock(block);
+        EXPECT_EQ(pipe.state().digest(), want)
+            << pack_name << " / functional cold commutative="
+            << commutative;
+        ASSERT_EQ(res.receipts.size(), block.txs.size());
+        for (std::size_t i = 0; i < block.txs.size(); ++i) {
+            EXPECT_EQ(res.receipts[i].toRlp(),
+                      block.txs[i].receipt.toRlp())
+                << pack_name << " / functional receipt " << i;
+        }
+    }
+    core::FunctionalPipeline warm(genesis, kThreads);
+    core::FunctionalBlockResult warm_res = warm.executeBlock(block);
+    EXPECT_EQ(warm.state().digest(), want)
+        << pack_name << " / functional warm-memo";
+    ASSERT_EQ(warm_res.receipts.size(), block.txs.size());
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        EXPECT_EQ(warm_res.receipts[i].toRlp(),
+                  block.txs[i].receipt.toRlp())
+            << pack_name << " / warm receipt " << i;
+    }
+
+    // Cycle engine x fault matrix: both validation variants execute
+    // the SAME degraded block under the SAME plan, so their digests
+    // must agree bit-for-bit even when injected aborts legitimately
+    // move the final state away from the fault-free reference.
+    std::uint64_t fault_seed = 7;
+    for (const FaultConfig &fc : faultConfigs()) {
+        std::string label = pack_name + " / " + fc.name;
+        fault::FaultPlan plan;
+        workload::BlockRun degraded;
+        const workload::BlockRun *to_run = &block;
+        if (fc.any) {
+            fault::FaultInjector inj(fault_seed++);
+            plan = inj.plan(block, fc.params);
+            degraded = fault::FaultInjector::degrade(block, plan);
+            to_run = &degraded;
+        }
+        U256 exact = runCycleBackend(*to_run, genesis, &plan, false,
+                                     label + " / cycle-exact");
+        U256 comm = runCycleBackend(*to_run, genesis, &plan, true,
+                                    label + " / cycle-commutative");
+        EXPECT_EQ(exact, comm) << label
+                               << ": exact and commutative validation "
+                                  "diverged under one fault plan";
+        if (!fc.semantic()) {
+            EXPECT_EQ(exact, want) << label << " / cycle-exact";
+            EXPECT_EQ(comm, want) << label << " / cycle-commutative";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Packs, PackMatrix, ::testing::ValuesIn(workload::allPacks()),
+    [](const ::testing::TestParamInfo<workload::Pack> &info) {
+        std::string name = workload::packName(info.param);
+        for (char &c : name) {
+            if (c == '-')
+                c = '_';
+        }
+        return name;
+    });
+
+/** The packs must actually exercise what they claim to exercise. */
+TEST(PackShape, FlashLoanTouchesFourContractsPerTx)
+{
+    workload::Generator &gen = sharedGen();
+    workload::PackParams params;
+    params.txCount = 8;
+    workload::BlockRun block =
+        workload::buildPackBlock(gen, workload::Pack::FlashLoan, params);
+    const evm::Address hub = gen.contracts().byName("FlashLoanHub").address;
+    const evm::Address router =
+        gen.contracts().byName("UniswapV2Router02").address;
+    for (const workload::TxRecord &rec : block.txs) {
+        ASSERT_TRUE(rec.receipt.success) << rec.receipt.error;
+        std::set<evm::Address> touched;
+        for (const auto &key : rec.access.writes)
+            touched.insert(key.address);
+        EXPECT_GE(touched.size(), 4u)
+            << "flash-loan tx should write hub, router and two tokens";
+        EXPECT_TRUE(touched.count(hub));
+        EXPECT_TRUE(touched.count(router));
+    }
+}
+
+TEST(PackShape, AirdropChainsOnTheSender)
+{
+    workload::Generator &gen = sharedGen();
+    workload::PackParams params;
+    params.txCount = 12;
+    workload::BlockRun block =
+        workload::buildPackBlock(gen, workload::Pack::Airdrop, params);
+    int dependent = 0;
+    for (const workload::TxRecord &rec : block.txs) {
+        ASSERT_TRUE(rec.receipt.success) << rec.receipt.error;
+        if (!rec.deps.empty())
+            ++dependent;
+    }
+    // Every tx after the first depends on the shared sender balance.
+    EXPECT_EQ(dependent, params.txCount - 1);
+}
+
+TEST(PackShape, OracleLiquidateFormsWriteThenReadChains)
+{
+    workload::Generator &gen = sharedGen();
+    workload::PackParams params;
+    params.txCount = 15;
+    workload::BlockRun block = workload::buildPackBlock(
+        gen, workload::Pack::OracleLiquidate, params);
+    int liquidations_depending_on_oracle = 0;
+    for (std::size_t i = 0; i < block.txs.size(); ++i) {
+        const workload::TxRecord &rec = block.txs[i];
+        ASSERT_TRUE(rec.receipt.success) << i << ": " << rec.receipt.error;
+        if (rec.function != "liquidate")
+            continue;
+        for (int dep : rec.deps) {
+            if (block.txs[std::size_t(dep)].function == "setPrice")
+                ++liquidations_depending_on_oracle;
+        }
+    }
+    EXPECT_GT(liquidations_depending_on_oracle, 0)
+        << "no liquidate tx depended on a setPrice tx";
+}
+
+TEST(PackShape, AdversarialGasGriefingFailsDeterministically)
+{
+    workload::Generator &gen = sharedGen();
+    workload::PackParams params;
+    params.txCount = 10;
+    workload::BlockRun block = workload::buildPackBlock(
+        gen, workload::Pack::Adversarial, params);
+    int failed = 0;
+    for (const workload::TxRecord &rec : block.txs) {
+        if (!rec.receipt.success)
+            ++failed;
+    }
+    // The burnGas txs run under a 60k gas limit against a loop sized
+    // to exceed it: they must fail, and everything else must succeed.
+    EXPECT_EQ(failed, 2) << "expected exactly the burnGas txs to OOG";
+}
+
+} // namespace
+} // namespace mtpu

@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Storage-fault axis of the pack stress matrix: a chain of workload-
+ * pack blocks (flash-loan, oracle-liquidate, mint-storm, adversarial)
+ * is made durable through Persistence over a FaultyStorage, then
+ * recovered by a fresh instance. Clean round trips must replay every
+ * block to the bit-identical chain digest; torn-write / bit-flip /
+ * failed-fsync damage on the WAL tail must truncate to the surviving
+ * prefix and recover exactly that prefix's digest — the pack blocks'
+ * adversarial conflict shapes must not confuse the replay path, which
+ * re-runs the consensus stage and the full scheduling engine per
+ * block.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/mtpu.hpp"
+#include "fault/storage_faults.hpp"
+#include "persist/persistence.hpp"
+#include "workload/packs.hpp"
+
+namespace mtpu {
+namespace {
+
+struct TempDir
+{
+    std::string path;
+
+    TempDir()
+    {
+        char tmpl[] = "/tmp/mtpu_packfault_XXXXXX";
+        path = mkdtemp(tmpl);
+    }
+    ~TempDir() { std::system(("rm -rf " + path).c_str()); }
+};
+
+/** The chain every test persists: one block per pack flavour. */
+const std::vector<workload::Pack> &
+chainPacks()
+{
+    static const std::vector<workload::Pack> packs = {
+        workload::Pack::FlashLoan,
+        workload::Pack::OracleLiquidate,
+        workload::Pack::MintStorm,
+        workload::Pack::Adversarial,
+    };
+    return packs;
+}
+
+/**
+ * One durable process lifetime: recover the directory, then append
+ * pack blocks through the scheduling engine with the WAL attached.
+ * Every instance uses the same generator seed, so a restarted writer
+ * regenerates the identical chain.
+ */
+class PackChain
+{
+  public:
+    explicit PackChain(const std::string &dir,
+                       std::uint64_t snapshot_every = 100)
+        : gen_(31337, 128), inner_(dir)
+    {
+        cfg_.numPus = 4;
+        cfg_.threads = 2;
+        run_.scheme = core::Scheme::SpatioTemporal;
+        run_.recovery.validateConflicts = true;
+
+        fault::StorageFaultParams params;
+        auto faulty =
+            std::make_unique<fault::FaultyStorage>(inner_, params);
+        faulty_ = faulty.get();
+        persist::PersistConfig pcfg;
+        pcfg.dataDir = dir;
+        pcfg.snapshotEvery = snapshot_every;
+        persist_ = std::make_unique<persist::Persistence>(
+            pcfg, std::move(faulty));
+        rec = persist_->recover(cfg_, run_, gen_.genesis());
+        if (rec.ok)
+            chain_ = rec.state;
+    }
+
+    /** Execute + persist one pack block; returns the post digest. */
+    U256
+    append(workload::Pack pack)
+    {
+        workload::PackParams params;
+        params.txCount = 10;
+        workload::BlockRun block =
+            workload::buildPackBlock(gen_, pack, params);
+        // Ground truth shipped with the block is relative to genesis;
+        // re-run the consensus stage against the live chain exactly
+        // like the streaming front end (and recovery replay) does.
+        workload::runConsensusStage(block, chain_);
+
+        core::MtpuProcessor proc(cfg_);
+        const U256 pre = chain_.digest();
+        core::AuditedRun out = proc.executeAudited(block, chain_, run_);
+        EXPECT_TRUE(out.ok()) << out.audit.message;
+        chain_ = *out.stats.finalState;
+        chain_.commit();
+
+        persist::WalRecord wrec;
+        wrec.height = block.header.height;
+        wrec.txDigest = persist::txListDigest(block.txs);
+        wrec.preDigest = pre;
+        wrec.postDigest = chain_.digest();
+        wrec.receiptDigest = persist::receiptListDigest(block.txs);
+        wrec.blockRlp = block.toRlp();
+        persist_->appendBlock(++slot_, wrec);
+        if (!persist_->walBroken())
+            persist_->maybeSnapshot(wrec.height, wrec.postDigest,
+                                    chain_);
+        digests_.push_back(wrec.postDigest);
+        return wrec.postDigest;
+    }
+
+    fault::FaultyStorage &faulty() { return *faulty_; }
+    persist::Persistence &persistence() { return *persist_; }
+    const U256 &digestAfter(std::size_t block) const
+    {
+        return digests_.at(block);
+    }
+
+    persist::RecoveryResult rec;
+
+  private:
+    workload::Generator gen_;
+    persist::FileStorage inner_;
+    arch::MtpuConfig cfg_;
+    core::RunOptions run_;
+    fault::FaultyStorage *faulty_ = nullptr;
+    std::unique_ptr<persist::Persistence> persist_;
+    evm::WorldState chain_;
+    std::uint64_t slot_ = 0;
+    std::vector<U256> digests_;
+};
+
+TEST(PackStorageFaults, CleanRoundTripReplaysEveryPackBlock)
+{
+    TempDir t;
+    U256 live;
+    {
+        PackChain a(t.path);
+        ASSERT_TRUE(a.rec.ok) << a.rec.error;
+        for (workload::Pack pack : chainPacks())
+            live = a.append(pack);
+    }
+    PackChain b(t.path);
+    ASSERT_TRUE(b.rec.ok) << b.rec.error;
+    EXPECT_EQ(b.rec.walRecords, chainPacks().size());
+    EXPECT_EQ(b.rec.blocksReplayed, chainPacks().size());
+    EXPECT_EQ(b.rec.chainDigest, live);
+}
+
+TEST(PackStorageFaults, TornWalTailRecoversSurvivingPrefix)
+{
+    TempDir t;
+    U256 after_third;
+    {
+        PackChain a(t.path);
+        ASSERT_TRUE(a.rec.ok) << a.rec.error;
+        for (std::size_t i = 0; i + 1 < chainPacks().size(); ++i)
+            a.append(chainPacks()[i]);
+        after_third = a.digestAfter(2);
+        // The last block's frame is torn 10 bytes in: the CRC scan
+        // must stop there and recovery re-execute only the prefix.
+        a.faulty().schedule(persist::kWalFile,
+                            fault::StorageFaultKind::TornWrite, 10);
+        a.append(chainPacks().back());
+    }
+    PackChain b(t.path);
+    ASSERT_TRUE(b.rec.ok) << b.rec.error;
+    EXPECT_TRUE(b.rec.walTailTruncated);
+    EXPECT_EQ(b.rec.walRecords, chainPacks().size() - 1);
+    EXPECT_EQ(b.rec.chainDigest, after_third);
+}
+
+TEST(PackStorageFaults, BitFlippedPackRecordIsCaughtByCrc)
+{
+    TempDir t;
+    U256 after_third;
+    {
+        PackChain a(t.path);
+        ASSERT_TRUE(a.rec.ok) << a.rec.error;
+        for (std::size_t i = 0; i + 1 < chainPacks().size(); ++i)
+            a.append(chainPacks()[i]);
+        after_third = a.digestAfter(2);
+        a.faulty().schedule(persist::kWalFile,
+                            fault::StorageFaultKind::BitFlip);
+        a.append(chainPacks().back());
+        EXPECT_EQ(a.faulty().bitFlips(), 1u);
+    }
+    PackChain b(t.path);
+    ASSERT_TRUE(b.rec.ok) << b.rec.error;
+    EXPECT_TRUE(b.rec.walTailTruncated);
+    EXPECT_EQ(b.rec.walRecords, chainPacks().size() - 1);
+    EXPECT_EQ(b.rec.chainDigest, after_third);
+}
+
+TEST(PackStorageFaults, FailedFsyncDropsTailButPrefixConverges)
+{
+    TempDir t;
+    U256 after_third;
+    {
+        PackChain a(t.path);
+        ASSERT_TRUE(a.rec.ok) << a.rec.error;
+        for (std::size_t i = 0; i + 1 < chainPacks().size(); ++i)
+            a.append(chainPacks()[i]);
+        after_third = a.digestAfter(2);
+        // The kernel rejects the fsync of the last append: the record
+        // never becomes durable and the WAL latches broken.
+        a.faulty().schedule(persist::kWalFile,
+                            fault::StorageFaultKind::FailSync);
+        a.append(chainPacks().back());
+        EXPECT_TRUE(a.persistence().walBroken());
+        EXPECT_EQ(a.faulty().failedSyncs(), 1u);
+    }
+    PackChain b(t.path);
+    ASSERT_TRUE(b.rec.ok) << b.rec.error;
+    EXPECT_EQ(b.rec.walRecords, chainPacks().size() - 1);
+    EXPECT_EQ(b.rec.chainDigest, after_third);
+}
+
+TEST(PackStorageFaults, SnapshotShortcutsPackReplay)
+{
+    TempDir t;
+    U256 live;
+    {
+        PackChain a(t.path, /*snapshot_every=*/2);
+        ASSERT_TRUE(a.rec.ok) << a.rec.error;
+        for (workload::Pack pack : chainPacks())
+            live = a.append(pack);
+        EXPECT_GT(a.persistence().snapshotsWritten(), 0u);
+    }
+    PackChain b(t.path, /*snapshot_every=*/2);
+    ASSERT_TRUE(b.rec.ok) << b.rec.error;
+    EXPECT_TRUE(b.rec.usedSnapshot);
+    EXPECT_LT(b.rec.blocksReplayed, chainPacks().size());
+    EXPECT_EQ(b.rec.chainDigest, live);
+}
+
+} // namespace
+} // namespace mtpu

@@ -29,6 +29,24 @@ TEST(U256, FromU64)
     EXPECT_EQ(v.toHex(), "0xdeadbeef");
 }
 
+TEST(U256, Hex64FixedWidth)
+{
+    EXPECT_EQ(U256().toHex64(),
+              "0x0000000000000000000000000000000000000000000000000000"
+              "000000000000");
+    EXPECT_EQ(U256(0xdeadbeefull).toHex64(),
+              "0x0000000000000000000000000000000000000000000000000000"
+              "0000deadbeef");
+    // Width is 66 chars regardless of the leading nibble — digests
+    // serialize through this so parsers can pin the length.
+    const char *full =
+        "0x0b3456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef0";
+    U256 v = U256::fromHex(full);
+    EXPECT_EQ(v.toHex64(), full);
+    EXPECT_EQ(v.toHex64().size(), 66u);
+    EXPECT_EQ(U256::fromHex(v.toHex64()), v);
+}
+
 TEST(U256, HexRoundTrip)
 {
     const char *cases[] = {

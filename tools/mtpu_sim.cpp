@@ -6,7 +6,7 @@
  *
  * Usage:
  *   mtpu_sim [--txs N] [--dep R] [--erc20 R] [--pus N] [--blocks N]
- *            [--seed S] [--scheme seq|sync|st] [--window M]
+ *            [--seed S] [--pack NAME] [--scheme seq|sync|st] [--window M]
  *            [--db-entries N] [--no-redundancy] [--no-hotspot]
  *            [--mhz F] [--threads N] [--json PATH]
  *            [--trace PATH] [--trace-host] [--metrics] [--functional]
@@ -73,6 +73,7 @@
 #include "obs/tracer.hpp"
 #include "persist/persistence.hpp"
 #include "stream/server.hpp"
+#include "workload/packs.hpp"
 #include "workload/stream_gen.hpp"
 
 namespace {
@@ -108,6 +109,7 @@ struct Options
     bool metrics = false;   ///< enable + report the metrics registry
     bool functional = false; ///< run the functional fast tier instead
     bool commutative = false; ///< commutative delta commits + elision
+    std::string pack; ///< named workload pack; empty = synthetic mix
 
     // --stream mode (--blocks becomes soak slots; --txs the block cap).
     bool stream = false;
@@ -142,6 +144,11 @@ usage(const char *argv0)
         "  --pus N          processing units (default 4)\n"
         "  --blocks N       number of blocks (default 4)\n"
         "  --seed S         workload seed (default 1)\n"
+        "  --pack NAME      draw blocks from a named workload pack\n"
+        "                   (hot-token, mint-storm, flash-loan,\n"
+        "                   airdrop, oracle-liquidate, adversarial)\n"
+        "                   instead of the synthetic mix; --dep and\n"
+        "                   --erc20 are ignored. Not with --stream\n"
         "  --scheme X       seq | sync | st (default st)\n"
         "  --window M       scheduling window size (default 8)\n"
         "  --db-entries N   DB cache lines (default 2048)\n"
@@ -380,6 +387,11 @@ parse(int argc, char **argv, Options &opt)
             opt.functional = true;
         } else if (arg == "--commutative") {
             opt.commutative = true;
+        } else if (arg == "--pack") {
+            const char *v = next("--pack");
+            if (!v)
+                return false;
+            opt.pack = v;
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             usage(argv[0]);
@@ -406,6 +418,23 @@ parse(int argc, char **argv, Options &opt)
         std::fprintf(stderr,
                      "fault injection requires --scheme st\n");
         return false;
+    }
+    if (!opt.pack.empty()) {
+        mtpu::workload::Pack pack;
+        if (!mtpu::workload::parsePack(opt.pack, pack)) {
+            std::fprintf(stderr, "unknown pack: %s (available:",
+                         opt.pack.c_str());
+            for (mtpu::workload::Pack p : mtpu::workload::allPacks())
+                std::fprintf(stderr, " %s", mtpu::workload::packName(p));
+            std::fprintf(stderr, ")\n");
+            return false;
+        }
+        if (opt.stream) {
+            std::fprintf(stderr, "--pack cannot combine with --stream "
+                                 "(stream blocks are cut live from the "
+                                 "mempool)\n");
+            return false;
+        }
     }
     if (opt.stream) {
         if (opt.scheme != "st") {
@@ -532,6 +561,8 @@ describeRun(JsonReport &report, const Options &opt,
     report.set("redundancyOpt", opt.redundancy ? "true" : "false");
     report.set("hotspotOpt", opt.hotspot ? "true" : "false");
     report.set("txsPerBlock", jsonNum(std::uint64_t(opt.txs)));
+    report.set("pack",
+               opt.pack.empty() ? "null" : jsonQuote(opt.pack));
     report.set("depRatio", jsonNum(opt.dep));
     report.set("erc20Share", jsonNum(opt.erc20));
     report.set("numBlocks", jsonNum(std::uint64_t(opt.blocks)));
@@ -549,6 +580,26 @@ describeRun(JsonReport &report, const Options &opt,
  * block's partial completion order also fails the audit, so the
  * watchdog is attributed first per block), else 0.
  */
+/** One block: from the named pack when --pack is set, else the
+ *  synthetic mix. Pack names were validated at parse time. */
+mtpu::workload::BlockRun
+makeBlock(mtpu::workload::Generator &gen, const Options &opt)
+{
+    using namespace mtpu::workload;
+    if (!opt.pack.empty()) {
+        Pack pack{};
+        parsePack(opt.pack, pack);
+        PackParams params;
+        params.txCount = opt.txs;
+        return buildPackBlock(gen, pack, params);
+    }
+    BlockParams params;
+    params.txCount = opt.txs;
+    params.depRatio = opt.dep;
+    params.erc20Share = opt.erc20;
+    return gen.generateBlock(params);
+}
+
 int
 runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
            const mtpu::core::RunOptions &run, mtpu::obs::Tracer *tracer)
@@ -593,11 +644,7 @@ runFaulted(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
     int watchdog_blocks = 0;
     sched::EngineStats totals;
     for (int b = 0; b < opt.blocks; ++b) {
-        workload::BlockParams block_params;
-        block_params.txCount = opt.txs;
-        block_params.depRatio = opt.dep;
-        block_params.erc20Share = opt.erc20;
-        auto block = gen.generateBlock(block_params);
+        auto block = makeBlock(gen, opt);
 
         auto plan = inj.plan(block, params);
         auto degraded = fault::FaultInjector::degrade(block, plan);
@@ -760,7 +807,7 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
                                        : "",
             recovered.corruptSnapshots ? ", corrupt snapshot dropped"
                                        : "",
-            recovered.chainDigest.toHex().c_str());
+            recovered.chainDigest.toHex64().c_str());
         server.setChainState(recovered.state);
         server.attachPersistence(durable.get());
     }
@@ -842,7 +889,7 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         (unsigned long long)rep.deadlineMisses, rep.latencyP50,
         rep.latencyP90, rep.latencyP99, rep.latencyMean,
         (unsigned long long)rep.queuedTxs, rep.queuedP50, rep.queuedP99,
-        rep.chainDigest.toHex().c_str());
+        rep.chainDigest.toHex64().c_str());
     if (durable)
         std::printf("durability: %llu replayed blocks (%llu txs), "
                     "%llu WAL appends (%llu bytes), %llu snapshots%s\n",
@@ -926,7 +973,7 @@ runStream(const Options &opt, const mtpu::arch::MtpuConfig &cfg,
         report.set("snapshotsWritten", jsonNum(rep.snapshotsWritten));
         report.set("walBroken", rep.walBroken ? "true" : "false");
     }
-    report.set("chainDigest", jsonQuote(rep.chainDigest.toHex()));
+    report.set("chainDigest", jsonQuote(rep.chainDigest.toHex64()));
     report.set("wallSeconds", jsonNum(wall));
     for (const stream::BlockSummary &row : rep.blockLog) {
         report.blocks.push_back(
@@ -987,13 +1034,8 @@ runFunctional(const Options &opt, const mtpu::arch::MtpuConfig &cfg)
     // same reuse a block builder hands its attached executor.
     std::vector<workload::BlockRun> blocks;
     blocks.reserve(std::size_t(opt.blocks));
-    for (int b = 0; b < opt.blocks; ++b) {
-        workload::BlockParams params;
-        params.txCount = opt.txs;
-        params.depRatio = opt.dep;
-        params.erc20Share = opt.erc20;
-        blocks.push_back(gen.generateBlock(params));
-    }
+    for (int b = 0; b < opt.blocks; ++b)
+        blocks.push_back(makeBlock(gen, opt));
 
     // Cycle-tier reference: the audited cycle-level MTPU pipeline,
     // chained block by block — the tier the fast path must match.
@@ -1168,11 +1210,7 @@ main(int argc, char **argv)
 
     double total_speedup = 0;
     for (int b = 0; b < opt.blocks; ++b) {
-        workload::BlockParams params;
-        params.txCount = opt.txs;
-        params.depRatio = opt.dep;
-        params.erc20Share = opt.erc20;
-        auto block = gen.generateBlock(params);
+        auto block = makeBlock(gen, opt);
 
         core::RunOptions this_run = run;
         this_run.hotspotOpt = run.hotspotOpt && b > 0; // needs warmup
